@@ -1,0 +1,74 @@
+"""Ablation: CT-CSR column-tile width (Sec. 4.2).
+
+CT-CSR exists for locality: tiling along columns keeps a tile's rows
+adjacent in memory, reducing the TLB entries (pages) a tile's working set
+spans.  This ablation measures, for the Sec. 4.2 error-matrix shape, the
+pages touched per tile-row window as the tile width varies -- wide
+(untiled CSR) rows span one page per row, tiled rows share pages -- and
+checks the functional invariance of the tiling.
+"""
+
+import numpy as np
+
+from repro.analysis.reporting import format_table
+from repro.core.convspec import ELEMENT_BYTES
+from repro.data.tables import TABLE1_CONVS
+from repro.sparse.ctcsr import ctcsr_from_dense
+
+PAGE = 4096
+ROWS_IN_WINDOW = 16  # rows the kernel keeps live while filling one EI tile
+
+
+def pages_per_window(total_cols: int, tile_cols: int, density: float) -> float:
+    """Expected distinct pages touched by ``ROWS_IN_WINDOW`` tile rows.
+
+    Within a tile, a row stores ``tile_cols * density`` values
+    contiguously; adjacent rows are adjacent in memory, so the window
+    occupies one contiguous run.  Untiled CSR (tile = full width) makes
+    that run as long as the full matrix rows.
+    """
+    bytes_per_row = max(1.0, tile_cols * density) * ELEMENT_BYTES
+    window_bytes = ROWS_IN_WINDOW * bytes_per_row
+    return max(1.0, window_bytes / PAGE)
+
+
+def sweep():
+    spec = TABLE1_CONVS[1]  # 1024 features: the widest error matrix
+    total_cols = spec.nf
+    density = 0.15  # 85% sparse errors
+    rows = []
+    for tile_cols in (16, 64, 256, total_cols):
+        rows.append(
+            {
+                "tile_cols": tile_cols,
+                "num_tiles": -(-total_cols // tile_cols),
+                "pages_per_window": pages_per_window(
+                    total_cols, tile_cols, density
+                ),
+            }
+        )
+    return rows
+
+
+def test_ablation_ctcsr_tiles(benchmark, show):
+    rows = benchmark(sweep)
+    show(format_table(
+        ["tile cols", "tiles", "pages / 16-row window"],
+        [[r["tile_cols"], r["num_tiles"], f"{r['pages_per_window']:.1f}"]
+         for r in rows],
+        title="Ablation: CT-CSR column-tile width (TLB working set)",
+    ))
+    # Narrower tiles -> fewer pages per live window (the locality claim).
+    pages = [r["pages_per_window"] for r in rows]
+    assert all(b >= a for a, b in zip(pages, pages[1:]))
+    assert pages[-1] > 2 * pages[0]
+
+    # Functional invariance: any tiling computes the same product.
+    rng = np.random.default_rng(0)
+    dense = rng.standard_normal((64, 256)).astype(np.float32)
+    dense[rng.random(dense.shape) < 0.85] = 0.0
+    other = rng.standard_normal((256, 8)).astype(np.float32)
+    want = dense @ other
+    for tile_cols in (16, 64, 256):
+        got = ctcsr_from_dense(dense, tile_cols=tile_cols).matmul_dense(other)
+        np.testing.assert_allclose(got, want, atol=1e-3)

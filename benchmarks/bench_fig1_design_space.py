@@ -1,0 +1,51 @@
+"""Fig. 1: the AIT x sparsity design space and benchmark placement."""
+
+from repro.analysis.reporting import format_table
+from repro.core.characterization import characterize, region_pair
+from repro.data.tables import BENCHMARK_ORDER, TABLE1_CONVS, benchmark_layers
+
+
+def sweep_design_space():
+    """Characterize the Table 1 convs and every real-benchmark layer."""
+    rows = []
+    for spec in TABLE1_CONVS:
+        rows.append(("table1", spec))
+    for bench in BENCHMARK_ORDER:
+        for spec in benchmark_layers(bench):
+            rows.append((bench, spec))
+    return [
+        {
+            "source": source,
+            "layer": spec.name,
+            "unfold_ait": spec.unfold_gemm_ait,
+            "dense_region": int(characterize(spec, 0.0).region),
+            "sparse_region": int(characterize(spec, 0.9).region),
+            "fp_technique": characterize(spec, 0.9).recommended_fp(),
+            "bp_technique": characterize(spec, 0.9).recommended_bp(),
+        }
+        for source, spec in rows
+    ]
+
+
+def test_fig1_design_space(benchmark, show):
+    rows = benchmark(sweep_design_space)
+    show(format_table(
+        ["source", "layer", "unfold AIT", "dense reg", "sparse reg",
+         "FP technique", "BP technique"],
+        [[r["source"], r["layer"], f"{r['unfold_ait']:.0f}", r["dense_region"],
+          r["sparse_region"], r["fp_technique"], r["bp_technique"]]
+         for r in rows],
+        title="Fig 1: design-space placement (regions 0-5) and spg-CNN technique map",
+    ))
+    # The four real benchmarks occupy the moderate/low-AIT regions the
+    # paper's Fig. 1 places them in (none is a high-AIT Region 0/1 conv).
+    real = [r for r in rows if r["source"] != "table1"]
+    assert all(r["dense_region"] >= 2 for r in real)
+    # MNIST sits in the low-AIT band.
+    mnist = [r for r in real if r["source"] == "mnist"][0]
+    assert mnist["dense_region"] == 4
+    # Sparse execution flips every layer to an odd region.
+    assert all(r["sparse_region"] % 2 == 1 for r in rows)
+    # Table 1 regions are reproduced.
+    for r, spec in zip(rows[:6], TABLE1_CONVS):
+        assert (r["dense_region"], r["sparse_region"]) == region_pair(spec)

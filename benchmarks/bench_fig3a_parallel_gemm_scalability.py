@@ -1,0 +1,22 @@
+"""Fig. 3a: Parallel-GEMM per-core GFlops as cores scale 1 -> 16."""
+
+from repro.analysis import figures
+from repro.analysis.reporting import format_series
+
+
+def test_fig3a_parallel_gemm_scalability(benchmark, show):
+    data = benchmark(figures.figure3a)
+    show(format_series(
+        "cores", data["cores"], data["series"],
+        title="Fig 3a: Parallel-GEMM performance per core (GFlops)",
+        precision=1,
+    ))
+    drops = []
+    for name, series in data["series"].items():
+        assert series[-1] < series[0], name  # per-core perf always drops
+        drops.append(1 - series[-1] / series[0])
+    # Paper: average per-core drop > 50% at 16 cores.
+    assert sum(drops) / len(drops) > 0.5
+    # High-AIT ID1 (Region 0/1) retains the most performance.
+    retention = {n: s[-1] / s[0] for n, s in data["series"].items()}
+    assert max(retention, key=retention.get) == "ID1"

@@ -1,0 +1,50 @@
+"""Fig. 3b: error-gradient sparsity across training epochs.
+
+Unlike the other performance exhibits, this one is *measured*: the three
+(scaled-down) zoo networks are actually trained on synthetic data and the
+per-epoch mean conv-layer error sparsity is recorded, exactly as the
+paper instruments its training runs.
+"""
+
+import numpy as np
+
+from repro.analysis.reporting import format_series
+from repro.data.sparsity import measure_sparsity_trajectory
+from repro.data.synthetic import cifar10_like, imagenet100_like, mnist_like
+from repro.nn.zoo import cifar10_net, imagenet100_net, mnist_net
+
+NUM_EPOCHS = 5  # the paper shows 10; 5 suffices to show the plateau
+
+
+def measure_all():
+    runs = {
+        "MNIST": (mnist_net(scale=0.4, rng=np.random.default_rng(0)),
+                  mnist_like(48, seed=0)),
+        "CIFAR": (cifar10_net(scale=0.25, rng=np.random.default_rng(1)),
+                  cifar10_like(32, seed=1)),
+        "ImageNet100": (imagenet100_net(scale=0.25, rng=np.random.default_rng(2)),
+                        imagenet100_like(32, seed=2)),
+    }
+    return {
+        name: measure_sparsity_trajectory(
+            net, data, num_epochs=NUM_EPOCHS, batch_size=16, benchmark=name
+        )
+        for name, (net, data) in runs.items()
+    }
+
+
+def test_fig3b_sparsity_across_epochs(benchmark, show):
+    trajectories = benchmark.pedantic(measure_all, rounds=1, iterations=1)
+    show(format_series(
+        "epoch",
+        list(range(1, NUM_EPOCHS + 1)),
+        {name: list(t.sparsity) for name, t in trajectories.items()},
+        title="Fig 3b: measured error sparsity across epochs (trained runs)",
+    ))
+    for name, traj in trajectories.items():
+        # ReLU + max pooling force high sparsity from the start; the paper
+        # reports > 85% after epoch 2 -- our small-scale runs reach the
+        # same regime (> 75% mechanically, typically > 85%).
+        assert traj.sparsity[-1] > 0.75, name
+        # Sparsity does not collapse as training progresses.
+        assert traj.sparsity[-1] > traj.sparsity[0] - 0.1, name

@@ -1,0 +1,18 @@
+"""Fig. 4a: GEMM-in-Parallel per-core GFlops as cores scale 1 -> 16."""
+
+from repro.analysis import figures
+from repro.analysis.reporting import format_series
+
+
+def test_fig4a_gip_scalability(benchmark, show):
+    data = benchmark(figures.figure4a)
+    show(format_series(
+        "cores", data["cores"], data["series"],
+        title="Fig 4a: GEMM-in-Parallel performance per core (GFlops)",
+        precision=1,
+    ))
+    # Paper: per-core performance roughly steady, dropping < 15% on average.
+    drops = [1 - s[-1] / s[0] for s in data["series"].values()]
+    assert sum(drops) / len(drops) < 0.15
+    for name, series in data["series"].items():
+        assert series[-1] > 0.8 * series[0], name

@@ -1,0 +1,25 @@
+"""Fig. 4b: relative speedup of GEMM-in-Parallel over Parallel-GEMM."""
+
+from repro.analysis import figures
+from repro.analysis.reporting import format_series
+from repro.data.tables import TABLE1_CONVS
+
+
+def test_fig4b_gip_speedup(benchmark, show):
+    data = benchmark(figures.figure4b)
+    show(format_series(
+        "cores", data["cores"], data["series"],
+        title="Fig 4b: GEMM-in-Parallel speedup over Parallel-GEMM",
+    ))
+    # Speedup grows with core count for every convolution.
+    for name, series in data["series"].items():
+        assert series[-1] >= series[0] - 1e-9, name
+    # Convolutions with fewer output features benefit more (paper text).
+    nf = {spec.name: spec.nf for spec in TABLE1_CONVS}
+    finals = {name: s[-1] for name, s in data["series"].items()}
+    fewest = min(nf, key=nf.get)   # ID0, 32 features
+    most = max(nf, key=nf.get)     # ID1, 1024 features
+    assert finals[fewest] > finals[most]
+    # Paper's range at 16 cores: roughly 1x to 8x.
+    assert max(finals.values()) > 4.0
+    assert min(finals.values()) >= 1.0

@@ -1,0 +1,21 @@
+"""Fig. 4c: Stencil-Kernel (FP) per-core performance and scalability."""
+
+from repro.analysis import figures
+from repro.analysis.reporting import format_series
+from repro.machine.spec import xeon_e5_2650
+
+
+def test_fig4c_stencil_scalability(benchmark, show):
+    data = benchmark(figures.figure4c)
+    show(format_series(
+        "cores", data["cores"], data["series"],
+        title="Fig 4c: Stencil-Kernel (FP) performance per core (GFlops, "
+              "incl. layout transforms)",
+        precision=1,
+    ))
+    peak = xeon_e5_2650().peak_flops_per_core / 1e9
+    for name, series in data["series"].items():
+        # Scales better than GEMM-in-Parallel: minimal per-core impact.
+        assert series[-1] > 0.8 * series[0], name
+        # Absolute per-core rates are a plausible fraction of peak.
+        assert 0.1 * peak < series[0] < peak, name

@@ -1,0 +1,21 @@
+"""Fig. 4d: Stencil-Kernel (FP) speedup over GEMM-in-Parallel."""
+
+from repro.analysis import figures
+from repro.analysis.reporting import format_series
+from repro.data.tables import TABLE1_CONVS
+
+
+def test_fig4d_stencil_speedup(benchmark, show):
+    data = benchmark(figures.figure4d)
+    show(format_series(
+        "cores", data["cores"], data["series"],
+        title="Fig 4d: Stencil-Kernel (FP) speedup over GEMM-in-Parallel",
+    ))
+    finals = {name: s[-1] for name, s in data["series"].items()}
+    nf = {spec.name: spec.nf for spec in TABLE1_CONVS}
+    # Paper: stencil wins below ~128 output features, GiP above.
+    for name, value in finals.items():
+        if nf[name] < 128:
+            assert value > 1.0, (name, value)
+        elif nf[name] > 128:
+            assert value < 1.1, (name, value)

@@ -1,0 +1,24 @@
+"""Fig. 4e: Sparse-Kernel (BP) goodput as a function of sparsity."""
+
+from repro.analysis import figures
+from repro.analysis.reporting import format_series
+
+
+def test_fig4e_sparse_goodput(benchmark, show):
+    data = benchmark(figures.figure4e)
+    show(format_series(
+        "sparsity", data["sparsity"], data["series"],
+        title="Fig 4e: Sparse-Kernel (BP) goodput at 16 cores (GFlops/s, "
+              "incl. transform + CT-CSR build costs)",
+        precision=1,
+    ))
+    sp = data["sparsity"]
+    i50, i90 = sp.index(0.5), sp.index(0.9)
+    for name, series in data["series"].items():
+        # Consistently high goodput below 90% sparsity...
+        assert series[i90] > 0.5 * series[i50], name
+        # ...and a drop beyond 90% as the bottleneck shifts to the
+        # data-layout transformations (paper Sec. 4.2 evaluation).
+        assert series[-1] < series[i90], name
+    # Absolute scale matches the paper's 0-250 GFlops/s axis.
+    assert max(s[i50] for s in data["series"].values()) < 260

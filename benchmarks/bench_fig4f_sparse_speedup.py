@@ -1,0 +1,24 @@
+"""Fig. 4f: Sparse-Kernel (BP) speedup over GEMM-in-Parallel vs sparsity."""
+
+from repro.analysis import figures
+from repro.analysis.reporting import format_series
+
+
+def test_fig4f_sparse_speedup(benchmark, show):
+    data = benchmark(figures.figure4f)
+    show(format_series(
+        "sparsity", data["sparsity"], data["series"],
+        title="Fig 4f: Sparse-Kernel (BP) speedup over GEMM-in-Parallel",
+    ))
+    sp = data["sparsity"]
+    i75, i90 = sp.index(0.75), sp.index(0.94)
+    for name, series in data["series"].items():
+        # Dense data: the dense kernels win (speedup < 1, paper ~0.25-0.85).
+        assert series[0] < 1.0, name
+        # Paper: consistently faster from 75% sparsity on.
+        assert series[i75] > 1.0, name
+        # Paper: 3x-32x beyond 90% sparsity.
+        assert series[i90] > 3.0, name
+        assert series[-1] < 40.0, name
+        # Monotone in sparsity.
+        assert all(b > a for a, b in zip(series, series[1:])), name

@@ -1,0 +1,25 @@
+"""Table 1: the six benchmark convolutions, their AIT and regions."""
+
+from repro.analysis import figures
+from repro.analysis.reporting import format_table
+from repro.data.tables import TABLE1_INTRINSIC_AIT, TABLE1_REGIONS, TABLE1_UNFOLD_AIT
+
+
+def test_table1_ait(benchmark, show):
+    data = benchmark(figures.table1)
+    rows = [
+        [r["id"], r["params"], r["intrinsic_ait"], r["unfold_gemm_ait"],
+         f"{r['region'][0]},{r['region'][1]}"]
+        for r in data["rows"]
+    ]
+    show(format_table(
+        ["ID", "Nx,Nf,Nc,Fx", "Intrinsic AIT", "Unfold+GEMM AIT", "Region"],
+        rows,
+        title="Table 1: convolution benchmarks (paper values reproduced exactly)",
+    ))
+    for row, intrinsic, unfold, region in zip(
+        data["rows"], TABLE1_INTRINSIC_AIT, TABLE1_UNFOLD_AIT, TABLE1_REGIONS
+    ):
+        assert row["intrinsic_ait"] == intrinsic
+        assert row["unfold_gemm_ait"] == unfold
+        assert row["region"] == region

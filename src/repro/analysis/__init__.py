@@ -1,0 +1,5 @@
+"""Experiment regeneration and reporting."""
+
+from repro.analysis.reporting import format_series, format_table
+
+__all__ = ["format_series", "format_table"]

@@ -1,0 +1,207 @@
+"""Regeneration of every table and figure in the paper's evaluation.
+
+Each ``figure_*`` / ``table_*`` function computes the data behind one of
+the paper's exhibits and returns it in a plain dictionary, so the
+benchmark harness can print it and the test suite can assert on its
+shape.  The experiment index in DESIGN.md maps exhibits to these
+functions.
+
+All performance exhibits use the calibrated Xeon E5-2650 machine model;
+Fig. 3b is a real (small-scale) training measurement.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.characterization import region_pair
+from repro.core.convspec import ConvSpec
+from repro.data.tables import (
+    BENCHMARK_ORDER,
+    TABLE1_CONVS,
+    benchmark_layers,
+)
+from repro.machine.baselines import adam_profile
+from repro.machine.executor import fig9_configs, training_throughput
+from repro.machine.gemm_model import (
+    gemm_in_parallel_conv_time,
+    parallel_gemm_conv_time,
+    percore_gflops,
+)
+from repro.machine.sparse_model import sparse_bp_time, sparse_goodput
+from repro.machine.spec import MachineSpec, xeon_e5_2650
+from repro.machine.stencil_model import stencil_fp_time, stencil_percore_gflops
+
+CORE_COUNTS: tuple[int, ...] = (1, 2, 4, 8, 16)
+FIG4E_SPARSITIES: tuple[float, ...] = (0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 0.99)
+FIG4F_SPARSITIES: tuple[float, ...] = (0.0, 0.5, 0.75, 0.88, 0.94, 0.97, 0.99)
+
+
+def _machine(machine: MachineSpec | None) -> MachineSpec:
+    return machine or xeon_e5_2650()
+
+
+def table1(machine: MachineSpec | None = None) -> dict:
+    """Table 1: the six benchmark convolutions and their AIT/regions."""
+    rows = []
+    for i, spec in enumerate(TABLE1_CONVS):
+        rows.append(
+            {
+                "id": i,
+                "params": f"{spec.nx},{spec.nf},{spec.nc},{spec.fx}",
+                "intrinsic_ait": math.floor(spec.intrinsic_ait),
+                "unfold_gemm_ait": math.floor(spec.unfold_gemm_ait),
+                "region": region_pair(spec),
+            }
+        )
+    return {"rows": rows}
+
+
+def figure3a(machine: MachineSpec | None = None) -> dict:
+    """Fig. 3a: Parallel-GEMM per-core GFlops vs cores, Table 1 convs."""
+    m = _machine(machine)
+    series = {
+        spec.name: [percore_gflops(spec, "parallel-gemm", m, c) for c in CORE_COUNTS]
+        for spec in TABLE1_CONVS
+    }
+    return {"cores": CORE_COUNTS, "series": series}
+
+
+def figure4a(machine: MachineSpec | None = None) -> dict:
+    """Fig. 4a: GEMM-in-Parallel per-core GFlops vs cores."""
+    m = _machine(machine)
+    series = {
+        spec.name: [
+            percore_gflops(spec, "gemm-in-parallel", m, c) for c in CORE_COUNTS
+        ]
+        for spec in TABLE1_CONVS
+    }
+    return {"cores": CORE_COUNTS, "series": series}
+
+
+def figure4b(machine: MachineSpec | None = None, batch: int = 16) -> dict:
+    """Fig. 4b: GEMM-in-Parallel speedup over Parallel-GEMM vs cores."""
+    m = _machine(machine)
+    series = {}
+    for spec in TABLE1_CONVS:
+        values = []
+        for c in CORE_COUNTS:
+            pg = sum(
+                parallel_gemm_conv_time(spec, ph, batch, m, c, include_unfold=False)
+                for ph in ("fp", "bp")
+            )
+            gip = sum(
+                gemm_in_parallel_conv_time(spec, ph, batch, m, c, include_unfold=False)
+                for ph in ("fp", "bp")
+            )
+            values.append(pg / gip)
+        series[spec.name] = values
+    return {"cores": CORE_COUNTS, "series": series}
+
+
+def figure4c(machine: MachineSpec | None = None) -> dict:
+    """Fig. 4c: Stencil-Kernel (FP) per-core GFlops vs cores."""
+    m = _machine(machine)
+    series = {
+        spec.name: [stencil_percore_gflops(spec, m, c) for c in CORE_COUNTS]
+        for spec in TABLE1_CONVS
+    }
+    return {"cores": CORE_COUNTS, "series": series}
+
+
+def figure4d(machine: MachineSpec | None = None) -> dict:
+    """Fig. 4d: Stencil-Kernel (FP) speedup over GEMM-in-Parallel."""
+    m = _machine(machine)
+    series = {}
+    for spec in TABLE1_CONVS:
+        values = []
+        for c in CORE_COUNTS:
+            gip = gemm_in_parallel_conv_time(spec, "fp", c, m, c, include_unfold=True)
+            stencil = stencil_fp_time(spec, c, m, c)
+            values.append(gip / stencil)
+        series[spec.name] = values
+    return {"cores": CORE_COUNTS, "series": series}
+
+
+def figure4e(machine: MachineSpec | None = None, cores: int = 16) -> dict:
+    """Fig. 4e: Sparse-Kernel (BP) goodput vs sparsity at 16 cores."""
+    m = _machine(machine)
+    series = {
+        spec.name: [sparse_goodput(spec, s, m, cores) for s in FIG4E_SPARSITIES]
+        for spec in TABLE1_CONVS
+    }
+    return {"sparsity": FIG4E_SPARSITIES, "series": series}
+
+
+def figure4f(machine: MachineSpec | None = None, cores: int = 16,
+             batch: int = 16) -> dict:
+    """Fig. 4f: Sparse-Kernel (BP) speedup over GEMM-in-Parallel vs sparsity."""
+    m = _machine(machine)
+    series = {}
+    for spec in TABLE1_CONVS:
+        gip = gemm_in_parallel_conv_time(spec, "bp", batch, m, cores)
+        series[spec.name] = [
+            gip / sparse_bp_time(spec, batch, s, m, cores) for s in FIG4F_SPARSITIES
+        ]
+    return {"sparsity": FIG4F_SPARSITIES, "series": series}
+
+
+def table2() -> dict:
+    """Table 2: convolution specifications of the four benchmarks."""
+    rows = []
+    for bench in BENCHMARK_ORDER:
+        for spec in benchmark_layers(bench):
+            rows.append(
+                {
+                    "benchmark": bench,
+                    "layer": spec.name,
+                    "params": f"{spec.nx},{spec.nf},{spec.nc},{spec.fx},{spec.sx}",
+                }
+            )
+    return {"rows": rows}
+
+
+def figure8(machine: MachineSpec | None = None, cores: int = 16,
+            batch: int = 16, sparsity: float = 0.85) -> dict:
+    """Fig. 8: per-layer FP/BP speedups over Parallel-GEMM (85% sparsity).
+
+    For each Table 2 layer: the GEMM-in-Parallel FP speedup, the total FP
+    speedup with Stencil-Kernel where it wins (the paper's green bars add
+    to the blue only when stencil helps), and the Sparse-Kernel BP
+    speedup.
+    """
+    m = _machine(machine)
+    profile = adam_profile().gemm
+    rows = []
+    for bench in BENCHMARK_ORDER:
+        for spec in benchmark_layers(bench):
+            pg_fp = parallel_gemm_conv_time(spec, "fp", batch, m, cores, profile)
+            gip_fp = gemm_in_parallel_conv_time(spec, "fp", batch, m, cores, profile)
+            st_fp = stencil_fp_time(spec, batch, m, cores)
+            pg_bp = parallel_gemm_conv_time(spec, "bp", batch, m, cores, profile)
+            sp_bp = sparse_bp_time(spec, batch, sparsity, m, cores)
+            best_fp = min(gip_fp, st_fp)
+            rows.append(
+                {
+                    "benchmark": bench,
+                    "layer": spec.name,
+                    "fp_gip_speedup": pg_fp / gip_fp,
+                    "fp_best_speedup": pg_fp / best_fp,
+                    "fp_uses_stencil": st_fp < gip_fp,
+                    "bp_sparse_speedup": pg_bp / sp_bp,
+                }
+            )
+    return {"rows": rows, "cores": cores, "sparsity": sparsity}
+
+
+def figure9(machine: MachineSpec | None = None, sparsity: float = 0.85,
+            conv_specs: tuple[ConvSpec, ...] | None = None) -> dict:
+    """Fig. 9: CIFAR-10 end-to-end images/second vs cores, five configs."""
+    m = _machine(machine)
+    convs = conv_specs or benchmark_layers("cifar-10")
+    cores = (1, 2, 4, 8, 16, 32)
+    series = {
+        cfg.label: [training_throughput(convs, cfg, m, c) for c in cores]
+        for cfg in fig9_configs(sparsity)
+    }
+    return {"cores": cores, "series": series}

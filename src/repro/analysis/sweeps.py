@@ -1,0 +1,96 @@
+"""Design-space sweeps: the Fig. 1 region map as data.
+
+Fig. 1 is a schematic of the (AIT, sparsity) plane; this module makes it
+concrete: a grid of synthetic convolutions sweeping the output-feature
+count (the paper notes AIT is roughly ``2 x number of features``) against
+sparsity levels, each cell classified into its region and annotated with
+spg-CNN's technique choice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.characterization import characterize
+from repro.core.convspec import ConvSpec
+
+#: Feature counts sweeping the AIT axis (low to high, log-spaced).
+DEFAULT_FEATURE_AXIS: tuple[int, ...] = (16, 32, 64, 128, 256, 512, 1024, 2048)
+
+#: Sparsity levels sweeping the other axis.
+DEFAULT_SPARSITY_AXIS: tuple[float, ...] = (0.0, 0.5, 0.8, 0.95)
+
+
+@dataclass(frozen=True)
+class GridCell:
+    """One (features, sparsity) cell of the design-space grid."""
+
+    features: int
+    sparsity: float
+    unfold_ait: float
+    region: int
+    fp_technique: str
+    bp_technique: str
+
+
+def design_space_grid(
+    feature_axis: tuple[int, ...] = DEFAULT_FEATURE_AXIS,
+    sparsity_axis: tuple[float, ...] = DEFAULT_SPARSITY_AXIS,
+    image: int = 64,
+    channels: int = 64,
+    kernel: int = 3,
+) -> list[GridCell]:
+    """Classify a grid of convolutions over the two Fig. 1 axes."""
+    cells = []
+    for nf in feature_axis:
+        spec = ConvSpec(nc=channels, ny=image, nx=image, nf=nf,
+                        fy=kernel, fx=kernel)
+        for sparsity in sparsity_axis:
+            ch = characterize(spec, sparsity=sparsity)
+            cells.append(
+                GridCell(
+                    features=nf,
+                    sparsity=sparsity,
+                    unfold_ait=ch.unfold_ait,
+                    region=int(ch.region),
+                    fp_technique=ch.recommended_fp(),
+                    bp_technique=ch.recommended_bp(),
+                )
+            )
+    return cells
+
+
+def render_region_map(cells: list[GridCell]) -> str:
+    """Text rendering of the grid: one row per feature count.
+
+    Each cell shows its region digit -- the textual analogue of Fig. 1.
+    """
+    features = sorted({c.features for c in cells})
+    sparsities = sorted({c.sparsity for c in cells})
+    by_key = {(c.features, c.sparsity): c for c in cells}
+    header = "features\\sparsity  " + "  ".join(f"{s:>5.2f}" for s in sparsities)
+    lines = [header, "-" * len(header)]
+    for nf in features:
+        cells_row = [by_key[(nf, s)] for s in sparsities]
+        row = "  ".join(f"{c.region:>5d}" for c in cells_row)
+        lines.append(f"{nf:>8d}           {row}")
+    return "\n".join(lines)
+
+
+def region_transitions(cells: list[GridCell]) -> dict[str, int]:
+    """AIT-band boundaries along the feature axis (at zero sparsity).
+
+    Returns the first feature count in the moderate and high bands --
+    the concrete positions of Fig. 1's vertical region boundaries for
+    the sweep's geometry.
+    """
+    dense = sorted(
+        (c for c in cells if c.sparsity == 0.0), key=lambda c: c.features
+    )
+    transitions: dict[str, int] = {}
+    for cell in dense:
+        if cell.region == 2 and "moderate_starts_at" not in transitions:
+            transitions["moderate_starts_at"] = cell.features
+        if cell.region == 0 and "high_starts_at" not in transitions:
+            transitions["high_starts_at"] = cell.features
+    return transitions

@@ -1,0 +1,191 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands:
+
+* ``characterize Nx Nf Nc Fx [--stride S] [--sparsity P]`` -- AIT figures
+  and Fig. 1 region for a convolution.
+* ``plan <netdef file> [--cores N] [--batch B] [--sparsity P]`` -- run the
+  autotuner over every conv layer of a network description.
+* ``figure <name>`` -- regenerate one of the paper's exhibits
+  (``table1``, ``table2``, ``fig3a``, ``fig4a`` ... ``fig4f``, ``fig9``).
+* ``engines`` -- list the registered convolution engines.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analysis import figures as figure_module
+from repro.analysis.reporting import format_series, format_table
+from repro.core.autotuner import Autotuner, ModelCostBackend
+from repro.core.characterization import characterize
+from repro.core.convspec import ConvSpec
+from repro.machine.spec import xeon_e5_2650
+from repro.nn.netdef import network_from_text
+from repro.ops.engine import engine_names
+
+_FIGURES = {
+    "table1": figure_module.table1,
+    "table2": figure_module.table2,
+    "fig3a": figure_module.figure3a,
+    "fig4a": figure_module.figure4a,
+    "fig4b": figure_module.figure4b,
+    "fig4c": figure_module.figure4c,
+    "fig4d": figure_module.figure4d,
+    "fig4e": figure_module.figure4e,
+    "fig4f": figure_module.figure4f,
+    "fig9": figure_module.figure9,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="spg-CNN reproduction toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    chz = sub.add_parser("characterize", help="characterize a convolution")
+    chz.add_argument("dims", type=int, nargs=4, metavar=("Nx", "Nf", "Nc", "Fx"))
+    chz.add_argument("--stride", type=int, default=1)
+    chz.add_argument("--sparsity", type=float, default=0.0)
+
+    plan = sub.add_parser("plan", help="autotune a network description")
+    plan.add_argument("netdef", type=Path)
+    plan.add_argument("--cores", type=int, default=16)
+    plan.add_argument("--batch", type=int, default=64)
+    plan.add_argument("--sparsity", type=float, default=0.85)
+
+    fig = sub.add_parser("figure", help="regenerate a paper exhibit")
+    fig.add_argument("name", choices=sorted(_FIGURES))
+
+    explain = sub.add_parser(
+        "explain", help="per-lane time breakdown of each technique"
+    )
+    explain.add_argument("dims", type=int, nargs=4,
+                         metavar=("Nx", "Nf", "Nc", "Fx"))
+    explain.add_argument("--phase", choices=("fp", "bp"), default="fp")
+    explain.add_argument("--stride", type=int, default=1)
+    explain.add_argument("--cores", type=int, default=16)
+    explain.add_argument("--batch", type=int, default=16)
+    explain.add_argument("--sparsity", type=float, default=0.85)
+
+    repro_cmd = sub.add_parser(
+        "reproduce", help="write every paper exhibit to an output directory"
+    )
+    repro_cmd.add_argument("--out", type=Path, default=Path("results"))
+
+    sub.add_parser("engines", help="list registered engines")
+    return parser
+
+
+def _render_exhibit(name: str) -> str:
+    data = _FIGURES[name]()
+    if "rows" in data:
+        rows = data["rows"]
+        headers = list(rows[0].keys())
+        return format_table(
+            headers, [[row[h] for h in headers] for row in rows], title=name
+        )
+    x_label = "cores" if "cores" in data else "sparsity"
+    return format_series(x_label, data[x_label], data["series"], title=name)
+
+
+def _cmd_reproduce(args, out) -> int:
+    args.out.mkdir(parents=True, exist_ok=True)
+    for name in sorted(_FIGURES):
+        text = _render_exhibit(name)
+        path = args.out / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"wrote {path}", file=out)
+    from repro.machine.calibration import calibration_report
+
+    calibration_path = args.out / "calibration.txt"
+    calibration_path.write_text(calibration_report() + "\n")
+    print(f"wrote {calibration_path}", file=out)
+    return 0
+
+
+def _cmd_explain(args, out) -> int:
+    from repro.machine.explain import explain_conv, explain_report
+
+    n, nf, nc, f = args.dims
+    spec = ConvSpec(nc=nc, ny=n, nx=n, nf=nf, fy=f, fx=f,
+                    sy=args.stride, sx=args.stride, name="cli-conv")
+    breakdowns = explain_conv(
+        spec, args.phase, args.batch, xeon_e5_2650(), args.cores,
+        sparsity=args.sparsity,
+    )
+    print(spec.describe(), file=out)
+    print(explain_report(breakdowns), file=out)
+    return 0
+
+
+def _cmd_characterize(args, out) -> int:
+    n, nf, nc, f = args.dims
+    spec = ConvSpec(nc=nc, ny=n, nx=n, nf=nf, fy=f, fx=f,
+                    sy=args.stride, sx=args.stride, name="cli-conv")
+    ch = characterize(spec, sparsity=args.sparsity)
+    print(spec.describe(), file=out)
+    print(f"intrinsic AIT:   {ch.intrinsic_ait:.1f}", file=out)
+    print(f"Unfold+GEMM AIT: {ch.unfold_ait:.1f}", file=out)
+    print(f"region:          {int(ch.region)} ({ch.region.ait_band} AIT, "
+          f"{'sparse' if ch.region.is_sparse else 'dense'})", file=out)
+    print(f"recommended FP:  {ch.recommended_fp()}", file=out)
+    print(f"recommended BP:  {ch.recommended_bp()}", file=out)
+    return 0
+
+
+def _cmd_plan(args, out) -> int:
+    text = args.netdef.read_text()
+    network = network_from_text(text)
+    tuner = Autotuner(
+        ModelCostBackend(xeon_e5_2650(), cores=args.cores, batch=args.batch)
+    )
+    rows = []
+    for layer in network.conv_layers():
+        plan = tuner.plan_layer(layer.padded_spec, layer_name=layer.name,
+                                sparsity=args.sparsity)
+        rows.append([
+            plan.layer_name, plan.fp_engine, plan.bp_engine,
+            f"{plan.fp_speedup_over_baseline:.1f}x",
+            f"{plan.bp_speedup_over_baseline:.1f}x",
+        ])
+    print(format_table(
+        ["layer", "FP engine", "BP engine", "FP speedup", "BP speedup"],
+        rows,
+        title=f"{network.name}: spg-CNN plan ({args.cores} cores, "
+              f"sparsity {args.sparsity})",
+    ), file=out)
+    return 0
+
+
+def _cmd_figure(args, out) -> int:
+    print(_render_exhibit(args.name), file=out)
+    return 0
+
+
+def main(argv: list[str] | None = None, out=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    out = out or sys.stdout
+    args = _build_parser().parse_args(argv)
+    if args.command == "characterize":
+        return _cmd_characterize(args, out)
+    if args.command == "plan":
+        return _cmd_plan(args, out)
+    if args.command == "figure":
+        return _cmd_figure(args, out)
+    if args.command == "explain":
+        return _cmd_explain(args, out)
+    if args.command == "reproduce":
+        return _cmd_reproduce(args, out)
+    if args.command == "engines":
+        for name in engine_names():
+            print(name, file=out)
+        return 0
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

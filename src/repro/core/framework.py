@@ -1,0 +1,111 @@
+"""spg-CNN: the top-level optimization framework (paper Sec. 4).
+
+:class:`SpgCNN` attaches to a trainable :class:`repro.nn.network.Network`,
+plans every convolution layer with the autotuner, deploys the chosen
+engines onto the layers, and periodically re-checks the BP choice as the
+measured error-gradient sparsity drifts during training (Sec. 4.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.autotuner import Autotuner, CostBackend
+from repro.core.plan import ExecutionPlan, LayerPlan
+from repro.errors import PlanError
+from repro.nn.network import Network
+
+
+@dataclass(frozen=True)
+class RetuneEvent:
+    """Record of one BP re-selection during training."""
+
+    epoch: int
+    layer_name: str
+    old_engine: str
+    new_engine: str
+    sparsity: float
+
+
+class SpgCNN:
+    """Deploys and maintains the fastest per-layer engine configuration."""
+
+    def __init__(
+        self,
+        network: Network,
+        backend: CostBackend,
+        recheck_epochs: int = 2,
+        initial_sparsity: float = 0.0,
+    ):
+        if recheck_epochs <= 0:
+            raise PlanError(f"recheck_epochs must be positive, got {recheck_epochs}")
+        if not 0.0 <= initial_sparsity <= 1.0:
+            raise PlanError(f"initial_sparsity must be in [0,1], got {initial_sparsity}")
+        self.network = network
+        self.autotuner = Autotuner(backend)
+        self.recheck_epochs = recheck_epochs
+        self.initial_sparsity = initial_sparsity
+        self._plans: dict[str, LayerPlan] = {}
+        self.retune_events: list[RetuneEvent] = []
+
+    # -- planning and deployment ------------------------------------------
+
+    def optimize(self) -> ExecutionPlan:
+        """Plan every conv layer and deploy the chosen engines."""
+        conv_layers = self.network.conv_layers()
+        if not conv_layers:
+            raise PlanError("network has no convolution layers to optimize")
+        plans = []
+        for layer in conv_layers:
+            plan = self.autotuner.plan_layer(
+                layer.padded_spec,
+                layer_name=layer.name,
+                sparsity=self.initial_sparsity,
+            )
+            layer.set_fp_engine(plan.fp_engine)
+            layer.set_bp_engine(plan.bp_engine)
+            self._plans[layer.name] = plan
+            plans.append(plan)
+        return ExecutionPlan(layers=tuple(plans))
+
+    @property
+    def plan(self) -> ExecutionPlan:
+        """The currently deployed plan."""
+        if not self._plans:
+            raise PlanError("optimize() has not been called yet")
+        return ExecutionPlan(layers=tuple(self._plans.values()))
+
+    # -- periodic re-tuning -------------------------------------------------
+
+    def after_epoch(self, epoch: int) -> list[RetuneEvent]:
+        """Hook to call after each training epoch (1-based).
+
+        Every ``recheck_epochs`` epochs, re-evaluates the BP technique of
+        each conv layer at its *measured* error sparsity and re-deploys
+        any changed choice.  Returns the changes made this call.
+        """
+        if epoch <= 0:
+            raise PlanError(f"epoch must be positive, got {epoch}")
+        if not self._plans:
+            raise PlanError("optimize() has not been called yet")
+        if epoch % self.recheck_epochs != 0:
+            return []
+        events = []
+        for layer in self.network.conv_layers():
+            old_plan = self._plans[layer.name]
+            sparsity = layer.last_error_sparsity
+            new_plan = self.autotuner.replan_bp(old_plan, sparsity)
+            self._plans[layer.name] = new_plan
+            if new_plan.bp_engine != old_plan.bp_engine:
+                layer.set_bp_engine(new_plan.bp_engine)
+                events.append(
+                    RetuneEvent(
+                        epoch=epoch,
+                        layer_name=layer.name,
+                        old_engine=old_plan.bp_engine,
+                        new_engine=new_plan.bp_engine,
+                        sparsity=sparsity,
+                    )
+                )
+        self.retune_events.extend(events)
+        return events

@@ -1,0 +1,98 @@
+"""Image preprocessing and augmentation.
+
+Table 2's note — "the disparity in Nx values of Layer 0 is due to image
+padding/cropping" — reflects the standard training-time preprocessing of
+the paper's benchmarks: images are padded/cropped to the network's input
+extent and randomly flipped.  These transforms implement that pipeline
+for the synthetic datasets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+
+def pad_images(images: np.ndarray, pad: int) -> np.ndarray:
+    """Zero-pad a ``[B, C, Y, X]`` batch on both spatial sides."""
+    if images.ndim != 4:
+        raise ShapeError(f"expected [B, C, Y, X], got {images.shape}")
+    if pad < 0:
+        raise ShapeError(f"pad must be non-negative, got {pad}")
+    if pad == 0:
+        return images
+    return np.pad(images, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+
+
+def random_crop(images: np.ndarray, size: int,
+                rng: np.random.Generator) -> np.ndarray:
+    """Random ``size x size`` crops, one offset per image."""
+    if images.ndim != 4:
+        raise ShapeError(f"expected [B, C, Y, X], got {images.shape}")
+    b, c, y, x = images.shape
+    if size <= 0 or size > y or size > x:
+        raise ShapeError(f"crop size {size} invalid for {y}x{x} images")
+    out = np.empty((b, c, size, size), dtype=images.dtype)
+    offs_y = rng.integers(0, y - size + 1, size=b)
+    offs_x = rng.integers(0, x - size + 1, size=b)
+    for i in range(b):
+        out[i] = images[i, :, offs_y[i] : offs_y[i] + size,
+                        offs_x[i] : offs_x[i] + size]
+    return out
+
+
+def center_crop(images: np.ndarray, size: int) -> np.ndarray:
+    """Deterministic central crops (the evaluation-time counterpart)."""
+    if images.ndim != 4:
+        raise ShapeError(f"expected [B, C, Y, X], got {images.shape}")
+    _, _, y, x = images.shape
+    if size <= 0 or size > y or size > x:
+        raise ShapeError(f"crop size {size} invalid for {y}x{x} images")
+    oy = (y - size) // 2
+    ox = (x - size) // 2
+    return images[:, :, oy : oy + size, ox : ox + size]
+
+
+def random_horizontal_flip(images: np.ndarray, rng: np.random.Generator,
+                           probability: float = 0.5) -> np.ndarray:
+    """Flip each image left-right with the given probability."""
+    if images.ndim != 4:
+        raise ShapeError(f"expected [B, C, Y, X], got {images.shape}")
+    if not 0.0 <= probability <= 1.0:
+        raise ShapeError(f"probability must be in [0, 1], got {probability}")
+    out = images.copy()
+    flips = rng.random(images.shape[0]) < probability
+    out[flips] = out[flips, :, :, ::-1]
+    return out
+
+
+def standardize(images: np.ndarray, epsilon: float = 1e-6) -> np.ndarray:
+    """Per-channel zero-mean unit-variance normalization over the batch."""
+    if images.ndim != 4:
+        raise ShapeError(f"expected [B, C, Y, X], got {images.shape}")
+    mean = images.mean(axis=(0, 2, 3), keepdims=True)
+    std = images.std(axis=(0, 2, 3), keepdims=True)
+    return ((images - mean) / (std + epsilon)).astype(images.dtype, copy=False)
+
+
+class AugmentationPipeline:
+    """Composable training-time preprocessing: pad -> crop -> flip."""
+
+    def __init__(self, pad: int = 0, crop: int | None = None,
+                 flip_probability: float = 0.5, seed: int = 0):
+        self.pad = pad
+        self.crop = crop
+        self.flip_probability = flip_probability
+        self._rng = np.random.default_rng(seed)
+
+    def __call__(self, images: np.ndarray, training: bool = True) -> np.ndarray:
+        out = pad_images(images, self.pad)
+        if self.crop is not None:
+            if training:
+                out = random_crop(out, self.crop, self._rng)
+            else:
+                out = center_crop(out, self.crop)
+        if training and self.flip_probability > 0:
+            out = random_horizontal_flip(out, self._rng, self.flip_probability)
+        return out

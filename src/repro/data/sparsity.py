@@ -1,0 +1,104 @@
+"""Error-gradient sparsity measurement and trajectories (paper Fig. 3b).
+
+The paper measures the sparsity of back-propagated activation errors
+across training epochs for MNIST, CIFAR and ImageNet-100, finding > 85%
+sparsity after the second epoch and a rising trend as the model improves.
+The sparsity arises mechanically: max pooling routes each window's
+gradient to one element (>= 75% zeros for 2x2 windows) and ReLU zeroes
+the gradient wherever activations were clamped.
+
+:func:`measure_sparsity_trajectory` reproduces the measurement by
+actually training the small zoo networks on synthetic data and recording
+the mean conv-layer error sparsity per epoch.
+:func:`analytic_sparsity_trajectory` provides the closed-form expectation
+used by fast tests and as a cross-check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.synthetic import Dataset
+from repro.nn.network import Network
+from repro.nn.sgd import SGDTrainer
+
+
+@dataclass(frozen=True)
+class SparsityTrajectory:
+    """Per-epoch mean error sparsity of a benchmark's conv layers."""
+
+    benchmark: str
+    epochs: tuple[int, ...]
+    sparsity: tuple[float, ...]
+
+    def after_epoch(self, epoch: int) -> float:
+        """Sparsity recorded after the given 1-based epoch."""
+        return self.sparsity[self.epochs.index(epoch)]
+
+
+def measure_sparsity_trajectory(
+    network: Network,
+    dataset: Dataset,
+    num_epochs: int = 10,
+    batch_size: int = 16,
+    learning_rate: float = 0.05,
+    benchmark: str = "",
+) -> SparsityTrajectory:
+    """Train ``network`` and record mean conv error sparsity per epoch."""
+    trainer = SGDTrainer(network, learning_rate=learning_rate)
+    epochs, values = [], []
+    for epoch in range(1, num_epochs + 1):
+        results = trainer.train_epoch(dataset.images, dataset.labels, batch_size)
+        per_step = [
+            float(np.mean(list(r.error_sparsities.values())))
+            for r in results
+            if r.error_sparsities
+        ]
+        epochs.append(epoch)
+        values.append(float(np.mean(per_step)) if per_step else 0.0)
+    return SparsityTrajectory(
+        benchmark=benchmark or network.name,
+        epochs=tuple(epochs),
+        sparsity=tuple(values),
+    )
+
+
+def expected_pool_relu_sparsity(pool_kernel: int, relu_dead_fraction: float) -> float:
+    """Expected error sparsity after a ReLU feeding a pooling layer.
+
+    A ``k x k`` max-pool window passes gradient to one of ``k^2``
+    positions; of those survivors, a ``relu_dead_fraction`` are zeroed by
+    the ReLU mask.  Zero patterns compose multiplicatively because the
+    pool winner and the ReLU mask are (approximately) independent.
+    """
+    if pool_kernel <= 0:
+        raise ValueError(f"pool_kernel must be positive, got {pool_kernel}")
+    if not 0 <= relu_dead_fraction <= 1:
+        raise ValueError(f"relu_dead_fraction must be in [0,1], got {relu_dead_fraction}")
+    survive = (1.0 / (pool_kernel * pool_kernel)) * (1.0 - relu_dead_fraction)
+    return 1.0 - survive
+
+
+def analytic_sparsity_trajectory(
+    benchmark: str,
+    num_epochs: int = 10,
+    initial: float = 0.82,
+    asymptote: float = 0.97,
+    rate: float = 0.45,
+) -> SparsityTrajectory:
+    """Closed-form rising trajectory matching the Fig. 3b shape.
+
+    Sparsity starts above the pool+ReLU floor and saturates towards the
+    asymptote as the model's predictions sharpen; the defaults land above
+    85% from epoch 2 onward, as the paper reports.
+    """
+    if num_epochs <= 0:
+        raise ValueError(f"num_epochs must be positive, got {num_epochs}")
+    epochs = tuple(range(1, num_epochs + 1))
+    values = tuple(
+        asymptote - (asymptote - initial) * float(np.exp(-rate * (e - 1)))
+        for e in epochs
+    )
+    return SparsityTrajectory(benchmark=benchmark, epochs=epochs, sparsity=values)

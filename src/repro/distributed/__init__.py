@@ -1,0 +1,24 @@
+"""Data-parallel distributed training substrate (paper Sec. 6 context)."""
+
+from repro.distributed.cluster_model import (
+    ClusterSpec,
+    cluster_throughput,
+    communication_bound_fraction,
+)
+from repro.distributed.parameter_server import (
+    ParameterServer,
+    Worker,
+    shard_dataset,
+)
+from repro.distributed.trainer import DistributedRunResult, DistributedTrainer
+
+__all__ = [
+    "ParameterServer",
+    "Worker",
+    "shard_dataset",
+    "DistributedTrainer",
+    "DistributedRunResult",
+    "ClusterSpec",
+    "cluster_throughput",
+    "communication_bound_fraction",
+]

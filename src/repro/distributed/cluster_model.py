@@ -1,0 +1,104 @@
+"""Analytical cluster-training model (paper Sec. 6).
+
+"The time to train a model is therefore a function of the throughput of
+the worker machines (inputs processed per second) and the latency of
+synchronizing model parameters.  Our work ... could improve the
+throughput of each worker machine, and therefore help to accelerate the
+training of large CNNs that are compute bound."
+
+This model quantifies that claim: cluster throughput is the aggregate of
+per-worker throughput (taken from the single-machine Fig. 9 executor,
+under any of the five configurations) discounted by the parameter-sync
+duty cycle.  It exposes the compute-bound -> communication-bound
+transition: speeding workers up with spg-CNN shifts the knee to smaller
+sync intervals / fewer workers, exactly the interaction the paper notes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.convspec import ConvSpec
+from repro.errors import MachineModelError
+from repro.machine.executor import TrainingConfig, training_throughput
+from repro.machine.spec import MachineSpec
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A homogeneous cluster of multicore worker machines."""
+
+    num_workers: int
+    machine: MachineSpec
+    cores_per_worker: int
+    #: Point-to-point bandwidth between a worker and the parameter
+    #: servers (bytes/s), e.g. 10 GbE ~ 1.25e9.
+    network_bandwidth: float
+    #: Fixed per-synchronization latency (round trips, serialization).
+    sync_latency: float = 1e-3
+
+    def __post_init__(self) -> None:
+        if self.num_workers <= 0 or self.cores_per_worker <= 0:
+            raise MachineModelError("num_workers and cores_per_worker must be positive")
+        if self.network_bandwidth <= 0 or self.sync_latency < 0:
+            raise MachineModelError("invalid network parameters")
+
+
+def sync_time(cluster: ClusterSpec, model_bytes: int) -> float:
+    """Time for one worker's parameter synchronization (push + pull)."""
+    if model_bytes < 0:
+        raise MachineModelError(f"model_bytes must be non-negative, got {model_bytes}")
+    return cluster.sync_latency + 2 * model_bytes / cluster.network_bandwidth
+
+
+def worker_throughput(
+    conv_specs: tuple[ConvSpec, ...],
+    config: TrainingConfig,
+    cluster: ClusterSpec,
+) -> float:
+    """Images/second of one worker machine under ``config``."""
+    return training_throughput(
+        conv_specs, config, cluster.machine, cluster.cores_per_worker
+    )
+
+
+def cluster_throughput(
+    conv_specs: tuple[ConvSpec, ...],
+    config: TrainingConfig,
+    cluster: ClusterSpec,
+    model_bytes: int,
+    images_per_sync: int,
+) -> float:
+    """Aggregate cluster images/second with periodic parameter sync.
+
+    Each worker alternates computing ``images_per_sync`` inputs with one
+    parameter exchange; syncing overlaps across workers but not with a
+    worker's own compute (the conservative ADAM-style accounting).
+    """
+    if images_per_sync <= 0:
+        raise MachineModelError(
+            f"images_per_sync must be positive, got {images_per_sync}"
+        )
+    per_worker = worker_throughput(conv_specs, config, cluster)
+    compute_time = images_per_sync / per_worker
+    cycle = compute_time + sync_time(cluster, model_bytes)
+    return cluster.num_workers * images_per_sync / cycle
+
+
+def communication_bound_fraction(
+    conv_specs: tuple[ConvSpec, ...],
+    config: TrainingConfig,
+    cluster: ClusterSpec,
+    model_bytes: int,
+    images_per_sync: int,
+) -> float:
+    """Fraction of each worker cycle spent synchronizing parameters.
+
+    Faster workers (spg-CNN) push this fraction up at a fixed sync
+    interval -- the coupling between the paper's contribution and the
+    distributed platforms it plugs into.
+    """
+    per_worker = worker_throughput(conv_specs, config, cluster)
+    compute_time = images_per_sync / per_worker
+    sync = sync_time(cluster, model_bytes)
+    return sync / (compute_time + sync)

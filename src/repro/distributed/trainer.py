@@ -1,0 +1,124 @@
+"""Distributed SGD training loops over the parameter-server substrate.
+
+Implements the two synchronization disciplines of the Sec. 6 platforms on
+real (small) networks, deterministically: asynchronous execution is
+simulated by interleaving worker pushes in a fixed round-robin order with
+a configurable *push interval* -- a worker pulls fresh parameters only
+every ``sync_interval`` steps, so intermediate pushes land on stale
+parameters exactly as in ADAM/DistBelief.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.synthetic import Dataset
+from repro.distributed.parameter_server import (
+    ParameterServer,
+    Worker,
+    shard_dataset,
+)
+from repro.errors import ReproError
+from repro.nn.network import Network
+
+
+@dataclass
+class DistributedRunResult:
+    """Summary of one distributed training run."""
+
+    mode: str
+    num_workers: int
+    steps: int
+    losses: list[float] = field(default_factory=list)
+    mean_staleness: float = 0.0
+
+    @property
+    def final_loss(self) -> float:
+        return self.losses[-1] if self.losses else float("nan")
+
+
+def _replicate(network: Network) -> Network:
+    """Deep-copy a network so each worker owns independent buffers."""
+    return copy.deepcopy(network)
+
+
+class DistributedTrainer:
+    """Train a model data-parallel over ``num_workers`` replicas."""
+
+    def __init__(
+        self,
+        network: Network,
+        dataset: Dataset,
+        num_workers: int,
+        batch_size: int = 8,
+        learning_rate: float = 0.05,
+        mode: str = "bsp",
+        sync_interval: int = 1,
+    ):
+        if mode not in ("bsp", "async"):
+            raise ReproError(f"mode must be 'bsp' or 'async', got {mode!r}")
+        if sync_interval <= 0:
+            raise ReproError(f"sync_interval must be positive, got {sync_interval}")
+        self.mode = mode
+        self.sync_interval = sync_interval
+        self.server = ParameterServer(network, learning_rate=learning_rate)
+        shards = shard_dataset(dataset.images, dataset.labels, num_workers)
+        self.workers = [
+            Worker(i, _replicate(network), images, labels, batch_size)
+            for i, (images, labels) in enumerate(shards)
+        ]
+
+    @property
+    def num_workers(self) -> int:
+        return len(self.workers)
+
+    def _step_bsp(self) -> float:
+        """One bulk-synchronous step: average all workers' gradients."""
+        for worker in self.workers:
+            worker.pull(self.server)
+        all_grads, losses = [], []
+        for worker in self.workers:
+            grads, loss = worker.compute_gradients()
+            losses.append(loss)
+            all_grads.append(grads)
+        averaged = {
+            name: np.mean([g[name] for g in all_grads], axis=0)
+            for name in all_grads[0]
+        }
+        self.server.apply_gradients(averaged)
+        return float(np.mean(losses))
+
+    def _step_async(self, step: int) -> float:
+        """One asynchronous round: each worker computes and pushes in turn.
+
+        Workers only re-pull every ``sync_interval`` rounds, so their
+        pushes in between are applied against parameters other workers
+        have already moved -- real gradient staleness.
+        """
+        losses = []
+        scale = 1.0 / self.num_workers
+        for worker in self.workers:
+            if step % self.sync_interval == 0 or worker.pulled_version < 0:
+                worker.pull(self.server)
+            grads, loss = worker.compute_gradients()
+            worker.push(self.server, grads, loss, scale=scale)
+            losses.append(loss)
+        return float(np.mean(losses))
+
+    def run(self, steps: int) -> DistributedRunResult:
+        """Train for ``steps`` global steps; returns the loss history."""
+        if steps <= 0:
+            raise ReproError(f"steps must be positive, got {steps}")
+        result = DistributedRunResult(
+            mode=self.mode, num_workers=self.num_workers, steps=steps
+        )
+        for step in range(steps):
+            if self.mode == "bsp":
+                result.losses.append(self._step_bsp())
+            else:
+                result.losses.append(self._step_async(step))
+        result.mean_staleness = self.server.mean_staleness()
+        return result

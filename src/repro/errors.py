@@ -1,0 +1,25 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this package derives from :class:`ReproError` so
+callers can catch the whole family with one handler.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ShapeError(ReproError, ValueError):
+    """A tensor or convolution shape is inconsistent or unsupported."""
+
+
+class CodegenError(ReproError):
+    """A code generator could not produce a kernel for the request."""
+
+
+class PlanError(ReproError):
+    """An execution plan is invalid or refers to unknown engines."""
+
+
+class MachineModelError(ReproError):
+    """The machine model was asked to time an impossible work item."""

@@ -1,0 +1,58 @@
+"""Training-platform profiles: ADAM and CAFFE (paper Sec. 5.1).
+
+The paper's baselines are Parallel-GEMM as implemented by two platforms:
+CAFFE (linking OpenBLAS) and ADAM (linking Intel MKL).  The paper finds
+the conventional approach's limitations independent of the platform; the
+platforms differ in absolute throughput (CAFFE peaks at 273 CIFAR
+images/s, ADAM at 185) due to per-image framework overheads.  spg-CNN is
+implemented on top of ADAM.
+
+A :class:`PlatformProfile` bundles the GEMM library constants with the
+per-image framework overhead (data layer, activation bookkeeping, weight
+updates) that the end-to-end model (Fig. 9) charges on top of the
+convolution work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import MachineModelError
+from repro.machine.gemm_model import GemmProfile
+
+
+@dataclass(frozen=True)
+class PlatformProfile:
+    """One CNN training platform's cost constants."""
+
+    name: str
+    gemm: GemmProfile
+    #: Per-image framework time at one core (parallelizes across cores).
+    per_image_overhead: float
+    #: Activation bytes the non-conv layers (ReLU, pool, FC, loss, update)
+    #: move per image, priced at copy bandwidth.
+    aux_bytes_per_image: float
+
+    def __post_init__(self) -> None:
+        if self.per_image_overhead < 0 or self.aux_bytes_per_image < 0:
+            raise MachineModelError(f"negative overhead in profile {self.name}")
+
+
+def caffe_profile() -> PlatformProfile:
+    """CAFFE linking OpenBLAS: lean framework, fastest at 1-2 cores."""
+    return PlatformProfile(
+        name="CAFFE (OpenBLAS)",
+        gemm=GemmProfile(name="openblas"),
+        per_image_overhead=2.0e-3,
+        aux_bytes_per_image=3.0e6,
+    )
+
+
+def adam_profile() -> PlatformProfile:
+    """ADAM linking MKL: heavier per-image machinery (model-sync paths)."""
+    return PlatformProfile(
+        name="ADAM (MKL)",
+        gemm=GemmProfile(name="mkl", eff_max=0.90),
+        per_image_overhead=5.5e-3,
+        aux_bytes_per_image=3.0e6,
+    )

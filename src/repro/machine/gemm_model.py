@@ -1,0 +1,292 @@
+"""Analytical time model for Unfold+GEMM convolution execution.
+
+Reproduces the paper's Sec. 3.1/3.2 analysis quantitatively:
+
+* **Kernel efficiency.**  A single-threaded blocked GEMM achieves a
+  fraction of peak that shrinks when any dimension falls below its natural
+  blocking size (register/panel ramp-up):
+  ``eff = eff_max * m/(m+m_half) * n/(n+n_half) * k/(k+k_half)``.
+* **Parallel-GEMM.**  The rows of C are divided among cores (the paper's
+  Sec. 3.2 accounting), so per-core efficiency is that of an ``M/p``-row
+  GEMM, every core streams all of B through its private cache, B is
+  re-streamed from DRAM per core when it exceeds the LLC, and each
+  invocation pays a fork/join barrier.  This is what destroys per-core
+  AIT -- and performance -- as cores are added.
+* **GEMM-in-Parallel.**  Each core runs whole single-threaded GEMMs on its
+  share of the batch: full-size efficiency, no per-image barrier, only
+  shared-DRAM contention -- hence the paper's near-flat per-core curve.
+* **Unfolding.**  A pure copy that writes (and later re-reads) the
+  ``|U|``-element matrix in runs of ``out_Nx`` elements; narrow outputs
+  copy slowly, which is the unfolding penalty small convolutions pay.
+
+All functions return seconds for a *batch* of images.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.convspec import ELEMENT_BYTES, ConvSpec
+from repro.errors import MachineModelError
+from repro.machine.roofline import copy_time
+from repro.machine.spec import MachineSpec
+
+
+@dataclass(frozen=True)
+class GemmProfile:
+    """Constants of one BLAS library implementation (OpenBLAS/MKL-like)."""
+
+    name: str = "openblas-like"
+    eff_max: float = 0.92
+    m_half: float = 24.0
+    n_half: float = 16.0
+    k_half: float = 32.0
+    #: Fixed cost of one single-threaded GEMM call (dispatch, blocking setup).
+    call_overhead: float = 1.5e-6
+    #: Minimum C rows a BLAS worker thread accepts; multiplications with
+    #: fewer rows than ``min_rows_per_core * cores`` leave cores idle (the
+    #: granularity floor real BLAS libraries apply), which is why
+    #: Parallel-GEMM stops scaling on small-feature convolutions.
+    min_rows_per_core: int = 8
+
+    def kernel_efficiency(self, m: float, n: float, k: float) -> float:
+        """Fraction of peak a single-threaded ``m x k . k x n`` GEMM achieves."""
+        if min(m, n, k) <= 0:
+            raise MachineModelError(f"GEMM dims must be positive: {m}x{k}x{n}")
+        return (
+            self.eff_max
+            * (m / (m + self.m_half))
+            * (n / (n + self.n_half))
+            * (k / (k + self.k_half))
+        )
+
+
+DEFAULT_PROFILE = GemmProfile()
+
+
+def conv_gemm_dims(spec: ConvSpec, phase: str) -> list[tuple[int, int, int]]:
+    """(M, K, N) of the GEMMs one image requires in the given phase.
+
+    FP is the single multiply ``O = W_mat . U^T`` (Fig. 2c).  BP needs two:
+    the error-gradient multiply ``U_err = W_mat^T . EO_mat`` and the
+    delta-weight multiply ``dW = EO_mat . U`` (Sec. 2.3).
+    """
+    m, k, n = spec.gemm_dims
+    if phase == "fp":
+        return [(m, k, n)]
+    if phase == "bp":
+        return [(k, m, n), (m, n, k)]
+    raise MachineModelError(f"phase must be 'fp' or 'bp', got {phase!r}")
+
+
+def conv_gemm_flops(spec: ConvSpec, phase: str) -> int:
+    """Total GEMM flops per image in the given phase."""
+    return sum(2 * m * k * n for m, k, n in conv_gemm_dims(spec, phase))
+
+
+# ----------------------------------------------------------------------
+# Unfolding cost
+# ----------------------------------------------------------------------
+
+
+def unfold_time(spec: ConvSpec, batch: int, machine: MachineSpec, cores: int) -> float:
+    """Time to unfold ``batch`` images (write |U|; the GEMM re-reads it).
+
+    im2col copies, for each ``(c, ky, kx)``, a strided plane whose
+    contiguous runs are ``out_Nx`` elements long (unit x-stride); short
+    runs reduce the achieved copy bandwidth.
+    """
+    if batch <= 0:
+        raise MachineModelError(f"batch must be positive, got {batch}")
+    bytes_per_image = ELEMENT_BYTES * (spec.input_elems + spec.unfolded_elems)
+    run_bytes = max(1, spec.out_nx if spec.sx == 1 else 1) * ELEMENT_BYTES
+    return copy_time(batch * bytes_per_image, machine, cores, run_bytes=run_bytes)
+
+
+# ----------------------------------------------------------------------
+# Single-threaded and Parallel-GEMM
+# ----------------------------------------------------------------------
+
+
+def single_gemm_time(
+    m: int, k: int, n: int, machine: MachineSpec, profile: GemmProfile = DEFAULT_PROFILE
+) -> float:
+    """One single-threaded blocked GEMM on one core."""
+    flops = 2 * m * k * n
+    eff = profile.kernel_efficiency(m, n, k)
+    compute = flops / (eff * machine.peak_flops_per_core)
+    traffic = ELEMENT_BYTES * (m * k + k * n + m * n)
+    cache = traffic / machine.cache_bandwidth_per_core
+    return max(compute, cache) + profile.call_overhead
+
+
+def parallel_gemm_time(
+    m: int,
+    k: int,
+    n: int,
+    machine: MachineSpec,
+    cores: int,
+    profile: GemmProfile = DEFAULT_PROFILE,
+) -> float:
+    """One GEMM partitioned row-wise across ``cores`` (the baseline).
+
+    Per-core work is an ``M/active``-row GEMM whose efficiency shrinks with
+    the slice; every active core streams all of B through its private
+    cache, and from DRAM when B exceeds the LLC.
+    """
+    if cores <= 0:
+        raise MachineModelError(f"cores must be positive, got {cores}")
+    active = min(cores, max(1, m // profile.min_rows_per_core), m)
+    rows_per_core = m / active
+    eff = profile.kernel_efficiency(rows_per_core, n, k)
+    flops = 2 * m * k * n
+    eff_cores = machine.effective_cores(active) if active <= machine.logical_cores else active
+    compute = flops / (eff * machine.peak_flops_per_core * eff_cores)
+
+    # Private traffic per core: its A and C slices plus *all* of B.
+    per_core_bytes = ELEMENT_BYTES * (m * k / active + k * n + m * n / active)
+    cache = per_core_bytes / machine.cache_bandwidth_per_core
+
+    # Shared traffic: B once if LLC-resident, else once per active core.
+    b_bytes = ELEMENT_BYTES * k * n
+    b_streams = 1 if b_bytes <= machine.llc_bytes else active
+    dram_bytes = ELEMENT_BYTES * (m * k + m * n) + b_streams * b_bytes
+    dram = dram_bytes / machine.dram_bandwidth
+
+    return max(compute, cache, dram) + machine.sync_overhead(cores) + profile.call_overhead
+
+
+# ----------------------------------------------------------------------
+# Batched convolution execution under the two schedules
+# ----------------------------------------------------------------------
+
+
+def parallel_gemm_conv_time(
+    spec: ConvSpec,
+    phase: str,
+    batch: int,
+    machine: MachineSpec,
+    cores: int,
+    profile: GemmProfile = DEFAULT_PROFILE,
+    include_unfold: bool = True,
+) -> float:
+    """Unfold+Parallel-GEMM over a batch: images sequential, GEMMs spanned.
+
+    Only the GEMM itself is parallel; the unfolding runs single-threaded
+    per image, as the conventional platforms' im2col does.
+    """
+    gemm_total = sum(
+        parallel_gemm_time(m, k, n, machine, cores, profile)
+        for m, k, n in conv_gemm_dims(spec, phase)
+    )
+    total = batch * gemm_total
+    if include_unfold:
+        total += unfold_time(spec, batch, machine, cores=1)
+    return total
+
+
+def gemm_in_parallel_conv_time(
+    spec: ConvSpec,
+    phase: str,
+    batch: int,
+    machine: MachineSpec,
+    cores: int,
+    profile: GemmProfile = DEFAULT_PROFILE,
+    include_unfold: bool = True,
+) -> float:
+    """GEMM-in-Parallel over a batch: whole images per core (Sec. 4.1)."""
+    if batch <= 0:
+        raise MachineModelError(f"batch must be positive, got {batch}")
+    per_image = sum(
+        single_gemm_time(m, k, n, machine, profile)
+        for m, k, n in conv_gemm_dims(spec, phase)
+    )
+    images_per_core = math.ceil(batch / cores)
+    compute_makespan = images_per_core * per_image
+
+    # Every core streams its own images' operands from shared memory.
+    per_image_bytes = ELEMENT_BYTES * sum(
+        m * k + k * n + m * n for m, k, n in conv_gemm_dims(spec, phase)
+    )
+    dram = batch * per_image_bytes / machine.dram_bandwidth
+
+    total = max(compute_makespan, dram) + machine.sync_overhead(cores)
+    if include_unfold:
+        total += unfold_time(spec, batch, machine, cores)
+    return total
+
+
+def cct_conv_time(
+    spec: ConvSpec,
+    phase: str,
+    batch: int,
+    machine: MachineSpec,
+    cores: int,
+    profile: GemmProfile = DEFAULT_PROFILE,
+    include_unfold: bool = True,
+) -> float:
+    """Caffe con Troll's schedule: a batch of image *partitions* per core.
+
+    The paper's Sec. 6 notes CcT improves Parallel-GEMM in Region 2 "by
+    executing a batch of image partitions (rather than one partition) per
+    core".  Each image's unfolded GEMM is split along output positions
+    (columns of U) into just enough partitions that every core has work
+    even when the batch is smaller than the machine -- the regime where
+    GEMM-in-Parallel leaves cores idle.  Each partition runs a
+    single-threaded GEMM, so per-core AIT is preserved like GiP, at the
+    cost of a narrower-N efficiency penalty per partition.
+    """
+    if batch <= 0 or cores <= 0:
+        raise MachineModelError(f"batch and cores must be positive: {batch}, {cores}")
+    partitions = max(1, math.ceil(cores / batch))
+    per_image = 0.0
+    for m, k, n in conv_gemm_dims(spec, phase):
+        n_part = max(1, n // partitions)
+        per_image += partitions * single_gemm_time(m, k, n_part, machine, profile)
+    tasks = batch * partitions
+    tasks_per_core = math.ceil(tasks / cores)
+    makespan = tasks_per_core * (per_image / partitions)
+
+    per_image_bytes = ELEMENT_BYTES * sum(
+        m * k + k * n + m * n for m, k, n in conv_gemm_dims(spec, phase)
+    )
+    dram = batch * per_image_bytes / machine.dram_bandwidth
+    total = max(makespan, dram) + machine.sync_overhead(cores)
+    if include_unfold:
+        total += unfold_time(spec, batch, machine, cores)
+    return total
+
+
+def percore_gflops(
+    spec: ConvSpec,
+    schedule: str,
+    machine: MachineSpec,
+    cores: int,
+    profile: GemmProfile = DEFAULT_PROFILE,
+    batch: int | None = None,
+) -> float:
+    """Per-core GFlops of the FP+BP GEMMs, as measured for Figs. 3a/4a.
+
+    The paper times the three MMs (FP, gradient, delta-weight) without the
+    unfolding step and reports ``GFlops / core``.  For GEMM-in-Parallel the
+    batch defaults to one image per core.
+    """
+    if batch is None:
+        batch = cores if schedule == "gemm-in-parallel" else 1
+    flops = batch * (conv_gemm_flops(spec, "fp") + conv_gemm_flops(spec, "bp"))
+    if schedule == "parallel-gemm":
+        t = parallel_gemm_conv_time(
+            spec, "fp", batch, machine, cores, profile, include_unfold=False
+        ) + parallel_gemm_conv_time(
+            spec, "bp", batch, machine, cores, profile, include_unfold=False
+        )
+    elif schedule == "gemm-in-parallel":
+        t = gemm_in_parallel_conv_time(
+            spec, "fp", batch, machine, cores, profile, include_unfold=False
+        ) + gemm_in_parallel_conv_time(
+            spec, "bp", batch, machine, cores, profile, include_unfold=False
+        )
+    else:
+        raise MachineModelError(f"unknown schedule {schedule!r}")
+    return flops / t / cores / 1e9

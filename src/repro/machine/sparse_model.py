@@ -1,0 +1,127 @@
+"""Analytical time model for the sparse BP kernels (Sec. 4.2).
+
+One image's sparse back-propagation decomposes into sequential stages:
+
+1. **Layout transformations** -- EO to its ``f``-fastest matrix form,
+   inputs to channel-last form (for dW), and the result back to
+   channel-major.  Transposes move data in short contiguous runs, so they
+   run well below straight-line copy bandwidth.
+2. **CT-CSR construction** -- a branchy scan of the dense EO matrix plus
+   writes of the values/index arrays.
+3. **Sparse compute** -- ``2 * nnz * Fy*Fx * Nc`` useful flops for each of
+   the two BP computations (Eq. 3's EI and Eq. 4's dW), executed by the
+   pointer-shifting kernels at a scatter-limited fraction of peak.
+
+As sparsity rises, stage 3 shrinks with ``(1 - s)`` while stages 1-2 are
+fixed, so goodput collapses beyond ~90% sparsity -- the bottleneck shift
+the paper reports under Fig. 4e.  Parallelization is across images.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.convspec import ELEMENT_BYTES, ConvSpec
+from repro.errors import MachineModelError
+from repro.machine.spec import MachineSpec
+
+
+@dataclass(frozen=True)
+class SparseProfile:
+    """Constants of the generated sparse-kernel implementation."""
+
+    #: Fraction of peak the channel-vectorized scatter FMAs sustain.
+    compute_efficiency: float = 0.35
+    #: Channel count at which the vector FMAs reach half their peak: the
+    #: kernels vectorize along channels (Fig. 5b), so few-channel layers
+    #: leave vector lanes idle.
+    channel_half: float = 4.0
+    #: Per-core bandwidth of the branchy CT-CSR build scan (bytes/s).
+    build_bandwidth: float = 2e9
+    #: Per-core bandwidth of the short-run layout transposes (bytes/s).
+    transpose_bandwidth: float = 4e9
+    #: Fixed per-image kernel cost (CT-CSR allocation, dispatch).
+    per_image_overhead: float = 8e-6
+
+    def effective_compute_efficiency(self, nc: int) -> float:
+        """Compute efficiency adjusted for the channel vector length."""
+        if nc <= 0:
+            raise MachineModelError(f"nc must be positive, got {nc}")
+        return self.compute_efficiency * nc / (nc + self.channel_half)
+
+
+DEFAULT_SPARSE_PROFILE = SparseProfile()
+
+
+def sparse_useful_flops(spec: ConvSpec, sparsity: float) -> float:
+    """Useful flops of both BP computations at the given error sparsity."""
+    if not 0.0 <= sparsity <= 1.0:
+        raise MachineModelError(f"sparsity must be in [0, 1], got {sparsity}")
+    return 2.0 * spec.flops * (1.0 - sparsity)
+
+
+def sparse_transform_bytes(spec: ConvSpec) -> int:
+    """Bytes moved by the per-image layout transforms (read + write).
+
+    EO to matrix form, the input to channel-last (for dW), and EI back to
+    channel-major.  The weight-layout transform is amortized over the
+    batch and excluded here.
+    """
+    return ELEMENT_BYTES * (2 * spec.output_elems + 2 * 2 * spec.input_elems)
+
+
+def sparse_build_bytes(spec: ConvSpec, sparsity: float) -> float:
+    """Bytes of the CT-CSR construction scan and index/value writes."""
+    nnz = spec.output_elems * (1.0 - sparsity)
+    return ELEMENT_BYTES * (spec.output_elems + 2.0 * nnz)
+
+
+def sparse_bp_time(
+    spec: ConvSpec,
+    batch: int,
+    sparsity: float,
+    machine: MachineSpec,
+    cores: int,
+    profile: SparseProfile = DEFAULT_SPARSE_PROFILE,
+) -> float:
+    """Time of the sparse BP kernels (EI + dW) over a batch of images."""
+    if batch <= 0 or cores <= 0:
+        raise MachineModelError(f"batch and cores must be positive: {batch}, {cores}")
+    useful = sparse_useful_flops(spec, sparsity)
+    eff = profile.effective_compute_efficiency(spec.nc)
+    per_image_compute = useful / (eff * machine.peak_flops_per_core)
+    per_image_transform = sparse_transform_bytes(spec) / profile.transpose_bandwidth
+    per_image_build = sparse_build_bytes(spec, sparsity) / profile.build_bandwidth
+    per_image = (
+        per_image_compute
+        + per_image_transform
+        + per_image_build
+        + profile.per_image_overhead
+    )
+
+    images_per_core = math.ceil(batch / cores)
+    makespan = images_per_core * per_image
+
+    # Shared memory: the dense EO scan and EI/input streams per image.
+    dram_bytes = batch * ELEMENT_BYTES * (
+        spec.output_elems + 2 * spec.input_elems + spec.weight_elems
+    )
+    dram = dram_bytes / machine.dram_bandwidth
+    return max(makespan, dram) + machine.sync_overhead(cores)
+
+
+def sparse_goodput(
+    spec: ConvSpec,
+    sparsity: float,
+    machine: MachineSpec,
+    cores: int,
+    profile: SparseProfile = DEFAULT_SPARSE_PROFILE,
+    batch: int | None = None,
+) -> float:
+    """Goodput (useful GFlops/s, Eq. 9) of Sparse-Kernel (BP) -- Fig. 4e."""
+    if batch is None:
+        batch = cores
+    useful_total = batch * sparse_useful_flops(spec, sparsity)
+    t = sparse_bp_time(spec, batch, sparsity, machine, cores, profile)
+    return useful_total / t / 1e9

@@ -1,0 +1,58 @@
+"""Weight initialization schemes.
+
+Centralizes the initializers the layers use so experiments can vary them;
+the defaults follow the fan-in-scaled Gaussian ("He") scheme appropriate
+for ReLU networks, which is what keeps the zoo networks trainable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+
+def _fan_in(shape: tuple[int, ...]) -> int:
+    if len(shape) < 2:
+        raise ShapeError(f"weight shape needs >= 2 dims, got {shape}")
+    fan = 1
+    for extent in shape[1:]:
+        fan *= extent
+    return fan
+
+
+def he_normal(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """Gaussian with std ``sqrt(2 / fan_in)`` (ReLU-preserving variance)."""
+    scale = np.sqrt(2.0 / _fan_in(shape))
+    return (rng.standard_normal(shape) * scale).astype(np.float32)
+
+
+def xavier_uniform(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """Uniform on ``[-limit, limit]`` with ``limit = sqrt(6/(fan_in+fan_out))``."""
+    fan_in = _fan_in(shape)
+    fan_out = shape[0] * (np.prod(shape[2:]) if len(shape) > 2 else 1)
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape).astype(np.float32)
+
+
+def zeros(shape: tuple[int, ...], rng: np.random.Generator | None = None) -> np.ndarray:
+    """All-zero initialization (biases)."""
+    return np.zeros(shape, dtype=np.float32)
+
+
+INITIALIZERS = {
+    "he": he_normal,
+    "xavier": xavier_uniform,
+    "zeros": zeros,
+}
+
+
+def initialize(name: str, shape: tuple[int, ...],
+               rng: np.random.Generator) -> np.ndarray:
+    """Build a weight tensor with the named scheme."""
+    try:
+        scheme = INITIALIZERS[name]
+    except KeyError:
+        known = ", ".join(sorted(INITIALIZERS))
+        raise ShapeError(f"unknown initializer {name!r}; known: {known}") from None
+    return scheme(shape, rng)

@@ -1,0 +1,69 @@
+"""Activation layers.
+
+ReLU is the second source of error-gradient sparsity (with max pooling):
+the gradient is zeroed wherever the forward activation was clamped, so as
+training progresses and activations polarize, back-propagated errors grow
+sparser -- the dynamic the paper measures in Fig. 3b and exploits with
+the sparse kernels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.nn.layers.base import Layer
+
+
+class ReLULayer(Layer):
+    """Elementwise ``max(0, x)``."""
+
+    kind = "relu"
+
+    def __init__(self, name: str = ""):
+        super().__init__(name)
+        self._cached_mask: np.ndarray | None = None
+
+    def forward(self, inputs: np.ndarray, training: bool = True) -> np.ndarray:
+        mask = inputs > 0
+        if training:
+            self._cached_mask = mask
+        return np.where(mask, inputs, 0).astype(inputs.dtype, copy=False)
+
+    def backward(self, out_error: np.ndarray) -> np.ndarray:
+        if self._cached_mask is None:
+            raise ShapeError(f"layer {self.name}: backward before forward")
+        if out_error.shape != self._cached_mask.shape:
+            raise ShapeError(
+                f"relu backward shape {out_error.shape} != "
+                f"{self._cached_mask.shape}"
+            )
+        return np.where(self._cached_mask, out_error, 0).astype(
+            out_error.dtype, copy=False
+        )
+
+
+class FlattenLayer(Layer):
+    """Flatten per-image activations to vectors for fully connected layers."""
+
+    kind = "flatten"
+
+    def __init__(self, name: str = ""):
+        super().__init__(name)
+        self._cached_shape: tuple[int, ...] | None = None
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        size = 1
+        for extent in input_shape:
+            size *= extent
+        return (size,)
+
+    def forward(self, inputs: np.ndarray, training: bool = True) -> np.ndarray:
+        if training:
+            self._cached_shape = inputs.shape
+        return inputs.reshape(inputs.shape[0], -1)
+
+    def backward(self, out_error: np.ndarray) -> np.ndarray:
+        if self._cached_shape is None:
+            raise ShapeError(f"layer {self.name}: backward before forward")
+        return out_error.reshape(self._cached_shape)

@@ -1,0 +1,58 @@
+"""Layer base class of the training framework.
+
+Layers consume and produce batched activations (leading batch dimension)
+and cache whatever forward state their backward pass needs.  Parameters
+and gradients are exposed as name->array dictionaries so the SGD trainer
+can update any layer uniformly.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+
+class Layer(ABC):
+    """One stage of the network's forward/backward computation."""
+
+    #: Human-readable layer-type name; subclasses override.
+    kind = "layer"
+
+    def __init__(self, name: str = ""):
+        self.name = name or self.kind
+
+    @abstractmethod
+    def forward(self, inputs: np.ndarray, training: bool = True) -> np.ndarray:
+        """Compute the layer's output activations for a batch."""
+
+    @abstractmethod
+    def backward(self, out_error: np.ndarray) -> np.ndarray:
+        """Back-propagate the output error; accumulate parameter gradients.
+
+        Must be called after :meth:`forward` with ``training=True`` so the
+        cached activations are available.
+        """
+
+    def params(self) -> dict[str, np.ndarray]:
+        """Trainable parameter arrays, by name.  Default: none."""
+        return {}
+
+    def grads(self) -> dict[str, np.ndarray]:
+        """Gradient arrays matching :meth:`params` keys.  Default: none."""
+        return {}
+
+    def zero_grads(self) -> None:
+        """Reset accumulated gradients to zero before a new batch."""
+        for g in self.grads().values():
+            g[...] = 0.0
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        """Per-image output shape given the per-image input shape.
+
+        Shape-preserving layers inherit this default.
+        """
+        return input_shape
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"

@@ -1,0 +1,147 @@
+"""The convolution layer, with pluggable execution engines.
+
+This is where spg-CNN attaches: the layer's FP and BP computations are
+delegated to :class:`repro.ops.engine.ConvEngine` instances that can be
+swapped independently for each phase (``set_fp_engine`` /
+``set_bp_engine``), exactly as the paper's framework deploys the fastest
+technique per layer and per phase (Sec. 4.4).
+
+The layer also measures the sparsity of the incoming error gradients on
+every backward pass, which both reproduces Fig. 3b and drives the
+autotuner's periodic BP re-selection.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.convspec import ConvSpec
+from repro.core.goodput import measure_sparsity
+from repro.errors import ShapeError
+from repro.nn.layers.base import Layer
+from repro.ops.engine import ConvEngine, make_engine
+
+# Engine modules register themselves on import.
+import repro.ops.gemm_conv  # noqa: F401
+import repro.ops.reference_engine  # noqa: F401
+import repro.sparse.engine  # noqa: F401
+import repro.stencil.engine  # noqa: F401
+
+DEFAULT_FP_ENGINE = "gemm-in-parallel"
+DEFAULT_BP_ENGINE = "gemm-in-parallel"
+
+
+class ConvLayer(Layer):
+    """2-D convolution with bias, padding handled internally."""
+
+    kind = "conv"
+
+    def __init__(
+        self,
+        spec: ConvSpec,
+        name: str = "",
+        fp_engine: str = DEFAULT_FP_ENGINE,
+        bp_engine: str = DEFAULT_BP_ENGINE,
+        num_cores: int = 1,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__(name or spec.name or self.kind)
+        self.spec = spec
+        # Engines operate on the padded geometry.
+        self.padded_spec = ConvSpec(
+            nc=spec.nc,
+            ny=spec.padded_ny,
+            nx=spec.padded_nx,
+            nf=spec.nf,
+            fy=spec.fy,
+            fx=spec.fx,
+            sy=spec.sy,
+            sx=spec.sx,
+            pad=0,
+            name=spec.name,
+        )
+        self.num_cores = num_cores
+        rng = rng or np.random.default_rng(0)
+        fan_in = spec.nc * spec.fy * spec.fx
+        scale = np.sqrt(2.0 / fan_in)
+        self.weights = (rng.standard_normal(spec.weight_shape) * scale).astype(np.float32)
+        self.bias = np.zeros(spec.nf, dtype=np.float32)
+        self.d_weights = np.zeros_like(self.weights)
+        self.d_bias = np.zeros_like(self.bias)
+        self._fp_engine = self._build_engine(fp_engine)
+        self._bp_engine = self._build_engine(bp_engine)
+        self._cached_padded_input: np.ndarray | None = None
+        #: Sparsity of the most recent incoming error gradient.
+        self.last_error_sparsity: float = 0.0
+
+    # -- engine management ----------------------------------------------
+
+    def _build_engine(self, engine_name: str) -> ConvEngine:
+        return make_engine(engine_name, self.padded_spec, num_cores=self.num_cores)
+
+    @property
+    def fp_engine_name(self) -> str:
+        """Name of the engine currently serving forward propagation."""
+        return self._fp_engine.name
+
+    @property
+    def bp_engine_name(self) -> str:
+        """Name of the engine currently serving backward propagation."""
+        return self._bp_engine.name
+
+    def set_fp_engine(self, engine_name: str) -> None:
+        """Swap the forward-propagation engine (spg-CNN deployment)."""
+        self._fp_engine = self._build_engine(engine_name)
+
+    def set_bp_engine(self, engine_name: str) -> None:
+        """Swap the backward-propagation engine (spg-CNN deployment)."""
+        self._bp_engine = self._build_engine(engine_name)
+
+    # -- Layer interface -------------------------------------------------
+
+    def params(self) -> dict[str, np.ndarray]:
+        return {"weights": self.weights, "bias": self.bias}
+
+    def grads(self) -> dict[str, np.ndarray]:
+        return {"weights": self.d_weights, "bias": self.d_bias}
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        if tuple(input_shape) != self.spec.input_shape:
+            raise ShapeError(
+                f"layer {self.name}: input shape {input_shape} != "
+                f"spec {self.spec.input_shape}"
+            )
+        return self.spec.output_shape
+
+    def _pad_batch(self, inputs: np.ndarray) -> np.ndarray:
+        if self.spec.pad == 0:
+            return inputs
+        p = self.spec.pad
+        return np.pad(inputs, ((0, 0), (0, 0), (p, p), (p, p)))
+
+    def forward(self, inputs: np.ndarray, training: bool = True) -> np.ndarray:
+        if inputs.ndim != 4 or inputs.shape[1:] != self.spec.input_shape:
+            raise ShapeError(
+                f"layer {self.name}: batch input shape {inputs.shape} != "
+                f"(B, *{self.spec.input_shape})"
+            )
+        padded = self._pad_batch(inputs)
+        if training:
+            self._cached_padded_input = padded
+        out = self._fp_engine.forward(padded, self.weights)
+        out += self.bias[None, :, None, None]
+        return out
+
+    def backward(self, out_error: np.ndarray) -> np.ndarray:
+        if self._cached_padded_input is None:
+            raise ShapeError(f"layer {self.name}: backward before forward")
+        self.last_error_sparsity = measure_sparsity(out_error)
+        self.d_weights += self._bp_engine.backward_weights(
+            out_error, self._cached_padded_input
+        )
+        self.d_bias += out_error.sum(axis=(0, 2, 3))
+        in_error_padded = self._bp_engine.backward_data(out_error, self.weights)
+        if self.spec.pad == 0:
+            return in_error_padded
+        p = self.spec.pad
+        return in_error_padded[:, :, p:-p, p:-p]

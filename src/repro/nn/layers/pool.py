@@ -1,0 +1,84 @@
+"""Max-pooling layer.
+
+Besides down-sampling, max pooling is one of the two mechanisms (with
+ReLU) that make back-propagated error gradients sparse: each pooling
+window routes its entire gradient to the single position that won the
+max, zeroing the rest -- the effect behind the paper's Fig. 3b sparsity
+measurements.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.nn.layers.base import Layer
+
+
+class MaxPoolLayer(Layer):
+    """Non-overlapping-or-strided max pooling over ``[B, C, Y, X]``."""
+
+    kind = "maxpool"
+
+    def __init__(self, kernel: int, stride: int | None = None, name: str = ""):
+        super().__init__(name)
+        if kernel <= 0:
+            raise ShapeError(f"pool kernel must be positive, got {kernel}")
+        self.kernel = kernel
+        self.stride = stride or kernel
+        if self.stride <= 0:
+            raise ShapeError(f"pool stride must be positive, got {self.stride}")
+        self._cached_input_shape: tuple[int, ...] | None = None
+        self._cached_argmax: np.ndarray | None = None
+
+    def _out_extent(self, extent: int) -> int:
+        if extent < self.kernel:
+            raise ShapeError(
+                f"pool kernel {self.kernel} larger than input extent {extent}"
+            )
+        return (extent - self.kernel) // self.stride + 1
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        c, y, x = input_shape
+        return (c, self._out_extent(y), self._out_extent(x))
+
+    def _window_view(self, inputs: np.ndarray) -> np.ndarray:
+        b, c, y, x = inputs.shape
+        oy, ox = self._out_extent(y), self._out_extent(x)
+        bs, cs, ys, xs = inputs.strides
+        shape = (b, c, oy, ox, self.kernel, self.kernel)
+        strides = (bs, cs, ys * self.stride, xs * self.stride, ys, xs)
+        return np.lib.stride_tricks.as_strided(inputs, shape=shape, strides=strides)
+
+    def forward(self, inputs: np.ndarray, training: bool = True) -> np.ndarray:
+        if inputs.ndim != 4:
+            raise ShapeError(f"expected [B, C, Y, X] input, got {inputs.shape}")
+        windows = self._window_view(inputs)
+        b, c, oy, ox = windows.shape[:4]
+        flat = windows.reshape(b, c, oy, ox, -1)
+        argmax = flat.argmax(axis=-1)
+        out = np.take_along_axis(flat, argmax[..., None], axis=-1)[..., 0]
+        if training:
+            self._cached_input_shape = inputs.shape
+            self._cached_argmax = argmax
+        return out
+
+    def backward(self, out_error: np.ndarray) -> np.ndarray:
+        if self._cached_argmax is None or self._cached_input_shape is None:
+            raise ShapeError(f"layer {self.name}: backward before forward")
+        b, c, y, x = self._cached_input_shape
+        argmax = self._cached_argmax
+        oy, ox = argmax.shape[2:]
+        if out_error.shape != (b, c, oy, ox):
+            raise ShapeError(
+                f"pool backward shape {out_error.shape} != {(b, c, oy, ox)}"
+            )
+        in_error = np.zeros(self._cached_input_shape, dtype=out_error.dtype)
+        ky, kx = np.divmod(argmax, self.kernel)
+        bi, ci, yi, xi = np.indices((b, c, oy, ox), sparse=False)
+        np.add.at(
+            in_error,
+            (bi, ci, yi * self.stride + ky, xi * self.stride + kx),
+            out_error,
+        )
+        return in_error

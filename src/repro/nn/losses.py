@@ -1,0 +1,48 @@
+"""Loss functions for training."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Row-wise numerically stable softmax over ``[B, classes]`` logits."""
+    if logits.ndim != 2:
+        raise ShapeError(f"expected [B, classes] logits, got {logits.shape}")
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=1, keepdims=True)
+
+
+def softmax_cross_entropy(
+    logits: np.ndarray, labels: np.ndarray
+) -> tuple[float, np.ndarray]:
+    """Mean cross-entropy loss and its gradient w.r.t. the logits.
+
+    ``labels`` are integer class indices of shape ``[B]``.  The returned
+    gradient is already averaged over the batch, ready to feed the
+    network's backward pass.
+    """
+    if labels.ndim != 1 or labels.shape[0] != logits.shape[0]:
+        raise ShapeError(
+            f"labels shape {labels.shape} incompatible with logits {logits.shape}"
+        )
+    if labels.size and (labels.min() < 0 or labels.max() >= logits.shape[1]):
+        raise ShapeError("label index out of range")
+    batch = logits.shape[0]
+    probs = softmax(logits)
+    eps = np.finfo(probs.dtype).tiny
+    loss = float(-np.log(probs[np.arange(batch), labels] + eps).mean())
+    grad = probs.copy()
+    grad[np.arange(batch), labels] -= 1.0
+    grad /= batch
+    return loss, grad.astype(logits.dtype, copy=False)
+
+
+def accuracy(logits: np.ndarray, labels: np.ndarray) -> float:
+    """Top-1 classification accuracy."""
+    if labels.shape[0] == 0:
+        return 0.0
+    return float((logits.argmax(axis=1) == labels).mean())

@@ -1,0 +1,48 @@
+"""Classification metrics beyond plain accuracy."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+
+def top_k_accuracy(logits: np.ndarray, labels: np.ndarray, k: int = 5) -> float:
+    """Fraction of examples whose label is among the top-k logits."""
+    if logits.ndim != 2:
+        raise ShapeError(f"expected [B, classes] logits, got {logits.shape}")
+    if labels.shape != (logits.shape[0],):
+        raise ShapeError(
+            f"labels shape {labels.shape} incompatible with logits {logits.shape}"
+        )
+    if not 1 <= k <= logits.shape[1]:
+        raise ShapeError(f"k must be in [1, {logits.shape[1]}], got {k}")
+    if logits.shape[0] == 0:
+        return 0.0
+    top_k = np.argpartition(logits, -k, axis=1)[:, -k:]
+    hits = (top_k == labels[:, None]).any(axis=1)
+    return float(hits.mean())
+
+
+def confusion_matrix(logits: np.ndarray, labels: np.ndarray,
+                     num_classes: int) -> np.ndarray:
+    """``[num_classes, num_classes]`` counts: rows true, columns predicted."""
+    if logits.ndim != 2 or logits.shape[1] != num_classes:
+        raise ShapeError(
+            f"logits shape {logits.shape} incompatible with {num_classes} classes"
+        )
+    if labels.size and (labels.min() < 0 or labels.max() >= num_classes):
+        raise ShapeError("label index out of range")
+    predictions = logits.argmax(axis=1)
+    matrix = np.zeros((num_classes, num_classes), dtype=np.int64)
+    np.add.at(matrix, (labels, predictions), 1)
+    return matrix
+
+
+def per_class_accuracy(matrix: np.ndarray) -> np.ndarray:
+    """Recall per class from a confusion matrix (NaN for absent classes)."""
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise ShapeError(f"expected a square confusion matrix, got {matrix.shape}")
+    totals = matrix.sum(axis=1).astype(np.float64)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        return np.where(totals > 0, np.diag(matrix) / totals, np.nan)

@@ -1,0 +1,85 @@
+"""The network container: a stack of layers trained with SGD."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.nn.layers.base import Layer
+from repro.nn.layers.conv import ConvLayer
+
+
+class Network:
+    """An ordered stack of layers with a classification head."""
+
+    def __init__(self, layers: list[Layer], input_shape: tuple[int, ...],
+                 name: str = "network"):
+        if not layers:
+            raise ShapeError("a network needs at least one layer")
+        self.layers = list(layers)
+        self.input_shape = tuple(input_shape)
+        self.name = name
+        # Validate the shape chain eagerly so misconfigured nets fail fast.
+        self.layer_shapes = [self.input_shape]
+        shape = self.input_shape
+        for layer in self.layers:
+            shape = layer.output_shape(shape)
+            self.layer_shapes.append(tuple(shape))
+
+    @property
+    def output_shape(self) -> tuple[int, ...]:
+        """Per-image shape of the final layer's output."""
+        return self.layer_shapes[-1]
+
+    def conv_layers(self) -> list[ConvLayer]:
+        """The convolution layers, in order (spg-CNN's optimization targets)."""
+        return [layer for layer in self.layers if isinstance(layer, ConvLayer)]
+
+    def forward(self, inputs: np.ndarray, training: bool = True) -> np.ndarray:
+        """Run FP through every layer."""
+        if inputs.shape[1:] != self.input_shape:
+            raise ShapeError(
+                f"batch input shape {inputs.shape} != (B, *{self.input_shape})"
+            )
+        activations = inputs
+        for layer in self.layers:
+            activations = layer.forward(activations, training=training)
+        return activations
+
+    def backward(self, out_error: np.ndarray) -> np.ndarray:
+        """Run BP through every layer in reverse; returns the input error."""
+        error = out_error
+        for layer in reversed(self.layers):
+            error = layer.backward(error)
+        return error
+
+    def zero_grads(self) -> None:
+        """Clear accumulated gradients on every layer."""
+        for layer in self.layers:
+            layer.zero_grads()
+
+    def parameters(self) -> Iterator[tuple[str, np.ndarray, np.ndarray]]:
+        """Yield ``(qualified_name, param, grad)`` triples for the trainer."""
+        for i, layer in enumerate(self.layers):
+            params = layer.params()
+            grads = layer.grads()
+            for key, value in params.items():
+                yield f"{i}.{layer.name}.{key}", value, grads[key]
+
+    def num_parameters(self) -> int:
+        """Total trainable scalar parameters."""
+        return sum(p.size for _, p, _ in self.parameters())
+
+    def error_sparsities(self) -> dict[str, float]:
+        """Last measured error-gradient sparsity of each conv layer."""
+        return {layer.name: layer.last_error_sparsity for layer in self.conv_layers()}
+
+    def describe(self) -> str:
+        """Multi-line structural summary."""
+        lines = [f"{self.name}: input {self.input_shape}"]
+        for layer, shape in zip(self.layers, self.layer_shapes[1:]):
+            lines.append(f"  {layer.kind:<8s} {layer.name:<20s} -> {shape}")
+        lines.append(f"  parameters: {self.num_parameters():,}")
+        return "\n".join(lines)

@@ -1,0 +1,66 @@
+"""Model checkpointing: save and restore network parameters.
+
+Parameters are stored in a single ``.npz`` archive keyed by the
+network's qualified parameter names (``<index>.<layer>.<param>``), with a
+structural fingerprint so a checkpoint cannot be silently loaded into a
+mismatched architecture.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.nn.network import Network
+
+_FINGERPRINT_KEY = "__structure__"
+
+
+def structure_fingerprint(network: Network) -> str:
+    """A JSON description of the network's parameter structure."""
+    structure = {
+        "input_shape": list(network.input_shape),
+        "params": {
+            name: list(param.shape)
+            for name, param, _ in network.parameters()
+        },
+    }
+    return json.dumps(structure, sort_keys=True)
+
+
+def save_network(network: Network, path: str | Path) -> Path:
+    """Write all parameters (and the fingerprint) to ``path`` (.npz)."""
+    path = Path(path)
+    arrays = {name: param for name, param, _ in network.parameters()}
+    if _FINGERPRINT_KEY in arrays:
+        raise ReproError(f"parameter name collides with {_FINGERPRINT_KEY}")
+    arrays[_FINGERPRINT_KEY] = np.frombuffer(
+        structure_fingerprint(network).encode("utf-8"), dtype=np.uint8
+    )
+    np.savez(path, **arrays)
+    # np.savez appends .npz when missing; normalize the returned path.
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_network(network: Network, path: str | Path) -> Network:
+    """Restore parameters from ``path`` into ``network`` (in place).
+
+    The checkpoint's structural fingerprint must match the network's;
+    otherwise a :class:`ReproError` explains the mismatch.
+    """
+    with np.load(Path(path)) as archive:
+        if _FINGERPRINT_KEY not in archive:
+            raise ReproError(f"{path} is not a repro checkpoint")
+        stored = bytes(archive[_FINGERPRINT_KEY]).decode("utf-8")
+        expected = structure_fingerprint(network)
+        if stored != expected:
+            raise ReproError(
+                "checkpoint structure does not match the network:\n"
+                f"  checkpoint: {stored}\n  network:    {expected}"
+            )
+        for name, param, _ in network.parameters():
+            param[...] = archive[name]
+    return network

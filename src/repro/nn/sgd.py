@@ -1,0 +1,104 @@
+"""Stochastic gradient descent training (paper Sec. 2.1).
+
+One step runs FP to compute the network's output, BP to compute the error
+gradients, and applies the (momentum-smoothed) delta weights -- the
+standard minibatch SGD loop the paper's platforms (ADAM, CAFFE)
+implement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.nn.losses import accuracy, softmax_cross_entropy
+from repro.nn.network import Network
+
+
+@dataclass
+class StepResult:
+    """Loss/accuracy of one SGD step, plus per-layer error sparsity."""
+
+    loss: float
+    accuracy: float
+    error_sparsities: dict[str, float] = field(default_factory=dict)
+
+
+class SGDTrainer:
+    """Minibatch SGD with momentum."""
+
+    def __init__(self, network: Network, learning_rate: float = 0.01,
+                 momentum: float = 0.9, weight_decay: float = 0.0):
+        if learning_rate <= 0:
+            raise ValueError(f"learning_rate must be positive, got {learning_rate}")
+        if not 0 <= momentum < 1:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        if weight_decay < 0:
+            raise ValueError(f"weight_decay must be non-negative, got {weight_decay}")
+        self.network = network
+        self.learning_rate = learning_rate
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity: dict[str, np.ndarray] = {}
+
+    def set_learning_rate(self, value: float) -> None:
+        """Update the learning rate (LR-schedule hook)."""
+        if value <= 0:
+            raise ValueError(f"learning rate must be positive, got {value}")
+        self.learning_rate = value
+
+    def step(self, inputs: np.ndarray, labels: np.ndarray) -> StepResult:
+        """One FP + BP + update pass over a minibatch."""
+        net = self.network
+        net.zero_grads()
+        logits = net.forward(inputs, training=True)
+        loss, grad = softmax_cross_entropy(logits, labels)
+        net.backward(grad)
+        for name, param, g in net.parameters():
+            vel = self._velocity.get(name)
+            if vel is None:
+                vel = np.zeros_like(param)
+                self._velocity[name] = vel
+            update = g
+            if self.weight_decay:
+                update = g + self.weight_decay * param
+            vel *= self.momentum
+            vel -= self.learning_rate * update
+            param += vel
+        return StepResult(
+            loss=loss,
+            accuracy=accuracy(logits, labels),
+            error_sparsities=net.error_sparsities(),
+        )
+
+    def train_epoch(
+        self, images: np.ndarray, labels: np.ndarray, batch_size: int
+    ) -> list[StepResult]:
+        """Train over one pass of the dataset in order; returns step results."""
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        results = []
+        for lo in range(0, len(images), batch_size):
+            batch_x = images[lo : lo + batch_size]
+            batch_y = labels[lo : lo + batch_size]
+            if len(batch_x) == 0:
+                break
+            results.append(self.step(batch_x, batch_y))
+        return results
+
+    def evaluate(self, images: np.ndarray, labels: np.ndarray,
+                 batch_size: int = 64) -> tuple[float, float]:
+        """Mean loss and accuracy without updating parameters."""
+        losses, correct, seen = [], 0.0, 0
+        for lo in range(0, len(images), batch_size):
+            batch_x = images[lo : lo + batch_size]
+            batch_y = labels[lo : lo + batch_size]
+            logits = self.network.forward(batch_x, training=False)
+            loss, _ = softmax_cross_entropy(logits, batch_y)
+            losses.append(loss * len(batch_x))
+            correct += accuracy(logits, batch_y) * len(batch_x)
+            seen += len(batch_x)
+        if seen == 0:
+            return 0.0, 0.0
+        return sum(losses) / seen, correct / seen

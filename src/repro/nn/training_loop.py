@@ -1,0 +1,140 @@
+"""A full training loop tying the stack together.
+
+:class:`TrainingLoop` runs multi-epoch SGD with the pieces a real
+training job uses: shuffling, optional augmentation, a learning-rate
+schedule, evaluation on held-out data, and an epoch-end hook where
+spg-CNN's periodic re-tuning (Sec. 4.4) plugs in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.data.synthetic import Dataset
+from repro.errors import ReproError
+from repro.nn.network import Network
+from repro.nn.schedule import ConstantLR, LRSchedule
+from repro.nn.sgd import SGDTrainer
+
+
+@dataclass
+class EpochRecord:
+    """Metrics of one training epoch."""
+
+    epoch: int
+    train_loss: float
+    train_accuracy: float
+    eval_loss: float | None
+    eval_accuracy: float | None
+    learning_rate: float
+    mean_error_sparsity: float
+
+
+@dataclass
+class TrainingHistory:
+    """All epoch records of one run."""
+
+    epochs: list[EpochRecord] = field(default_factory=list)
+
+    @property
+    def final(self) -> EpochRecord:
+        if not self.epochs:
+            raise ReproError("empty training history")
+        return self.epochs[-1]
+
+    def loss_curve(self) -> list[float]:
+        return [e.train_loss for e in self.epochs]
+
+    def improved(self) -> bool:
+        """True when the final train loss beat the first epoch's."""
+        if len(self.epochs) < 2:
+            return False
+        return self.epochs[-1].train_loss < self.epochs[0].train_loss
+
+
+class TrainingLoop:
+    """Multi-epoch training with schedule, augmentation and hooks."""
+
+    def __init__(
+        self,
+        network: Network,
+        train_data: Dataset,
+        eval_data: Dataset | None = None,
+        batch_size: int = 16,
+        schedule: LRSchedule | None = None,
+        momentum: float = 0.9,
+        weight_decay: float = 0.0,
+        augment: Callable[[np.ndarray, bool], np.ndarray] | None = None,
+        epoch_end_hook: Callable[[int, Network], None] | None = None,
+        shuffle_seed: int = 0,
+    ):
+        if batch_size <= 0:
+            raise ReproError(f"batch_size must be positive, got {batch_size}")
+        self.network = network
+        self.train_data = train_data
+        self.eval_data = eval_data
+        self.batch_size = batch_size
+        self.schedule = schedule or ConstantLR(0.01)
+        self.trainer = SGDTrainer(
+            network,
+            learning_rate=self.schedule.rate(1),
+            momentum=momentum,
+            weight_decay=weight_decay,
+        )
+        self.augment = augment
+        self.epoch_end_hook = epoch_end_hook
+        self._shuffle_rng = np.random.default_rng(shuffle_seed)
+
+    def _epoch_batches(self):
+        order = self._shuffle_rng.permutation(len(self.train_data))
+        images = self.train_data.images[order]
+        labels = self.train_data.labels[order]
+        for lo in range(0, len(images), self.batch_size):
+            yield images[lo : lo + self.batch_size], labels[lo : lo + self.batch_size]
+
+    def run(self, epochs: int) -> TrainingHistory:
+        """Train for ``epochs`` epochs; returns the metric history."""
+        if epochs <= 0:
+            raise ReproError(f"epochs must be positive, got {epochs}")
+        history = TrainingHistory()
+        for epoch in range(1, epochs + 1):
+            rate = self.schedule.rate(epoch)
+            self.trainer.set_learning_rate(rate)
+            losses, accuracies, sparsities = [], [], []
+            for batch_x, batch_y in self._epoch_batches():
+                if self.augment is not None:
+                    batch_x = self.augment(batch_x, True)
+                result = self.trainer.step(batch_x, batch_y)
+                losses.append(result.loss)
+                accuracies.append(result.accuracy)
+                if result.error_sparsities:
+                    sparsities.append(
+                        float(np.mean(list(result.error_sparsities.values())))
+                    )
+            eval_loss = eval_acc = None
+            if self.eval_data is not None:
+                eval_images = self.eval_data.images
+                if self.augment is not None:
+                    eval_images = self.augment(eval_images, False)
+                eval_loss, eval_acc = self.trainer.evaluate(
+                    eval_images, self.eval_data.labels
+                )
+            history.epochs.append(
+                EpochRecord(
+                    epoch=epoch,
+                    train_loss=float(np.mean(losses)),
+                    train_accuracy=float(np.mean(accuracies)),
+                    eval_loss=eval_loss,
+                    eval_accuracy=eval_acc,
+                    learning_rate=rate,
+                    mean_error_sparsity=(
+                        float(np.mean(sparsities)) if sparsities else 0.0
+                    ),
+                )
+            )
+            if self.epoch_end_hook is not None:
+                self.epoch_end_hook(epoch, self.network)
+        return history

@@ -1,0 +1,148 @@
+"""Model zoo: the paper's four benchmarks plus trainable small variants.
+
+Two families live here:
+
+* ``*_convolutions()`` -- the exact Table 2 convolution specifications,
+  used by the Fig. 8 / Fig. 9 benchmarks (these networks are far too
+  large to train in pure Python, but their *shapes* are what the
+  performance experiments need).
+* ``mnist_net()`` / ``cifar10_net()`` / ``imagenet100_net()`` -- small
+  trainable networks with the same structural ingredients (conv + ReLU +
+  max-pool stacks), used for the end-to-end training tests and for
+  reproducing the Fig. 3b sparsity trajectories.  ``scale`` shrinks
+  feature counts for fast tests.
+
+Note on Table 2's CIFAR-10 spatial sizes: the listed extents (36, 8)
+include the paper's image padding; the trainable variant uses explicit
+``pad`` attributes on an unpadded 32x32 input, which yields the same
+convolution geometry.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.convspec import ConvSpec
+from repro.data.tables import benchmark_layers
+from repro.errors import ShapeError
+from repro.nn.netdef import build_network
+from repro.nn.network import Network
+
+
+def benchmark_convolutions(benchmark: str) -> tuple[ConvSpec, ...]:
+    """The Table 2 convolution layers of a named benchmark."""
+    return benchmark_layers(benchmark)
+
+
+def _scaled(features: int, scale: float) -> int:
+    if scale <= 0:
+        raise ShapeError(f"scale must be positive, got {scale}")
+    return max(1, int(round(features * scale)))
+
+
+def mnist_net(num_cores: int = 1, scale: float = 1.0,
+              rng: np.random.Generator | None = None) -> Network:
+    """LeNet-style MNIST classifier (Table 2: one 5x5 conv, 20 features)."""
+    definition = {
+        "name": "mnist",
+        "input": [1, 28, 28],
+        "layers": [
+            {"type": "conv", "features": _scaled(20, scale), "kernel": 5},
+            {"type": "relu"},
+            {"type": "pool", "kernel": 2, "stride": 2},
+            {"type": "flatten"},
+            {"type": "dense", "features": _scaled(100, scale)},
+            {"type": "relu"},
+            {"type": "dense", "features": 10},
+        ],
+    }
+    return build_network(definition, num_cores=num_cores, rng=rng)
+
+
+def cifar10_net(num_cores: int = 1, scale: float = 1.0,
+                rng: np.random.Generator | None = None) -> Network:
+    """CIFAR-10 classifier with the Table 2 conv geometry (5x5, 64 features)."""
+    definition = {
+        "name": "cifar-10",
+        "input": [3, 32, 32],
+        "layers": [
+            {"type": "conv", "features": _scaled(64, scale), "kernel": 5, "pad": 2},
+            {"type": "relu"},
+            {"type": "pool", "kernel": 2, "stride": 2},
+            {"type": "conv", "features": _scaled(64, scale), "kernel": 5, "pad": 2},
+            {"type": "relu"},
+            {"type": "pool", "kernel": 2, "stride": 2},
+            {"type": "flatten"},
+            {"type": "dense", "features": 10},
+        ],
+    }
+    return build_network(definition, num_cores=num_cores, rng=rng)
+
+
+def imagenet100_net(num_cores: int = 1, scale: float = 1.0,
+                    rng: np.random.Generator | None = None) -> Network:
+    """A reduced ImageNet-100 classifier (Fig. 3b's third benchmark).
+
+    ImageNet-100 is a 100-class subset of ImageNet; full 256x256 training
+    is infeasible in pure Python, so this variant keeps the AlexNet-style
+    conv/pool alternation on a smaller canvas.
+    """
+    definition = {
+        "name": "imagenet-100",
+        "input": [3, 48, 48],
+        "layers": [
+            {"type": "conv", "features": _scaled(32, scale), "kernel": 5, "stride": 2},
+            {"type": "relu"},
+            {"type": "pool", "kernel": 2, "stride": 2},
+            {"type": "conv", "features": _scaled(64, scale), "kernel": 3, "pad": 1},
+            {"type": "relu"},
+            {"type": "pool", "kernel": 2, "stride": 2},
+            {"type": "flatten"},
+            {"type": "dense", "features": 100},
+        ],
+    }
+    return build_network(definition, num_cores=num_cores, rng=rng)
+
+
+def alexnet_small(num_cores: int = 1, scale: float = 1.0,
+                  rng: np.random.Generator | None = None) -> Network:
+    """A trainable AlexNet-style network with LRN and dropout.
+
+    Structurally faithful to the paper's ImageNet-1K benchmark (conv +
+    LRN + max-pool stages, dropout before the classifier) on a reduced
+    64x64 canvas so it is trainable in pure Python.
+    """
+    definition = {
+        "name": "alexnet-small",
+        "input": [3, 64, 64],
+        "layers": [
+            {"type": "conv", "features": _scaled(24, scale), "kernel": 7,
+             "stride": 2},
+            {"type": "relu"},
+            {"type": "lrn", "size": 5},
+            {"type": "pool", "kernel": 2, "stride": 2},
+            {"type": "conv", "features": _scaled(48, scale), "kernel": 5,
+             "pad": 2},
+            {"type": "relu"},
+            {"type": "lrn", "size": 5},
+            {"type": "pool", "kernel": 2, "stride": 2},
+            {"type": "conv", "features": _scaled(64, scale), "kernel": 3,
+             "pad": 1},
+            {"type": "relu"},
+            {"type": "avgpool", "kernel": 2, "stride": 2},
+            {"type": "flatten"},
+            {"type": "dropout", "rate": 0.5},
+            {"type": "dense", "features": _scaled(128, scale)},
+            {"type": "relu"},
+            {"type": "dense", "features": 100},
+        ],
+    }
+    return build_network(definition, num_cores=num_cores, rng=rng)
+
+
+#: Builders for the Fig. 3b sparsity experiment, keyed by display name.
+SPARSITY_BENCHMARKS = {
+    "MNIST": mnist_net,
+    "CIFAR": cifar10_net,
+    "ImageNet100": imagenet100_net,
+}

@@ -1,0 +1,5 @@
+"""Convolution execution engines and shared tensor operations."""
+
+from repro.ops.engine import ConvEngine, engine_names, make_engine
+
+__all__ = ["ConvEngine", "engine_names", "make_engine"]

@@ -1,0 +1,109 @@
+"""Convolution execution engines: the common interface and registry.
+
+An *engine* is a functional implementation of the three convolution
+computations of CNN training -- forward (Eq. 2), backward-data (Eq. 3) and
+backward-weights (Eq. 4) -- over a *batch* of images.  Engines correspond
+to the paper's execution techniques:
+
+* ``"parallel-gemm"``   -- Unfold + one Parallel-GEMM per image (baseline)
+* ``"gemm-in-parallel"`` -- Unfold + single-threaded GEMMs, one image per
+  core (Sec. 4.1)
+* ``"stencil"``          -- generated direct-convolution kernels (Sec. 4.3)
+* ``"sparse"``           -- generated CT-CSR sparse BP kernels (Sec. 4.2)
+
+All engines produce bit-identical layer semantics (verified against
+:mod:`repro.ops.reference`); they differ in how the work is organized,
+which the machine model (:mod:`repro.machine`) prices.  Batches are
+``[B, C, Y, X]`` arrays; engines receive pre-padded inputs and pad=0 specs
+(the conv layer handles padding).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable
+
+import numpy as np
+
+from repro.core.convspec import ConvSpec
+from repro.errors import PlanError, ShapeError
+
+
+class ConvEngine(ABC):
+    """Batched convolution FP/BP executor."""
+
+    #: Registry key; subclasses override.
+    name = "abstract"
+
+    def __init__(self, spec: ConvSpec):
+        if spec.pad != 0:
+            raise ShapeError(
+                f"engines expect pre-padded specs (pad=0), got pad={spec.pad}; "
+                "padding is applied by the conv layer"
+            )
+        self.spec = spec
+
+    # -- forward -------------------------------------------------------
+
+    @abstractmethod
+    def forward(self, inputs: np.ndarray, weights: np.ndarray) -> np.ndarray:
+        """Compute output activations for a ``[B, Nc, Ny, Nx]`` batch."""
+
+    # -- backward ------------------------------------------------------
+
+    @abstractmethod
+    def backward_data(self, out_error: np.ndarray, weights: np.ndarray) -> np.ndarray:
+        """Compute input-error activations EI (Eq. 3) for a batch."""
+
+    @abstractmethod
+    def backward_weights(self, out_error: np.ndarray, inputs: np.ndarray) -> np.ndarray:
+        """Compute the summed weight gradient dW (Eq. 4) over the batch."""
+
+    # -- shared helpers --------------------------------------------------
+
+    def _check_batch_inputs(self, inputs: np.ndarray) -> None:
+        if inputs.ndim != 4 or inputs.shape[1:] != self.spec.input_shape:
+            raise ShapeError(
+                f"batch input shape {inputs.shape} != (B, *{self.spec.input_shape})"
+            )
+
+    def _check_batch_out_error(self, out_error: np.ndarray) -> None:
+        if out_error.ndim != 4 or out_error.shape[1:] != self.spec.output_shape:
+            raise ShapeError(
+                f"batch output-error shape {out_error.shape} != "
+                f"(B, *{self.spec.output_shape})"
+            )
+
+    def _check_weights(self, weights: np.ndarray) -> None:
+        if weights.shape != self.spec.weight_shape:
+            raise ShapeError(
+                f"weight shape {weights.shape} != spec {self.spec.weight_shape}"
+            )
+
+
+_ENGINE_FACTORIES: dict[str, Callable[..., ConvEngine]] = {}
+
+
+def register_engine(name: str) -> Callable[[type], type]:
+    """Class decorator registering an engine under ``name``."""
+
+    def decorator(cls: type) -> type:
+        cls.name = name
+        _ENGINE_FACTORIES[name] = cls
+        return cls
+
+    return decorator
+
+
+def engine_names() -> tuple[str, ...]:
+    """All registered engine names, sorted."""
+    return tuple(sorted(_ENGINE_FACTORIES))
+
+
+def make_engine(name: str, spec: ConvSpec, **kwargs) -> ConvEngine:
+    """Instantiate the engine registered under ``name`` for ``spec``."""
+    try:
+        factory = _ENGINE_FACTORIES[name]
+    except KeyError:
+        raise PlanError(f"unknown engine {name!r}; known: {engine_names()}") from None
+    return factory(spec, **kwargs)

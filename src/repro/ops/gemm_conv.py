@@ -1,0 +1,135 @@
+"""Unfold+GEMM convolution engines (paper Secs. 2.3 and 4.1).
+
+Forward propagation unfolds each image (Fig. 2b) and computes
+``O = W_mat . U^T`` (Fig. 2c).  Backward-data computes the unfolded error
+``U_err^T = W_mat^T . EO_mat`` and folds it back onto the input; backward-
+weights computes ``dW_mat = EO_mat . U``.
+
+Two engines share this math and differ only in scheduling, which is what
+the machine model prices:
+
+* :class:`ParallelGemmEngine` -- the baseline: images processed one after
+  another, each GEMM partitioned across all cores (row-partitioned, every
+  core streaming the full unfolded matrix).
+* :class:`GemmInParallelEngine` -- the paper's Sec. 4.1 technique: the
+  batch is partitioned across cores and each core runs single-threaded
+  blocked GEMMs on whole images, preserving per-core AIT.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.blas.gemm import BlockingParams, gemm, parallel_gemm, partition_rows
+from repro.core.convspec import ConvSpec
+from repro.ops import unfold as uf
+from repro.ops.engine import ConvEngine, register_engine
+
+
+class _UnfoldGemmBase(ConvEngine):
+    """Shared unfold/fold + GEMM math of both schedules.
+
+    With ``cache_unfold=True`` the unfolded matrices computed during the
+    forward pass are kept and reused by the following ``backward_weights``
+    call on the same batch, halving the unfolding work of one training
+    step (the paper's ``2|U|`` accounting assumes the re-read; the cache
+    trades memory for it).
+    """
+
+    def __init__(self, spec: ConvSpec, num_cores: int = 1,
+                 blocking: BlockingParams | None = None,
+                 cache_unfold: bool = False):
+        super().__init__(spec)
+        if num_cores <= 0:
+            raise ValueError(f"num_cores must be positive, got {num_cores}")
+        self.num_cores = num_cores
+        self.blocking = blocking or BlockingParams()
+        self.cache_unfold = cache_unfold
+        self._unfold_cache: dict[int, np.ndarray] = {}
+        #: Unfold computations avoided via the cache (for tests/metrics).
+        self.unfold_cache_hits = 0
+
+    def _unfold_image(self, index: int, image: np.ndarray) -> np.ndarray:
+        if not self.cache_unfold:
+            return uf.unfold(self.spec, image)
+        cached = self._unfold_cache.get(index)
+        if cached is not None:
+            self.unfold_cache_hits += 1
+            return cached
+        unfolded = uf.unfold(self.spec, image)
+        self._unfold_cache[index] = unfolded
+        return unfolded
+
+    def clear_unfold_cache(self) -> None:
+        """Drop cached unfolded matrices (call between batches)."""
+        self._unfold_cache.clear()
+
+    # Subclasses choose how a single GEMM is executed.
+    def _gemm(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def _forward_image(self, index: int, image: np.ndarray,
+                       w_mat: np.ndarray) -> np.ndarray:
+        unfolded = self._unfold_image(index, image)
+        out_mat = self._gemm(w_mat, unfolded.T)
+        return uf.output_matrix_to_image(self.spec, out_mat)
+
+    def _backward_data_image(self, err: np.ndarray, w_mat: np.ndarray) -> np.ndarray:
+        err_mat = uf.output_image_to_matrix(self.spec, err)
+        unfolded_err = self._gemm(w_mat.T, err_mat)
+        return uf.fold(self.spec, unfolded_err.T)
+
+    def _backward_weights_image(self, index: int, err: np.ndarray,
+                                image: np.ndarray) -> np.ndarray:
+        unfolded = self._unfold_image(index, image)
+        err_mat = uf.output_image_to_matrix(self.spec, err)
+        return self._gemm(err_mat, unfolded).reshape(self.spec.weight_shape)
+
+    def forward(self, inputs: np.ndarray, weights: np.ndarray) -> np.ndarray:
+        self._check_batch_inputs(inputs)
+        self._check_weights(weights)
+        if self.cache_unfold:
+            self.clear_unfold_cache()
+        w_mat = uf.weights_matrix(self.spec, weights)
+        return np.stack([
+            self._forward_image(i, img, w_mat) for i, img in enumerate(inputs)
+        ])
+
+    def backward_data(self, out_error: np.ndarray, weights: np.ndarray) -> np.ndarray:
+        self._check_batch_out_error(out_error)
+        self._check_weights(weights)
+        w_mat = uf.weights_matrix(self.spec, weights)
+        return np.stack([self._backward_data_image(err, w_mat) for err in out_error])
+
+    def backward_weights(self, out_error: np.ndarray, inputs: np.ndarray) -> np.ndarray:
+        self._check_batch_out_error(out_error)
+        self._check_batch_inputs(inputs)
+        dw = np.zeros(self.spec.weight_shape, dtype=out_error.dtype)
+        for i, (err, img) in enumerate(zip(out_error, inputs)):
+            dw += self._backward_weights_image(i, err, img)
+        return dw
+
+
+@register_engine("parallel-gemm")
+class ParallelGemmEngine(_UnfoldGemmBase):
+    """Baseline Unfold+Parallel-GEMM: each image's GEMM spans all cores."""
+
+    def _gemm(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return parallel_gemm(a, b, num_cores=self.num_cores, blocking=self.blocking)
+
+
+@register_engine("gemm-in-parallel")
+class GemmInParallelEngine(_UnfoldGemmBase):
+    """GEMM-in-Parallel (Sec. 4.1): whole images assigned to cores.
+
+    Functionally each image's GEMM runs single-threaded; the batch is
+    partitioned across cores.  :meth:`core_assignment` exposes the
+    image->core mapping so the simulated executor can compute the makespan.
+    """
+
+    def _gemm(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return gemm(a, b, blocking=self.blocking)
+
+    def core_assignment(self, batch_size: int) -> list[tuple[int, int]]:
+        """Contiguous ``[lo, hi)`` image ranges per core."""
+        return partition_rows(batch_size, self.num_cores)

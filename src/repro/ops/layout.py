@@ -1,0 +1,103 @@
+"""Data-layout transformations used by the generated kernels.
+
+Three families of transformations appear in the paper:
+
+* channel-major ``[C, Y, X]`` <-> channel-last ``[Y, X, C]`` transforms:
+  the sparse BP kernel vectorizes along channels, so weights and input
+  errors are transformed so that ``c`` is the fastest-varying dimension,
+  while the output error keeps ``f`` fastest (Sec. 4.2).
+* zero padding of the spatial dimensions (Table 2 layer-0 note).
+* the strided-convolution layout transform of Eq. 21,
+  ``I[f, y, x] -> I[f, y, s, x']`` with ``s = x mod sx`` and
+  ``x' = x / sx``, which converts the unaligned vector loads of a strided
+  stencil into aligned unit-stride loads (Sec. 4.3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.convspec import ConvSpec
+from repro.errors import ShapeError
+
+
+def pad_input(spec: ConvSpec, inputs: np.ndarray) -> np.ndarray:
+    """Zero-pad ``[C, Y, X]`` inputs by ``spec.pad`` on both spatial sides."""
+    if inputs.shape != spec.input_shape:
+        raise ShapeError(f"input shape {inputs.shape} != spec {spec.input_shape}")
+    if spec.pad == 0:
+        return inputs
+    width = ((0, 0), (spec.pad, spec.pad), (spec.pad, spec.pad))
+    return np.pad(inputs, width)
+
+
+def unpad_input(spec: ConvSpec, padded: np.ndarray) -> np.ndarray:
+    """Strip the padding added by :func:`pad_input` (e.g. from EI in BP)."""
+    if padded.shape != spec.padded_input_shape:
+        raise ShapeError(f"padded shape {padded.shape} != spec {spec.padded_input_shape}")
+    if spec.pad == 0:
+        return padded
+    p = spec.pad
+    return padded[:, p:-p, p:-p]
+
+
+def chw_to_hwc(array: np.ndarray) -> np.ndarray:
+    """Transform ``[C, Y, X]`` to contiguous ``[Y, X, C]`` (c fastest)."""
+    if array.ndim != 3:
+        raise ShapeError(f"expected a 3-d [C, Y, X] array, got shape {array.shape}")
+    return np.ascontiguousarray(np.moveaxis(array, 0, 2))
+
+
+def hwc_to_chw(array: np.ndarray) -> np.ndarray:
+    """Transform ``[Y, X, C]`` back to contiguous ``[C, Y, X]``."""
+    if array.ndim != 3:
+        raise ShapeError(f"expected a 3-d [Y, X, C] array, got shape {array.shape}")
+    return np.ascontiguousarray(np.moveaxis(array, 2, 0))
+
+
+def weights_to_sparse_layout(spec: ConvSpec, weights: np.ndarray) -> np.ndarray:
+    """Transform weights ``[F, C, Ky, Kx]`` to ``[Ky, Kx, F, C]``.
+
+    The sparse BP kernel multiplies each non-zero output error ``EO[f]``
+    by the weight vector ``W[f, *]`` across channels (Fig. 5b), so ``c``
+    must be fastest-varying and the kernel offsets slowest (they index the
+    series of small dense MMs of Fig. 6).
+    """
+    if weights.shape != spec.weight_shape:
+        raise ShapeError(f"weight shape {weights.shape} != spec {spec.weight_shape}")
+    return np.ascontiguousarray(np.transpose(weights, (2, 3, 0, 1)))
+
+
+def strided_x_layout(array: np.ndarray, sx: int) -> np.ndarray:
+    """Eq. 21's layout transform along x: ``[.., X] -> [.., sx, X/sx]``.
+
+    Elements with equal ``x mod sx`` become contiguous, so a strided
+    stencil can issue unit-stride (aligned) vector loads.  The x dimension
+    is zero-padded up to a multiple of ``sx`` when necessary.
+    """
+    if sx <= 0:
+        raise ShapeError(f"stride must be positive, got {sx}")
+    if sx == 1:
+        return array
+    nx = array.shape[-1]
+    rem = (-nx) % sx
+    if rem:
+        pad_width = [(0, 0)] * (array.ndim - 1) + [(0, rem)]
+        array = np.pad(array, pad_width)
+        nx += rem
+    shape = array.shape[:-1] + (nx // sx, sx)
+    # [.., x', s] -> [.., s, x'] so that each phase s is a contiguous row.
+    return np.ascontiguousarray(np.swapaxes(array.reshape(shape), -1, -2))
+
+
+def unstrided_x_layout(array: np.ndarray, sx: int, nx: int) -> np.ndarray:
+    """Inverse of :func:`strided_x_layout`, trimming back to width ``nx``."""
+    if sx == 1:
+        return array
+    merged = np.swapaxes(array, -1, -2).reshape(array.shape[:-2] + (-1,))
+    return np.ascontiguousarray(merged[..., :nx])
+
+
+def transform_cost_elems(*arrays: np.ndarray) -> int:
+    """Element traffic of layout transforms: each array read once, written once."""
+    return int(sum(2 * a.size for a in arrays))

@@ -1,0 +1,81 @@
+"""Unfolding (im2col) and folding (col2im) of convolution inputs.
+
+This is step (1) of the paper's Unfold+Parallel-GEMM execution strategy
+(Sec. 2.3, Fig. 2b): for every input channel, the inputs to each kernel
+application are flattened into a row vector; rows are concatenated over
+output positions, and channels are stacked left to right.  The resulting
+matrix ``U`` has shape ``[out_Ny*out_Nx, Nc*Fy*Fx]``, so that the forward
+convolution becomes the matrix multiply ``O = W_mat . U^T`` (Fig. 2c) with
+``W_mat`` of shape ``[Nf, Nc*Fy*Fx]``.
+
+``fold`` is the exact adjoint (transpose) of ``unfold`` -- each unfolded
+element is scattered back (accumulating) to the input position it came
+from -- which is what back-propagation through the unfolding requires.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.convspec import ConvSpec
+from repro.errors import ShapeError
+
+
+def unfold(spec: ConvSpec, inputs: np.ndarray) -> np.ndarray:
+    """Unfold a ``[Nc, Ny, Nx]`` image to ``[out_Ny*out_Nx, Nc*Fy*Fx]``.
+
+    The column ordering matches Fig. 2b: channels are the slowest-varying
+    column group, then ``ky``, then ``kx``.
+    """
+    if spec.pad != 0:
+        raise ShapeError("unfold expects pre-padded inputs (spec.pad must be 0)")
+    if inputs.shape != spec.input_shape:
+        raise ShapeError(f"input shape {inputs.shape} != spec {spec.input_shape}")
+    cs, ys, xs = inputs.strides
+    shape = (spec.out_ny, spec.out_nx, spec.nc, spec.fy, spec.fx)
+    strides = (ys * spec.sy, xs * spec.sx, cs, ys, xs)
+    patches = np.lib.stride_tricks.as_strided(inputs, shape=shape, strides=strides)
+    return patches.reshape(spec.out_ny * spec.out_nx, spec.nc * spec.fy * spec.fx).copy()
+
+
+def fold(spec: ConvSpec, unfolded: np.ndarray) -> np.ndarray:
+    """Adjoint of :func:`unfold`: accumulate columns back into an image.
+
+    Elements of ``unfolded`` that originated from the same input position
+    are summed, making ``fold(unfold(x)) == multiplicity * x`` where the
+    multiplicity counts how many kernel applications cover each position.
+    """
+    expected = (spec.out_ny * spec.out_nx, spec.nc * spec.fy * spec.fx)
+    if unfolded.shape != expected:
+        raise ShapeError(f"unfolded shape {unfolded.shape} != expected {expected}")
+    image = np.zeros(spec.input_shape, dtype=unfolded.dtype)
+    patches = unfolded.reshape(spec.out_ny, spec.out_nx, spec.nc, spec.fy, spec.fx)
+    span_y = (spec.out_ny - 1) * spec.sy + 1
+    span_x = (spec.out_nx - 1) * spec.sx + 1
+    for ky in range(spec.fy):
+        for kx in range(spec.fx):
+            target = image[:, ky : ky + span_y : spec.sy, kx : kx + span_x : spec.sx]
+            target += np.moveaxis(patches[:, :, :, ky, kx], 2, 0)
+    return image
+
+
+def weights_matrix(spec: ConvSpec, weights: np.ndarray) -> np.ndarray:
+    """Flatten ``[Nf, Nc, Fy, Fx]`` weights into the GEMM operand ``[Nf, K]``."""
+    if weights.shape != spec.weight_shape:
+        raise ShapeError(f"weight shape {weights.shape} != spec {spec.weight_shape}")
+    return weights.reshape(spec.nf, spec.nc * spec.fy * spec.fx)
+
+
+def output_matrix_to_image(spec: ConvSpec, out_mat: np.ndarray) -> np.ndarray:
+    """Reshape the GEMM result ``[Nf, out_Ny*out_Nx]`` to ``[Nf, out_Ny, out_Nx]``."""
+    expected = (spec.nf, spec.out_ny * spec.out_nx)
+    if out_mat.shape != expected:
+        raise ShapeError(f"output matrix shape {out_mat.shape} != expected {expected}")
+    return out_mat.reshape(spec.output_shape)
+
+
+def output_image_to_matrix(spec: ConvSpec, out_img: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`output_matrix_to_image`."""
+    if out_img.shape != spec.output_shape:
+        raise ShapeError(f"output shape {out_img.shape} != spec {spec.output_shape}")
+    return out_img.reshape(spec.nf, spec.out_ny * spec.out_nx)

@@ -1,0 +1,6 @@
+"""Thread-based parallel execution of the spg-CNN engines."""
+
+from repro.runtime.parallel import ParallelExecutor
+from repro.runtime.pool import WorkerPool, default_worker_count
+
+__all__ = ["WorkerPool", "ParallelExecutor", "default_worker_count"]

@@ -1,0 +1,100 @@
+"""Parallel execution of convolution engines over real threads.
+
+Wraps any registered single-threaded :class:`repro.ops.engine.ConvEngine`
+and executes its batch methods with image-level parallelism on a
+:class:`repro.runtime.pool.WorkerPool` -- the executable counterpart of
+the machine model's GEMM-in-Parallel scheduling.  Each worker processes a
+contiguous slice of the batch with its own engine instance (generated
+kernels and scratch state are not shared across threads).
+
+Weight gradients are accumulated per worker and reduced at the end, so
+results are independent of the worker count up to float addition order.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.convspec import ConvSpec
+from repro.errors import ReproError
+from repro.ops.engine import ConvEngine, make_engine
+from repro.runtime.pool import WorkerPool
+
+
+class ParallelExecutor:
+    """Run a named engine's FP/BP over a batch with worker threads."""
+
+    def __init__(self, engine_name: str, spec: ConvSpec,
+                 pool: WorkerPool | None = None, **engine_kwargs):
+        self.spec = spec
+        self.engine_name = engine_name
+        self.pool = pool or WorkerPool()
+        self._owns_pool = pool is None
+        # One engine per worker: generated kernels are stateless but cheap
+        # scratch decisions (e.g. CT-CSR buffers) must not be shared.
+        self._engines: list[ConvEngine] = [
+            make_engine(engine_name, spec, **engine_kwargs)
+            for _ in range(self.pool.num_workers)
+        ]
+        self._next_engine = 0
+
+    def close(self) -> None:
+        """Shut the pool down if this executor created it."""
+        if self._owns_pool:
+            self.pool.shutdown()
+
+    def __enter__(self) -> "ParallelExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _engine_for(self, worker_index: int) -> ConvEngine:
+        return self._engines[worker_index % len(self._engines)]
+
+    def _run_sliced(self, method: str, primary: np.ndarray,
+                    shared: np.ndarray) -> np.ndarray:
+        batch = primary.shape[0]
+        if batch == 0:
+            raise ReproError("empty batch")
+        ranges = self.pool.assignment(batch)
+        outputs: list[np.ndarray | None] = [None] * len(ranges)
+
+        def task(index: int) -> None:
+            lo, hi = ranges[index]
+            engine = self._engine_for(index)
+            outputs[index] = getattr(engine, method)(primary[lo:hi], shared)
+
+        self.pool.map_items(task, len(ranges))
+        chunks = [c for c in outputs if c is not None]
+        return np.concatenate(chunks, axis=0)
+
+    # -- batch API mirroring ConvEngine -----------------------------------
+
+    def forward(self, inputs: np.ndarray, weights: np.ndarray) -> np.ndarray:
+        """Forward-propagate the batch across the workers."""
+        return self._run_sliced("forward", inputs, weights)
+
+    def backward_data(self, out_error: np.ndarray, weights: np.ndarray) -> np.ndarray:
+        """Back-propagate the error batch across the workers."""
+        return self._run_sliced("backward_data", out_error, weights)
+
+    def backward_weights(self, out_error: np.ndarray, inputs: np.ndarray) -> np.ndarray:
+        """Per-worker dW partials, reduced into one gradient tensor."""
+        batch = out_error.shape[0]
+        ranges = self.pool.assignment(batch)
+        partials: list[np.ndarray | None] = [None] * len(ranges)
+
+        def task(index: int) -> None:
+            lo, hi = ranges[index]
+            engine = self._engine_for(index)
+            partials[index] = engine.backward_weights(
+                out_error[lo:hi], inputs[lo:hi]
+            )
+
+        self.pool.map_items(task, len(ranges))
+        total = np.zeros(self.spec.weight_shape, dtype=out_error.dtype)
+        for partial in partials:
+            if partial is not None:
+                total += partial
+        return total

@@ -1,0 +1,125 @@
+"""Pointer-shifting sparse BP kernels (paper Sec. 4.2, Eqs. 11-15, Fig. 6).
+
+The sparse convolution is composed, in place and without unfolding, as a
+series of small dense MMs -- one per kernel tap ``(ky, kx)``.  For the
+error-gradient computation (Eq. 3), the tap's sparse-dense product
+
+    ``S = EO_mat . W'[ky, kx]``             (Eq. 13)
+
+is scattered onto the output *vector* positions given by the pointer-
+shifting relation
+
+    ``EO[y', x', f] -> EI[y'*sy + ky, x'*sx + kx, *]``   (Eq. 15)
+
+which, over all output positions at once, is exactly the strided slice
+``EI[ky::sy, kx::sx, :]``.  Channels ``c`` are the fastest dimension of
+``EI`` and ``W'`` so the per-non-zero work is a contiguous vector FMA
+(Fig. 5b).
+
+The weight-gradient computation (Eq. 4) reuses the same tap structure with
+the transposed sparse operand: ``dW'[ky, kx] = EO_mat^T . I[ky::sy, kx::sx, :]``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.convspec import ConvSpec
+from repro.errors import ShapeError
+from repro.sparse.ctcsr import CTCSRMatrix, DEFAULT_TILE_COLS, ctcsr_from_dense
+
+
+def error_matrix(spec: ConvSpec, out_error: np.ndarray) -> np.ndarray:
+    """Layout-transform EO ``[Nf, Ny, Nx]`` to the matrix ``[Ny*Nx, Nf]``.
+
+    Rows are output positions, columns output features; ``f`` becomes the
+    fastest-varying dimension as Sec. 4.2 requires.
+    """
+    if out_error.shape != spec.output_shape:
+        raise ShapeError(f"out_error shape {out_error.shape} != {spec.output_shape}")
+    return np.ascontiguousarray(
+        np.moveaxis(out_error, 0, 2).reshape(spec.out_ny * spec.out_nx, spec.nf)
+    )
+
+
+def compress_error(
+    spec: ConvSpec, out_error: np.ndarray, tile_cols: int = DEFAULT_TILE_COLS
+) -> CTCSRMatrix:
+    """Build the CT-CSR representation of an output-error tensor."""
+    return ctcsr_from_dense(error_matrix(spec, out_error), tile_cols=tile_cols)
+
+
+def _tap_slices(spec: ConvSpec, ky: int, kx: int) -> tuple[slice, slice]:
+    span_y = (spec.out_ny - 1) * spec.sy + 1
+    span_x = (spec.out_nx - 1) * spec.sx + 1
+    return (
+        slice(ky, ky + span_y, spec.sy),
+        slice(kx, kx + span_x, spec.sx),
+    )
+
+
+def sparse_backward_data(
+    spec: ConvSpec,
+    eo: CTCSRMatrix,
+    w_layout: np.ndarray,
+    in_error_hwc: np.ndarray,
+) -> np.ndarray:
+    """Accumulate Eq. 3 into ``in_error_hwc`` (``[Ny, Nx, Nc]``, zeroed).
+
+    ``w_layout`` is the ``[Ky, Kx, Nf, Nc]`` weight layout produced by
+    :func:`repro.ops.layout.weights_to_sparse_layout`.  One sparse-dense
+    MM per tap, placed with pointer shifting.
+    """
+    expected_w = (spec.fy, spec.fx, spec.nf, spec.nc)
+    if w_layout.shape != expected_w:
+        raise ShapeError(f"w_layout shape {w_layout.shape} != {expected_w}")
+    expected_ei = (spec.padded_ny, spec.padded_nx, spec.nc)
+    if in_error_hwc.shape != expected_ei:
+        raise ShapeError(f"in_error shape {in_error_hwc.shape} != {expected_ei}")
+    if eo.shape != (spec.out_ny * spec.out_nx, spec.nf):
+        raise ShapeError(
+            f"EO matrix shape {eo.shape} != {(spec.out_ny * spec.out_nx, spec.nf)}"
+        )
+    for ky in range(spec.fy):
+        for kx in range(spec.fx):
+            contrib = eo.matmul_dense(w_layout[ky, kx])  # [rows, Nc]
+            ys, xs = _tap_slices(spec, ky, kx)
+            in_error_hwc[ys, xs, :] += contrib.reshape(spec.out_ny, spec.out_nx, spec.nc)
+    return in_error_hwc
+
+
+def sparse_backward_weights(
+    spec: ConvSpec,
+    eo: CTCSRMatrix,
+    inputs_hwc: np.ndarray,
+    dw_layout: np.ndarray,
+) -> np.ndarray:
+    """Accumulate Eq. 4 into ``dw_layout`` (``[Ky, Kx, Nf, Nc]``, zeroed).
+
+    For each tap, the transposed sparse operand correlates the output error
+    with the tap's strided input slice: only the rows of the input matrix
+    selected by non-zero errors are touched.
+    """
+    expected_i = (spec.padded_ny, spec.padded_nx, spec.nc)
+    if inputs_hwc.shape != expected_i:
+        raise ShapeError(f"inputs shape {inputs_hwc.shape} != {expected_i}")
+    expected_w = (spec.fy, spec.fx, spec.nf, spec.nc)
+    if dw_layout.shape != expected_w:
+        raise ShapeError(f"dw_layout shape {dw_layout.shape} != {expected_w}")
+    for ky in range(spec.fy):
+        for kx in range(spec.fx):
+            ys, xs = _tap_slices(spec, ky, kx)
+            patch = np.ascontiguousarray(inputs_hwc[ys, xs, :]).reshape(
+                spec.out_ny * spec.out_nx, spec.nc
+            )
+            dw_layout[ky, kx] += eo.t_matmul_dense(patch)
+    return dw_layout
+
+
+def sparse_bp_useful_flops(spec: ConvSpec, nnz: int) -> int:
+    """Useful flops of one sparse BP pass (per computation, not both).
+
+    Every non-zero error element produces ``Fy*Fx`` vector FMAs of width
+    ``Nc`` -- 2 flops per channel per tap.
+    """
+    return 2 * nnz * spec.fy * spec.fx * spec.nc

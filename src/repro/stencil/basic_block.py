@@ -1,0 +1,130 @@
+"""Basic-block generation and register-tile optimization (paper Sec. 4.3).
+
+For an output register tile of ``ry`` rows by ``rx`` vectors (each
+``vector_width`` floats wide) and a kernel of ``Fy x Fx`` taps, the block
+generator enumerates every input vector that contributes to the tile,
+emits one load for it, and emits the FMAs for all of its contributions --
+exactly the structure of the paper's Fig. 7 example, where the load of
+``ivec1`` is reused by two output vectors.
+
+An input vector at row offset ``dy`` and column offset ``dx`` contributes
+to output vector ``(ty, tx)`` whenever ``dy = ty + ky`` and
+``dx = tx * V + kx`` for some kernel tap ``(ky, kx)``; spatial reuse along
+y grows with ``ry``, which is what makes tall tiles profitable.
+
+The tile optimizer solves the paper's "geometric optimization problem" by
+exhaustive search over all ``(ry, rx)`` with
+``ry * rx <= available accumulator registers``, minimizing total vector
+instructions per output element (commodity machines have few vector
+registers, so the search space is tiny).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CodegenError
+from repro.stencil.ir import BasicBlock, VBroadcast, VFma, VLoad, VStore
+
+#: AVX on the paper's Xeon: 16 ymm registers, 8 floats each.
+DEFAULT_NUM_REGISTERS = 16
+DEFAULT_VECTOR_WIDTH = 8
+
+
+def generate_basic_block(
+    fy: int,
+    fx: int,
+    ry: int,
+    rx: int,
+    vector_width: int = DEFAULT_VECTOR_WIDTH,
+) -> BasicBlock:
+    """Emit the IR for one ``(ry, rx)`` register-tiled stencil block."""
+    if min(fy, fx, ry, rx, vector_width) <= 0:
+        raise CodegenError(
+            f"all block parameters must be positive: fy={fy} fx={fx} ry={ry} "
+            f"rx={rx} vector_width={vector_width}"
+        )
+    block = BasicBlock(fy=fy, fx=fx, ry=ry, rx=rx, vector_width=vector_width)
+    instrs = block.instructions
+
+    # Weight broadcasts: one register reused for all taps (re-broadcast per tap).
+    for ky in range(fy):
+        for kx in range(fx):
+            instrs.append(VBroadcast(dst=f"wvec_{ky}_{kx}", ky=ky, kx=kx))
+
+    # Distinct input vectors touched by the tile, in row-major order, each
+    # loaded once and immediately consumed by all of its FMAs (Fig. 7).
+    seen: set[tuple[int, int]] = set()
+    for dy in range(ry + fy - 1):
+        for tx in range(rx):
+            for kx in range(fx):
+                dx = tx * vector_width + kx
+                if (dy, dx) in seen:
+                    continue
+                seen.add((dy, dx))
+                name = f"ivec_{dy}_{dx}"
+                instrs.append(VLoad(dst=name, y_off=dy, x_off=dx))
+                for ky in range(fy):
+                    ty = dy - ky
+                    if not 0 <= ty < ry:
+                        continue
+                    for tx2 in range(rx):
+                        kx2 = dx - tx2 * vector_width
+                        if 0 <= kx2 < fx:
+                            instrs.append(
+                                VFma(
+                                    acc=f"ovec_{ty}_{tx2}",
+                                    vec=name,
+                                    wvec=f"wvec_{ky}_{kx2}",
+                                )
+                            )
+
+    for ty in range(ry):
+        for tx in range(rx):
+            instrs.append(VStore(acc=f"ovec_{ty}_{tx}", ty=ty, tx=tx))
+    return block
+
+
+@dataclass(frozen=True)
+class TileChoice:
+    """The selected register tile and its cost in instructions/output."""
+
+    ry: int
+    rx: int
+    instructions_per_output: float
+    block: BasicBlock
+
+
+def instructions_per_output(block: BasicBlock) -> float:
+    """Vector instructions (load+fma+broadcast+store) per output element."""
+    total = block.loads + block.fmas + block.broadcasts + block.stores
+    return total / block.outputs_per_block
+
+
+def optimize_register_tile(
+    fy: int,
+    fx: int,
+    num_registers: int = DEFAULT_NUM_REGISTERS,
+    vector_width: int = DEFAULT_VECTOR_WIDTH,
+    max_ry: int | None = None,
+    max_rx: int | None = None,
+) -> TileChoice:
+    """Exhaustively search ``(ry, rx)`` tiles for the cheapest basic block.
+
+    The constraint ``ry * rx + 2 <= num_registers`` reserves one register
+    for the streamed input vector and one for the broadcast weight.
+    """
+    budget = num_registers - 2
+    if budget < 1:
+        raise CodegenError(f"need at least 3 vector registers, got {num_registers}")
+    best: TileChoice | None = None
+    ry_limit = max_ry or budget
+    rx_limit = max_rx or budget
+    for ry in range(1, min(budget, ry_limit) + 1):
+        for rx in range(1, min(budget // ry, rx_limit) + 1):
+            block = generate_basic_block(fy, fx, ry, rx, vector_width)
+            cost = instructions_per_output(block)
+            if best is None or cost < best.instructions_per_output - 1e-12:
+                best = TileChoice(ry=ry, rx=rx, instructions_per_output=cost, block=block)
+    assert best is not None  # budget >= 1 guarantees at least one candidate
+    return best

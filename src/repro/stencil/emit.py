@@ -1,0 +1,145 @@
+"""Emission of specialized, executable stencil kernels.
+
+The emitter turns a convolution shape into Python source with every kernel
+tap ``(ky, kx)`` fully unrolled and every slice bound a literal -- the same
+specialization decisions the paper's generator makes when it emits AVX C
+(Fig. 7), expressed with numpy vector operations standing in for the
+vector ISA.  Each unrolled tap line is one shifted rank-reduced
+multiply-accumulate, mirroring the FMA group a tap contributes to the
+register tile; strided convolutions emit literal strided slices (the
+aligned-load layout of Eq. 21 is modelled on the cost side).
+
+The generated source is compiled with :func:`compile`/``exec`` and kept on
+the kernel object for inspection and testing.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.core.convspec import ConvSpec
+from repro.errors import CodegenError
+
+
+@dataclass(frozen=True)
+class GeneratedKernel:
+    """A compiled specialized kernel plus its source text."""
+
+    name: str
+    source: str
+    func: Callable[..., np.ndarray]
+
+    def __call__(self, *args, **kwargs):
+        return self.func(*args, **kwargs)
+
+
+def _compile(name: str, source: str) -> GeneratedKernel:
+    namespace: dict = {"np": np}
+    try:
+        code = compile(source, filename=f"<generated:{name}>", mode="exec")
+        exec(code, namespace)  # noqa: S102 - generated from trusted templates
+    except SyntaxError as exc:  # pragma: no cover - template bug guard
+        raise CodegenError(f"generated kernel {name} failed to compile: {exc}") from exc
+    return GeneratedKernel(name=name, source=source, func=namespace[name])
+
+
+def _slice_expr(start: int, count: int, stride: int) -> str:
+    """Literal slice text selecting ``count`` elements from ``start`` by ``stride``."""
+    stop = start + (count - 1) * stride + 1
+    if stride == 1:
+        return f"{start}:{stop}"
+    return f"{start}:{stop}:{stride}"
+
+
+@functools.lru_cache(maxsize=256)
+def emit_forward_kernel(spec: ConvSpec) -> GeneratedKernel:
+    """Generate the FP stencil kernel for ``spec``.
+
+    Signature of the generated function:
+    ``kernel(inputs, weights, out) -> out`` with ``inputs [Nc, Ny, Nx]``,
+    ``weights [Nf, Nc, Fy, Fx]`` and ``out [Nf, out_Ny, out_Nx]`` (zeroed
+    by the caller).  Each tap contributes
+    ``out += W[:, :, ky, kx] . I[:, y-slice, x-slice]``.
+    """
+    if spec.pad != 0:
+        raise CodegenError("emit_forward_kernel requires a pre-padded (pad=0) spec")
+    name = f"stencil_fp_{spec.nc}x{spec.ny}x{spec.nx}_{spec.nf}_{spec.fy}x{spec.fx}_s{spec.sy}{spec.sx}"
+    lines = [
+        f"def {name}(inputs, weights, out):",
+        f'    """Generated stencil FP kernel for {spec.describe()}."""',
+        f"    assert inputs.shape == {spec.input_shape!r}, inputs.shape",
+        f"    assert out.shape == {spec.output_shape!r}, out.shape",
+    ]
+    for ky in range(spec.fy):
+        for kx in range(spec.fx):
+            ys = _slice_expr(ky, spec.out_ny, spec.sy)
+            xs = _slice_expr(kx, spec.out_nx, spec.sx)
+            lines.append(
+                f"    out += np.tensordot(weights[:, :, {ky}, {kx}], "
+                f"inputs[:, {ys}, {xs}], axes=([1], [0]))"
+            )
+    lines.append("    return out")
+    return _compile(name, "\n".join(lines) + "\n")
+
+
+@functools.lru_cache(maxsize=256)
+def emit_backward_data_kernel(spec: ConvSpec) -> GeneratedKernel:
+    """Generate the transposed-stencil kernel computing EI from EO (Eq. 3).
+
+    Signature: ``kernel(out_error, weights, in_error) -> in_error`` with
+    ``in_error`` zeroed by the caller.  Each tap scatters
+    ``W[:, :, ky, kx]^T . EO`` onto the strided input slice at the tap
+    offset -- the exact adjoint of the forward kernel's taps.
+    """
+    if spec.pad != 0:
+        raise CodegenError("emit_backward_data_kernel requires a pre-padded spec")
+    name = f"stencil_bp_{spec.nc}x{spec.ny}x{spec.nx}_{spec.nf}_{spec.fy}x{spec.fx}_s{spec.sy}{spec.sx}"
+    lines = [
+        f"def {name}(out_error, weights, in_error):",
+        f'    """Generated transposed-stencil kernel for {spec.describe()}."""',
+        f"    assert out_error.shape == {spec.output_shape!r}, out_error.shape",
+        f"    assert in_error.shape == {spec.input_shape!r}, in_error.shape",
+    ]
+    for ky in range(spec.fy):
+        for kx in range(spec.fx):
+            ys = _slice_expr(ky, spec.out_ny, spec.sy)
+            xs = _slice_expr(kx, spec.out_nx, spec.sx)
+            lines.append(
+                f"    in_error[:, {ys}, {xs}] += np.tensordot("
+                f"weights[:, :, {ky}, {kx}], out_error, axes=([0], [0]))"
+            )
+    lines.append("    return in_error")
+    return _compile(name, "\n".join(lines) + "\n")
+
+
+@functools.lru_cache(maxsize=256)
+def emit_backward_weights_kernel(spec: ConvSpec) -> GeneratedKernel:
+    """Generate the dW kernel (Eq. 4) with unrolled taps.
+
+    Signature: ``kernel(out_error, inputs, dw) -> dw`` (``dw`` accumulated
+    in place).  Each tap computes the full ``[Nf, Nc]`` correlation between
+    the output error and the tap's shifted input slice.
+    """
+    if spec.pad != 0:
+        raise CodegenError("emit_backward_weights_kernel requires a pre-padded spec")
+    name = f"stencil_dw_{spec.nc}x{spec.ny}x{spec.nx}_{spec.nf}_{spec.fy}x{spec.fx}_s{spec.sy}{spec.sx}"
+    lines = [
+        f"def {name}(out_error, inputs, dw):",
+        f'    """Generated dW kernel for {spec.describe()}."""',
+        f"    assert out_error.shape == {spec.output_shape!r}, out_error.shape",
+        f"    assert dw.shape == {spec.weight_shape!r}, dw.shape",
+    ]
+    for ky in range(spec.fy):
+        for kx in range(spec.fx):
+            ys = _slice_expr(ky, spec.out_ny, spec.sy)
+            xs = _slice_expr(kx, spec.out_nx, spec.sx)
+            lines.append(
+                f"    dw[:, :, {ky}, {kx}] += np.tensordot("
+                f"out_error, inputs[:, {ys}, {xs}], axes=([1, 2], [1, 2]))"
+            )
+    lines.append("    return dw")
+    return _compile(name, "\n".join(lines) + "\n")

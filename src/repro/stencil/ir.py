@@ -1,0 +1,120 @@
+"""Vector-instruction IR for the stencil code generator (paper Sec. 4.3).
+
+The basic-block generator models the generated AVX code of Fig. 7 at the
+instruction level: unaligned vector loads of the input (``VLoad``), scalar
+weight broadcasts (``VBroadcast``), fused multiply-adds into an output
+register tile (``VFma``) and stores of the accumulators (``VStore``).
+
+The IR serves two purposes:
+
+* it is emitted as specialized, executable Python (:mod:`repro.stencil.emit`)
+  so the generated kernels are functionally real; and
+* its instruction statistics (loads per FMA, register pressure) feed the
+  machine model's stencil throughput estimate
+  (:mod:`repro.machine.stencil_model`), standing in for the issue-port
+  behaviour of the paper's AVX kernels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class VLoad:
+    """Unaligned vector load of input row ``y_off``, columns ``x_off..+V``."""
+
+    dst: str
+    y_off: int
+    x_off: int
+
+
+@dataclass(frozen=True)
+class VBroadcast:
+    """Broadcast of the scalar weight at kernel offset ``(ky, kx)``."""
+
+    dst: str
+    ky: int
+    kx: int
+
+
+@dataclass(frozen=True)
+class VFma:
+    """``acc += vec * wvec`` -- one vector fused multiply-add."""
+
+    acc: str
+    vec: str
+    wvec: str
+
+
+@dataclass(frozen=True)
+class VStore:
+    """Store accumulator ``acc`` to output tile position ``(ty, tx)``."""
+
+    acc: str
+    ty: int
+    tx: int
+
+
+Instruction = object  # union of the four dataclasses above
+
+
+@dataclass
+class BasicBlock:
+    """One register-tiled stencil basic block and its statistics."""
+
+    fy: int
+    fx: int
+    ry: int
+    rx: int
+    vector_width: int
+    instructions: list[Instruction] = field(default_factory=list)
+
+    @property
+    def loads(self) -> int:
+        """Number of vector load instructions in the block."""
+        return sum(isinstance(i, VLoad) for i in self.instructions)
+
+    @property
+    def broadcasts(self) -> int:
+        """Number of weight broadcast instructions in the block."""
+        return sum(isinstance(i, VBroadcast) for i in self.instructions)
+
+    @property
+    def fmas(self) -> int:
+        """Number of vector FMA instructions in the block."""
+        return sum(isinstance(i, VFma) for i in self.instructions)
+
+    @property
+    def stores(self) -> int:
+        """Number of vector store instructions in the block."""
+        return sum(isinstance(i, VStore) for i in self.instructions)
+
+    @property
+    def outputs_per_block(self) -> int:
+        """Output elements produced by one execution of the block."""
+        return self.ry * self.rx * self.vector_width
+
+    @property
+    def loads_per_fma(self) -> float:
+        """Input-load pressure: vector loads issued per vector FMA."""
+        if self.fmas == 0:
+            return 0.0
+        return self.loads / self.fmas
+
+    @property
+    def registers_used(self) -> int:
+        """Vector registers live at once: accumulators + 1 input + 1 weight."""
+        return self.ry * self.rx + 2
+
+    def summary(self) -> dict[str, float]:
+        """Statistics dictionary consumed by the machine model."""
+        return {
+            "loads": self.loads,
+            "broadcasts": self.broadcasts,
+            "fmas": self.fmas,
+            "stores": self.stores,
+            "outputs_per_block": self.outputs_per_block,
+            "loads_per_fma": self.loads_per_fma,
+            "registers_used": self.registers_used,
+        }

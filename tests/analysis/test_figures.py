@@ -1,0 +1,122 @@
+"""Tests for the figure regeneration functions: every paper exhibit."""
+
+import math
+
+import pytest
+
+from repro.analysis import figures
+from repro.data.tables import TABLE1_CONVS
+
+
+class TestTable1:
+    def test_matches_paper_rows(self):
+        rows = figures.table1()["rows"]
+        assert len(rows) == 6
+        assert rows[0]["intrinsic_ait"] == 362
+        assert rows[1]["unfold_gemm_ait"] == 725
+        assert rows[5]["region"] == (4, 5)
+
+
+class TestScalabilityFigures:
+    def test_fig3a_has_all_convs_and_cores(self):
+        data = figures.figure3a()
+        assert data["cores"] == (1, 2, 4, 8, 16)
+        assert set(data["series"]) == {s.name for s in TABLE1_CONVS}
+
+    def test_fig3a_percore_declines(self):
+        for name, series in figures.figure3a()["series"].items():
+            assert series[-1] < series[0], name
+
+    def test_fig4a_percore_roughly_flat(self):
+        for name, series in figures.figure4a()["series"].items():
+            assert series[-1] > 0.85 * series[0], name
+
+    def test_fig4b_speedup_grows(self):
+        for name, series in figures.figure4b()["series"].items():
+            assert series[-1] >= series[0], name
+        # Paper: speedups up to ~8x at 16 cores for the smallest conv.
+        id0 = figures.figure4b()["series"]["ID0"]
+        assert id0[-1] > 4.0
+
+    def test_fig4c_stencil_flat_scaling(self):
+        for name, series in figures.figure4c()["series"].items():
+            assert series[-1] > 0.8 * series[0], name
+
+    def test_fig4d_crossover_at_128_features(self):
+        data = figures.figure4d()["series"]
+        assert data["ID0"][-1] > 1.0  # 32 features: stencil wins
+        assert data["ID5"][-1] > 1.0  # 64 features: stencil wins
+        assert data["ID1"][-1] < 1.0  # 1024 features: GiP wins
+        assert data["ID4"][-1] < 1.0  # 512 features: GiP wins
+
+
+class TestSparseFigures:
+    def test_fig4e_goodput_drops_past_90(self):
+        data = figures.figure4e()
+        idx90 = data["sparsity"].index(0.9)
+        for name, series in data["series"].items():
+            assert series[-1] < series[idx90], name
+
+    def test_fig4f_sparse_wins_above_75(self):
+        data = figures.figure4f()
+        idx75 = data["sparsity"].index(0.75)
+        for name, series in data["series"].items():
+            assert series[idx75] > 1.0, name
+            assert series[0] < 1.0, name  # dense data: dense kernels win
+
+    def test_fig4f_high_sparsity_reaches_paper_range(self):
+        data = figures.figure4f()
+        finals = [series[-1] for series in data["series"].values()]
+        assert max(finals) > 10.0
+        assert min(finals) > 3.0
+
+
+class TestTable2:
+    def test_twelve_layers(self):
+        rows = figures.table2()["rows"]
+        assert len(rows) == 12
+        assert rows[0]["params"] == "262,120,3,7,2"
+
+
+class TestFigure8:
+    @pytest.fixture(scope="class")
+    def data(self):
+        return figures.figure8()
+
+    def test_fp_speedups_in_paper_range(self, data):
+        # Paper: 2x-16x FP speedups over Parallel-GEMM.
+        for row in data["rows"]:
+            assert row["fp_best_speedup"] > 1.5, row["layer"]
+
+    def test_stencil_contributes_on_small_benchmarks(self, data):
+        # CIFAR/MNIST layers (few features) must pick up the stencil bonus.
+        small = [r for r in data["rows"] if r["benchmark"] in ("cifar-10", "mnist")]
+        assert any(r["fp_uses_stencil"] for r in small)
+
+    def test_bp_speedups_at_85_sparsity(self, data):
+        # Paper: 2x-14x BP speedups at the conservative 85% sparsity.
+        for row in data["rows"]:
+            assert row["bp_sparse_speedup"] > 2.0, row["layer"]
+
+    def test_best_fp_at_least_gip(self, data):
+        for row in data["rows"]:
+            assert row["fp_best_speedup"] >= row["fp_gip_speedup"] - 1e-9
+
+
+class TestFigure9:
+    @pytest.fixture(scope="class")
+    def data(self):
+        return figures.figure9()
+
+    def test_five_series_up_to_32_cores(self, data):
+        assert len(data["series"]) == 5
+        assert data["cores"][-1] == 32
+
+    def test_spg_end_to_end_speedup(self, data):
+        caffe_peak = max(data["series"]["Parallel-GEMM (CAFFE)"])
+        spg = data["series"]["Stencil-Kernel (FP) + Sparse-Kernel (BP)"][-1]
+        assert spg / caffe_peak > 5.0  # paper: 8.36x
+
+    def test_all_series_finite_positive(self, data):
+        for series in data["series"].values():
+            assert all(math.isfinite(v) and v > 0 for v in series)

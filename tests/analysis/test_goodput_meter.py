@@ -1,0 +1,65 @@
+"""Tests for the live goodput meter."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.goodput_meter import GoodputLog, GoodputMeter
+from repro.core.convspec import ConvSpec
+from repro.errors import ReproError
+from repro.ops.engine import make_engine
+from tests.conftest import random_conv_data
+
+SPEC = ConvSpec(nc=4, ny=12, nx=12, nf=4, fy=3, fx=3)
+
+
+class TestGoodputMeter:
+    def test_logs_one_report_per_backward(self, rng):
+        inputs, weights, err = random_conv_data(SPEC, rng, batch=2,
+                                                error_sparsity=0.8)
+        meter = GoodputMeter(make_engine("sparse", SPEC))
+        meter.backward(err, weights, inputs)
+        meter.backward(err, weights, inputs)
+        assert len(meter.log.reports) == 2
+
+    def test_sparsity_reflected_in_report(self, rng):
+        inputs, weights, err = random_conv_data(SPEC, rng, batch=2,
+                                                error_sparsity=0.9)
+        meter = GoodputMeter(make_engine("sparse", SPEC))
+        meter.backward(err, weights, inputs)
+        report = meter.log.reports[0]
+        measured = 1 - np.count_nonzero(err) / err.size
+        assert report.sparsity == pytest.approx(measured)
+        assert report.goodput <= report.throughput
+
+    def test_results_match_unmetered_engine(self, rng):
+        inputs, weights, err = random_conv_data(SPEC, rng, batch=2,
+                                                error_sparsity=0.5)
+        engine = make_engine("gemm-in-parallel", SPEC)
+        meter = GoodputMeter(engine)
+        in_err, dw = meter.backward(err, weights, inputs)
+        oracle = make_engine("reference", SPEC)
+        np.testing.assert_allclose(in_err, oracle.backward_data(err, weights),
+                                   atol=1e-3)
+        np.testing.assert_allclose(dw, oracle.backward_weights(err, inputs),
+                                   atol=1e-3)
+
+    def test_dense_errors_reach_full_efficiency(self, rng):
+        inputs, weights, err = random_conv_data(SPEC, rng, batch=1)
+        assert np.count_nonzero(err) == err.size
+        meter = GoodputMeter(make_engine("gemm-in-parallel", SPEC))
+        meter.backward(err, weights, inputs)
+        assert meter.log.mean_efficiency() == pytest.approx(1.0)
+
+    def test_log_statistics(self, rng):
+        inputs, weights, err = random_conv_data(SPEC, rng, batch=1,
+                                                error_sparsity=0.7)
+        meter = GoodputMeter(make_engine("sparse", SPEC))
+        meter.backward(err, weights, inputs)
+        assert meter.log.mean_goodput() > 0
+        assert 0 < meter.log.mean_efficiency() <= 1
+
+    def test_empty_log_rejected(self):
+        with pytest.raises(ReproError):
+            GoodputLog().mean_goodput()
+        with pytest.raises(ReproError):
+            GoodputLog().mean_efficiency()

@@ -1,0 +1,89 @@
+"""Tests for the wall-clock network profiler."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.profiler import (
+    NetworkProfiler,
+    ProfileReport,
+    profile_training_steps,
+)
+from repro.data.synthetic import make_dataset
+from repro.errors import ReproError
+from repro.nn.netdef import build_network
+
+
+def net(seed=0):
+    return build_network(
+        {
+            "input": [1, 12, 12],
+            "layers": [
+                {"type": "conv", "features": 8, "kernel": 3, "name": "conv"},
+                {"type": "relu", "name": "relu"},
+                {"type": "flatten", "name": "flatten"},
+                {"type": "dense", "features": 4, "name": "dense"},
+            ],
+        },
+        rng=np.random.default_rng(seed),
+    )
+
+
+class TestProfiler:
+    def test_profiles_every_layer(self):
+        data = make_dataset(8, 4, (1, 12, 12), seed=0)
+        report = profile_training_steps(net(), data.images, data.labels,
+                                        steps=2)
+        assert [t.name for t in report.layers] == [
+            "conv", "relu", "flatten", "dense"
+        ]
+        for timing in report.layers:
+            assert timing.calls == 2
+            assert timing.forward_seconds >= 0
+        assert report.total_seconds > 0
+
+    def test_conv_dominates_this_network(self):
+        data = make_dataset(16, 4, (1, 12, 12), seed=1)
+        report = profile_training_steps(net(), data.images, data.labels,
+                                        steps=3)
+        assert report.hottest().name in ("conv", "dense")
+        assert report.fraction("conv") > report.fraction("flatten")
+
+    def test_fractions_sum_to_one(self):
+        data = make_dataset(8, 4, (1, 12, 12), seed=2)
+        report = profile_training_steps(net(), data.images, data.labels)
+        total = sum(report.fraction(t.name) for t in report.layers)
+        assert total == pytest.approx(1.0)
+
+    def test_instrumentation_is_removed_on_exit(self):
+        network = net()
+        original = network.layers[0].forward
+        with NetworkProfiler(network):
+            assert network.layers[0].forward != original
+        assert network.layers[0].forward == original
+
+    def test_profiled_training_still_correct(self):
+        network = net(seed=3)
+        data = make_dataset(16, 4, (1, 12, 12), noise=0.2, seed=3)
+        first = profile_training_steps(network, data.images, data.labels,
+                                       steps=1, learning_rate=0.05)
+        assert first.total_seconds > 0
+        # The network trained: a second profile on the updated params
+        # must still run and the layer list is intact.
+        out = network.forward(data.images[:2], training=False)
+        assert out.shape == (2, 4)
+
+    def test_describe_formats_table(self):
+        data = make_dataset(4, 4, (1, 12, 12), seed=4)
+        report = profile_training_steps(net(), data.images, data.labels)
+        text = report.describe()
+        assert "conv" in text and "share" in text
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            ProfileReport().hottest()
+        data = make_dataset(4, 4, (1, 12, 12), seed=5)
+        with pytest.raises(ReproError):
+            profile_training_steps(net(), data.images, data.labels, steps=0)
+        report = profile_training_steps(net(), data.images, data.labels)
+        with pytest.raises(ReproError):
+            report.fraction("nonexistent")

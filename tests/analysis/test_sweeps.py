@@ -1,0 +1,52 @@
+"""Tests for the design-space sweep (Fig. 1 as data)."""
+
+from repro.analysis.sweeps import (
+    design_space_grid,
+    region_transitions,
+    render_region_map,
+)
+
+
+class TestGrid:
+    def test_grid_covers_both_axes(self):
+        cells = design_space_grid()
+        features = {c.features for c in cells}
+        sparsities = {c.sparsity for c in cells}
+        assert len(cells) == len(features) * len(sparsities)
+
+    def test_region_monotone_in_features(self):
+        # More output features -> higher unfold AIT -> lower region base.
+        cells = [c for c in design_space_grid() if c.sparsity == 0.0]
+        cells.sort(key=lambda c: c.features)
+        regions = [c.region for c in cells]
+        assert all(b <= a for a, b in zip(regions, regions[1:]))
+
+    def test_sparsity_moves_to_odd_regions(self):
+        cells = design_space_grid()
+        for cell in cells:
+            if cell.sparsity >= 0.8:
+                assert cell.region % 2 == 1
+            if cell.sparsity == 0.0:
+                assert cell.region % 2 == 0
+
+    def test_techniques_follow_regions(self):
+        for cell in design_space_grid():
+            if cell.region in (4, 5):
+                assert cell.fp_technique == "stencil"
+            if cell.region % 2 == 1:
+                assert cell.bp_technique == "sparse"
+
+    def test_transitions_found(self):
+        transitions = region_transitions(design_space_grid())
+        assert "moderate_starts_at" in transitions
+        assert "high_starts_at" in transitions
+        assert transitions["moderate_starts_at"] < transitions["high_starts_at"]
+
+
+class TestRendering:
+    def test_map_renders_all_rows(self):
+        cells = design_space_grid()
+        text = render_region_map(cells)
+        for nf in sorted({c.features for c in cells}):
+            assert str(nf) in text
+        assert "sparsity" in text

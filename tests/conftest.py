@@ -1,0 +1,53 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.convspec import ConvSpec
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic random generator, fresh per test."""
+    return np.random.default_rng(1234)
+
+
+def random_conv_data(
+    spec: ConvSpec,
+    rng: np.random.Generator,
+    batch: int = 2,
+    error_sparsity: float = 0.0,
+):
+    """Random (inputs, weights, out_error) batch matching ``spec``.
+
+    ``spec`` must be pre-padded (pad=0) since the data feeds engines
+    directly.  ``error_sparsity`` zeroes that fraction of the output
+    error, for sparse-kernel tests.
+    """
+    inputs = rng.standard_normal((batch,) + spec.input_shape).astype(np.float32)
+    weights = rng.standard_normal(spec.weight_shape).astype(np.float32)
+    out_error = rng.standard_normal((batch,) + spec.output_shape).astype(np.float32)
+    if error_sparsity > 0:
+        mask = rng.random(out_error.shape) < error_sparsity
+        out_error[mask] = 0.0
+    return inputs, weights, out_error
+
+
+#: A small but non-trivial set of convolution geometries exercising
+#: non-square spatial dims, non-square kernels and non-unit strides.
+SMALL_SPECS = [
+    ConvSpec(nc=1, ny=6, nx=6, nf=1, fy=3, fx=3),
+    ConvSpec(nc=3, ny=9, nx=8, nf=4, fy=2, fx=3),
+    ConvSpec(nc=2, ny=11, nx=13, nf=5, fy=3, fx=3, sy=2, sx=2),
+    ConvSpec(nc=4, ny=10, nx=7, nf=3, fy=4, fx=2, sy=1, sx=3),
+    ConvSpec(nc=2, ny=8, nx=8, nf=6, fy=1, fx=1),
+    ConvSpec(nc=3, ny=12, nx=12, nf=2, fy=5, fx=5, sy=2, sx=1),
+]
+
+
+def assert_close(got: np.ndarray, want: np.ndarray, atol: float = 1e-3,
+                 rtol: float = 1e-4, label: str = ""):
+    """Float32-appropriate array comparison with a readable failure."""
+    np.testing.assert_allclose(got, want, atol=atol, rtol=rtol, err_msg=label)

@@ -1,0 +1,132 @@
+"""Tests for the computation scheduler."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.scheduler import (
+    Assignment,
+    WorkItem,
+    lpt_advantage,
+    schedule,
+    schedule_block,
+    schedule_lpt,
+    simulate_schedule,
+)
+from repro.errors import ReproError
+
+
+def items(costs):
+    return [WorkItem(i, c) for i, c in enumerate(costs)]
+
+
+class TestBlockPolicy:
+    def test_contiguous_order_preserving(self):
+        assignment = schedule_block(items([1, 2, 3, 4]), 2)
+        assert [i.item_id for i in assignment.per_core[0]] == [0, 1]
+        assert [i.item_id for i in assignment.per_core[1]] == [2, 3]
+
+    def test_empty_items(self):
+        assignment = schedule_block([], 4)
+        assert assignment.makespan == 0.0
+        assert assignment.utilization == 1.0
+
+    def test_more_cores_than_items(self):
+        assignment = schedule_block(items([1, 1]), 5)
+        loads = assignment.core_loads()
+        assert sorted(loads, reverse=True)[:2] == [1, 1]
+
+
+class TestLPTPolicy:
+    def test_balances_skewed_costs(self):
+        # One huge item + many small: block puts them contiguously, LPT
+        # isolates the huge item.
+        costs = [10.0] + [1.0] * 9
+        block = schedule_block(items(costs), 2).makespan
+        lpt = schedule_lpt(items(costs), 2).makespan
+        assert lpt <= block
+        assert lpt == pytest.approx(10.0)
+
+    def test_uniform_costs_equal_policies(self):
+        costs = [1.0] * 8
+        assert schedule_block(items(costs), 4).makespan == pytest.approx(
+            schedule_lpt(items(costs), 4).makespan
+        )
+
+    @given(
+        st.lists(st.floats(0.0, 100.0), min_size=1, max_size=30),
+        st.integers(1, 8),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_lpt_within_approximation_bound_of_block(self, costs, cores):
+        # LPT is a (4/3 - 1/3m)-approximation of OPT, and block >= OPT,
+        # so block/LPT >= 3/4; block can occasionally beat LPT slightly,
+        # but never by more than the approximation gap.
+        assert lpt_advantage(costs, cores) >= 0.75 - 1e-9
+
+    @given(
+        st.lists(st.floats(0.01, 100.0), min_size=1, max_size=30),
+        st.integers(1, 8),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_makespan_bounds(self, costs, cores):
+        # Any valid schedule: makespan >= max(longest item, average load).
+        # Greedy list scheduling guarantees makespan <= average + longest
+        # (the last-started item began when its core was below average).
+        work = items(costs)
+        lpt = schedule_lpt(work, cores)
+        lower = max(max(costs), sum(costs) / cores)
+        assert lpt.makespan >= lower - 1e-9
+        assert lpt.makespan <= sum(costs) / cores + max(costs) + 1e-6
+
+
+class TestAssignmentMetrics:
+    def test_utilization(self):
+        assignment = Assignment(
+            num_cores=2,
+            per_core=[[WorkItem(0, 4.0)], [WorkItem(1, 2.0)]],
+        )
+        assert assignment.makespan == 4.0
+        assert assignment.utilization == pytest.approx(6.0 / 8.0)
+
+    def test_all_items_placed_exactly_once(self):
+        work = items([3, 1, 4, 1, 5, 9, 2, 6])
+        for policy in ("block", "lpt"):
+            assignment = schedule(work, 3, policy=policy)
+            placed = sorted(
+                i.item_id for core in assignment.per_core for i in core
+            )
+            assert placed == list(range(8))
+
+
+class TestTimeline:
+    def test_events_are_sequential_per_core(self):
+        assignment = schedule_lpt(items([2, 3, 1, 4]), 2)
+        events = simulate_schedule(assignment)
+        by_core: dict[int, list] = {}
+        for event in events:
+            by_core.setdefault(event.core, []).append(event)
+        for core_events in by_core.values():
+            for first, second in zip(core_events, core_events[1:]):
+                assert second.start == pytest.approx(first.end)
+
+    def test_timeline_end_matches_makespan(self):
+        assignment = schedule_block(items([1, 2, 3]), 2)
+        events = simulate_schedule(assignment)
+        assert max(e.end for e in events) == pytest.approx(assignment.makespan)
+
+
+class TestValidation:
+    def test_rejects_negative_cost(self):
+        with pytest.raises(ReproError):
+            WorkItem(0, -1.0)
+
+    def test_rejects_bad_cores(self):
+        with pytest.raises(ReproError):
+            schedule_block([], 0)
+        with pytest.raises(ReproError):
+            schedule_lpt([], 0)
+
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(ReproError):
+            schedule([], 2, policy="random")

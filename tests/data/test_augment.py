@@ -1,0 +1,108 @@
+"""Tests for image preprocessing and augmentation."""
+
+import numpy as np
+import pytest
+
+from repro.data.augment import (
+    AugmentationPipeline,
+    center_crop,
+    pad_images,
+    random_crop,
+    random_horizontal_flip,
+    standardize,
+)
+from repro.errors import ShapeError
+
+
+class TestPad:
+    def test_pads_spatially_only(self, rng):
+        images = rng.standard_normal((2, 3, 4, 5)).astype(np.float32)
+        padded = pad_images(images, 2)
+        assert padded.shape == (2, 3, 8, 9)
+        np.testing.assert_array_equal(padded[:, :, 2:-2, 2:-2], images)
+
+    def test_table2_cifar_extent(self, rng):
+        # 32x32 CIFAR padded by 2 gives the Table 2 layer-0 extent of 36.
+        images = rng.standard_normal((1, 3, 32, 32)).astype(np.float32)
+        assert pad_images(images, 2).shape[-1] == 36
+
+    def test_zero_pad_identity(self, rng):
+        images = rng.standard_normal((1, 1, 4, 4)).astype(np.float32)
+        assert pad_images(images, 0) is images
+
+    def test_validation(self):
+        with pytest.raises(ShapeError):
+            pad_images(np.zeros((3, 4, 5)), 1)
+        with pytest.raises(ShapeError):
+            pad_images(np.zeros((1, 1, 4, 4)), -1)
+
+
+class TestCrop:
+    def test_random_crop_shape_and_content(self, rng):
+        images = np.arange(2 * 1 * 6 * 6, dtype=np.float32).reshape(2, 1, 6, 6)
+        crops = random_crop(images, 4, rng)
+        assert crops.shape == (2, 1, 4, 4)
+        # Every crop is a contiguous window of the source image.
+        for i in range(2):
+            found = any(
+                np.array_equal(crops[i, 0], images[i, 0, oy:oy + 4, ox:ox + 4])
+                for oy in range(3) for ox in range(3)
+            )
+            assert found
+
+    def test_center_crop_is_deterministic(self, rng):
+        images = rng.standard_normal((1, 2, 8, 8)).astype(np.float32)
+        a = center_crop(images, 4)
+        b = center_crop(images, 4)
+        np.testing.assert_array_equal(a, b)
+        np.testing.assert_array_equal(a, images[:, :, 2:6, 2:6])
+
+    def test_validation(self, rng):
+        with pytest.raises(ShapeError):
+            random_crop(np.zeros((1, 1, 4, 4), np.float32), 5, rng)
+        with pytest.raises(ShapeError):
+            center_crop(np.zeros((1, 1, 4, 4), np.float32), 0)
+
+
+class TestFlip:
+    def test_probability_one_flips_everything(self, rng):
+        images = np.arange(8, dtype=np.float32).reshape(1, 1, 2, 4)
+        flipped = random_horizontal_flip(images, rng, probability=1.0)
+        np.testing.assert_array_equal(flipped[0, 0, 0], [3, 2, 1, 0])
+
+    def test_probability_zero_flips_nothing(self, rng):
+        images = rng.standard_normal((4, 1, 3, 3)).astype(np.float32)
+        np.testing.assert_array_equal(
+            random_horizontal_flip(images, rng, probability=0.0), images
+        )
+
+    def test_original_untouched(self, rng):
+        images = rng.standard_normal((4, 1, 3, 3)).astype(np.float32)
+        before = images.copy()
+        random_horizontal_flip(images, rng, probability=1.0)
+        np.testing.assert_array_equal(images, before)
+
+
+class TestStandardize:
+    def test_zero_mean_unit_variance_per_channel(self, rng):
+        images = (rng.standard_normal((16, 3, 8, 8)) * 5 + 2).astype(np.float32)
+        out = standardize(images)
+        means = out.mean(axis=(0, 2, 3))
+        stds = out.std(axis=(0, 2, 3))
+        np.testing.assert_allclose(means, 0.0, atol=1e-4)
+        np.testing.assert_allclose(stds, 1.0, atol=1e-3)
+
+
+class TestPipeline:
+    def test_training_pipeline_shapes(self, rng):
+        pipeline = AugmentationPipeline(pad=2, crop=32, seed=0)
+        images = rng.standard_normal((4, 3, 32, 32)).astype(np.float32)
+        out = pipeline(images, training=True)
+        assert out.shape == (4, 3, 32, 32)
+
+    def test_eval_pipeline_is_deterministic(self, rng):
+        pipeline = AugmentationPipeline(pad=2, crop=32, seed=0)
+        images = rng.standard_normal((2, 3, 32, 32)).astype(np.float32)
+        a = pipeline(images, training=False)
+        b = pipeline(images, training=False)
+        np.testing.assert_array_equal(a, b)

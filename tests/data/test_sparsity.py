@@ -1,0 +1,82 @@
+"""Tests for the Fig. 3b sparsity measurement and trajectory models."""
+
+import numpy as np
+import pytest
+
+from repro.data.sparsity import (
+    SparsityTrajectory,
+    analytic_sparsity_trajectory,
+    expected_pool_relu_sparsity,
+    measure_sparsity_trajectory,
+)
+from repro.data.synthetic import make_dataset
+from repro.nn.zoo import mnist_net
+
+
+class TestExpectedSparsity:
+    def test_pool_alone(self):
+        # A 2x2 max pool passes 1 of 4 gradients: 75% sparsity.
+        assert expected_pool_relu_sparsity(2, 0.0) == pytest.approx(0.75)
+
+    def test_pool_plus_relu(self):
+        # With half the ReLUs dead, survivors halve again: 87.5%.
+        assert expected_pool_relu_sparsity(2, 0.5) == pytest.approx(0.875)
+
+    def test_paper_sparsity_regime_is_mechanical(self):
+        # The paper's >85% measured sparsity needs only a 2x2 pool and a
+        # modestly polarized ReLU (>=40% dead).
+        assert expected_pool_relu_sparsity(2, 0.4) >= 0.85
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            expected_pool_relu_sparsity(0, 0.5)
+        with pytest.raises(ValueError):
+            expected_pool_relu_sparsity(2, 1.5)
+
+
+class TestAnalyticTrajectory:
+    def test_shape_matches_fig3b(self):
+        traj = analytic_sparsity_trajectory("MNIST")
+        assert traj.epochs == tuple(range(1, 11))
+        # Rising and saturating.
+        assert all(b >= a for a, b in zip(traj.sparsity, traj.sparsity[1:]))
+        # Above 85% from epoch 2 onward (the paper's observation).
+        assert all(s > 0.85 for s in traj.sparsity[1:])
+        assert traj.sparsity[-1] < 1.0
+
+    def test_after_epoch_lookup(self):
+        traj = analytic_sparsity_trajectory("x", num_epochs=5)
+        assert traj.after_epoch(3) == traj.sparsity[2]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            analytic_sparsity_trajectory("x", num_epochs=0)
+
+
+class TestMeasuredTrajectory:
+    def test_real_training_produces_high_sparsity(self):
+        # Train the (scaled-down) MNIST zoo net on synthetic data and check
+        # the measured error sparsity is in the paper's regime.
+        net = mnist_net(scale=0.3, rng=np.random.default_rng(0))
+        data = make_dataset(48, 10, (1, 28, 28), noise=0.3, seed=0)
+        traj = measure_sparsity_trajectory(
+            net, data, num_epochs=3, batch_size=16, benchmark="MNIST"
+        )
+        assert traj.benchmark == "MNIST"
+        assert len(traj.sparsity) == 3
+        # ReLU + 2x2 pooling force at least ~75% sparsity mechanically.
+        assert traj.sparsity[-1] > 0.75
+
+    def test_trajectory_is_recorded_per_epoch(self):
+        net = mnist_net(scale=0.2, rng=np.random.default_rng(1))
+        data = make_dataset(16, 10, (1, 28, 28), seed=1)
+        traj = measure_sparsity_trajectory(net, data, num_epochs=2, batch_size=8)
+        assert traj.epochs == (1, 2)
+
+
+class TestTrajectoryContainer:
+    def test_fields(self):
+        traj = SparsityTrajectory("b", (1, 2), (0.5, 0.6))
+        assert traj.after_epoch(2) == 0.6
+        with pytest.raises(ValueError):
+            traj.after_epoch(3)

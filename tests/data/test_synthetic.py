@@ -1,0 +1,86 @@
+"""Tests for the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import (
+    Dataset,
+    cifar10_like,
+    imagenet100_like,
+    make_dataset,
+    mnist_like,
+)
+from repro.errors import ShapeError
+
+
+class TestMakeDataset:
+    def test_shapes_and_labels(self):
+        data = make_dataset(32, 5, (2, 8, 8), seed=0)
+        assert data.images.shape == (32, 2, 8, 8)
+        assert data.images.dtype == np.float32
+        assert data.labels.shape == (32,)
+        assert data.labels.min() >= 0 and data.labels.max() < 5
+
+    def test_deterministic_by_seed(self):
+        a = make_dataset(8, 3, (1, 6, 6), seed=42)
+        b = make_dataset(8, 3, (1, 6, 6), seed=42)
+        np.testing.assert_array_equal(a.images, b.images)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_different_seeds_differ(self):
+        a = make_dataset(8, 3, (1, 6, 6), seed=1)
+        b = make_dataset(8, 3, (1, 6, 6), seed=2)
+        assert not np.array_equal(a.images, b.images)
+
+    def test_zero_noise_gives_pure_templates(self):
+        data = make_dataset(16, 2, (1, 6, 6), noise=0.0, seed=0)
+        # All examples of a class are identical.
+        for label in (0, 1):
+            imgs = data.images[data.labels == label]
+            if len(imgs) > 1:
+                np.testing.assert_array_equal(imgs[0], imgs[1])
+
+    def test_classes_are_separable(self):
+        # Templates of different classes must differ (else nothing to learn).
+        data = make_dataset(64, 4, (1, 8, 8), noise=0.0, seed=0)
+        means = [data.images[data.labels == k].mean(axis=0)
+                 for k in range(4) if (data.labels == k).any()]
+        for i in range(len(means)):
+            for j in range(i + 1, len(means)):
+                assert np.abs(means[i] - means[j]).max() > 0.1
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ShapeError):
+            make_dataset(0, 2, (1, 4, 4))
+        with pytest.raises(ShapeError):
+            make_dataset(4, 2, (1, 4, 4), noise=-1.0)
+
+
+class TestDataset:
+    def test_batches_cover_in_order(self):
+        data = make_dataset(10, 2, (1, 4, 4), seed=0)
+        batches = list(data.batches(4))
+        assert [len(x) for x, _ in batches] == [4, 4, 2]
+        np.testing.assert_array_equal(batches[0][0], data.images[:4])
+
+    def test_len(self):
+        assert len(make_dataset(7, 2, (1, 4, 4))) == 7
+
+    def test_validation(self):
+        with pytest.raises(ShapeError):
+            Dataset(images=np.zeros((2, 3, 4)), labels=np.zeros(2), num_classes=2)
+        with pytest.raises(ShapeError):
+            Dataset(
+                images=np.zeros((2, 1, 4, 4)), labels=np.zeros(3), num_classes=2
+            )
+        data = make_dataset(4, 2, (1, 4, 4))
+        with pytest.raises(ShapeError):
+            list(data.batches(0))
+
+
+class TestNamedDatasets:
+    def test_benchmark_shapes(self):
+        assert mnist_like(4).images.shape == (4, 1, 28, 28)
+        assert cifar10_like(4).images.shape == (4, 3, 32, 32)
+        assert imagenet100_like(4).images.shape == (4, 3, 48, 48)
+        assert imagenet100_like(4).num_classes == 100

@@ -1,0 +1,135 @@
+"""Tests for the parameter-server substrate."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import make_dataset
+from repro.distributed.parameter_server import (
+    ParameterServer,
+    PushResult,
+    Worker,
+    shard_dataset,
+)
+from repro.errors import ReproError
+from repro.nn.netdef import build_network
+
+
+def tiny_net(seed=0):
+    return build_network(
+        {
+            "input": [1, 8, 8],
+            "layers": [
+                {"type": "conv", "features": 3, "kernel": 3},
+                {"type": "relu"},
+                {"type": "flatten"},
+                {"type": "dense", "features": 3},
+            ],
+        },
+        rng=np.random.default_rng(seed),
+    )
+
+
+class TestParameterServer:
+    def test_snapshot_copies_params(self):
+        server = ParameterServer(tiny_net())
+        version, params = server.snapshot()
+        assert version == 0
+        name = next(iter(params))
+        params[name][...] = 99.0
+        _, fresh = server.snapshot()
+        assert not np.array_equal(fresh[name], params[name])
+
+    def test_apply_gradients_bumps_version(self):
+        server = ParameterServer(tiny_net(), learning_rate=0.1)
+        _, params = server.snapshot()
+        grads = {name: np.ones_like(p) for name, p in params.items()}
+        assert server.apply_gradients(grads) == 1
+        _, updated = server.snapshot()
+        for name in params:
+            np.testing.assert_allclose(updated[name], params[name] - 0.1,
+                                       atol=1e-6)
+
+    def test_missing_gradient_rejected(self):
+        server = ParameterServer(tiny_net())
+        with pytest.raises(ReproError):
+            server.apply_gradients({})
+
+    def test_parameter_bytes_counts_everything(self):
+        net = tiny_net()
+        server = ParameterServer(net)
+        expected = sum(p.nbytes for _, p, _ in net.parameters())
+        assert server.parameter_bytes() == expected
+
+    def test_staleness_statistics(self):
+        server = ParameterServer(tiny_net())
+        server.record_push(PushResult(0, 2, 1.0))
+        server.record_push(PushResult(1, 4, 1.0))
+        assert server.mean_staleness() == pytest.approx(3.0)
+
+    def test_rejects_bad_learning_rate(self):
+        with pytest.raises(ReproError):
+            ParameterServer(tiny_net(), learning_rate=0.0)
+
+
+class TestWorker:
+    def test_pull_synchronizes_replica(self):
+        server = ParameterServer(tiny_net(seed=1))
+        replica = tiny_net(seed=2)  # different init
+        data = make_dataset(8, 3, (1, 8, 8), seed=0)
+        worker = Worker(0, replica, data.images, data.labels, batch_size=4)
+        worker.pull(server)
+        _, server_params = server.snapshot()
+        for name, param, _ in replica.parameters():
+            np.testing.assert_array_equal(param, server_params[name])
+        assert worker.pulled_version == 0
+
+    def test_gradient_computation_and_push(self):
+        server = ParameterServer(tiny_net(), learning_rate=0.05)
+        data = make_dataset(8, 3, (1, 8, 8), seed=1)
+        worker = Worker(0, tiny_net(), data.images, data.labels, batch_size=4)
+        worker.pull(server)
+        grads, loss = worker.compute_gradients()
+        assert loss > 0
+        result = worker.push(server, grads, loss)
+        assert result.staleness == 0
+        assert server.version == 1
+
+    def test_staleness_measured_against_pull(self):
+        server = ParameterServer(tiny_net())
+        data = make_dataset(8, 3, (1, 8, 8), seed=2)
+        worker_a = Worker(0, tiny_net(), data.images, data.labels, 4)
+        worker_b = Worker(1, tiny_net(), data.images, data.labels, 4)
+        worker_a.pull(server)
+        worker_b.pull(server)
+        grads_a, loss_a = worker_a.compute_gradients()
+        grads_b, loss_b = worker_b.compute_gradients()
+        worker_a.push(server, grads_a, loss_a)
+        result = worker_b.push(server, grads_b, loss_b)
+        assert result.staleness == 1  # b pushed against a's update
+
+    def test_batch_cursor_wraps(self):
+        data = make_dataset(6, 3, (1, 8, 8), seed=3)
+        worker = Worker(0, tiny_net(), data.images, data.labels, batch_size=4)
+        first, _ = worker._next_batch()
+        second, _ = worker._next_batch()
+        third, _ = worker._next_batch()
+        assert len(first) == 4 and len(second) == 2
+        assert len(third) == 4  # wrapped to the start
+
+    def test_rejects_empty_shard(self):
+        with pytest.raises(ReproError):
+            Worker(0, tiny_net(), np.zeros((0, 1, 8, 8), np.float32),
+                   np.zeros(0, int), 4)
+
+
+class TestSharding:
+    def test_shards_cover_dataset(self):
+        data = make_dataset(10, 3, (1, 8, 8), seed=4)
+        shards = shard_dataset(data.images, data.labels, 3)
+        assert len(shards) == 3
+        assert sum(len(images) for images, _ in shards) == 10
+
+    def test_rejects_more_workers_than_examples(self):
+        data = make_dataset(2, 2, (1, 8, 8), seed=5)
+        with pytest.raises(ReproError):
+            shard_dataset(data.images, data.labels, 3)

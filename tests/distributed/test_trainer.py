@@ -1,0 +1,102 @@
+"""Tests for the distributed training loops."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import make_dataset
+from repro.distributed.trainer import DistributedTrainer
+from repro.errors import ReproError
+from repro.nn.netdef import build_network
+
+
+def net(seed=0):
+    return build_network(
+        {
+            "input": [1, 8, 8],
+            "layers": [
+                {"type": "conv", "features": 4, "kernel": 3},
+                {"type": "relu"},
+                {"type": "flatten"},
+                {"type": "dense", "features": 4},
+            ],
+        },
+        rng=np.random.default_rng(seed),
+    )
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return make_dataset(48, 4, (1, 8, 8), noise=0.2, seed=0)
+
+
+class TestBSP:
+    def test_loss_decreases(self, dataset):
+        trainer = DistributedTrainer(net(), dataset, num_workers=4,
+                                     batch_size=4, mode="bsp")
+        result = trainer.run(steps=15)
+        assert result.mode == "bsp"
+        assert np.mean(result.losses[-3:]) < np.mean(result.losses[:3])
+
+    def test_bsp_has_zero_staleness(self, dataset):
+        trainer = DistributedTrainer(net(), dataset, num_workers=3, mode="bsp")
+        result = trainer.run(steps=3)
+        assert result.mean_staleness == 0.0  # no pushes logged under BSP
+
+    def test_bsp_single_worker_matches_plain_sgd_direction(self, dataset):
+        # One BSP worker is exactly serial minibatch SGD on the shard.
+        trainer = DistributedTrainer(net(seed=3), dataset, num_workers=1,
+                                     batch_size=8, mode="bsp",
+                                     learning_rate=0.05)
+        result = trainer.run(steps=10)
+        assert result.losses[-1] < result.losses[0]
+
+
+class TestAsync:
+    def test_loss_decreases_despite_staleness(self, dataset):
+        trainer = DistributedTrainer(net(), dataset, num_workers=4,
+                                     batch_size=4, mode="async",
+                                     sync_interval=2)
+        result = trainer.run(steps=15)
+        assert np.mean(result.losses[-3:]) < np.mean(result.losses[:3])
+
+    def test_staleness_is_positive_with_multiple_workers(self, dataset):
+        trainer = DistributedTrainer(net(), dataset, num_workers=4,
+                                     mode="async", sync_interval=2)
+        result = trainer.run(steps=6)
+        assert result.mean_staleness > 0
+
+    def test_larger_sync_interval_increases_staleness(self, dataset):
+        tight = DistributedTrainer(net(), dataset, num_workers=4,
+                                   mode="async", sync_interval=1).run(8)
+        loose = DistributedTrainer(net(), dataset, num_workers=4,
+                                   mode="async", sync_interval=4).run(8)
+        assert loose.mean_staleness > tight.mean_staleness
+
+    def test_single_async_worker_has_no_staleness_after_first(self, dataset):
+        trainer = DistributedTrainer(net(), dataset, num_workers=1,
+                                     mode="async", sync_interval=1)
+        result = trainer.run(steps=5)
+        assert result.mean_staleness == 0.0
+
+
+class TestValidation:
+    def test_rejects_bad_mode(self, dataset):
+        with pytest.raises(ReproError):
+            DistributedTrainer(net(), dataset, num_workers=2, mode="hogwild")
+
+    def test_rejects_bad_sync_interval(self, dataset):
+        with pytest.raises(ReproError):
+            DistributedTrainer(net(), dataset, num_workers=2, mode="async",
+                               sync_interval=0)
+
+    def test_rejects_zero_steps(self, dataset):
+        trainer = DistributedTrainer(net(), dataset, num_workers=2)
+        with pytest.raises(ReproError):
+            trainer.run(steps=0)
+
+    def test_workers_hold_independent_replicas(self, dataset):
+        trainer = DistributedTrainer(net(), dataset, num_workers=2)
+        a = trainer.workers[0].network.conv_layers()[0].weights
+        b = trainer.workers[1].network.conv_layers()[0].weights
+        a[0, 0, 0, 0] = 123.0
+        assert b[0, 0, 0, 0] != 123.0

@@ -1,0 +1,22 @@
+"""Regression tests pinning the machine-model calibration to the paper."""
+
+from repro.machine.calibration import calibration_report, evaluate_calibration
+
+
+class TestCalibration:
+    def test_all_targets_within_tolerance(self):
+        targets = evaluate_calibration()
+        failing = [t for t in targets if not t.within_tolerance]
+        assert not failing, calibration_report()
+
+    def test_headline_speedup_close_to_paper(self):
+        targets = {t.name: t for t in evaluate_calibration()}
+        speedup = targets["fig9.end_to_end_speedup_over_caffe"]
+        assert speedup.relative_error < 0.25
+        # And on the right side of "order of magnitude".
+        assert speedup.model_value > 5.0
+
+    def test_report_lists_all_targets(self):
+        text = calibration_report()
+        for target in evaluate_calibration():
+            assert target.name in text

@@ -1,0 +1,77 @@
+"""Tests for the CcT schedule model and the FFT time model."""
+
+import pytest
+
+from repro.core.convspec import ConvSpec
+from repro.data.tables import TABLE1_CONVS
+from repro.errors import MachineModelError
+from repro.machine.fft_model import FFTProfile, fft_conv_time, fft_grid_bytes
+from repro.machine.gemm_model import (
+    cct_conv_time,
+    gemm_in_parallel_conv_time,
+    parallel_gemm_conv_time,
+)
+from repro.machine.spec import xeon_e5_2650
+
+MACHINE = xeon_e5_2650()
+
+
+class TestCcTSchedule:
+    def test_beats_gip_at_batch_one(self):
+        # With one image, GiP uses one core; CcT partitions it across all.
+        spec = TABLE1_CONVS[2]
+        gip = gemm_in_parallel_conv_time(spec, "fp", 1, MACHINE, 16)
+        cct = cct_conv_time(spec, "fp", 1, MACHINE, 16)
+        assert cct < gip / 2
+
+    def test_beats_parallel_gemm_in_region_2(self):
+        # The paper's Sec. 6 claim about CcT.
+        spec = TABLE1_CONVS[2]  # Region 2
+        pg = parallel_gemm_conv_time(spec, "fp", 4, MACHINE, 16)
+        cct = cct_conv_time(spec, "fp", 4, MACHINE, 16)
+        assert cct < pg
+
+    def test_converges_to_gip_at_full_batches(self):
+        spec = TABLE1_CONVS[3]
+        gip = gemm_in_parallel_conv_time(spec, "fp", 16, MACHINE, 16)
+        cct = cct_conv_time(spec, "fp", 16, MACHINE, 16)
+        assert cct == pytest.approx(gip, rel=0.3)
+
+    def test_bp_supported(self):
+        spec = TABLE1_CONVS[0]
+        assert cct_conv_time(spec, "bp", 2, MACHINE, 8) > 0
+
+    def test_validation(self):
+        with pytest.raises(MachineModelError):
+            cct_conv_time(TABLE1_CONVS[0], "fp", 0, MACHINE, 4)
+
+
+class TestFFTModel:
+    def test_grid_bytes_positive(self):
+        assert fft_grid_bytes(TABLE1_CONVS[0]) > 0
+
+    def test_large_kernels_favor_fft(self):
+        big_kernel = ConvSpec(nc=32, ny=64, nx=64, nf=32, fy=31, fx=31)
+        small_kernel = ConvSpec(nc=32, ny=64, nx=64, nf=32, fy=3, fx=3)
+        from repro.machine.stencil_model import stencil_fp_time
+
+        assert fft_conv_time(big_kernel, 16, MACHINE, 16) < stencil_fp_time(
+            big_kernel, 16, MACHINE, 16
+        )
+        assert fft_conv_time(small_kernel, 16, MACHINE, 16) > stencil_fp_time(
+            small_kernel, 16, MACHINE, 16
+        )
+
+    def test_time_kernel_size_insensitive(self):
+        # FFT work depends on the grid, not the kernel taps.
+        t3 = fft_conv_time(ConvSpec(nc=8, ny=64, nx=64, nf=8, fy=3, fx=3),
+                           8, MACHINE, 8)
+        t15 = fft_conv_time(ConvSpec(nc=8, ny=64, nx=64, nf=8, fy=15, fx=15),
+                            8, MACHINE, 8)
+        assert t15 < 2.5 * t3
+
+    def test_profile_validation(self):
+        with pytest.raises(MachineModelError):
+            FFTProfile(compute_efficiency=0.0)
+        with pytest.raises(MachineModelError):
+            fft_conv_time(TABLE1_CONVS[0], 0, MACHINE, 1)

@@ -1,0 +1,136 @@
+"""Tests for the end-to-end throughput model (Fig. 9 claims)."""
+
+import pytest
+
+from repro.data.tables import benchmark_layers
+from repro.errors import MachineModelError
+from repro.machine.baselines import adam_profile, caffe_profile
+from repro.machine.executor import (
+    TrainingConfig,
+    conv_phase_time,
+    fig9_configs,
+    training_throughput,
+    training_time,
+)
+from repro.machine.spec import xeon_e5_2650
+
+MACHINE = xeon_e5_2650()
+CIFAR = benchmark_layers("cifar-10")
+
+
+def throughput_curve(config, cores=(1, 2, 4, 8, 16, 32)):
+    return [training_throughput(CIFAR, config, MACHINE, c) for c in cores]
+
+
+class TestConfigs:
+    def test_five_configs_in_legend_order(self):
+        labels = [c.label for c in fig9_configs()]
+        assert len(labels) == 5
+        assert "CAFFE" in labels[0]
+        assert "ADAM" in labels[1]
+        assert "Stencil" in labels[4]
+
+    def test_image_parallelism_flag(self):
+        configs = fig9_configs()
+        assert not configs[0].image_parallel
+        assert not configs[1].image_parallel
+        assert all(c.image_parallel for c in configs[2:])
+
+    def test_spg_configs_run_on_adam(self):
+        # Sec. 5.1: "We implement our framework on top of ADAM."
+        for config in fig9_configs()[2:]:
+            assert config.platform.name == adam_profile().name
+
+    def test_rejects_bad_techniques(self):
+        with pytest.raises(MachineModelError):
+            TrainingConfig("bad", "fft", "parallel-gemm", caffe_profile())
+        with pytest.raises(MachineModelError):
+            TrainingConfig("bad", "stencil", "stencil", caffe_profile())
+
+
+class TestFig9Claims:
+    def test_caffe_fastest_at_low_core_counts(self):
+        # Paper: "For one and two cores, Parallel-GEMM (CAFFE) is the
+        # fastest."  Allow a small tolerance for the sparse-BP variants,
+        # whose model places them within a few percent at two cores.
+        configs = fig9_configs()
+        for cores in (1, 2):
+            caffe = training_throughput(CIFAR, configs[0], MACHINE, cores)
+            for other in configs[1:]:
+                assert 1.1 * caffe >= training_throughput(
+                    CIFAR, other, MACHINE, cores
+                )
+
+    def test_platforms_stop_scaling_beyond_two_cores(self):
+        # Paper: "for more than two cores, both ... stop scaling."
+        for config in fig9_configs()[:2]:
+            curve = throughput_curve(config)
+            # Peak-to-32-core gain beyond 2 cores stays small.
+            assert max(curve) < 2.0 * curve[1]
+
+    def test_gip_scales_past_the_platforms(self):
+        configs = fig9_configs()
+        for cores in (8, 16, 32):
+            gip = training_throughput(CIFAR, configs[2], MACHINE, cores)
+            caffe = training_throughput(CIFAR, configs[0], MACHINE, cores)
+            assert gip > 2 * caffe
+
+    def test_sparse_bp_improves_over_gip(self):
+        # Paper: ~28% throughput gain at 32 cores from Sparse-Kernel (BP).
+        configs = fig9_configs()
+        gip = training_throughput(CIFAR, configs[2], MACHINE, 32)
+        sparse = training_throughput(CIFAR, configs[3], MACHINE, 32)
+        assert sparse > 1.05 * gip
+
+    def test_full_spg_configuration_is_fastest_at_scale(self):
+        configs = fig9_configs()
+        values = [training_throughput(CIFAR, c, MACHINE, 32) for c in configs]
+        assert max(values[3:]) == max(values)
+
+    def test_end_to_end_speedup_order_of_magnitude(self):
+        # Paper: 8.36x over CAFFE's peak, 12.3x over ADAM's peak.
+        configs = fig9_configs()
+        caffe_peak = max(throughput_curve(configs[0]))
+        adam_peak = max(throughput_curve(configs[1]))
+        spg = training_throughput(CIFAR, configs[4], MACHINE, 32)
+        assert 5.0 < spg / caffe_peak < 20.0
+        assert 8.0 < spg / adam_peak < 30.0
+
+    def test_spg_monotone_in_cores(self):
+        curve = throughput_curve(fig9_configs()[4])
+        assert all(b > a for a, b in zip(curve, curve[1:]))
+
+
+class TestTrainingTime:
+    def test_time_linear_in_batch_for_serial_platform(self):
+        config = fig9_configs()[0]
+        t1 = training_time(CIFAR, config, 16, MACHINE, 4)
+        t2 = training_time(CIFAR, config, 32, MACHINE, 4)
+        assert t2 == pytest.approx(2 * t1, rel=0.05)
+
+    def test_conv_phase_time_dispatch(self):
+        config = fig9_configs()[4]
+        t = conv_phase_time(CIFAR[0], "fp", "stencil", 8, MACHINE, 8, config)
+        assert t > 0
+        with pytest.raises(MachineModelError):
+            conv_phase_time(CIFAR[0], "bp", "stencil", 8, MACHINE, 8, config)
+        with pytest.raises(MachineModelError):
+            conv_phase_time(CIFAR[0], "fp", "sparse", 8, MACHINE, 8, config)
+
+    def test_rejects_bad_args(self):
+        config = fig9_configs()[0]
+        with pytest.raises(MachineModelError):
+            training_time(CIFAR, config, 0, MACHINE, 4)
+
+
+class TestBaselineProfiles:
+    def test_adam_has_heavier_overhead(self):
+        assert adam_profile().per_image_overhead > caffe_profile().per_image_overhead
+
+    def test_profiles_priced_per_paper_peaks(self):
+        # CAFFE peaks near 273 images/s, ADAM near 185 (within 25%).
+        configs = fig9_configs()
+        caffe_peak = max(throughput_curve(configs[0]))
+        adam_peak = max(throughput_curve(configs[1]))
+        assert caffe_peak == pytest.approx(273, rel=0.25)
+        assert adam_peak == pytest.approx(185, rel=0.25)

@@ -1,0 +1,75 @@
+"""Tests for the lane-breakdown explainer."""
+
+import pytest
+
+from repro.data.tables import TABLE1_CONVS, benchmark_layers
+from repro.errors import MachineModelError
+from repro.machine.explain import (
+    LaneBreakdown,
+    explain_conv,
+    explain_report,
+    explain_sparse,
+    explain_stencil,
+)
+from repro.machine.spec import xeon_e5_2650
+
+MACHINE = xeon_e5_2650()
+
+
+class TestBreakdowns:
+    def test_fp_has_three_techniques(self):
+        breakdowns = explain_conv(TABLE1_CONVS[0], "fp", 16, MACHINE, 16)
+        assert [b.technique for b in breakdowns] == [
+            "parallel-gemm", "gemm-in-parallel", "stencil"
+        ]
+
+    def test_bp_includes_sparse(self):
+        breakdowns = explain_conv(TABLE1_CONVS[0], "bp", 16, MACHINE, 16)
+        assert breakdowns[-1].technique == "sparse"
+
+    def test_all_lanes_non_negative(self):
+        for phase in ("fp", "bp"):
+            for b in explain_conv(TABLE1_CONVS[2], phase, 16, MACHINE, 16):
+                assert all(v >= 0 for v in b.lanes.values()), b.technique
+
+    def test_bound_by_identifies_dominant_lane(self):
+        b = LaneBreakdown("x", {"a": 1.0, "b": 3.0})
+        assert b.bound_by == "b"
+        with pytest.raises(MachineModelError):
+            LaneBreakdown("x").bound_by  # noqa: B018
+
+    def test_rejects_unknown_phase(self):
+        with pytest.raises(MachineModelError):
+            explain_conv(TABLE1_CONVS[0], "sideways", 1, MACHINE, 1)
+
+
+class TestExplanationsMatchTheStory:
+    def test_compute_dominates_stencil_on_small_convs(self):
+        b = explain_stencil(TABLE1_CONVS[0], 16, MACHINE, 16)
+        assert b.bound_by == "compute"
+
+    def test_transforms_dominate_sparse_at_extreme_sparsity(self):
+        # The Sec. 4.2 bottleneck shift, visible in the lanes.
+        compute_heavy = explain_sparse(TABLE1_CONVS[4], 16, 0.5, MACHINE, 16)
+        transform_heavy = explain_sparse(TABLE1_CONVS[0], 16, 0.995, MACHINE, 16)
+        assert compute_heavy.bound_by == "sparse compute"
+        assert transform_heavy.bound_by in ("layout transforms", "ct-csr build")
+
+    def test_strided_conv_shows_layout_lane(self):
+        alexnet_l0 = benchmark_layers("imagenet-1k")[0]  # stride 4
+        b = explain_stencil(alexnet_l0, 16, MACHINE, 16)
+        assert "layout transform (Eq. 21)" in b.lanes
+
+    def test_unfold_lane_is_serial_for_parallel_gemm(self):
+        breakdowns = explain_conv(TABLE1_CONVS[0], "fp", 16, MACHINE, 16)
+        pg = breakdowns[0]
+        gip = breakdowns[1]
+        assert pg.lanes["unfold (serial)"] > gip.lanes["unfold (parallel)"]
+
+
+class TestReport:
+    def test_report_lists_all_lanes(self):
+        breakdowns = explain_conv(TABLE1_CONVS[1], "fp", 16, MACHINE, 16)
+        text = explain_report(breakdowns)
+        assert "stencil" in text
+        assert "<- bound" in text

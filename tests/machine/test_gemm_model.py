@@ -1,0 +1,195 @@
+"""Tests for the GEMM time model: the Sec. 3.2 / 4.1 claims."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.tables import TABLE1_CONVS
+from repro.errors import MachineModelError
+from repro.machine.gemm_model import (
+    GemmProfile,
+    conv_gemm_dims,
+    conv_gemm_flops,
+    gemm_in_parallel_conv_time,
+    parallel_gemm_conv_time,
+    parallel_gemm_time,
+    percore_gflops,
+    single_gemm_time,
+    unfold_time,
+)
+from repro.machine.spec import xeon_e5_2650
+
+MACHINE = xeon_e5_2650()
+
+
+class TestConvGemmDims:
+    def test_fp_is_single_gemm(self):
+        spec = TABLE1_CONVS[0]
+        dims = conv_gemm_dims(spec, "fp")
+        assert dims == [spec.gemm_dims]
+
+    def test_bp_is_two_gemms(self):
+        spec = TABLE1_CONVS[0]
+        dims = conv_gemm_dims(spec, "bp")
+        assert len(dims) == 2
+
+    def test_bp_flops_double_fp(self):
+        spec = TABLE1_CONVS[2]
+        assert conv_gemm_flops(spec, "bp") == 2 * conv_gemm_flops(spec, "fp")
+
+    def test_rejects_unknown_phase(self):
+        with pytest.raises(MachineModelError):
+            conv_gemm_dims(TABLE1_CONVS[0], "sideways")
+
+
+class TestKernelEfficiency:
+    def test_efficiency_below_max(self):
+        profile = GemmProfile()
+        assert profile.kernel_efficiency(4096, 4096, 4096) < profile.eff_max
+
+    def test_large_gemm_approaches_max(self):
+        profile = GemmProfile()
+        assert profile.kernel_efficiency(1e6, 1e6, 1e6) == pytest.approx(
+            profile.eff_max, rel=1e-3
+        )
+
+    @given(st.integers(1, 2048), st.integers(1, 2048), st.integers(1, 2048))
+    @settings(max_examples=50, deadline=None)
+    def test_efficiency_in_unit_interval(self, m, n, k):
+        eff = GemmProfile().kernel_efficiency(m, n, k)
+        assert 0 < eff < 1
+
+    def test_small_m_hurts(self):
+        profile = GemmProfile()
+        assert profile.kernel_efficiency(8, 1024, 1024) < profile.kernel_efficiency(
+            512, 1024, 1024
+        )
+
+    def test_rejects_nonpositive_dims(self):
+        with pytest.raises(MachineModelError):
+            GemmProfile().kernel_efficiency(0, 1, 1)
+
+
+class TestParallelGemmScaling:
+    """The Sec. 3.2 characterization: Parallel-GEMM per-core AIT collapse."""
+
+    def test_percore_performance_drops_with_cores(self):
+        for spec in TABLE1_CONVS:
+            one = percore_gflops(spec, "parallel-gemm", MACHINE, 1)
+            sixteen = percore_gflops(spec, "parallel-gemm", MACHINE, 16)
+            assert sixteen < one, spec.name
+
+    def test_average_drop_exceeds_fifty_percent(self):
+        # Paper: "the average performance drop per core for Parallel-GEMM
+        # is > 50%" at 16 cores.
+        drops = []
+        for spec in TABLE1_CONVS:
+            one = percore_gflops(spec, "parallel-gemm", MACHINE, 1)
+            sixteen = percore_gflops(spec, "parallel-gemm", MACHINE, 16)
+            drops.append(1 - sixteen / one)
+        assert sum(drops) / len(drops) > 0.5
+
+    def test_high_ait_conv_scales_best(self):
+        # ID1 (1024 features, Region 0/1) must retain the most per-core
+        # performance at 16 cores.
+        retentions = {}
+        for spec in TABLE1_CONVS:
+            one = percore_gflops(spec, "parallel-gemm", MACHINE, 1)
+            sixteen = percore_gflops(spec, "parallel-gemm", MACHINE, 16)
+            retentions[spec.name] = sixteen / one
+        assert max(retentions, key=retentions.get) == "ID1"
+
+    def test_low_feature_convs_suffer_most(self):
+        retention = {}
+        for spec in TABLE1_CONVS:
+            one = percore_gflops(spec, "parallel-gemm", MACHINE, 1)
+            sixteen = percore_gflops(spec, "parallel-gemm", MACHINE, 16)
+            retention[spec.nf] = sixteen / one
+        # ID0 (32 features) retains less than ID4 (512 features).
+        assert retention[32] < retention[512]
+
+
+class TestGemmInParallelScaling:
+    """The Sec. 4.1 claim: per-core performance stays roughly steady."""
+
+    def test_percore_drop_below_fifteen_percent(self):
+        for spec in TABLE1_CONVS:
+            one = percore_gflops(spec, "gemm-in-parallel", MACHINE, 1)
+            sixteen = percore_gflops(spec, "gemm-in-parallel", MACHINE, 16)
+            assert sixteen > 0.85 * one, spec.name
+
+    def test_gip_beats_pg_at_scale(self):
+        for spec in TABLE1_CONVS:
+            pg = percore_gflops(spec, "parallel-gemm", MACHINE, 16)
+            gip = percore_gflops(spec, "gemm-in-parallel", MACHINE, 16)
+            assert gip > pg, spec.name
+
+    def test_relative_speedup_grows_with_cores(self):
+        # Fig. 4b: the GiP/PG ratio grows as cores increase.
+        spec = TABLE1_CONVS[2]
+        ratios = []
+        for cores in (1, 2, 4, 8, 16):
+            pg = parallel_gemm_conv_time(spec, "fp", 16, MACHINE, cores,
+                                         include_unfold=False)
+            gip = gemm_in_parallel_conv_time(spec, "fp", 16, MACHINE, cores,
+                                             include_unfold=False)
+            ratios.append(pg / gip)
+        assert all(b >= a - 1e-9 for a, b in zip(ratios, ratios[1:]))
+        assert ratios[-1] > ratios[0]
+
+    def test_fewer_features_benefit_more(self):
+        # Fig. 4b: convolutions with fewer output features gain more.
+        def ratio(spec):
+            pg = sum(
+                parallel_gemm_conv_time(spec, ph, 16, MACHINE, 16,
+                                        include_unfold=False)
+                for ph in ("fp", "bp")
+            )
+            gip = sum(
+                gemm_in_parallel_conv_time(spec, ph, 16, MACHINE, 16,
+                                           include_unfold=False)
+                for ph in ("fp", "bp")
+            )
+            return pg / gip
+
+        by_nf = sorted(TABLE1_CONVS, key=lambda s: s.nf)
+        assert ratio(by_nf[0]) > ratio(by_nf[-1])
+
+
+class TestTimeModels:
+    def test_single_gemm_time_positive_and_monotone_in_size(self):
+        small = single_gemm_time(32, 32, 32, MACHINE)
+        large = single_gemm_time(256, 256, 256, MACHINE)
+        assert 0 < small < large
+
+    def test_parallel_gemm_includes_sync(self):
+        serial = parallel_gemm_time(512, 512, 512, MACHINE, 1)
+        assert serial > 0
+        # Barrier cost shows up for multi-core runs of tiny GEMMs.
+        tiny_multi = parallel_gemm_time(16, 16, 16, MACHINE, 16)
+        assert tiny_multi >= MACHINE.sync_overhead(16)
+
+    def test_gip_time_decreases_with_cores(self):
+        spec = TABLE1_CONVS[3]
+        times = [
+            gemm_in_parallel_conv_time(spec, "fp", 16, MACHINE, c)
+            for c in (1, 2, 4, 8, 16)
+        ]
+        assert all(b <= a + 1e-12 for a, b in zip(times, times[1:]))
+
+    def test_unfold_time_scales_with_batch(self):
+        spec = TABLE1_CONVS[0]
+        assert unfold_time(spec, 8, MACHINE, 4) == pytest.approx(
+            2 * unfold_time(spec, 4, MACHINE, 4)
+        )
+
+    def test_rejects_bad_args(self):
+        spec = TABLE1_CONVS[0]
+        with pytest.raises(MachineModelError):
+            unfold_time(spec, 0, MACHINE, 1)
+        with pytest.raises(MachineModelError):
+            gemm_in_parallel_conv_time(spec, "fp", 0, MACHINE, 1)
+        with pytest.raises(MachineModelError):
+            parallel_gemm_time(8, 8, 8, MACHINE, 0)
+        with pytest.raises(MachineModelError):
+            percore_gflops(spec, "unknown-schedule", MACHINE, 1)

@@ -1,0 +1,101 @@
+"""Property-based invariants of the machine model.
+
+Hypothesis sweeps random convolutions and machine operating points; the
+time models must respect basic physical sanity everywhere: positivity,
+monotonicity in batch, no slowdown from cores under image-parallel
+schedules, and the Eq. 10 goodput bound.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.convspec import ConvSpec
+from repro.core.goodput import dense_goodput_bound
+from repro.machine.gemm_model import (
+    cct_conv_time,
+    gemm_in_parallel_conv_time,
+    parallel_gemm_conv_time,
+)
+from repro.machine.sparse_model import sparse_bp_time, sparse_goodput
+from repro.machine.spec import xeon_e5_2650
+from repro.machine.stencil_model import stencil_fp_time
+
+MACHINE = xeon_e5_2650()
+
+conv_specs = st.builds(
+    ConvSpec,
+    nc=st.integers(1, 64),
+    ny=st.integers(8, 64),
+    nx=st.integers(8, 64),
+    nf=st.integers(1, 256),
+    fy=st.integers(1, 7),
+    fx=st.integers(1, 7),
+    sy=st.integers(1, 2),
+    sx=st.integers(1, 2),
+)
+
+cores_st = st.sampled_from([1, 2, 4, 8, 16])
+batch_st = st.integers(1, 32)
+
+
+@given(conv_specs, batch_st, cores_st)
+@settings(max_examples=40, deadline=None)
+def test_all_times_positive(spec, batch, cores):
+    for fn in (parallel_gemm_conv_time, gemm_in_parallel_conv_time,
+               cct_conv_time):
+        assert fn(spec, "fp", batch, MACHINE, cores) > 0
+        assert fn(spec, "bp", batch, MACHINE, cores) > 0
+    assert stencil_fp_time(spec, batch, MACHINE, cores) > 0
+    assert sparse_bp_time(spec, batch, 0.5, MACHINE, cores) > 0
+
+
+@given(conv_specs, batch_st, cores_st)
+@settings(max_examples=40, deadline=None)
+def test_time_monotone_in_batch(spec, batch, cores):
+    for fn in (parallel_gemm_conv_time, gemm_in_parallel_conv_time):
+        assert fn(spec, "fp", batch + 8, MACHINE, cores) >= fn(
+            spec, "fp", batch, MACHINE, cores
+        ) - 1e-12
+
+
+@given(conv_specs, st.integers(1, 8))
+@settings(max_examples=40, deadline=None)
+def test_image_parallel_never_hurt_by_doubling_cores(spec, cores):
+    batch = 32
+    t1 = gemm_in_parallel_conv_time(spec, "fp", batch, MACHINE, cores)
+    t2 = gemm_in_parallel_conv_time(spec, "fp", batch, MACHINE, 2 * cores)
+    # Allow the barrier's log-growth; compute/makespan must not regress more.
+    assert t2 <= t1 + MACHINE.sync_overhead(2 * cores)
+
+
+@given(conv_specs, st.floats(0.0, 1.0), cores_st)
+@settings(max_examples=40, deadline=None)
+def test_bp_phase_costs_double_fp_under_gemm(spec, _s, cores):
+    fp = gemm_in_parallel_conv_time(spec, "fp", 8, MACHINE, cores,
+                                    include_unfold=False)
+    bp = gemm_in_parallel_conv_time(spec, "bp", 8, MACHINE, cores,
+                                    include_unfold=False)
+    assert bp > fp  # two GEMMs vs one
+
+
+@given(conv_specs, st.floats(0.0, 0.99), cores_st)
+@settings(max_examples=40, deadline=None)
+def test_sparse_goodput_respects_eq10_against_its_own_throughput(
+    spec, sparsity, cores
+):
+    # The sparse kernel's goodput can exceed the *dense* kernel's Eq. 10
+    # bound (that is the whole point), but never its own throughput bound.
+    g = sparse_goodput(spec, sparsity, MACHINE, cores) * 1e9
+    t = sparse_bp_time(spec, cores, sparsity, MACHINE, cores)
+    dense_equivalent_throughput = 2.0 * spec.flops * cores / t
+    assert g <= dense_goodput_bound(sparsity, dense_equivalent_throughput) + 1e-3
+
+
+@given(conv_specs)
+@settings(max_examples=40, deadline=None)
+def test_unfold_inclusion_only_adds_time(spec):
+    with_unfold = gemm_in_parallel_conv_time(spec, "fp", 8, MACHINE, 4,
+                                             include_unfold=True)
+    without = gemm_in_parallel_conv_time(spec, "fp", 8, MACHINE, 4,
+                                         include_unfold=False)
+    assert with_unfold >= without

@@ -1,0 +1,129 @@
+"""Tests for the sparse BP time model: the Sec. 4.2 claims."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.tables import TABLE1_CONVS
+from repro.errors import MachineModelError
+from repro.machine.gemm_model import gemm_in_parallel_conv_time
+from repro.machine.sparse_model import (
+    DEFAULT_SPARSE_PROFILE,
+    sparse_bp_time,
+    sparse_goodput,
+    sparse_transform_bytes,
+    sparse_useful_flops,
+)
+from repro.machine.spec import xeon_e5_2650
+
+MACHINE = xeon_e5_2650()
+
+
+class TestUsefulFlops:
+    def test_dense_case_counts_both_computations(self):
+        spec = TABLE1_CONVS[0]
+        assert sparse_useful_flops(spec, 0.0) == pytest.approx(2 * spec.flops)
+
+    def test_full_sparsity_is_free(self):
+        assert sparse_useful_flops(TABLE1_CONVS[0], 1.0) == 0.0
+
+    @given(st.floats(0, 1))
+    @settings(max_examples=30, deadline=None)
+    def test_linear_in_density(self, s):
+        spec = TABLE1_CONVS[2]
+        assert sparse_useful_flops(spec, s) == pytest.approx(
+            2 * spec.flops * (1 - s)
+        )
+
+    def test_rejects_bad_sparsity(self):
+        with pytest.raises(MachineModelError):
+            sparse_useful_flops(TABLE1_CONVS[0], 1.5)
+
+
+class TestGoodputShape:
+    """Fig. 4e: high flat goodput up to ~90%, collapse beyond."""
+
+    def test_goodput_flat_below_ninety(self):
+        for spec in TABLE1_CONVS:
+            g50 = sparse_goodput(spec, 0.5, MACHINE, 16)
+            g90 = sparse_goodput(spec, 0.9, MACHINE, 16)
+            assert g90 > 0.5 * g50, spec.name
+
+    def test_goodput_collapses_at_extreme_sparsity(self):
+        # Bottleneck shifts to the layout transformations (Sec. 4.2).
+        for spec in TABLE1_CONVS:
+            g90 = sparse_goodput(spec, 0.90, MACHINE, 16)
+            g99 = sparse_goodput(spec, 0.99, MACHINE, 16)
+            assert g99 < g90, spec.name
+
+    def test_goodput_well_below_dense_peak(self):
+        # Scatter-bound kernels cannot approach the dense GEMM roofline.
+        for spec in TABLE1_CONVS:
+            g = sparse_goodput(spec, 0.5, MACHINE, 16)
+            assert g < 0.5 * 16 * MACHINE.peak_flops_per_core / 1e9
+
+    def test_small_convs_have_lowest_goodput(self):
+        # Fig. 4e's lowest curves are the small convolutions (ID0, ID5).
+        goodputs = {
+            spec.name: sparse_goodput(spec, 0.7, MACHINE, 16)
+            for spec in TABLE1_CONVS
+        }
+        assert min(goodputs, key=goodputs.get) in ("ID0", "ID5")
+        assert goodputs["ID0"] < goodputs["ID1"]
+        assert goodputs["ID5"] < goodputs["ID1"]
+
+
+class TestSpeedupShape:
+    """Fig. 4f: dense wins at low sparsity, sparse wins above ~75%."""
+
+    def _speedup(self, spec, sparsity, cores=16, batch=16):
+        gip = gemm_in_parallel_conv_time(spec, "bp", batch, MACHINE, cores)
+        sparse = sparse_bp_time(spec, batch, sparsity, MACHINE, cores)
+        return gip / sparse
+
+    def test_dense_execution_wins_on_dense_data(self):
+        for spec in TABLE1_CONVS:
+            assert self._speedup(spec, 0.0) < 1.0, spec.name
+
+    def test_sparse_wins_above_threshold(self):
+        # Paper: "with sparsity >= 0.75, we consistently outperform".
+        for spec in TABLE1_CONVS:
+            assert self._speedup(spec, 0.75) > 1.0, spec.name
+
+    def test_high_sparsity_reaches_3x_to_32x(self):
+        for spec in TABLE1_CONVS:
+            s = self._speedup(spec, 0.97)
+            assert 3.0 < s < 40.0, (spec.name, s)
+
+    def test_speedup_monotone_in_sparsity(self):
+        spec = TABLE1_CONVS[3]
+        values = [self._speedup(spec, s) for s in (0.0, 0.5, 0.75, 0.9, 0.97)]
+        assert all(b > a for a, b in zip(values, values[1:]))
+
+
+class TestChannelEfficiency:
+    def test_few_channels_degrade_compute(self):
+        profile = DEFAULT_SPARSE_PROFILE
+        assert profile.effective_compute_efficiency(3) < (
+            profile.effective_compute_efficiency(256)
+        )
+
+    def test_rejects_nonpositive_channels(self):
+        with pytest.raises(MachineModelError):
+            DEFAULT_SPARSE_PROFILE.effective_compute_efficiency(0)
+
+
+class TestCostAccounting:
+    def test_transform_bytes_positive(self):
+        assert sparse_transform_bytes(TABLE1_CONVS[0]) > 0
+
+    def test_time_decreases_with_cores(self):
+        spec = TABLE1_CONVS[4]
+        times = [sparse_bp_time(spec, 16, 0.85, MACHINE, c) for c in (1, 4, 16)]
+        assert times[0] > times[1] > times[2]
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(MachineModelError):
+            sparse_bp_time(TABLE1_CONVS[0], 0, 0.5, MACHINE, 1)
+        with pytest.raises(MachineModelError):
+            sparse_bp_time(TABLE1_CONVS[0], 1, 0.5, MACHINE, 0)

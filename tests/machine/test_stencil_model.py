@@ -1,0 +1,84 @@
+"""Tests for the stencil time model: the Sec. 4.3 claims."""
+
+import pytest
+
+from repro.core.convspec import ConvSpec
+from repro.data.tables import TABLE1_CONVS
+from repro.errors import MachineModelError
+from repro.machine.gemm_model import gemm_in_parallel_conv_time
+from repro.machine.spec import xeon_e5_2650
+from repro.machine.stencil_model import (
+    DEFAULT_STENCIL_PROFILE,
+    stencil_efficiency,
+    stencil_fp_time,
+    stencil_percore_gflops,
+)
+
+MACHINE = xeon_e5_2650()
+
+
+class TestEfficiency:
+    def test_bounded_by_issue_efficiency(self):
+        for spec in TABLE1_CONVS:
+            eff = stencil_efficiency(spec, MACHINE)
+            assert 0 < eff <= DEFAULT_STENCIL_PROFILE.issue_efficiency + 1e-12
+
+    def test_vector_remainder_penalizes_narrow_outputs(self):
+        wide = ConvSpec(nc=8, ny=66, nx=66, nf=8, fy=3, fx=3)  # out 64 = 8*8
+        narrow = ConvSpec(nc=8, ny=66, nx=11, nf=8, fy=3, fx=3)  # out 9 -> 2 vecs
+        assert stencil_efficiency(wide, MACHINE) > stencil_efficiency(narrow, MACHINE)
+
+
+class TestScalability:
+    def test_percore_performance_roughly_flat(self):
+        # Fig. 4c: impact of core count on per-core performance is small.
+        for spec in TABLE1_CONVS:
+            one = stencil_percore_gflops(spec, MACHINE, 1)
+            sixteen = stencil_percore_gflops(spec, MACHINE, 16)
+            assert sixteen > 0.8 * one, spec.name
+
+    def test_time_decreases_with_cores_fixed_batch(self):
+        spec = TABLE1_CONVS[5]
+        times = [stencil_fp_time(spec, 16, MACHINE, c) for c in (1, 2, 4, 8, 16)]
+        assert all(b <= a + 1e-12 for a, b in zip(times, times[1:]))
+
+
+class TestCrossover:
+    """Fig. 4d: stencil wins for < 128 output features, loses above."""
+
+    def _speedup(self, spec, cores=16):
+        gip = gemm_in_parallel_conv_time(spec, "fp", cores, MACHINE, cores)
+        stencil = stencil_fp_time(spec, cores, MACHINE, cores)
+        return gip / stencil
+
+    def test_small_feature_convs_prefer_stencil(self):
+        # ID0 (32 features) and ID5 (64 features).
+        assert self._speedup(TABLE1_CONVS[0]) > 1.0
+        assert self._speedup(TABLE1_CONVS[5]) > 1.0
+
+    def test_large_feature_convs_prefer_gip(self):
+        # ID1 (1024 features) and ID4 (512 features).
+        assert self._speedup(TABLE1_CONVS[1]) < 1.0
+        assert self._speedup(TABLE1_CONVS[4]) < 1.0
+
+    def test_boundary_conv_is_close(self):
+        # ID3 (128 features) sits at the paper's crossover.
+        assert 0.7 < self._speedup(TABLE1_CONVS[3]) < 1.5
+
+
+class TestStridedTransform:
+    def test_strided_conv_pays_layout_transform(self):
+        unit = ConvSpec(nc=16, ny=64, nx=64, nf=32, fy=3, fx=3)
+        # Same per-output work, but strided along x.
+        strided = ConvSpec(nc=16, ny=64, nx=64, nf=32, fy=3, fx=3, sx=2)
+        t_unit = stencil_fp_time(unit, 1, MACHINE, 1)
+        t_strided = stencil_fp_time(strided, 1, MACHINE, 1)
+        # Strided conv does ~half the flops; without the Eq. 21 transform
+        # it would be well under half the time.
+        assert t_strided > 0.25 * t_unit
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(MachineModelError):
+            stencil_fp_time(TABLE1_CONVS[0], 0, MACHINE, 1)
+        with pytest.raises(MachineModelError):
+            stencil_fp_time(TABLE1_CONVS[0], 1, MACHINE, 0)

@@ -1,0 +1,97 @@
+"""Tests for the TLB simulator and the CSR/CT-CSR trace comparison."""
+
+import pytest
+
+from repro.errors import MachineModelError, ShapeError
+from repro.machine.tlb import TLBSimulator
+from repro.sparse.traces import (
+    compare_layout_tlb,
+    csr_window_trace,
+    ctcsr_window_trace,
+    random_sparse_layout,
+)
+
+
+class TestTLBSimulator:
+    def test_first_touch_misses_then_hits(self):
+        tlb = TLBSimulator(entries=4, page_size=4096)
+        assert not tlb.access(0)
+        assert tlb.access(8)  # same page
+        assert tlb.access(4095)
+        assert not tlb.access(4096)  # next page
+
+    def test_lru_eviction(self):
+        tlb = TLBSimulator(entries=2, page_size=4096)
+        tlb.access(0 * 4096)
+        tlb.access(1 * 4096)
+        tlb.access(0 * 4096)  # refresh page 0
+        tlb.access(2 * 4096)  # evicts page 1 (LRU)
+        assert tlb.access(0 * 4096)
+        assert not tlb.access(1 * 4096)
+
+    def test_sequential_stream_miss_rate(self):
+        # A sequential byte stream misses once per page.
+        tlb = TLBSimulator(entries=8, page_size=64)
+        stats = tlb.replay(range(0, 640, 4))
+        assert stats.misses == 10
+        assert stats.miss_rate == pytest.approx(10 / 160)
+
+    def test_reset(self):
+        tlb = TLBSimulator(entries=2)
+        tlb.access(0)
+        tlb.reset()
+        assert tlb.stats.accesses == 0
+        assert not tlb.access(0)  # cold again
+
+    def test_validation(self):
+        with pytest.raises(MachineModelError):
+            TLBSimulator(entries=0)
+        with pytest.raises(MachineModelError):
+            TLBSimulator().access(-1)
+
+
+class TestTraces:
+    ROWS, COLS, WINDOW, DENSITY = 256, 1024, 64, 0.15
+
+    def test_traces_touch_same_value_count(self):
+        row_nnz = random_sparse_layout(self.ROWS, self.COLS, self.DENSITY)
+        csr = list(csr_window_trace(row_nnz, self.COLS, self.WINDOW,
+                                    self.DENSITY))
+        ct = list(ctcsr_window_trace(row_nnz, self.COLS, self.WINDOW,
+                                     self.DENSITY))
+        assert len(csr) == len(ct) > 0
+
+    def test_ctcsr_trace_is_sequential(self):
+        row_nnz = random_sparse_layout(self.ROWS, self.COLS, self.DENSITY)
+        addresses = list(ctcsr_window_trace(row_nnz, self.COLS, self.WINDOW,
+                                            self.DENSITY))
+        assert all(b > a for a, b in zip(addresses, addresses[1:]))
+
+    def test_paper_claim_ctcsr_reduces_tlb_misses(self):
+        # The Sec. 4.2 argument, measured: for a small TLB, the tiled
+        # layout's miss rate is far below full-width CSR's.
+        results = compare_layout_tlb(
+            rows=self.ROWS, cols=self.COLS, window_cols=self.WINDOW,
+            density=self.DENSITY, tlb_entries=16,
+        )
+        assert results["ct-csr_miss_rate"] < 0.5 * results["csr_miss_rate"]
+
+    def test_huge_tlb_erases_the_gap(self):
+        # With enough entries to hold everything, both layouts hit.
+        results = compare_layout_tlb(
+            rows=64, cols=256, window_cols=32, density=0.2,
+            tlb_entries=4096,
+        )
+        assert results["csr_miss_rate"] < 0.2
+        assert results["ct-csr_miss_rate"] < 0.2
+
+    def test_validation(self):
+        with pytest.raises(ShapeError):
+            random_sparse_layout(0, 4, 0.5)
+        with pytest.raises(ShapeError):
+            random_sparse_layout(4, 4, 0.0)
+        row_nnz = random_sparse_layout(4, 16, 0.5)
+        with pytest.raises(ShapeError):
+            list(csr_window_trace(row_nnz, 16, 0, 0.5))
+        with pytest.raises(ShapeError):
+            list(ctcsr_window_trace(row_nnz, 16, 32, 0.5))

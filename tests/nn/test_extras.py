@@ -1,0 +1,166 @@
+"""Tests for the AvgPool, LRN and Dropout layers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.nn.layers.extras import (
+    AvgPoolLayer,
+    DropoutLayer,
+    LocalResponseNormLayer,
+)
+
+
+def numeric_input_grad(layer, inputs, err, eps=1e-4):
+    """Central-difference gradient of <forward(x), err> w.r.t. inputs."""
+    grad = np.zeros_like(inputs)
+    it = np.nditer(inputs, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        original = inputs[idx]
+        inputs[idx] = original + eps
+        plus = float(np.vdot(layer.forward(inputs), err))
+        inputs[idx] = original - eps
+        minus = float(np.vdot(layer.forward(inputs), err))
+        inputs[idx] = original
+        grad[idx] = (plus - minus) / (2 * eps)
+        it.iternext()
+    return grad
+
+
+class TestAvgPool:
+    def test_forward_averages_windows(self):
+        layer = AvgPoolLayer(kernel=2, stride=2)
+        x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        out = layer.forward(x)
+        np.testing.assert_allclose(out[0, 0], [[2.5, 4.5], [10.5, 12.5]])
+
+    def test_backward_distributes_evenly(self):
+        layer = AvgPoolLayer(kernel=2, stride=2)
+        x = np.zeros((1, 1, 4, 4), dtype=np.float32)
+        layer.forward(x)
+        err = np.ones((1, 1, 2, 2), dtype=np.float32)
+        in_err = layer.backward(err)
+        np.testing.assert_allclose(in_err, 0.25)
+
+    def test_gradient_numerically(self, rng):
+        layer = AvgPoolLayer(kernel=3, stride=2)
+        x = rng.standard_normal((1, 2, 7, 7)).astype(np.float64)
+        err = rng.standard_normal((1, 2, 3, 3)).astype(np.float64)
+        layer.forward(x)
+        analytic = layer.backward(err)
+        numeric = numeric_input_grad(layer, x, err)
+        np.testing.assert_allclose(analytic, numeric, atol=1e-6)
+
+    def test_output_shape(self):
+        assert AvgPoolLayer(2).output_shape((4, 8, 6)) == (4, 4, 3)
+
+    def test_validation(self):
+        with pytest.raises(ShapeError):
+            AvgPoolLayer(0)
+        with pytest.raises(ShapeError):
+            AvgPoolLayer(3).output_shape((1, 2, 2))
+        with pytest.raises(ShapeError):
+            AvgPoolLayer(2).backward(np.zeros((1, 1, 2, 2), np.float32))
+
+
+class TestLRN:
+    def test_forward_normalizes(self, rng):
+        layer = LocalResponseNormLayer(size=3, alpha=1.0, beta=0.5, k=1.0)
+        x = rng.standard_normal((2, 6, 3, 3)).astype(np.float32)
+        out = layer.forward(x)
+        assert out.shape == x.shape
+        # Normalization shrinks magnitudes (scale > 1 when alpha, k > 0).
+        assert np.abs(out).sum() < np.abs(x).sum()
+
+    def test_zero_input_is_fixed_point(self):
+        layer = LocalResponseNormLayer()
+        x = np.zeros((1, 4, 2, 2), dtype=np.float32)
+        np.testing.assert_array_equal(layer.forward(x), x)
+
+    def test_window_is_local(self):
+        # Channels outside the window must not influence each other.
+        layer = LocalResponseNormLayer(size=1, alpha=1.0, beta=1.0, k=1.0)
+        x = np.zeros((1, 3, 1, 1), dtype=np.float64)
+        x[0, 0] = 2.0
+        out = layer.forward(x)
+        # out[0] = 2 / (1 + 1*4) = 0.4; channels 1, 2 remain zero.
+        assert out[0, 0, 0, 0] == pytest.approx(0.4)
+        assert out[0, 1, 0, 0] == 0.0
+
+    def test_gradient_numerically(self, rng):
+        layer = LocalResponseNormLayer(size=3, alpha=0.1, beta=0.75, k=2.0)
+        x = rng.standard_normal((1, 5, 2, 2)).astype(np.float64)
+        err = rng.standard_normal((1, 5, 2, 2)).astype(np.float64)
+        layer.forward(x)
+        analytic = layer.backward(err)
+        numeric = numeric_input_grad(layer, x, err)
+        np.testing.assert_allclose(analytic, numeric, atol=1e-6, rtol=1e-4)
+
+    def test_validation(self):
+        with pytest.raises(ShapeError):
+            LocalResponseNormLayer(size=4)  # even window
+        with pytest.raises(ShapeError):
+            LocalResponseNormLayer(alpha=0.0)
+        with pytest.raises(ShapeError):
+            LocalResponseNormLayer().backward(np.zeros((1, 1, 1, 1)))
+
+
+class TestDropout:
+    def test_inference_is_identity(self, rng):
+        layer = DropoutLayer(rate=0.5)
+        x = rng.standard_normal((4, 10)).astype(np.float32)
+        np.testing.assert_array_equal(layer.forward(x, training=False), x)
+
+    def test_training_zeroes_and_rescales(self):
+        layer = DropoutLayer(rate=0.5, seed=1)
+        x = np.ones((1, 10000), dtype=np.float32)
+        out = layer.forward(x, training=True)
+        dropped = float((out == 0).mean())
+        assert 0.45 < dropped < 0.55
+        # Inverted dropout keeps the expectation: survivors scaled by 1/keep.
+        assert out.max() == pytest.approx(2.0)
+        assert out.mean() == pytest.approx(1.0, abs=0.05)
+
+    def test_backward_uses_same_mask(self):
+        layer = DropoutLayer(rate=0.5, seed=2)
+        x = np.ones((2, 50), dtype=np.float32)
+        out = layer.forward(x, training=True)
+        err = np.ones_like(out)
+        in_err = layer.backward(err)
+        np.testing.assert_array_equal((in_err == 0), (out == 0))
+
+    def test_rate_zero_is_identity(self, rng):
+        layer = DropoutLayer(rate=0.0)
+        x = rng.standard_normal((3, 4)).astype(np.float32)
+        np.testing.assert_array_equal(layer.forward(x, training=True), x)
+        np.testing.assert_array_equal(layer.backward(x), x)
+
+    def test_validation(self):
+        with pytest.raises(ShapeError):
+            DropoutLayer(rate=1.0)
+        with pytest.raises(ShapeError):
+            DropoutLayer(rate=-0.1)
+
+
+class TestAlexNetSmall:
+    def test_builds_and_forwards(self):
+        from repro.nn.zoo import alexnet_small
+
+        net = alexnet_small(scale=0.25, rng=np.random.default_rng(0))
+        kinds = [layer.kind for layer in net.layers]
+        assert "lrn" in kinds and "dropout" in kinds and "avgpool" in kinds
+        x = np.zeros((1, 3, 64, 64), dtype=np.float32)
+        assert net.forward(x, training=False).shape == (1, 100)
+
+    def test_trains_one_step(self):
+        from repro.data.synthetic import make_dataset
+        from repro.nn.sgd import SGDTrainer
+        from repro.nn.zoo import alexnet_small
+
+        net = alexnet_small(scale=0.1, rng=np.random.default_rng(1))
+        data = make_dataset(4, 100, (3, 64, 64), seed=0)
+        result = SGDTrainer(net, learning_rate=0.01).step(
+            data.images, data.labels
+        )
+        assert np.isfinite(result.loss)

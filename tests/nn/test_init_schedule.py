@@ -1,0 +1,103 @@
+"""Tests for weight initializers and learning-rate schedules."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError, ShapeError
+from repro.nn.init import he_normal, initialize, xavier_uniform, zeros
+from repro.nn.schedule import ConstantLR, ExponentialLR, StepDecayLR
+
+
+class TestInitializers:
+    def test_he_variance(self, rng):
+        w = he_normal((64, 128), rng)
+        assert w.dtype == np.float32
+        assert w.std() == pytest.approx(np.sqrt(2.0 / 128), rel=0.1)
+
+    def test_xavier_bounds(self, rng):
+        w = xavier_uniform((32, 64), rng)
+        limit = np.sqrt(6.0 / (64 + 32))
+        assert np.abs(w).max() <= limit
+
+    def test_conv_shape_fan_in(self, rng):
+        # fan_in of [F, C, Ky, Kx] is C*Ky*Kx.
+        w = he_normal((8, 4, 3, 3), rng)
+        assert w.std() == pytest.approx(np.sqrt(2.0 / 36), rel=0.15)
+
+    def test_zeros(self):
+        assert not zeros((3, 4)).any()
+
+    def test_registry_dispatch(self, rng):
+        w = initialize("he", (16, 16), rng)
+        assert w.shape == (16, 16)
+        with pytest.raises(ShapeError):
+            initialize("glorot-banana", (2, 2), rng)
+
+    def test_rejects_1d_weights(self, rng):
+        with pytest.raises(ShapeError):
+            he_normal((5,), rng)
+
+
+class TestSchedules:
+    def test_constant(self):
+        sched = ConstantLR(0.1)
+        assert sched.rate(1) == sched.rate(100) == 0.1
+
+    def test_step_decay(self):
+        sched = StepDecayLR(1.0, factor=0.5, step_epochs=2)
+        assert sched.rate(1) == 1.0
+        assert sched.rate(2) == 1.0
+        assert sched.rate(3) == 0.5
+        assert sched.rate(5) == 0.25
+
+    def test_exponential(self):
+        sched = ExponentialLR(1.0, gamma=0.9)
+        assert sched.rate(1) == 1.0
+        assert sched.rate(3) == pytest.approx(0.81)
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            ConstantLR(0.0)
+        with pytest.raises(ReproError):
+            StepDecayLR(1.0, factor=1.5)
+        with pytest.raises(ReproError):
+            ExponentialLR(1.0, gamma=0.0)
+        with pytest.raises(ReproError):
+            ConstantLR(0.1).rate(0)
+
+
+class TestTrainerIntegration:
+    def test_set_learning_rate(self):
+        from repro.nn.sgd import SGDTrainer
+        from repro.nn.zoo import mnist_net
+
+        trainer = SGDTrainer(mnist_net(scale=0.1), learning_rate=0.1)
+        schedule = StepDecayLR(0.1, factor=0.1, step_epochs=1)
+        trainer.set_learning_rate(schedule.rate(2))
+        assert trainer.learning_rate == pytest.approx(0.01)
+        with pytest.raises(ValueError):
+            trainer.set_learning_rate(0.0)
+
+    def test_weight_decay_shrinks_weights(self):
+        from repro.data.synthetic import make_dataset
+        from repro.nn.sgd import SGDTrainer
+        from repro.nn.zoo import mnist_net
+
+        data = make_dataset(8, 10, (1, 28, 28), seed=0)
+        plain_net = mnist_net(scale=0.2, rng=np.random.default_rng(0))
+        decayed_net = mnist_net(scale=0.2, rng=np.random.default_rng(0))
+        SGDTrainer(plain_net, learning_rate=0.01, momentum=0.0).step(
+            data.images, data.labels
+        )
+        SGDTrainer(decayed_net, learning_rate=0.01, momentum=0.0,
+                   weight_decay=0.1).step(data.images, data.labels)
+        norm_plain = np.linalg.norm(plain_net.conv_layers()[0].weights)
+        norm_decayed = np.linalg.norm(decayed_net.conv_layers()[0].weights)
+        assert norm_decayed < norm_plain
+
+    def test_rejects_negative_weight_decay(self):
+        from repro.nn.sgd import SGDTrainer
+        from repro.nn.zoo import mnist_net
+
+        with pytest.raises(ValueError):
+            SGDTrainer(mnist_net(scale=0.1), weight_decay=-0.1)

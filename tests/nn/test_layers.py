@@ -1,0 +1,235 @@
+"""Tests for the layer implementations, including gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.core.convspec import ConvSpec
+from repro.errors import ShapeError
+from repro.nn.layers.activations import FlattenLayer, ReLULayer
+from repro.nn.layers.conv import ConvLayer
+from repro.nn.layers.dense import DenseLayer
+from repro.nn.layers.pool import MaxPoolLayer
+
+
+def numeric_param_grad(layer, param, inputs, err, eps=1e-3):
+    """Central-difference gradient of <forward(x), err> w.r.t. ``param``."""
+    grad = np.zeros_like(param)
+    it = np.nditer(param, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        original = param[idx]
+        param[idx] = original + eps
+        plus = float(np.vdot(layer.forward(inputs), err))
+        param[idx] = original - eps
+        minus = float(np.vdot(layer.forward(inputs), err))
+        param[idx] = original
+        grad[idx] = (plus - minus) / (2 * eps)
+        it.iternext()
+    return grad
+
+
+class TestConvLayer:
+    def make(self, pad=0, stride=1, engine="gemm-in-parallel"):
+        spec = ConvSpec(nc=2, ny=6, nx=6, nf=3, fy=3, fx=3, pad=pad,
+                        sy=stride, sx=stride, name="c")
+        return ConvLayer(spec, fp_engine=engine, bp_engine=engine,
+                         rng=np.random.default_rng(5))
+
+    def test_forward_shape(self, rng):
+        layer = self.make()
+        out = layer.forward(rng.standard_normal((4, 2, 6, 6)).astype(np.float32))
+        assert out.shape == (4, 3, 4, 4)
+
+    def test_padding_preserves_spatial_size(self, rng):
+        layer = self.make(pad=1)
+        out = layer.forward(rng.standard_normal((2, 2, 6, 6)).astype(np.float32))
+        assert out.shape == (2, 3, 6, 6)
+
+    def test_bias_is_added(self, rng):
+        layer = self.make()
+        layer.bias[:] = [1.0, 2.0, 3.0]
+        zero_in = np.zeros((1, 2, 6, 6), dtype=np.float32)
+        out = layer.forward(zero_in)
+        np.testing.assert_allclose(out[0, 0], 1.0)
+        np.testing.assert_allclose(out[0, 2], 3.0)
+
+    def test_weight_gradient_numerically(self, rng):
+        layer = self.make()
+        inputs = rng.standard_normal((2, 2, 6, 6)).astype(np.float64)
+        layer.weights = layer.weights.astype(np.float64)
+        layer.bias = layer.bias.astype(np.float64)
+        layer.d_weights = np.zeros_like(layer.weights)
+        layer.d_bias = np.zeros_like(layer.bias)
+        err = rng.standard_normal((2, 3, 4, 4)).astype(np.float64)
+        layer.forward(inputs)
+        layer.backward(err)
+        numeric = numeric_param_grad(layer, layer.weights, inputs, err)
+        np.testing.assert_allclose(layer.d_weights, numeric, atol=5e-3, rtol=1e-2)
+
+    def test_bias_gradient(self, rng):
+        layer = self.make()
+        inputs = rng.standard_normal((2, 2, 6, 6)).astype(np.float32)
+        err = rng.standard_normal((2, 3, 4, 4)).astype(np.float32)
+        layer.forward(inputs)
+        layer.backward(err)
+        np.testing.assert_allclose(
+            layer.d_bias, err.sum(axis=(0, 2, 3)), atol=1e-3
+        )
+
+    def test_backward_with_padding_strips_pad(self, rng):
+        layer = self.make(pad=1)
+        inputs = rng.standard_normal((2, 2, 6, 6)).astype(np.float32)
+        layer.forward(inputs)
+        in_err = layer.backward(
+            rng.standard_normal((2, 3, 6, 6)).astype(np.float32)
+        )
+        assert in_err.shape == inputs.shape
+
+    def test_engine_swap_preserves_results(self, rng):
+        layer = self.make()
+        inputs = rng.standard_normal((2, 2, 6, 6)).astype(np.float32)
+        out_gip = layer.forward(inputs)
+        layer.set_fp_engine("stencil")
+        assert layer.fp_engine_name == "stencil"
+        np.testing.assert_allclose(layer.forward(inputs), out_gip, atol=1e-3)
+
+    def test_bp_engine_swap_preserves_gradients(self, rng):
+        layer = self.make()
+        inputs = rng.standard_normal((2, 2, 6, 6)).astype(np.float32)
+        err = rng.standard_normal((2, 3, 4, 4)).astype(np.float32)
+        layer.forward(inputs)
+        in_err1 = layer.backward(err)
+        dw1 = layer.d_weights.copy()
+        layer.zero_grads()
+        layer.set_bp_engine("sparse")
+        layer.forward(inputs)
+        in_err2 = layer.backward(err)
+        np.testing.assert_allclose(in_err2, in_err1, atol=1e-3)
+        np.testing.assert_allclose(layer.d_weights, dw1, atol=1e-3)
+
+    def test_records_error_sparsity(self, rng):
+        layer = self.make()
+        inputs = rng.standard_normal((2, 2, 6, 6)).astype(np.float32)
+        err = rng.standard_normal((2, 3, 4, 4)).astype(np.float32)
+        err[err < 0.8] = 0.0
+        layer.forward(inputs)
+        layer.backward(err)
+        expected = 1 - np.count_nonzero(err) / err.size
+        assert layer.last_error_sparsity == pytest.approx(expected)
+
+    def test_backward_before_forward_raises(self, rng):
+        layer = self.make()
+        with pytest.raises(ShapeError):
+            layer.backward(np.zeros((1, 3, 4, 4), np.float32))
+
+    def test_rejects_wrong_input_shape(self, rng):
+        layer = self.make()
+        with pytest.raises(ShapeError):
+            layer.forward(np.zeros((1, 2, 5, 6), np.float32))
+
+
+class TestMaxPool:
+    def test_forward_takes_window_max(self):
+        layer = MaxPoolLayer(kernel=2, stride=2)
+        x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        out = layer.forward(x)
+        np.testing.assert_array_equal(out[0, 0], [[5, 7], [13, 15]])
+
+    def test_backward_routes_to_argmax(self):
+        layer = MaxPoolLayer(kernel=2, stride=2)
+        x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        layer.forward(x)
+        err = np.ones((1, 1, 2, 2), dtype=np.float32)
+        in_err = layer.backward(err)
+        # Gradient lands only on each window's max position.
+        expected = np.zeros((4, 4), dtype=np.float32)
+        expected[1, 1] = expected[1, 3] = expected[3, 1] = expected[3, 3] = 1.0
+        np.testing.assert_array_equal(in_err[0, 0], expected)
+
+    def test_backward_gradient_is_sparse(self, rng):
+        # 2x2 pooling makes at least 75% of the input error zero.
+        layer = MaxPoolLayer(kernel=2, stride=2)
+        x = rng.standard_normal((2, 3, 8, 8)).astype(np.float32)
+        layer.forward(x)
+        in_err = layer.backward(
+            rng.standard_normal((2, 3, 4, 4)).astype(np.float32)
+        )
+        sparsity = 1 - np.count_nonzero(in_err) / in_err.size
+        assert sparsity >= 0.75 - 1e-9
+
+    def test_overlapping_stride(self, rng):
+        layer = MaxPoolLayer(kernel=3, stride=2)
+        x = rng.standard_normal((1, 1, 7, 7)).astype(np.float32)
+        out = layer.forward(x)
+        assert out.shape == (1, 1, 3, 3)
+
+    def test_output_shape_helper(self):
+        assert MaxPoolLayer(2).output_shape((8, 10, 12)) == (8, 5, 6)
+
+    def test_rejects_kernel_too_large(self):
+        with pytest.raises(ShapeError):
+            MaxPoolLayer(5).output_shape((1, 4, 4))
+
+    def test_rejects_bad_kernel(self):
+        with pytest.raises(ShapeError):
+            MaxPoolLayer(0)
+
+
+class TestReLU:
+    def test_forward_clamps(self):
+        layer = ReLULayer()
+        x = np.array([[-1.0, 0.0, 2.0]], dtype=np.float32)
+        np.testing.assert_array_equal(layer.forward(x), [[0, 0, 2]])
+
+    def test_backward_masks(self):
+        layer = ReLULayer()
+        x = np.array([[-1.0, 0.5, 2.0]], dtype=np.float32)
+        layer.forward(x)
+        err = np.array([[3.0, 4.0, 5.0]], dtype=np.float32)
+        np.testing.assert_array_equal(layer.backward(err), [[0, 4, 5]])
+
+    def test_backward_before_forward_raises(self):
+        with pytest.raises(ShapeError):
+            ReLULayer().backward(np.ones((1, 2), np.float32))
+
+
+class TestFlatten:
+    def test_roundtrip(self, rng):
+        layer = FlattenLayer()
+        x = rng.standard_normal((3, 2, 4, 5)).astype(np.float32)
+        out = layer.forward(x)
+        assert out.shape == (3, 40)
+        np.testing.assert_array_equal(layer.backward(out), x)
+
+    def test_output_shape(self):
+        assert FlattenLayer().output_shape((2, 3, 4)) == (24,)
+
+
+class TestDense:
+    def test_forward_affine(self, rng):
+        layer = DenseLayer(4, 3, rng=rng)
+        x = rng.standard_normal((5, 4)).astype(np.float32)
+        np.testing.assert_allclose(
+            layer.forward(x), x @ layer.weights.T + layer.bias, atol=1e-5
+        )
+
+    def test_gradients_numerically(self, rng):
+        layer = DenseLayer(3, 2, rng=rng)
+        layer.weights = layer.weights.astype(np.float64)
+        layer.bias = layer.bias.astype(np.float64)
+        layer.d_weights = np.zeros_like(layer.weights)
+        layer.d_bias = np.zeros_like(layer.bias)
+        x = rng.standard_normal((4, 3))
+        err = rng.standard_normal((4, 2))
+        layer.forward(x)
+        in_err = layer.backward(err)
+        numeric = numeric_param_grad(layer, layer.weights, x, err)
+        np.testing.assert_allclose(layer.d_weights, numeric, atol=1e-5)
+        np.testing.assert_allclose(in_err, err @ layer.weights, atol=1e-6)
+
+    def test_rejects_bad_shapes(self, rng):
+        layer = DenseLayer(4, 3, rng=rng)
+        with pytest.raises(ShapeError):
+            layer.forward(np.zeros((2, 5)))
+        with pytest.raises(ShapeError):
+            DenseLayer(0, 3)

@@ -1,0 +1,80 @@
+"""Tests for loss functions."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.nn.losses import accuracy, softmax, softmax_cross_entropy
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self, rng):
+        probs = softmax(rng.standard_normal((6, 10)).astype(np.float32))
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0, atol=1e-5)
+        assert (probs >= 0).all()
+
+    def test_shift_invariance(self, rng):
+        logits = rng.standard_normal((3, 5)).astype(np.float64)
+        np.testing.assert_allclose(
+            softmax(logits), softmax(logits + 100.0), atol=1e-9
+        )
+
+    def test_numerical_stability_with_huge_logits(self):
+        logits = np.array([[1e4, 0.0, -1e4]], dtype=np.float64)
+        probs = softmax(logits)
+        assert np.isfinite(probs).all()
+        assert probs[0, 0] == pytest.approx(1.0)
+
+    def test_rejects_wrong_rank(self):
+        with pytest.raises(ShapeError):
+            softmax(np.zeros(3))
+
+
+class TestCrossEntropy:
+    def test_perfect_prediction_has_low_loss(self):
+        logits = np.array([[100.0, 0.0], [0.0, 100.0]])
+        loss, _ = softmax_cross_entropy(logits, np.array([0, 1]))
+        assert loss < 1e-6
+
+    def test_uniform_prediction_loss_is_log_classes(self):
+        logits = np.zeros((4, 10))
+        loss, _ = softmax_cross_entropy(logits, np.zeros(4, dtype=int))
+        assert loss == pytest.approx(np.log(10), rel=1e-6)
+
+    def test_gradient_matches_finite_differences(self, rng):
+        logits = rng.standard_normal((3, 4))
+        labels = np.array([1, 3, 0])
+        _, grad = softmax_cross_entropy(logits, labels)
+        eps = 1e-6
+        for i in range(3):
+            for j in range(4):
+                plus = logits.copy()
+                plus[i, j] += eps
+                minus = logits.copy()
+                minus[i, j] -= eps
+                lp, _ = softmax_cross_entropy(plus, labels)
+                lm, _ = softmax_cross_entropy(minus, labels)
+                assert grad[i, j] == pytest.approx((lp - lm) / (2 * eps), abs=1e-4)
+
+    def test_gradient_rows_sum_to_zero(self, rng):
+        logits = rng.standard_normal((5, 7))
+        labels = rng.integers(0, 7, size=5)
+        _, grad = softmax_cross_entropy(logits, labels)
+        np.testing.assert_allclose(grad.sum(axis=1), 0.0, atol=1e-7)
+
+    def test_rejects_bad_labels(self, rng):
+        logits = rng.standard_normal((2, 3))
+        with pytest.raises(ShapeError):
+            softmax_cross_entropy(logits, np.array([0, 3]))
+        with pytest.raises(ShapeError):
+            softmax_cross_entropy(logits, np.array([0]))
+
+
+class TestAccuracy:
+    def test_perfect_and_zero(self):
+        logits = np.array([[1.0, 0.0], [0.0, 1.0]])
+        assert accuracy(logits, np.array([0, 1])) == 1.0
+        assert accuracy(logits, np.array([1, 0])) == 0.0
+
+    def test_empty_batch(self):
+        assert accuracy(np.zeros((0, 2)), np.zeros(0, dtype=int)) == 0.0

@@ -1,0 +1,61 @@
+"""Tests for classification metrics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.nn.metrics import confusion_matrix, per_class_accuracy, top_k_accuracy
+
+
+class TestTopK:
+    def test_top1_equals_argmax_accuracy(self, rng):
+        logits = rng.standard_normal((10, 5))
+        labels = rng.integers(0, 5, size=10)
+        from repro.nn.losses import accuracy
+
+        assert top_k_accuracy(logits, labels, k=1) == pytest.approx(
+            accuracy(logits, labels)
+        )
+
+    def test_topk_monotone_in_k(self, rng):
+        logits = rng.standard_normal((20, 8))
+        labels = rng.integers(0, 8, size=20)
+        values = [top_k_accuracy(logits, labels, k) for k in (1, 3, 8)]
+        assert values[0] <= values[1] <= values[2]
+        assert values[2] == 1.0  # k = num classes always hits
+
+    def test_validation(self, rng):
+        logits = rng.standard_normal((4, 3))
+        with pytest.raises(ShapeError):
+            top_k_accuracy(logits, np.zeros(4, int), k=0)
+        with pytest.raises(ShapeError):
+            top_k_accuracy(logits, np.zeros(3, int), k=1)
+
+
+class TestConfusion:
+    def test_counts(self):
+        logits = np.array([
+            [2.0, 0.0],  # pred 0
+            [0.0, 2.0],  # pred 1
+            [2.0, 0.0],  # pred 0
+        ])
+        labels = np.array([0, 1, 1])
+        matrix = confusion_matrix(logits, labels, num_classes=2)
+        np.testing.assert_array_equal(matrix, [[1, 0], [1, 1]])
+
+    def test_total_preserved(self, rng):
+        logits = rng.standard_normal((50, 4))
+        labels = rng.integers(0, 4, size=50)
+        assert confusion_matrix(logits, labels, 4).sum() == 50
+
+    def test_per_class_accuracy(self):
+        matrix = np.array([[3, 1], [0, 0]])
+        acc = per_class_accuracy(matrix)
+        assert acc[0] == pytest.approx(0.75)
+        assert np.isnan(acc[1])  # class 1 never appears
+
+    def test_validation(self, rng):
+        with pytest.raises(ShapeError):
+            confusion_matrix(rng.standard_normal((2, 3)), np.array([0, 3]), 3)
+        with pytest.raises(ShapeError):
+            per_class_accuracy(np.zeros((2, 3)))

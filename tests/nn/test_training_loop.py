@@ -1,0 +1,107 @@
+"""Tests for the full training loop."""
+
+import numpy as np
+import pytest
+
+from repro.data.augment import AugmentationPipeline
+from repro.data.synthetic import make_dataset
+from repro.errors import ReproError
+from repro.nn.netdef import build_network
+from repro.nn.schedule import StepDecayLR
+from repro.nn.training_loop import TrainingHistory, TrainingLoop
+
+
+def net(seed=0):
+    return build_network(
+        {
+            "input": [1, 10, 10],
+            "layers": [
+                {"type": "conv", "features": 6, "kernel": 3},
+                {"type": "relu"},
+                {"type": "pool", "kernel": 2, "stride": 2},
+                {"type": "flatten"},
+                {"type": "dense", "features": 4},
+            ],
+        },
+        rng=np.random.default_rng(seed),
+    )
+
+
+@pytest.fixture(scope="module")
+def datasets():
+    train = make_dataset(48, 4, (1, 10, 10), noise=0.2, seed=0)
+    evaluation = make_dataset(16, 4, (1, 10, 10), noise=0.2, seed=1)
+    return train, evaluation
+
+
+class TestTrainingLoop:
+    def test_converges_and_records_history(self, datasets):
+        train, evaluation = datasets
+        loop = TrainingLoop(net(), train, eval_data=evaluation,
+                            batch_size=8,
+                            schedule=StepDecayLR(0.05, 0.5, step_epochs=3))
+        history = loop.run(epochs=5)
+        assert len(history.epochs) == 5
+        assert history.improved()
+        assert history.final.eval_loss is not None
+        # The schedule actually stepped the rate down.
+        assert history.epochs[0].learning_rate == pytest.approx(0.05)
+        assert history.epochs[4].learning_rate == pytest.approx(0.025)
+
+    def test_error_sparsity_tracked(self, datasets):
+        train, _ = datasets
+        history = TrainingLoop(net(), train, batch_size=8).run(epochs=2)
+        # ReLU + pooling guarantee high error sparsity at the conv layer.
+        assert history.final.mean_error_sparsity > 0.5
+
+    def test_augmentation_applied(self, datasets):
+        train, _ = datasets
+        pipeline = AugmentationPipeline(pad=1, crop=10, seed=3)
+        history = TrainingLoop(net(), train, batch_size=8,
+                               augment=pipeline).run(epochs=2)
+        assert np.isfinite(history.final.train_loss)
+
+    def test_epoch_end_hook_called(self, datasets):
+        train, _ = datasets
+        calls = []
+        TrainingLoop(
+            net(), train, batch_size=8,
+            epoch_end_hook=lambda epoch, network: calls.append(epoch),
+        ).run(epochs=3)
+        assert calls == [1, 2, 3]
+
+    def test_spg_hook_integration(self, datasets):
+        from repro.core.autotuner import ModelCostBackend
+        from repro.core.framework import SpgCNN
+        from repro.machine.spec import xeon_e5_2650
+
+        train, _ = datasets
+        network = net(seed=2)
+        spg = SpgCNN(network, ModelCostBackend(xeon_e5_2650(), 16, 64))
+        spg.optimize()
+        loop = TrainingLoop(
+            network, train, batch_size=8,
+            epoch_end_hook=lambda epoch, _net: spg.after_epoch(epoch),
+        )
+        loop.run(epochs=4)
+        # Periodic re-tuning ran against measured sparsity.
+        assert spg.plan.layers[0].sparsity > 0
+
+    def test_shuffling_changes_batch_order(self, datasets):
+        train, _ = datasets
+        loop = TrainingLoop(net(), train, batch_size=8, shuffle_seed=7)
+        first_epoch = [y.copy() for _, y in loop._epoch_batches()]
+        second_epoch = [y.copy() for _, y in loop._epoch_batches()]
+        assert any(
+            not np.array_equal(a, b)
+            for a, b in zip(first_epoch, second_epoch)
+        )
+
+    def test_validation(self, datasets):
+        train, _ = datasets
+        with pytest.raises(ReproError):
+            TrainingLoop(net(), train, batch_size=0)
+        with pytest.raises(ReproError):
+            TrainingLoop(net(), train).run(epochs=0)
+        with pytest.raises(ReproError):
+            _ = TrainingHistory().final

@@ -1,0 +1,94 @@
+"""Tests for the FFT convolution engine (Sec. 6 extension)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.convspec import ConvSpec
+from repro.ops.engine import make_engine
+from repro.ops.fft_conv import FFTConvEngine, _fft_shape, fft_conv_flops
+from tests.conftest import SMALL_SPECS, random_conv_data
+
+
+@pytest.mark.parametrize("spec", SMALL_SPECS, ids=lambda s: s.describe())
+class TestFFTEquivalence:
+    def test_forward(self, spec, rng):
+        inputs, weights, _ = random_conv_data(spec, rng, batch=2)
+        got = make_engine("fft", spec).forward(inputs, weights)
+        want = make_engine("reference", spec).forward(inputs, weights)
+        np.testing.assert_allclose(got, want, atol=1e-3)
+
+    def test_backward_data(self, spec, rng):
+        _, weights, err = random_conv_data(spec, rng, batch=2)
+        got = make_engine("fft", spec).backward_data(err, weights)
+        want = make_engine("reference", spec).backward_data(err, weights)
+        np.testing.assert_allclose(got, want, atol=1e-3)
+
+    def test_backward_weights(self, spec, rng):
+        inputs, _, err = random_conv_data(spec, rng, batch=2)
+        got = make_engine("fft", spec).backward_weights(err, inputs)
+        want = make_engine("reference", spec).backward_weights(err, inputs)
+        np.testing.assert_allclose(got, want, atol=1e-3)
+
+
+class TestGridSizing:
+    def test_grid_avoids_circular_aliasing(self):
+        # The grid must cover N + F - 1 points per axis.
+        spec = ConvSpec(nc=1, ny=8, nx=8, nf=1, fy=3, fx=3)
+        gy, gx = _fft_shape(spec)
+        assert gy >= spec.ny + spec.fy - 1
+        assert gx >= spec.nx + spec.fx - 1
+
+    def test_grid_is_power_of_two(self):
+        spec = ConvSpec(nc=1, ny=13, nx=27, nf=1, fy=5, fx=5)
+        gy, gx = _fft_shape(spec)
+        assert gy & (gy - 1) == 0
+        assert gx & (gx - 1) == 0
+
+    @given(
+        st.integers(4, 20), st.integers(1, 5), st.integers(0, 2**31 - 1)
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_forward_property(self, n, f, seed):
+        if f > n:
+            return
+        spec = ConvSpec(nc=2, ny=n, nx=n, nf=2, fy=f, fx=f)
+        rng = np.random.default_rng(seed)
+        inputs, weights, _ = random_conv_data(spec, rng, batch=1)
+        got = make_engine("fft", spec).forward(inputs, weights)
+        want = make_engine("reference", spec).forward(inputs, weights)
+        np.testing.assert_allclose(got, want, atol=1e-3)
+
+
+class TestCostModel:
+    def test_flops_grow_with_grid(self):
+        small = ConvSpec(nc=4, ny=16, nx=16, nf=4, fy=3, fx=3)
+        large = ConvSpec(nc=4, ny=64, nx=64, nf=4, fy=3, fx=3)
+        assert fft_conv_flops(large) > fft_conv_flops(small)
+
+    def test_fft_beats_direct_for_huge_kernels(self):
+        # Direct conv work grows with Fy*Fx; FFT work does not.  For a
+        # kernel covering half the image, FFT needs fewer flops.
+        spec = ConvSpec(nc=8, ny=64, nx=64, nf=8, fy=31, fx=31)
+        assert fft_conv_flops(spec) < spec.flops
+
+    def test_direct_beats_fft_for_tiny_kernels(self):
+        spec = ConvSpec(nc=8, ny=64, nx=64, nf=8, fy=2, fx=2)
+        assert fft_conv_flops(spec) > spec.flops
+
+    def test_rejects_nonpositive_cores(self):
+        with pytest.raises(ValueError):
+            FFTConvEngine(SMALL_SPECS[0], num_cores=0)
+
+
+class TestFFTTimeModel:
+    def test_time_positive_and_scales(self):
+        from repro.machine.fft_model import fft_conv_time
+        from repro.machine.spec import xeon_e5_2650
+
+        machine = xeon_e5_2650()
+        spec = ConvSpec(nc=8, ny=64, nx=64, nf=8, fy=9, fx=9)
+        t1 = fft_conv_time(spec, 16, machine, 1)
+        t16 = fft_conv_time(spec, 16, machine, 16)
+        assert 0 < t16 < t1

@@ -1,0 +1,105 @@
+"""Tests for data-layout transformations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.convspec import ConvSpec
+from repro.errors import ShapeError
+from repro.ops import layout
+
+
+class TestPadding:
+    def test_pad_and_unpad_roundtrip(self, rng):
+        spec = ConvSpec(nc=2, ny=5, nx=6, nf=1, fy=2, fx=2, pad=2)
+        image = rng.standard_normal(spec.input_shape).astype(np.float32)
+        padded = layout.pad_input(spec, image)
+        assert padded.shape == spec.padded_input_shape
+        np.testing.assert_array_equal(layout.unpad_input(spec, padded), image)
+
+    def test_pad_zero_is_identity(self, rng):
+        spec = ConvSpec(nc=1, ny=4, nx=4, nf=1, fy=2, fx=2)
+        image = rng.standard_normal(spec.input_shape).astype(np.float32)
+        assert layout.pad_input(spec, image) is image
+
+    def test_pad_border_is_zero(self, rng):
+        spec = ConvSpec(nc=1, ny=3, nx=3, nf=1, fy=2, fx=2, pad=1)
+        image = np.ones(spec.input_shape, dtype=np.float32)
+        padded = layout.pad_input(spec, image)
+        assert padded[0, 0, 0] == 0 and padded[0, -1, -1] == 0
+        assert padded[0, 1:-1, 1:-1].min() == 1
+
+    def test_pad_rejects_wrong_shape(self):
+        spec = ConvSpec(nc=1, ny=3, nx=3, nf=1, fy=2, fx=2, pad=1)
+        with pytest.raises(ShapeError):
+            layout.pad_input(spec, np.zeros((2, 3, 3), np.float32))
+
+
+class TestChannelTransforms:
+    def test_chw_hwc_roundtrip(self, rng):
+        arr = rng.standard_normal((3, 5, 7)).astype(np.float32)
+        hwc = layout.chw_to_hwc(arr)
+        assert hwc.shape == (5, 7, 3)
+        assert hwc.flags["C_CONTIGUOUS"]
+        np.testing.assert_array_equal(layout.hwc_to_chw(hwc), arr)
+
+    def test_rejects_wrong_rank(self):
+        with pytest.raises(ShapeError):
+            layout.chw_to_hwc(np.zeros((2, 2)))
+        with pytest.raises(ShapeError):
+            layout.hwc_to_chw(np.zeros((2, 2)))
+
+    def test_sparse_weight_layout(self, rng):
+        spec = ConvSpec(nc=3, ny=6, nx=6, nf=4, fy=2, fx=2)
+        weights = rng.standard_normal(spec.weight_shape).astype(np.float32)
+        transformed = layout.weights_to_sparse_layout(spec, weights)
+        assert transformed.shape == (2, 2, 4, 3)
+        # W'[ky, kx, f, c] == W[f, c, ky, kx]
+        assert transformed[1, 0, 2, 1] == weights[2, 1, 1, 0]
+        assert transformed.flags["C_CONTIGUOUS"]
+
+
+class TestStridedLayout:
+    def test_eq21_phase_grouping(self):
+        # [0..7] with sx=2 -> phases [[0,2,4,6],[1,3,5,7]].
+        arr = np.arange(8, dtype=np.float32)[None]
+        transformed = layout.strided_x_layout(arr, 2)
+        assert transformed.shape == (1, 2, 4)
+        np.testing.assert_array_equal(transformed[0, 0], [0, 2, 4, 6])
+        np.testing.assert_array_equal(transformed[0, 1], [1, 3, 5, 7])
+
+    def test_pads_to_multiple(self):
+        arr = np.arange(5, dtype=np.float32)[None]
+        transformed = layout.strided_x_layout(arr, 3)
+        assert transformed.shape == (1, 3, 2)
+        np.testing.assert_array_equal(transformed[0, 2], [2, 0])
+
+    def test_stride_one_is_identity(self, rng):
+        arr = rng.standard_normal((2, 3, 4)).astype(np.float32)
+        assert layout.strided_x_layout(arr, 1) is arr
+
+    @given(
+        st.integers(1, 4),
+        st.integers(2, 20),
+        st.integers(1, 4),
+        st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_property(self, channels, nx, sx, seed):
+        rng = np.random.default_rng(seed)
+        arr = rng.standard_normal((channels, nx)).astype(np.float32)
+        transformed = layout.strided_x_layout(arr, sx)
+        restored = layout.unstrided_x_layout(transformed, sx, nx)
+        np.testing.assert_array_equal(restored, arr)
+
+    def test_rejects_nonpositive_stride(self):
+        with pytest.raises(ShapeError):
+            layout.strided_x_layout(np.zeros((2, 4)), 0)
+
+
+class TestTransformCost:
+    def test_counts_read_plus_write(self):
+        a = np.zeros((2, 3))
+        b = np.zeros(5)
+        assert layout.transform_cost_elems(a, b) == 2 * 6 + 2 * 5

@@ -1,0 +1,120 @@
+"""Tests for unfolding (im2col) and folding (col2im)."""
+
+import numpy as np
+import pytest
+
+from repro.core.convspec import ConvSpec
+from repro.errors import ShapeError
+from repro.ops import reference as ref
+from repro.ops import unfold as uf
+from tests.conftest import SMALL_SPECS, random_conv_data
+
+
+class TestUnfoldStructure:
+    def test_shape(self):
+        spec = ConvSpec(nc=2, ny=5, nx=6, nf=3, fy=2, fx=3)
+        image = np.arange(2 * 5 * 6, dtype=np.float32).reshape(2, 5, 6)
+        unfolded = uf.unfold(spec, image)
+        assert unfolded.shape == (spec.out_ny * spec.out_nx, 2 * 2 * 3)
+
+    def test_rows_are_kernel_windows(self):
+        # Row r of U must equal the flattened window of output position r
+        # with channel the slowest column group (Fig. 2b).
+        spec = ConvSpec(nc=2, ny=4, nx=4, nf=1, fy=2, fx=2)
+        image = np.arange(32, dtype=np.float32).reshape(2, 4, 4)
+        unfolded = uf.unfold(spec, image)
+        for y in range(spec.out_ny):
+            for x in range(spec.out_nx):
+                row = unfolded[y * spec.out_nx + x]
+                window = image[:, y : y + 2, x : x + 2].reshape(-1)
+                np.testing.assert_array_equal(row, window)
+
+    def test_paper_figure2b_example(self):
+        # 3x3 image, 2 channels, 2x2 kernel -> 4 rows of 8 columns.
+        spec = ConvSpec(nc=2, ny=3, nx=3, nf=1, fy=2, fx=2)
+        image = np.stack(
+            [np.arange(9, dtype=np.float32).reshape(3, 3),
+             10 + np.arange(9, dtype=np.float32).reshape(3, 3)]
+        )
+        unfolded = uf.unfold(spec, image)
+        assert unfolded.shape == (4, 8)
+        np.testing.assert_array_equal(
+            unfolded[0], [0, 1, 3, 4, 10, 11, 13, 14]
+        )
+
+    def test_strided_unfold_skips_positions(self):
+        spec = ConvSpec(nc=1, ny=5, nx=5, nf=1, fy=2, fx=2, sy=2, sx=2)
+        image = np.arange(25, dtype=np.float32).reshape(1, 5, 5)
+        unfolded = uf.unfold(spec, image)
+        assert unfolded.shape == (4, 4)
+        np.testing.assert_array_equal(unfolded[1], [2, 3, 7, 8])
+
+    def test_rejects_padded_spec(self):
+        spec = ConvSpec(nc=1, ny=4, nx=4, nf=1, fy=2, fx=2, pad=1)
+        with pytest.raises(ShapeError):
+            uf.unfold(spec, np.zeros((1, 4, 4), np.float32))
+
+
+class TestGemmEquivalence:
+    @pytest.mark.parametrize("spec", SMALL_SPECS, ids=lambda s: s.describe())
+    def test_unfold_gemm_equals_direct_convolution(self, spec, rng):
+        inputs, weights, _ = random_conv_data(spec, rng, batch=1)
+        unfolded = uf.unfold(spec, inputs[0])
+        w_mat = uf.weights_matrix(spec, weights)
+        out = uf.output_matrix_to_image(spec, w_mat @ unfolded.T)
+        want = ref.forward(spec, inputs[0], weights)
+        np.testing.assert_allclose(out, want, atol=1e-3)
+
+
+class TestFold:
+    @pytest.mark.parametrize("spec", SMALL_SPECS, ids=lambda s: s.describe())
+    def test_fold_is_adjoint_of_unfold(self, spec, rng):
+        # <unfold(x), u> == <x, fold(u)> for all x, u.
+        inputs, _, _ = random_conv_data(spec, rng, batch=1)
+        u = rng.standard_normal(
+            (spec.out_ny * spec.out_nx, spec.nc * spec.fy * spec.fx)
+        ).astype(np.float32)
+        lhs = float(np.vdot(uf.unfold(spec, inputs[0]), u))
+        rhs = float(np.vdot(inputs[0], uf.fold(spec, u)))
+        assert lhs == pytest.approx(rhs, rel=1e-3, abs=1e-2)
+
+    def test_fold_unfold_counts_multiplicity(self):
+        # fold(unfold(ones)) equals, at each input position, the number of
+        # kernel windows covering it.
+        spec = ConvSpec(nc=1, ny=4, nx=4, nf=1, fy=2, fx=2)
+        ones = np.ones(spec.input_shape, dtype=np.float32)
+        counted = uf.fold(spec, uf.unfold(spec, ones))
+        expected = np.array(
+            [[1, 2, 2, 1], [2, 4, 4, 2], [2, 4, 4, 2], [1, 2, 2, 1]],
+            dtype=np.float32,
+        )[None]
+        np.testing.assert_array_equal(counted, expected)
+
+    def test_fold_rejects_bad_shape(self):
+        spec = SMALL_SPECS[0]
+        with pytest.raises(ShapeError):
+            uf.fold(spec, np.zeros((3, 3), np.float32))
+
+
+class TestMatrixHelpers:
+    def test_weights_matrix_roundtrip(self, rng):
+        spec = SMALL_SPECS[1]
+        weights = rng.standard_normal(spec.weight_shape).astype(np.float32)
+        w_mat = uf.weights_matrix(spec, weights)
+        assert w_mat.shape == (spec.nf, spec.nc * spec.fy * spec.fx)
+        np.testing.assert_array_equal(w_mat.reshape(spec.weight_shape), weights)
+
+    def test_output_matrix_image_roundtrip(self, rng):
+        spec = SMALL_SPECS[1]
+        out = rng.standard_normal(spec.output_shape).astype(np.float32)
+        mat = uf.output_image_to_matrix(spec, out)
+        np.testing.assert_array_equal(uf.output_matrix_to_image(spec, mat), out)
+
+    def test_helpers_reject_bad_shapes(self):
+        spec = SMALL_SPECS[0]
+        with pytest.raises(ShapeError):
+            uf.weights_matrix(spec, np.zeros((2, 2)))
+        with pytest.raises(ShapeError):
+            uf.output_matrix_to_image(spec, np.zeros((2, 2)))
+        with pytest.raises(ShapeError):
+            uf.output_image_to_matrix(spec, np.zeros((2, 2)))

@@ -1,0 +1,61 @@
+"""Tests for the unfold cache shared between FP and dW (Sec. 3.1's 2|U|)."""
+
+import numpy as np
+import pytest
+
+from repro.core.convspec import ConvSpec
+from repro.ops.engine import make_engine
+from repro.ops.gemm_conv import GemmInParallelEngine
+from tests.conftest import random_conv_data
+
+SPEC = ConvSpec(nc=3, ny=10, nx=10, nf=4, fy=3, fx=3)
+
+
+class TestUnfoldCache:
+    def test_backward_weights_hits_cache_after_forward(self, rng):
+        inputs, weights, err = random_conv_data(SPEC, rng, batch=4)
+        engine = GemmInParallelEngine(SPEC, cache_unfold=True)
+        engine.forward(inputs, weights)
+        assert engine.unfold_cache_hits == 0
+        engine.backward_weights(err, inputs)
+        assert engine.unfold_cache_hits == 4  # one reuse per image
+
+    def test_results_identical_with_and_without_cache(self, rng):
+        inputs, weights, err = random_conv_data(SPEC, rng, batch=3)
+        cached = GemmInParallelEngine(SPEC, cache_unfold=True)
+        plain = GemmInParallelEngine(SPEC, cache_unfold=False)
+        np.testing.assert_allclose(
+            cached.forward(inputs, weights), plain.forward(inputs, weights),
+            atol=1e-5,
+        )
+        np.testing.assert_allclose(
+            cached.backward_weights(err, inputs),
+            plain.backward_weights(err, inputs),
+            atol=1e-4,
+        )
+
+    def test_new_forward_invalidates_cache(self, rng):
+        inputs, weights, err = random_conv_data(SPEC, rng, batch=2)
+        engine = GemmInParallelEngine(SPEC, cache_unfold=True)
+        engine.forward(inputs, weights)
+        other_inputs = inputs + 1.0
+        engine.forward(other_inputs, weights)  # clears and refills
+        dw = engine.backward_weights(err, other_inputs)
+        oracle = make_engine("reference", SPEC).backward_weights(
+            err, other_inputs
+        )
+        np.testing.assert_allclose(dw, oracle, atol=1e-3)
+
+    def test_cache_disabled_by_default(self, rng):
+        inputs, weights, err = random_conv_data(SPEC, rng, batch=2)
+        engine = GemmInParallelEngine(SPEC)
+        engine.forward(inputs, weights)
+        engine.backward_weights(err, inputs)
+        assert engine.unfold_cache_hits == 0
+
+    def test_clear_cache(self, rng):
+        inputs, weights, _ = random_conv_data(SPEC, rng, batch=2)
+        engine = GemmInParallelEngine(SPEC, cache_unfold=True)
+        engine.forward(inputs, weights)
+        engine.clear_unfold_cache()
+        assert not engine._unfold_cache

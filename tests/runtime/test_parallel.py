@@ -1,0 +1,84 @@
+"""Tests for the thread-parallel engine executor."""
+
+import numpy as np
+import pytest
+
+from repro.core.convspec import ConvSpec
+from repro.errors import ReproError
+from repro.ops.engine import make_engine
+from repro.runtime.parallel import ParallelExecutor
+from repro.runtime.pool import WorkerPool
+from tests.conftest import random_conv_data
+
+SPEC = ConvSpec(nc=3, ny=14, nx=14, nf=5, fy=3, fx=3)
+
+
+@pytest.fixture(scope="module")
+def data():
+    rng = np.random.default_rng(7)
+    return random_conv_data(SPEC, rng, batch=9, error_sparsity=0.5)
+
+
+@pytest.fixture(scope="module")
+def oracle(data):
+    inputs, weights, err = data
+    engine = make_engine("reference", SPEC)
+    return {
+        "fp": engine.forward(inputs, weights),
+        "bd": engine.backward_data(err, weights),
+        "bw": engine.backward_weights(err, inputs),
+    }
+
+
+@pytest.mark.parametrize("engine_name", ["gemm-in-parallel", "stencil", "sparse"])
+@pytest.mark.parametrize("workers", [1, 3, 8])
+class TestParallelEquivalence:
+    def test_forward(self, engine_name, workers, data, oracle):
+        inputs, weights, _ = data
+        with ParallelExecutor(engine_name, SPEC,
+                              pool=WorkerPool(workers)) as executor:
+            got = executor.forward(inputs, weights)
+        np.testing.assert_allclose(got, oracle["fp"], atol=1e-3)
+
+    def test_backward_data(self, engine_name, workers, data, oracle):
+        _, weights, err = data
+        with ParallelExecutor(engine_name, SPEC,
+                              pool=WorkerPool(workers)) as executor:
+            got = executor.backward_data(err, weights)
+        np.testing.assert_allclose(got, oracle["bd"], atol=1e-3)
+
+    def test_backward_weights(self, engine_name, workers, data, oracle):
+        inputs, _, err = data
+        with ParallelExecutor(engine_name, SPEC,
+                              pool=WorkerPool(workers)) as executor:
+            got = executor.backward_weights(err, inputs)
+        np.testing.assert_allclose(got, oracle["bw"], atol=1e-2)
+
+
+class TestExecutorBehaviour:
+    def test_more_workers_than_images(self, data, oracle):
+        inputs, weights, _ = data
+        with ParallelExecutor("gemm-in-parallel", SPEC,
+                              pool=WorkerPool(32)) as executor:
+            got = executor.forward(inputs, weights)
+        np.testing.assert_allclose(got, oracle["fp"], atol=1e-3)
+
+    def test_empty_batch_rejected(self, data):
+        _, weights, _ = data
+        with ParallelExecutor("gemm-in-parallel", SPEC,
+                              pool=WorkerPool(2)) as executor:
+            with pytest.raises(ReproError):
+                executor.forward(
+                    np.zeros((0,) + SPEC.input_shape, np.float32), weights
+                )
+
+    def test_owned_pool_closed_on_exit(self):
+        executor = ParallelExecutor("gemm-in-parallel", SPEC)
+        executor.close()  # must not raise
+
+    def test_engine_kwargs_forwarded(self):
+        executor = ParallelExecutor(
+            "sparse", SPEC, pool=WorkerPool(2), tile_cols=16
+        )
+        assert executor._engines[0].tile_cols == 16
+        executor.close()

@@ -1,0 +1,80 @@
+"""Tests for the worker pool."""
+
+import threading
+
+import pytest
+
+from repro.errors import ReproError
+from repro.runtime.pool import WorkerPool, default_worker_count
+
+
+class TestAssignment:
+    def test_ranges_cover_batch(self):
+        pool = WorkerPool(num_workers=4)
+        ranges = pool.assignment(10)
+        assert ranges[0][0] == 0 and ranges[-1][1] == 10
+        assert sum(hi - lo for lo, hi in ranges) == 10
+
+    def test_small_batches_drop_empty_ranges(self):
+        pool = WorkerPool(num_workers=8)
+        ranges = pool.assignment(3)
+        assert len(ranges) == 3
+        assert all(hi > lo for lo, hi in ranges)
+
+    def test_rejects_bad_batch(self):
+        with pytest.raises(ReproError):
+            WorkerPool(num_workers=2).assignment(0)
+
+
+class TestExecution:
+    def test_map_batches_returns_in_order(self):
+        with WorkerPool(num_workers=4) as pool:
+            results = pool.map_batches(lambda lo, hi: (lo, hi), 12)
+        assert results == [(0, 3), (3, 6), (6, 9), (9, 12)]
+
+    def test_map_items_covers_all_indices(self):
+        with WorkerPool(num_workers=3) as pool:
+            results = pool.map_items(lambda i: i * i, 10)
+        assert results == [i * i for i in range(10)]
+
+    def test_tasks_actually_run_on_multiple_threads(self):
+        seen = set()
+        lock = threading.Lock()
+        barrier = threading.Barrier(2, timeout=5)
+
+        def task(lo, hi):
+            barrier.wait()  # forces two tasks to overlap in time
+            with lock:
+                seen.add(threading.get_ident())
+
+        with WorkerPool(num_workers=2) as pool:
+            pool.map_batches(task, 2)
+        assert len(seen) == 2
+
+    def test_exceptions_propagate(self):
+        def boom(lo, hi):
+            raise RuntimeError("kernel failure")
+
+        with WorkerPool(num_workers=2) as pool:
+            with pytest.raises(RuntimeError, match="kernel failure"):
+                pool.map_batches(boom, 4)
+
+    def test_single_worker_runs_inline(self):
+        pool = WorkerPool(num_workers=1)
+        assert pool.map_batches(lambda lo, hi: hi - lo, 5) == [5]
+        pool.shutdown()
+
+    def test_shutdown_is_idempotent(self):
+        pool = WorkerPool(num_workers=2)
+        pool.map_items(lambda i: i, 2)
+        pool.shutdown()
+        pool.shutdown()
+
+
+class TestConstruction:
+    def test_default_worker_count_positive(self):
+        assert default_worker_count() >= 1
+
+    def test_rejects_nonpositive_workers(self):
+        with pytest.raises(ReproError):
+            WorkerPool(num_workers=0)

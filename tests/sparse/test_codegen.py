@@ -1,0 +1,57 @@
+"""Tests for the generated (specialized) sparse kernels."""
+
+import numpy as np
+import pytest
+
+from repro.core.convspec import ConvSpec
+from repro.errors import CodegenError
+from repro.ops import layout
+from repro.ops import reference as ref
+from repro.sparse.codegen import (
+    emit_sparse_backward_data,
+    emit_sparse_backward_weights,
+)
+from repro.sparse.kernels import compress_error
+from tests.conftest import SMALL_SPECS, random_conv_data
+
+
+class TestGeneratedSource:
+    def test_one_statement_per_tap(self):
+        spec = ConvSpec(nc=2, ny=8, nx=8, nf=3, fy=3, fx=2)
+        kernel = emit_sparse_backward_data(spec)
+        assert kernel.source.count("matmul_dense") == 6
+
+    def test_pointer_shift_slices_are_literal(self):
+        spec = ConvSpec(nc=1, ny=6, nx=6, nf=1, fy=2, fx=2)
+        kernel = emit_sparse_backward_data(spec)
+        assert "in_error_hwc[0:5, 0:5, :]" in kernel.source
+        assert "in_error_hwc[1:6, 1:6, :]" in kernel.source
+
+    def test_rejects_padded_spec(self):
+        spec = ConvSpec(nc=1, ny=6, nx=6, nf=1, fy=2, fx=2, pad=1)
+        with pytest.raises(CodegenError):
+            emit_sparse_backward_data(spec)
+        with pytest.raises(CodegenError):
+            emit_sparse_backward_weights(spec)
+
+
+@pytest.mark.parametrize("spec", SMALL_SPECS, ids=lambda s: s.describe())
+class TestGeneratedKernelCorrectness:
+    def test_backward_data(self, spec, rng):
+        _, weights, err = random_conv_data(spec, rng, batch=1, error_sparsity=0.6)
+        eo = compress_error(spec, err[0])
+        w_layout = layout.weights_to_sparse_layout(spec, weights)
+        ei_hwc = np.zeros((spec.ny, spec.nx, spec.nc), np.float32)
+        emit_sparse_backward_data(spec)(eo, w_layout, ei_hwc)
+        want = ref.backward_data(spec, err[0], weights)
+        np.testing.assert_allclose(layout.hwc_to_chw(ei_hwc), want, atol=1e-3)
+
+    def test_backward_weights(self, spec, rng):
+        inputs, _, err = random_conv_data(spec, rng, batch=1, error_sparsity=0.6)
+        eo = compress_error(spec, err[0])
+        inputs_hwc = layout.chw_to_hwc(inputs[0])
+        dw_layout = np.zeros((spec.fy, spec.fx, spec.nf, spec.nc), np.float32)
+        emit_sparse_backward_weights(spec)(eo, inputs_hwc, dw_layout)
+        got = np.transpose(dw_layout, (2, 3, 0, 1))
+        want = ref.backward_weights(spec, err[0], inputs[0])
+        np.testing.assert_allclose(got, want, atol=1e-3)

@@ -1,0 +1,98 @@
+"""Tests for weight-sparse inference (Sec. 6 / ref. [42] extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core.convspec import ConvSpec
+from repro.errors import CodegenError, ShapeError
+from repro.ops import reference as ref
+from repro.sparse.weights import (
+    WeightSparseInference,
+    emit_weight_sparse_forward,
+    prune_weights,
+    weight_sparse_flops,
+)
+from tests.conftest import SMALL_SPECS, random_conv_data
+
+
+class TestPruning:
+    def test_achieves_requested_sparsity(self, rng):
+        weights = rng.standard_normal((8, 4, 3, 3)).astype(np.float32)
+        result = prune_weights(weights, 0.5)
+        assert result.sparsity >= 0.5
+        assert result.nonzero_taps == np.count_nonzero(result.weights)
+
+    def test_keeps_largest_magnitudes(self, rng):
+        weights = rng.standard_normal((4, 2, 2, 2)).astype(np.float32)
+        result = prune_weights(weights, 0.75)
+        kept = np.abs(result.weights[result.weights != 0])
+        dropped_mask = (result.weights == 0) & (weights != 0)
+        if kept.size and dropped_mask.any():
+            assert kept.min() >= np.abs(weights[dropped_mask]).max()
+
+    def test_zero_sparsity_is_identity(self, rng):
+        weights = rng.standard_normal((2, 2, 2, 2)).astype(np.float32)
+        result = prune_weights(weights, 0.0)
+        np.testing.assert_array_equal(result.weights, weights)
+
+    def test_rejects_full_sparsity(self, rng):
+        with pytest.raises(ShapeError):
+            prune_weights(np.ones((2, 2, 2, 2)), 1.0)
+
+
+class TestGeneratedKernel:
+    def test_pruned_taps_absent_from_source(self):
+        spec = ConvSpec(nc=1, ny=8, nx=8, nf=1, fy=3, fx=3)
+        weights = np.zeros(spec.weight_shape, dtype=np.float32)
+        weights[0, 0, 1, 1] = 1.0  # only the center tap survives
+        kernel = emit_weight_sparse_forward(spec, weights)
+        assert kernel.source.count("np.tensordot") == 1
+        assert "weights[:, :, 1, 1]" in kernel.source
+
+    def test_all_pruned_kernel_is_empty(self):
+        spec = ConvSpec(nc=1, ny=8, nx=8, nf=1, fy=2, fx=2)
+        kernel = emit_weight_sparse_forward(
+            spec, np.zeros(spec.weight_shape, dtype=np.float32)
+        )
+        assert "np.tensordot" not in kernel.source
+        out = np.zeros(spec.output_shape, dtype=np.float32)
+        kernel(np.ones(spec.input_shape, np.float32),
+               np.zeros(spec.weight_shape, np.float32), out)
+        assert not out.any()
+
+    @pytest.mark.parametrize("spec", SMALL_SPECS[:4], ids=lambda s: s.describe())
+    @pytest.mark.parametrize("sparsity", [0.0, 0.5, 0.9])
+    def test_matches_dense_convolution_of_pruned_weights(self, spec, sparsity,
+                                                         rng):
+        inputs, weights, _ = random_conv_data(spec, rng, batch=2)
+        runner = WeightSparseInference(spec, weights, sparsity=sparsity)
+        got = runner.forward(inputs)
+        want = np.stack([
+            ref.forward(spec, img, runner.pruned.weights) for img in inputs
+        ])
+        np.testing.assert_allclose(got, want, atol=1e-3)
+
+    def test_rejects_padded_spec(self):
+        spec = ConvSpec(nc=1, ny=8, nx=8, nf=1, fy=3, fx=3, pad=1)
+        with pytest.raises(CodegenError):
+            emit_weight_sparse_forward(
+                spec, np.ones(spec.weight_shape, np.float32)
+            )
+
+
+class TestFlopAccounting:
+    def test_flops_scale_with_live_taps(self, rng):
+        spec = ConvSpec(nc=2, ny=10, nx=10, nf=3, fy=3, fx=3)
+        dense = rng.standard_normal(spec.weight_shape).astype(np.float32)
+        full = weight_sparse_flops(spec, dense)
+        assert full == spec.flops
+        one_tap = np.zeros_like(dense)
+        one_tap[:, :, 0, 0] = 1.0
+        assert weight_sparse_flops(spec, one_tap) == spec.flops // 9
+
+    def test_runner_shape_validation(self, rng):
+        spec = SMALL_SPECS[0]
+        _, weights, _ = random_conv_data(spec, rng)
+        runner = WeightSparseInference(spec, weights, sparsity=0.5)
+        with pytest.raises(ShapeError):
+            runner.forward(np.zeros((1, 9, 9, 9), np.float32))

@@ -1,0 +1,124 @@
+"""Tests for the stencil basic-block generator and register-tile optimizer."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CodegenError
+from repro.stencil.basic_block import (
+    generate_basic_block,
+    instructions_per_output,
+    optimize_register_tile,
+)
+from repro.stencil.ir import VFma, VLoad
+
+
+class TestFigure7Example:
+    """The paper's Fig. 7: a 1x2 stencil (Fx=1, Fy=2) with rx=1, ry=2."""
+
+    def test_instruction_counts(self):
+        block = generate_basic_block(fy=2, fx=1, ry=2, rx=1, vector_width=8)
+        assert block.loads == 3  # ivec0, ivec1, ivec2
+        assert block.fmas == 4  # ivec1 contributes twice, ivec0/2 once each
+        assert block.broadcasts == 2  # one weight per tap
+        assert block.stores == 2  # the two accumulators
+
+    def test_middle_load_is_reused(self):
+        block = generate_basic_block(fy=2, fx=1, ry=2, rx=1, vector_width=8)
+        uses = {}
+        for instr in block.instructions:
+            if isinstance(instr, VFma):
+                uses[instr.vec] = uses.get(instr.vec, 0) + 1
+        assert sorted(uses.values()) == [1, 1, 2]
+
+
+class TestBlockStructure:
+    def test_loads_are_deduplicated(self):
+        block = generate_basic_block(fy=3, fx=3, ry=4, rx=2, vector_width=8)
+        loads = [i for i in block.instructions if isinstance(i, VLoad)]
+        offsets = {(ld.y_off, ld.x_off) for ld in loads}
+        assert len(offsets) == len(loads)
+
+    def test_fma_count_is_tile_times_taps(self):
+        block = generate_basic_block(fy=3, fx=2, ry=4, rx=3, vector_width=8)
+        assert block.fmas == 4 * 3 * 3 * 2
+
+    def test_load_count_formula_when_kernel_narrower_than_vector(self):
+        # With Fx <= V, column offsets tx*V + kx never collide across tx,
+        # so loads = (ry + Fy - 1) * rx * Fx.
+        fy, fx, ry, rx = 3, 3, 4, 2
+        block = generate_basic_block(fy, fx, ry, rx, vector_width=8)
+        assert block.loads == (ry + fy - 1) * rx * fx
+
+    def test_every_fma_reads_a_loaded_vector(self):
+        block = generate_basic_block(fy=2, fx=2, ry=3, rx=2, vector_width=8)
+        loaded = {i.dst for i in block.instructions if isinstance(i, VLoad)}
+        for instr in block.instructions:
+            if isinstance(instr, VFma):
+                assert instr.vec in loaded
+
+    def test_outputs_per_block(self):
+        block = generate_basic_block(fy=1, fx=1, ry=2, rx=3, vector_width=4)
+        assert block.outputs_per_block == 2 * 3 * 4
+
+    def test_registers_used(self):
+        block = generate_basic_block(fy=2, fx=2, ry=3, rx=4, vector_width=8)
+        assert block.registers_used == 3 * 4 + 2
+
+    def test_rejects_nonpositive_params(self):
+        with pytest.raises(CodegenError):
+            generate_basic_block(fy=0, fx=1, ry=1, rx=1)
+
+
+class TestSpatialReuse:
+    @given(st.integers(2, 6), st.integers(1, 6), st.integers(1, 10))
+    @settings(max_examples=40, deadline=None)
+    def test_taller_tiles_reuse_loads_better(self, fy, fx, ry):
+        # Loads per FMA = (ry + Fy - 1) / (ry * Fy): decreasing in ry.
+        short = generate_basic_block(fy, fx, ry, rx=1, vector_width=8)
+        tall = generate_basic_block(fy, fx, ry + 1, rx=1, vector_width=8)
+        assert tall.loads_per_fma <= short.loads_per_fma + 1e-12
+
+    def test_single_tap_kernel_has_one_load_per_fma(self):
+        block = generate_basic_block(fy=1, fx=1, ry=4, rx=2, vector_width=8)
+        assert block.loads_per_fma == pytest.approx(1.0)
+
+
+class TestTileOptimizer:
+    def test_respects_register_budget(self):
+        choice = optimize_register_tile(fy=3, fx=3, num_registers=16)
+        assert choice.ry * choice.rx + 2 <= 16
+
+    def test_prefers_tall_tiles_for_tall_kernels(self):
+        # For Fy > 1 kernels the y-reuse pushes the optimizer to tall tiles.
+        choice = optimize_register_tile(fy=5, fx=5, num_registers=16)
+        assert choice.ry > choice.rx
+
+    def test_cost_matches_block(self):
+        choice = optimize_register_tile(fy=2, fx=2, num_registers=16)
+        assert choice.instructions_per_output == pytest.approx(
+            instructions_per_output(choice.block)
+        )
+
+    def test_optimum_beats_1x1_tile(self):
+        choice = optimize_register_tile(fy=3, fx=3, num_registers=16)
+        naive = instructions_per_output(
+            generate_basic_block(3, 3, 1, 1, vector_width=8)
+        )
+        assert choice.instructions_per_output <= naive
+
+    def test_rejects_tiny_register_file(self):
+        with pytest.raises(CodegenError):
+            optimize_register_tile(fy=2, fx=2, num_registers=2)
+
+    @given(st.integers(1, 6), st.integers(1, 6))
+    @settings(max_examples=30, deadline=None)
+    def test_exhaustive_optimality(self, fy, fx):
+        choice = optimize_register_tile(fy, fx, num_registers=16)
+        budget = 16 - 2
+        for ry in range(1, budget + 1):
+            for rx in range(1, budget // ry + 1):
+                cost = instructions_per_output(
+                    generate_basic_block(fy, fx, ry, rx, vector_width=8)
+                )
+                assert choice.instructions_per_output <= cost + 1e-12

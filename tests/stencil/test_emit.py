@@ -1,0 +1,116 @@
+"""Tests for the stencil kernel emitter: generated code, correctness."""
+
+import numpy as np
+import pytest
+
+from repro.core.convspec import ConvSpec
+from repro.errors import CodegenError
+from repro.ops import reference as ref
+from repro.stencil.emit import (
+    emit_backward_data_kernel,
+    emit_backward_weights_kernel,
+    emit_forward_kernel,
+)
+from tests.conftest import SMALL_SPECS, random_conv_data
+
+
+class TestGeneratedSource:
+    def test_taps_fully_unrolled(self):
+        spec = ConvSpec(nc=2, ny=8, nx=8, nf=3, fy=3, fx=2)
+        kernel = emit_forward_kernel(spec)
+        # One tensordot line per kernel tap.
+        assert kernel.source.count("np.tensordot") == 3 * 2
+
+    def test_slice_bounds_are_literal(self):
+        spec = ConvSpec(nc=1, ny=10, nx=10, nf=1, fy=2, fx=2)
+        kernel = emit_forward_kernel(spec)
+        assert "inputs[:, 0:9, 0:9]" in kernel.source
+        assert "inputs[:, 1:10, 1:10]" in kernel.source
+
+    def test_strided_slices_emitted(self):
+        spec = ConvSpec(nc=1, ny=9, nx=9, nf=1, fy=3, fx=3, sy=2, sx=2)
+        kernel = emit_forward_kernel(spec)
+        assert ":2]" in kernel.source  # stride-2 literal slices
+
+    def test_kernel_names_encode_shape(self):
+        spec = ConvSpec(nc=2, ny=8, nx=8, nf=3, fy=3, fx=3)
+        kernel = emit_forward_kernel(spec)
+        assert "3x3" in kernel.name
+
+    def test_rejects_padded_spec(self):
+        spec = ConvSpec(nc=1, ny=6, nx=6, nf=1, fy=3, fx=3, pad=1)
+        with pytest.raises(CodegenError):
+            emit_forward_kernel(spec)
+        with pytest.raises(CodegenError):
+            emit_backward_data_kernel(spec)
+        with pytest.raises(CodegenError):
+            emit_backward_weights_kernel(spec)
+
+
+@pytest.mark.parametrize("spec", SMALL_SPECS, ids=lambda s: s.describe())
+class TestGeneratedKernelCorrectness:
+    def test_forward(self, spec, rng):
+        inputs, weights, _ = random_conv_data(spec, rng, batch=1)
+        out = np.zeros(spec.output_shape, dtype=np.float32)
+        emit_forward_kernel(spec)(inputs[0], weights, out)
+        np.testing.assert_allclose(
+            out, ref.forward(spec, inputs[0], weights), atol=1e-3
+        )
+
+    def test_backward_data(self, spec, rng):
+        _, weights, err = random_conv_data(spec, rng, batch=1)
+        in_err = np.zeros(spec.input_shape, dtype=np.float32)
+        emit_backward_data_kernel(spec)(err[0], weights, in_err)
+        np.testing.assert_allclose(
+            in_err, ref.backward_data(spec, err[0], weights), atol=1e-3
+        )
+
+    def test_backward_weights(self, spec, rng):
+        inputs, _, err = random_conv_data(spec, rng, batch=1)
+        dw = np.zeros(spec.weight_shape, dtype=np.float32)
+        emit_backward_weights_kernel(spec)(err[0], inputs[0], dw)
+        np.testing.assert_allclose(
+            dw, ref.backward_weights(spec, err[0], inputs[0]), atol=1e-3
+        )
+
+
+class TestKernelCache:
+    def test_same_geometry_shares_the_compiled_kernel(self):
+        a = emit_forward_kernel(ConvSpec(nc=2, ny=9, nx=9, nf=3, fy=3, fx=3,
+                                         name="first"))
+        b = emit_forward_kernel(ConvSpec(nc=2, ny=9, nx=9, nf=3, fy=3, fx=3,
+                                         name="second"))
+        assert a is b  # the label is not part of the kernel's identity
+
+    def test_different_geometry_gets_a_fresh_kernel(self):
+        a = emit_forward_kernel(ConvSpec(nc=2, ny=9, nx=9, nf=3, fy=3, fx=3))
+        b = emit_forward_kernel(ConvSpec(nc=2, ny=9, nx=9, nf=3, fy=2, fx=3))
+        assert a is not b
+
+
+class TestKernelObjects:
+    def test_kernel_is_callable_and_carries_source(self):
+        spec = SMALL_SPECS[0]
+        kernel = emit_forward_kernel(spec)
+        assert callable(kernel)
+        assert kernel.name in kernel.source
+
+    def test_generated_assertions_guard_shapes(self, rng):
+        spec = SMALL_SPECS[0]
+        kernel = emit_forward_kernel(spec)
+        bad_input = np.zeros((spec.nc, spec.ny + 1, spec.nx), np.float32)
+        weights = np.zeros(spec.weight_shape, np.float32)
+        out = np.zeros(spec.output_shape, np.float32)
+        with pytest.raises(AssertionError):
+            kernel(bad_input, weights, out)
+
+    def test_accumulation_semantics(self, rng):
+        # The emitted kernels accumulate: calling twice doubles the result.
+        spec = SMALL_SPECS[1]
+        inputs, weights, _ = random_conv_data(spec, rng, batch=1)
+        out = np.zeros(spec.output_shape, dtype=np.float32)
+        kernel = emit_forward_kernel(spec)
+        kernel(inputs[0], weights, out)
+        once = out.copy()
+        kernel(inputs[0], weights, out)
+        np.testing.assert_allclose(out, 2 * once, atol=1e-3)

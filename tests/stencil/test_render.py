@@ -1,0 +1,52 @@
+"""Tests for the AVX-intrinsics renderer (Fig. 7 listing style)."""
+
+from repro.stencil.basic_block import generate_basic_block
+from repro.stencil.render import block_summary_comment, render_intrinsics
+
+
+class TestFigure7Listing:
+    """The paper's Fig. 7: 1x2 stencil, tile rx=1 ry=2."""
+
+    def setup_method(self):
+        self.block = generate_basic_block(fy=2, fx=1, ry=2, rx=1,
+                                          vector_width=8)
+        self.text = render_intrinsics(self.block)
+
+    def test_three_loads_rendered(self):
+        assert self.text.count("_mm256_loadu_ps") == 3
+
+    def test_four_multiply_add_pairs(self):
+        assert self.text.count("_mm256_mul_ps") == 4
+        assert self.text.count("_mm256_add_ps") == 4
+
+    def test_contribution_comments_match_fig7(self):
+        # Fig. 7 annotates: 1 contribution, 2 contributions, 1 contribution.
+        assert self.text.count("compute 1 contribution */") == 2
+        assert self.text.count("compute 2 contributions */") == 1
+
+    def test_broadcasts_rendered(self):
+        assert self.text.count("_mm256_set1_ps") == 2
+
+    def test_stores_rendered(self):
+        assert self.text.count("_mm256_storeu_ps") == 2
+
+
+class TestGeneralRendering:
+    def test_temp_names_unique(self):
+        block = generate_basic_block(fy=3, fx=3, ry=4, rx=2, vector_width=8)
+        text = render_intrinsics(block)
+        temps = [line.split()[1] for line in text.splitlines()
+                 if line.startswith("__m256 temp")]
+        assert len(temps) == len(set(temps)) == block.fmas
+
+    def test_row_stride_symbol_used(self):
+        block = generate_basic_block(fy=2, fx=2, ry=2, rx=1, vector_width=8)
+        text = render_intrinsics(block, input_row_stride="PITCH")
+        assert "*PITCH" in text
+
+    def test_summary_comment(self):
+        block = generate_basic_block(fy=2, fx=1, ry=2, rx=1, vector_width=8)
+        comment = block_summary_comment(block)
+        assert "3 loads" in comment
+        assert "4 FMAs" in comment
+        assert "2x1 stencil" in comment

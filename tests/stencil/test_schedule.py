@@ -1,0 +1,66 @@
+"""Tests for the stencil tiling schedule generator."""
+
+import pytest
+
+from repro.core.convspec import ConvSpec, square_conv
+from repro.errors import CodegenError
+from repro.stencil.schedule import StencilSchedule, generate_schedule
+
+
+class TestScheduleGeneration:
+    def test_small_conv_fits_untiled(self):
+        spec = ConvSpec(nc=2, ny=8, nx=8, nf=2, fy=3, fx=3)
+        sched = generate_schedule(spec, cache_bytes=1 << 20)
+        assert sched.tile_y == spec.out_ny
+        assert sched.tile_x == spec.out_nx
+        assert sched.num_tiles == 1
+
+    def test_large_conv_gets_tiled(self):
+        spec = square_conv(256, 256, 128, 3)
+        sched = generate_schedule(spec, cache_bytes=256 * 1024)
+        assert sched.tile_working_set_bytes <= 256 * 1024
+        assert sched.num_tiles > 1
+
+    def test_tlb_constraint_respected(self):
+        spec = square_conv(128, 64, 32, 3)
+        sched = generate_schedule(spec, cache_bytes=1 << 30, tlb_entries=16)
+        assert sched.tlb_entries() <= 16
+
+    def test_tiles_cover_output(self):
+        spec = square_conv(100, 16, 8, 5)
+        sched = generate_schedule(spec, cache_bytes=64 * 1024)
+        ty = -(-spec.out_ny // sched.tile_y)
+        tx = -(-spec.out_nx // sched.tile_x)
+        cp = -(-spec.nc // sched.channels_per_pass)
+        assert sched.num_tiles == ty * tx * cp
+
+    def test_degenerate_cache_still_terminates(self):
+        spec = square_conv(64, 8, 4, 3)
+        sched = generate_schedule(spec, cache_bytes=64)
+        assert sched.tile_y >= 1 and sched.tile_x >= 1
+        assert sched.channels_per_pass >= 1
+
+    def test_rejects_nonpositive_budgets(self):
+        spec = square_conv(16, 4, 2, 3)
+        with pytest.raises(CodegenError):
+            generate_schedule(spec, cache_bytes=0)
+        with pytest.raises(CodegenError):
+            generate_schedule(spec, tlb_entries=0)
+
+
+class TestScheduleAccounting:
+    def test_halo_in_tile_input(self):
+        spec = ConvSpec(nc=4, ny=20, nx=20, nf=8, fy=3, fx=3)
+        sched = StencilSchedule(spec=spec, tile_y=4, tile_x=4, channels_per_pass=4)
+        assert sched.tile_input_elems == 4 * 6 * 6
+
+    def test_strided_halo(self):
+        spec = ConvSpec(nc=1, ny=21, nx=21, nf=1, fy=3, fx=3, sy=2, sx=2)
+        sched = StencilSchedule(spec=spec, tile_y=5, tile_x=5, channels_per_pass=1)
+        assert sched.tile_input_elems == (5 * 2 + 2) * (5 * 2 + 2)
+
+    def test_private_traffic_grows_with_channel_passes(self):
+        spec = ConvSpec(nc=8, ny=20, nx=20, nf=8, fy=3, fx=3)
+        one_pass = StencilSchedule(spec=spec, tile_y=18, tile_x=18, channels_per_pass=8)
+        two_pass = StencilSchedule(spec=spec, tile_y=18, tile_x=18, channels_per_pass=4)
+        assert two_pass.private_traffic_elems() > one_pass.private_traffic_elems()

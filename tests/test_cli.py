@@ -1,0 +1,98 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+
+
+def run(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+class TestCharacterize:
+    def test_basic(self):
+        code, text = run(["characterize", "32", "32", "32", "4"])
+        assert code == 0
+        assert "intrinsic AIT:   362" in text
+        assert "region:" in text
+
+    def test_sparsity_flag_flips_region(self):
+        _, dense = run(["characterize", "32", "32", "32", "4"])
+        _, sparse = run(
+            ["characterize", "32", "32", "32", "4", "--sparsity", "0.9"]
+        )
+        assert "dense" in dense and "sparse" in sparse
+
+    def test_stride_flag(self):
+        code, text = run(["characterize", "224", "96", "3", "11",
+                          "--stride", "4"])
+        assert code == 0
+        assert "stride 4x4" in text
+
+
+class TestPlan:
+    def test_plans_netdef_file(self, tmp_path):
+        netdef = tmp_path / "net.txt"
+        netdef.write_text(
+            'name: "t"\n'
+            "input: 3 32 32\n"
+            "layer { type: conv features: 64 kernel: 5 pad: 2 }\n"
+            "layer { type: relu }\n"
+            "layer { type: flatten }\n"
+            "layer { type: dense features: 10 }\n"
+        )
+        code, text = run(["plan", str(netdef), "--sparsity", "0.9"])
+        assert code == 0
+        assert "FP engine" in text and "sparse" in text
+
+
+class TestFigure:
+    @pytest.mark.parametrize("name", ["table1", "table2", "fig3a", "fig4f"])
+    def test_prints_exhibit(self, name):
+        code, text = run(["figure", name])
+        assert code == 0
+        assert name in text
+        assert len(text.splitlines()) > 3
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            run(["figure", "fig99"])
+
+
+class TestExplain:
+    def test_fp_breakdown(self):
+        code, text = run(["explain", "32", "32", "32", "4"])
+        assert code == 0
+        assert "stencil" in text and "<- bound" in text
+
+    def test_bp_breakdown_includes_sparse(self):
+        code, text = run(["explain", "128", "128", "64", "7",
+                          "--phase", "bp", "--sparsity", "0.9"])
+        assert code == 0
+        assert "sparse compute" in text
+
+
+class TestReproduce:
+    def test_writes_every_exhibit(self, tmp_path):
+        out_dir = tmp_path / "results"
+        code, text = run(["reproduce", "--out", str(out_dir)])
+        assert code == 0
+        written = {p.name for p in out_dir.glob("*.txt")}
+        for name in ("table1", "table2", "fig3a", "fig4f", "fig9",
+                     "calibration"):
+            assert f"{name}.txt" in written
+        assert "362" in (out_dir / "table1.txt").read_text()
+        assert "ok" in (out_dir / "calibration.txt").read_text()
+
+
+class TestEngines:
+    def test_lists_all_engines(self):
+        code, text = run(["engines"])
+        assert code == 0
+        for engine in ("parallel-gemm", "gemm-in-parallel", "stencil",
+                       "sparse", "fft"):
+            assert engine in text
