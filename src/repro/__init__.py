@@ -29,6 +29,7 @@ from repro.nn.training_loop import TrainingLoop
 from repro.runtime.parallel import ParallelExecutor
 from repro.runtime.pool import WorkerPool
 from repro.ops.engine import ConvEngine, engine_names, make_engine
+from repro.telemetry import TelemetryCollector
 
 # Importing the engine modules registers them with make_engine.
 import repro.nn.layers.conv  # noqa: F401
@@ -67,5 +68,6 @@ __all__ = [
     "estimate_training_time",
     "ParallelExecutor",
     "WorkerPool",
+    "TelemetryCollector",
     "__version__",
 ]

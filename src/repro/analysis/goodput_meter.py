@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import telemetry
 from repro.core.convspec import ConvSpec
 from repro.core.goodput import GoodputReport, measure_sparsity
 from repro.errors import ReproError
@@ -57,15 +58,20 @@ class GoodputMeter:
         sparsity = measure_sparsity(out_error)
         total_flops = 2.0 * batch * self.spec.flops  # EI + dW, dense count
         nonzero_flops = total_flops * (1.0 - sparsity)
-        start = time.perf_counter()
-        in_error = self.engine.backward_data(out_error, weights)
-        dw = self.engine.backward_weights(out_error, inputs)
-        elapsed = time.perf_counter() - start
-        self.log.reports.append(
-            GoodputReport(
-                total_flops=total_flops,
-                nonzero_flops=nonzero_flops,
-                seconds=max(elapsed, 1e-9),
-            )
+        with telemetry.span("goodput/bp", engine=self.engine.name,
+                            batch=int(batch), sparsity=sparsity):
+            start = time.perf_counter()
+            in_error = self.engine.backward_data(out_error, weights)
+            dw = self.engine.backward_weights(out_error, inputs)
+            elapsed = time.perf_counter() - start
+        report = GoodputReport(
+            total_flops=total_flops,
+            nonzero_flops=nonzero_flops,
+            seconds=max(elapsed, 1e-9),
         )
+        self.log.reports.append(report)
+        telemetry.add("goodput.flops.total", total_flops)
+        telemetry.add("goodput.flops.useful", nonzero_flops)
+        telemetry.gauge("goodput.measured", report.goodput)
+        telemetry.gauge("goodput.efficiency", report.efficiency)
         return in_error, dw

@@ -2,19 +2,35 @@
 
 The paper's framework selects techniques from *measured* per-layer
 timings; this profiler provides that measurement on a whole network: it
-wraps each layer's forward/backward with timers, runs real training
-steps, and reports per-layer, per-phase wall-clock totals -- the data a
-user needs to see where spg-CNN's optimizations land in their model.
+wraps each layer's forward/backward with telemetry spans, runs real
+training steps, and reports per-layer, per-phase wall-clock totals -- the
+data a user needs to see where spg-CNN's optimizations land in their
+model.
+
+The profiler is built on :mod:`repro.telemetry`: entering activates a
+private :class:`~repro.telemetry.TelemetryCollector` and installs
+instance-level wrappers that record one span per layer call.  The
+wrappers carry a per-profiler marker attribute, so the report aggregates
+only this profiler's own spans -- two profilers can nest on the same
+network without corrupting each other -- and exiting restores exactly the
+callables that were installed before (including any pre-existing
+instance-level wrapper, e.g. an outer profiler's).
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
+from repro import telemetry
 from repro.analysis.reporting import format_table
 from repro.errors import ReproError
 from repro.nn.network import Network
+
+#: Attribute key marking a span as emitted by a specific profiler.
+_MARK = "profiler"
+
+#: Sentinel: the layer had no instance-level attribute before we wrapped it.
+_ABSENT = object()
 
 
 @dataclass
@@ -75,50 +91,100 @@ class ProfileReport:
 
 
 class NetworkProfiler:
-    """Context manager instrumenting a network's layers with timers."""
+    """Context manager instrumenting a network's layers with span timers."""
 
     def __init__(self, network: Network):
         self.network = network
-        self.report = ProfileReport()
+        #: Full trace of the profiled run (spans, counters, gauges,
+        #: events), including spans emitted by the layers themselves.
+        self.telemetry = telemetry.TelemetryCollector()
+        self._token = f"profiler-{id(self)}"
+        # (layer, saved instance 'forward', saved instance 'backward');
+        # _ABSENT means the lookup fell through to the class method.
         self._originals: list[tuple] = []
+        self._collecting = None
+        self._entered = False
+
+    # -- lifecycle --------------------------------------------------------
 
     def __enter__(self) -> "NetworkProfiler":
-        for layer in self.network.layers:
-            timing = LayerTiming(name=layer.name, kind=layer.kind)
-            self.report.layers.append(timing)
-            self._instrument(layer, timing)
+        if self._entered:
+            raise ReproError("profiler is already active; cannot re-enter")
+        self._entered = True
+        self._collecting = telemetry.collect(self.telemetry)
+        self._collecting.__enter__()
+        try:
+            for layer in self.network.layers:
+                self._instrument(layer)
+        except BaseException:
+            # Partial instrumentation must not leave wrappers behind.
+            self._restore()
+            raise
         return self
 
     def __exit__(self, *exc_info) -> None:
-        for layer, _forward, _backward in self._originals:
-            # Remove the instance-level wrappers so lookups fall back to
-            # the class methods.
-            del layer.forward
-            del layer.backward
-        self._originals.clear()
+        self._restore()
 
-    def _instrument(self, layer, timing: LayerTiming) -> None:
+    def _restore(self) -> None:
+        if not self._entered:
+            return  # idempotent: exiting twice is a no-op
+        for layer, saved_forward, saved_backward in reversed(self._originals):
+            for attr, saved in (("forward", saved_forward),
+                                ("backward", saved_backward)):
+                if saved is _ABSENT:
+                    layer.__dict__.pop(attr, None)
+                else:
+                    setattr(layer, attr, saved)
+        self._originals.clear()
+        self._collecting.__exit__(None, None, None)
+        self._collecting = None
+        self._entered = False
+
+    # -- instrumentation --------------------------------------------------
+
+    def _instrument(self, layer) -> None:
+        saved_forward = layer.__dict__.get("forward", _ABSENT)
+        saved_backward = layer.__dict__.get("backward", _ABSENT)
+        # Call whatever is currently reachable -- a nested profiler wraps
+        # the outer profiler's wrapper, not the class method.
         original_forward = layer.forward
         original_backward = layer.backward
+        token = self._token
+        name = layer.name
 
         def timed_forward(inputs, training=True):
-            start = time.perf_counter()
-            try:
+            with telemetry.span(f"{name}/fp", layer=name, phase="fp",
+                                **{_MARK: token}):
                 return original_forward(inputs, training=training)
-            finally:
-                timing.forward_seconds += time.perf_counter() - start
-                timing.calls += 1
 
         def timed_backward(out_error):
-            start = time.perf_counter()
-            try:
+            with telemetry.span(f"{name}/bp", layer=name, phase="bp",
+                                **{_MARK: token}):
                 return original_backward(out_error)
-            finally:
-                timing.backward_seconds += time.perf_counter() - start
 
         layer.forward = timed_forward
         layer.backward = timed_backward
-        self._originals.append((layer, original_forward, original_backward))
+        self._originals.append((layer, saved_forward, saved_backward))
+
+    # -- reporting --------------------------------------------------------
+
+    @property
+    def report(self) -> ProfileReport:
+        """Per-layer timings aggregated from this profiler's spans."""
+        report = ProfileReport()
+        for layer in self.network.layers:
+            timing = LayerTiming(name=layer.name, kind=layer.kind)
+            fp = self.telemetry.find_spans(
+                layer=layer.name, phase="fp", **{_MARK: self._token}
+            )
+            bp = self.telemetry.find_spans(
+                layer=layer.name, phase="bp", **{_MARK: self._token}
+            )
+            timing.forward_seconds = sum(s.seconds for s in fp)
+            timing.backward_seconds = sum(s.seconds for s in bp)
+            timing.calls = len(fp)
+            report.layers.append(timing)
+        return report
 
 
 def profile_training_steps(network: Network, images, labels,

@@ -8,6 +8,9 @@ Commands:
   autotuner over every conv layer of a network description.
 * ``figure <name>`` -- regenerate one of the paper's exhibits
   (``table1``, ``table2``, ``fig3a``, ``fig4a`` ... ``fig4f``, ``fig9``).
+* ``trace [--net cifar|mnist] [--epochs N] ...`` -- run a real training
+  job with spg-CNN retuning under the telemetry collector, print the
+  span/counter/event tables and write a JSON trace (profiling command).
 * ``engines`` -- list the registered convolution engines.
 """
 
@@ -75,6 +78,24 @@ def _build_parser() -> argparse.ArgumentParser:
         "reproduce", help="write every paper exhibit to an output directory"
     )
     repro_cmd.add_argument("--out", type=Path, default=Path("results"))
+
+    trace = sub.add_parser(
+        "trace",
+        help="profile a training run with telemetry; writes a JSON trace",
+    )
+    trace.add_argument("--net", choices=("mnist", "cifar"), default="cifar")
+    trace.add_argument("--epochs", type=int, default=2)
+    trace.add_argument("--batch", type=int, default=8)
+    trace.add_argument("--samples", type=int, default=32)
+    trace.add_argument("--scale", type=float, default=0.25,
+                       help="feature-count scale of the zoo network")
+    trace.add_argument("--threads", type=int, default=2,
+                       help="worker threads per conv layer (1 = inline)")
+    trace.add_argument("--cores", type=int, default=16,
+                       help="cores assumed by the autotuner's cost model")
+    trace.add_argument("--recheck", type=int, default=1,
+                       help="re-check the BP choice every N epochs")
+    trace.add_argument("--out", type=Path, default=Path("results/trace.json"))
 
     sub.add_parser("engines", help="list registered engines")
     return parser
@@ -166,6 +187,50 @@ def _cmd_figure(args, out) -> int:
     return 0
 
 
+def _cmd_trace(args, out) -> int:
+    import numpy as np
+
+    from repro import telemetry
+    from repro.core.framework import SpgCNN
+    from repro.data.synthetic import cifar10_like, mnist_like
+    from repro.nn.training_loop import TrainingLoop
+    from repro.nn.zoo import cifar10_net, mnist_net
+
+    threads = args.threads if args.threads and args.threads > 1 else None
+    rng = np.random.default_rng(0)
+    if args.net == "cifar":
+        network = cifar10_net(scale=args.scale, rng=rng, threads=threads)
+        data = cifar10_like(args.samples, seed=0)
+    else:
+        network = mnist_net(scale=args.scale, rng=rng, threads=threads)
+        data = mnist_like(args.samples, seed=0)
+    backend = ModelCostBackend(xeon_e5_2650(), cores=args.cores,
+                               batch=args.batch)
+    spg = SpgCNN(network, backend, recheck_epochs=args.recheck)
+    try:
+        with telemetry.collect() as tel:
+            spg.optimize()
+            loop = TrainingLoop(
+                network, data, batch_size=args.batch,
+                epoch_end_hook=lambda epoch, _net: spg.after_epoch(epoch),
+            )
+            history = loop.run(args.epochs)
+    finally:
+        for layer in network.conv_layers():
+            layer.close()
+    print(network.describe(), file=out)
+    print(telemetry.spans_table(tel, title=f"trace: {network.name}"), file=out)
+    print(telemetry.counters_table(tel), file=out)
+    if tel.events:
+        print(telemetry.events_table(tel), file=out)
+    print(f"final train loss: {history.final.train_loss:.4f}  "
+          f"mean error sparsity: {history.final.mean_error_sparsity:.2f}",
+          file=out)
+    path = telemetry.write_json(tel, args.out)
+    print(f"wrote {path}", file=out)
+    return 0
+
+
 def main(argv: list[str] | None = None, out=None) -> int:
     """CLI entry point; returns the process exit code."""
     out = out or sys.stdout
@@ -180,6 +245,8 @@ def main(argv: list[str] | None = None, out=None) -> int:
         return _cmd_explain(args, out)
     if args.command == "reproduce":
         return _cmd_reproduce(args, out)
+    if args.command == "trace":
+        return _cmd_trace(args, out)
     if args.command == "engines":
         for name in engine_names():
             print(name, file=out)

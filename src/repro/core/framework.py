@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import telemetry
 from repro.core.autotuner import Autotuner, CostBackend
 from repro.core.plan import ExecutionPlan, LayerPlan
 from repro.errors import PlanError
@@ -56,16 +57,17 @@ class SpgCNN:
         if not conv_layers:
             raise PlanError("network has no convolution layers to optimize")
         plans = []
-        for layer in conv_layers:
-            plan = self.autotuner.plan_layer(
-                layer.padded_spec,
-                layer_name=layer.name,
-                sparsity=self.initial_sparsity,
-            )
-            layer.set_fp_engine(plan.fp_engine)
-            layer.set_bp_engine(plan.bp_engine)
-            self._plans[layer.name] = plan
-            plans.append(plan)
+        with telemetry.span("spg/optimize", layers=len(conv_layers)):
+            for layer in conv_layers:
+                plan = self.autotuner.plan_layer(
+                    layer.padded_spec,
+                    layer_name=layer.name,
+                    sparsity=self.initial_sparsity,
+                )
+                layer.set_fp_engine(plan.fp_engine)
+                layer.set_bp_engine(plan.bp_engine)
+                self._plans[layer.name] = plan
+                plans.append(plan)
         return ExecutionPlan(layers=tuple(plans))
 
     @property
@@ -91,21 +93,33 @@ class SpgCNN:
         if epoch % self.recheck_epochs != 0:
             return []
         events = []
-        for layer in self.network.conv_layers():
-            old_plan = self._plans[layer.name]
-            sparsity = layer.last_error_sparsity
-            new_plan = self.autotuner.replan_bp(old_plan, sparsity)
-            self._plans[layer.name] = new_plan
-            if new_plan.bp_engine != old_plan.bp_engine:
-                layer.set_bp_engine(new_plan.bp_engine)
-                events.append(
-                    RetuneEvent(
-                        epoch=epoch,
-                        layer_name=layer.name,
-                        old_engine=old_plan.bp_engine,
-                        new_engine=new_plan.bp_engine,
-                        sparsity=sparsity,
+        with telemetry.span("spg/replan", epoch=epoch):
+            for layer in self.network.conv_layers():
+                old_plan = self._plans[layer.name]
+                sparsity = layer.last_error_sparsity
+                new_plan = self.autotuner.replan_bp(old_plan, sparsity)
+                self._plans[layer.name] = new_plan
+                if new_plan.bp_engine != old_plan.bp_engine:
+                    layer.set_bp_engine(new_plan.bp_engine)
+                    events.append(
+                        RetuneEvent(
+                            epoch=epoch,
+                            layer_name=layer.name,
+                            old_engine=old_plan.bp_engine,
+                            new_engine=new_plan.bp_engine,
+                            sparsity=sparsity,
+                        )
                     )
-                )
+        for ev in events:
+            telemetry.event(
+                "retune",
+                epoch=ev.epoch,
+                layer=ev.layer_name,
+                old_engine=ev.old_engine,
+                new_engine=ev.new_engine,
+                sparsity=ev.sparsity,
+            )
+        telemetry.add("retune.checks", 1)
+        telemetry.add("retune.count", len(events))
         self.retune_events.extend(events)
         return events

@@ -9,17 +9,32 @@ technique per layer and per phase (Sec. 4.4).
 The layer also measures the sparsity of the incoming error gradients on
 every backward pass, which both reproduces Fig. 3b and drives the
 autotuner's periodic BP re-selection.
+
+When constructed with ``threads > 1`` the layer executes its engines
+through a :class:`repro.runtime.parallel.ParallelExecutor` backed by one
+shared :class:`repro.runtime.pool.WorkerPool`, so FP/BP genuinely run the
+paper's image-level parallel schedule on real threads.
+
+Every FP/BP pass emits a telemetry span (``<name>/fp``, ``<name>/bp``)
+and the backward pass additionally records total/useful flop counters
+and a measured goodput gauge (Eqs. 9-10) -- no-ops unless a collector is
+active (see :mod:`repro.telemetry`).
 """
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
+from repro import telemetry
 from repro.core.convspec import ConvSpec
-from repro.core.goodput import measure_sparsity
+from repro.core.goodput import measure_sparsity, nonzero_conv_flops
 from repro.errors import ShapeError
 from repro.nn.layers.base import Layer
 from repro.ops.engine import ConvEngine, make_engine
+from repro.runtime.parallel import ParallelExecutor
+from repro.runtime.pool import WorkerPool
 
 # Engine modules register themselves on import.
 import repro.ops.gemm_conv  # noqa: F401
@@ -43,6 +58,7 @@ class ConvLayer(Layer):
         fp_engine: str = DEFAULT_FP_ENGINE,
         bp_engine: str = DEFAULT_BP_ENGINE,
         num_cores: int = 1,
+        threads: int | None = None,
         rng: np.random.Generator | None = None,
     ):
         super().__init__(name or spec.name or self.kind)
@@ -61,6 +77,10 @@ class ConvLayer(Layer):
             name=spec.name,
         )
         self.num_cores = num_cores
+        self.threads = threads
+        # One pool shared by the FP and BP executors; engines swapped by
+        # the autotuner reuse it rather than spawning new threads.
+        self._pool = WorkerPool(threads) if threads and threads > 1 else None
         rng = rng or np.random.default_rng(0)
         fan_in = spec.nc * spec.fy * spec.fx
         scale = np.sqrt(2.0 / fan_in)
@@ -76,8 +96,18 @@ class ConvLayer(Layer):
 
     # -- engine management ----------------------------------------------
 
-    def _build_engine(self, engine_name: str) -> ConvEngine:
+    def _build_engine(self, engine_name: str) -> ConvEngine | ParallelExecutor:
+        if self._pool is not None:
+            return ParallelExecutor(
+                engine_name, self.padded_spec, pool=self._pool,
+                num_cores=self.num_cores,
+            )
         return make_engine(engine_name, self.padded_spec, num_cores=self.num_cores)
+
+    def close(self) -> None:
+        """Shut down the layer's worker pool, if it runs threaded."""
+        if self._pool is not None:
+            self._pool.shutdown()
 
     @property
     def fp_engine_name(self) -> str:
@@ -128,19 +158,36 @@ class ConvLayer(Layer):
         padded = self._pad_batch(inputs)
         if training:
             self._cached_padded_input = padded
-        out = self._fp_engine.forward(padded, self.weights)
-        out += self.bias[None, :, None, None]
+        with telemetry.span(f"{self.name}/fp", layer=self.name, phase="fp",
+                            engine=self.fp_engine_name,
+                            batch=int(inputs.shape[0])):
+            out = self._fp_engine.forward(padded, self.weights)
+            out += self.bias[None, :, None, None]
         return out
 
     def backward(self, out_error: np.ndarray) -> np.ndarray:
         if self._cached_padded_input is None:
             raise ShapeError(f"layer {self.name}: backward before forward")
-        self.last_error_sparsity = measure_sparsity(out_error)
-        self.d_weights += self._bp_engine.backward_weights(
-            out_error, self._cached_padded_input
-        )
-        self.d_bias += out_error.sum(axis=(0, 2, 3))
-        in_error_padded = self._bp_engine.backward_data(out_error, self.weights)
+        sparsity = measure_sparsity(out_error)
+        self.last_error_sparsity = sparsity
+        batch = int(out_error.shape[0])
+        # EI + dW at the engine-facing (padded) geometry, dense count.
+        total_flops = 2.0 * batch * self.padded_spec.flops
+        useful_flops = nonzero_conv_flops(total_flops, sparsity)
+        start = time.perf_counter()
+        with telemetry.span(f"{self.name}/bp", layer=self.name, phase="bp",
+                            engine=self.bp_engine_name, batch=batch,
+                            sparsity=sparsity):
+            self.d_weights += self._bp_engine.backward_weights(
+                out_error, self._cached_padded_input
+            )
+            self.d_bias += out_error.sum(axis=(0, 2, 3))
+            in_error_padded = self._bp_engine.backward_data(out_error, self.weights)
+        elapsed = max(time.perf_counter() - start, 1e-9)
+        telemetry.add("conv.flops.total", total_flops)
+        telemetry.add("conv.flops.useful", useful_flops)
+        telemetry.gauge(f"goodput.{self.name}", useful_flops / elapsed)
+        telemetry.gauge(f"throughput.{self.name}", total_flops / elapsed)
         if self.spec.pad == 0:
             return in_error_padded
         p = self.spec.pad

@@ -50,12 +50,15 @@ def build_network(
     definition: dict,
     num_cores: int = 1,
     rng: np.random.Generator | None = None,
+    threads: int | None = None,
 ) -> Network:
     """Build a :class:`Network` from a dictionary description.
 
     The description carries ``input`` (per-image ``[C, Y, X]`` shape) and a
     ``layers`` list; convolution shapes are inferred from the running
     activation shape so only features/kernel/stride/pad are specified.
+    With ``threads > 1`` the convolution layers execute on a real worker
+    pool (see :class:`repro.nn.layers.conv.ConvLayer`).
     """
     rng = rng or np.random.default_rng(0)
     input_shape = tuple(int(v) for v in _require(definition, "input", "network"))
@@ -82,7 +85,8 @@ def build_network(
                 pad=int(layer_def.get("pad", 0)),
                 name=name,
             )
-            layer = ConvLayer(spec, name=name, num_cores=num_cores, rng=rng)
+            layer = ConvLayer(spec, name=name, num_cores=num_cores,
+                              threads=threads, rng=rng)
         elif layer_type == "relu":
             layer = ReLULayer(name=name)
         elif layer_type == "pool":
@@ -196,10 +200,12 @@ def parse_netdef(text: str) -> dict:
 
 
 def network_from_text(
-    text: str, num_cores: int = 1, rng: np.random.Generator | None = None
+    text: str, num_cores: int = 1, rng: np.random.Generator | None = None,
+    threads: int | None = None,
 ) -> Network:
     """Parse and build a network from the text format in one call."""
-    return build_network(parse_netdef(text), num_cores=num_cores, rng=rng)
+    return build_network(parse_netdef(text), num_cores=num_cores, rng=rng,
+                         threads=threads)
 
 
 def _format_value(value) -> str:

@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import telemetry
 from repro.nn.losses import accuracy, softmax_cross_entropy
 from repro.nn.network import Network
 
@@ -52,20 +53,25 @@ class SGDTrainer:
         """One FP + BP + update pass over a minibatch."""
         net = self.network
         net.zero_grads()
-        logits = net.forward(inputs, training=True)
+        with telemetry.span("sgd/fp", batch=int(inputs.shape[0])):
+            logits = net.forward(inputs, training=True)
         loss, grad = softmax_cross_entropy(logits, labels)
-        net.backward(grad)
-        for name, param, g in net.parameters():
-            vel = self._velocity.get(name)
-            if vel is None:
-                vel = np.zeros_like(param)
-                self._velocity[name] = vel
-            update = g
-            if self.weight_decay:
-                update = g + self.weight_decay * param
-            vel *= self.momentum
-            vel -= self.learning_rate * update
-            param += vel
+        with telemetry.span("sgd/bp", batch=int(inputs.shape[0])):
+            net.backward(grad)
+        with telemetry.span("sgd/update"):
+            for name, param, g in net.parameters():
+                vel = self._velocity.get(name)
+                if vel is None:
+                    vel = np.zeros_like(param)
+                    self._velocity[name] = vel
+                update = g
+                if self.weight_decay:
+                    update = g + self.weight_decay * param
+                vel *= self.momentum
+                vel -= self.learning_rate * update
+                param += vel
+        telemetry.add("images.processed", int(inputs.shape[0]))
+        telemetry.add("sgd.steps", 1)
         return StepResult(
             loss=loss,
             accuracy=accuracy(logits, labels),

@@ -13,6 +13,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro import telemetry
 from repro.data.synthetic import Dataset
 from repro.errors import ReproError
 from repro.nn.network import Network
@@ -104,24 +105,32 @@ class TrainingLoop:
             rate = self.schedule.rate(epoch)
             self.trainer.set_learning_rate(rate)
             losses, accuracies, sparsities = [], [], []
-            for batch_x, batch_y in self._epoch_batches():
-                if self.augment is not None:
-                    batch_x = self.augment(batch_x, True)
-                result = self.trainer.step(batch_x, batch_y)
-                losses.append(result.loss)
-                accuracies.append(result.accuracy)
-                if result.error_sparsities:
-                    sparsities.append(
-                        float(np.mean(list(result.error_sparsities.values())))
-                    )
-            eval_loss = eval_acc = None
-            if self.eval_data is not None:
-                eval_images = self.eval_data.images
-                if self.augment is not None:
-                    eval_images = self.augment(eval_images, False)
-                eval_loss, eval_acc = self.trainer.evaluate(
-                    eval_images, self.eval_data.labels
-                )
+            with telemetry.span("train/epoch", epoch=epoch):
+                for batch_x, batch_y in self._epoch_batches():
+                    if self.augment is not None:
+                        batch_x = self.augment(batch_x, True)
+                    result = self.trainer.step(batch_x, batch_y)
+                    losses.append(result.loss)
+                    accuracies.append(result.accuracy)
+                    if result.error_sparsities:
+                        sparsities.append(
+                            float(np.mean(list(result.error_sparsities.values())))
+                        )
+                eval_loss = eval_acc = None
+                if self.eval_data is not None:
+                    eval_images = self.eval_data.images
+                    if self.augment is not None:
+                        eval_images = self.augment(eval_images, False)
+                    with telemetry.span("train/eval", epoch=epoch):
+                        eval_loss, eval_acc = self.trainer.evaluate(
+                            eval_images, self.eval_data.labels
+                        )
+            telemetry.add("train.epochs", 1)
+            telemetry.gauge("train.loss", float(np.mean(losses)))
+            telemetry.gauge(
+                "train.error_sparsity",
+                float(np.mean(sparsities)) if sparsities else 0.0,
+            )
             history.epochs.append(
                 EpochRecord(
                     epoch=epoch,

@@ -41,7 +41,8 @@ def _scaled(features: int, scale: float) -> int:
 
 
 def mnist_net(num_cores: int = 1, scale: float = 1.0,
-              rng: np.random.Generator | None = None) -> Network:
+              rng: np.random.Generator | None = None,
+              threads: int | None = None) -> Network:
     """LeNet-style MNIST classifier (Table 2: one 5x5 conv, 20 features)."""
     definition = {
         "name": "mnist",
@@ -56,11 +57,13 @@ def mnist_net(num_cores: int = 1, scale: float = 1.0,
             {"type": "dense", "features": 10},
         ],
     }
-    return build_network(definition, num_cores=num_cores, rng=rng)
+    return build_network(definition, num_cores=num_cores, rng=rng,
+                         threads=threads)
 
 
 def cifar10_net(num_cores: int = 1, scale: float = 1.0,
-                rng: np.random.Generator | None = None) -> Network:
+                rng: np.random.Generator | None = None,
+                threads: int | None = None) -> Network:
     """CIFAR-10 classifier with the Table 2 conv geometry (5x5, 64 features)."""
     definition = {
         "name": "cifar-10",
@@ -76,11 +79,13 @@ def cifar10_net(num_cores: int = 1, scale: float = 1.0,
             {"type": "dense", "features": 10},
         ],
     }
-    return build_network(definition, num_cores=num_cores, rng=rng)
+    return build_network(definition, num_cores=num_cores, rng=rng,
+                         threads=threads)
 
 
 def imagenet100_net(num_cores: int = 1, scale: float = 1.0,
-                    rng: np.random.Generator | None = None) -> Network:
+                    rng: np.random.Generator | None = None,
+                    threads: int | None = None) -> Network:
     """A reduced ImageNet-100 classifier (Fig. 3b's third benchmark).
 
     ImageNet-100 is a 100-class subset of ImageNet; full 256x256 training
@@ -101,11 +106,13 @@ def imagenet100_net(num_cores: int = 1, scale: float = 1.0,
             {"type": "dense", "features": 100},
         ],
     }
-    return build_network(definition, num_cores=num_cores, rng=rng)
+    return build_network(definition, num_cores=num_cores, rng=rng,
+                         threads=threads)
 
 
 def alexnet_small(num_cores: int = 1, scale: float = 1.0,
-                  rng: np.random.Generator | None = None) -> Network:
+                  rng: np.random.Generator | None = None,
+                  threads: int | None = None) -> Network:
     """A trainable AlexNet-style network with LRN and dropout.
 
     Structurally faithful to the paper's ImageNet-1K benchmark (conv +
@@ -137,7 +144,8 @@ def alexnet_small(num_cores: int = 1, scale: float = 1.0,
             {"type": "dense", "features": 100},
         ],
     }
-    return build_network(definition, num_cores=num_cores, rng=rng)
+    return build_network(definition, num_cores=num_cores, rng=rng,
+                         threads=threads)
 
 
 #: Builders for the Fig. 3b sparsity experiment, keyed by display name.

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import telemetry
 from repro.core.convspec import ConvSpec
 from repro.errors import ReproError
 from repro.ops.engine import ConvEngine, make_engine
@@ -36,7 +37,11 @@ class ParallelExecutor:
             make_engine(engine_name, spec, **engine_kwargs)
             for _ in range(self.pool.num_workers)
         ]
-        self._next_engine = 0
+
+    @property
+    def name(self) -> str:
+        """The wrapped engine's registry name (ConvEngine-compatible)."""
+        return self.engine_name
 
     def close(self) -> None:
         """Shut the pool down if this executor created it."""
@@ -65,7 +70,9 @@ class ParallelExecutor:
             engine = self._engine_for(index)
             outputs[index] = getattr(engine, method)(primary[lo:hi], shared)
 
-        self.pool.map_items(task, len(ranges))
+        with telemetry.span(f"executor/{method}", engine=self.engine_name,
+                            batch=batch, workers=len(ranges)):
+            self.pool.map_items(task, len(ranges))
         chunks = [c for c in outputs if c is not None]
         return np.concatenate(chunks, axis=0)
 
@@ -82,6 +89,8 @@ class ParallelExecutor:
     def backward_weights(self, out_error: np.ndarray, inputs: np.ndarray) -> np.ndarray:
         """Per-worker dW partials, reduced into one gradient tensor."""
         batch = out_error.shape[0]
+        if batch == 0:
+            raise ReproError("empty batch")
         ranges = self.pool.assignment(batch)
         partials: list[np.ndarray | None] = [None] * len(ranges)
 
@@ -92,7 +101,10 @@ class ParallelExecutor:
                 out_error[lo:hi], inputs[lo:hi]
             )
 
-        self.pool.map_items(task, len(ranges))
+        with telemetry.span("executor/backward_weights",
+                            engine=self.engine_name, batch=batch,
+                            workers=len(ranges)):
+            self.pool.map_items(task, len(ranges))
         total = np.zeros(self.spec.weight_shape, dtype=out_error.dtype)
         for partial in partials:
             if partial is not None:

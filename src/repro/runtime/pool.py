@@ -14,9 +14,10 @@ scheduling (contiguous image ranges per core, Sec. 4.1) and is what the
 from __future__ import annotations
 
 import os
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ThreadPoolExecutor, wait
 from typing import Callable, Sequence, TypeVar
 
+from repro import telemetry
 from repro.blas.gemm import partition_rows
 from repro.errors import ReproError
 
@@ -75,11 +76,28 @@ class WorkerPool:
         caller after all submitted tasks finish.
         """
         ranges = self.assignment(batch_size)
+        telemetry.add("pool.tasks", len(ranges))
+        telemetry.gauge("pool.queue_occupancy", len(ranges))
+
+        def run(index: int, lo: int, hi: int) -> T:
+            with telemetry.span("pool/task", worker=index, lo=lo, hi=hi):
+                return task(lo, hi)
+
         if len(ranges) == 1:
             lo, hi = ranges[0]
-            return [task(lo, hi)]
+            return [run(0, lo, hi)]
         executor = self._require_executor()
-        futures = [executor.submit(task, lo, hi) for lo, hi in ranges]
+        futures = [
+            executor.submit(run, i, lo, hi) for i, (lo, hi) in enumerate(ranges)
+        ]
+        # Let every sibling task finish before propagating any failure, as
+        # documented -- callers must never observe a task still running
+        # after map_batches raised.
+        wait(futures)
+        for f in futures:
+            error = f.exception()
+            if error is not None:
+                raise error
         return [f.result() for f in futures]
 
     def map_items(self, task: Callable[[int], T], count: int) -> list[T]:

@@ -1,0 +1,57 @@
+"""``repro.telemetry``: unified tracing, counters and goodput metrics.
+
+Usage, from measuring code::
+
+    from repro import telemetry
+
+    with telemetry.collect() as tel:
+        run_training()                      # instrumented code records here
+    print(telemetry.spans_table(tel))
+    telemetry.write_json(tel, "results/trace.json")
+
+and from instrumented code (no-ops unless a collector is active)::
+
+    with telemetry.span("conv1/fp", engine="stencil", batch=16):
+        ...
+    telemetry.add("images.processed", 16)
+    telemetry.gauge("goodput.conv1", flops_per_second)
+    telemetry.event("retune", layer="conv1", old="gemm", new="sparse")
+"""
+
+from repro.telemetry.collector import (
+    Event,
+    Span,
+    TelemetryCollector,
+    active_collectors,
+    add,
+    collect,
+    event,
+    gauge,
+    span,
+)
+from repro.telemetry.export import (
+    aggregate_spans,
+    collector_to_dict,
+    counters_table,
+    events_table,
+    spans_table,
+    write_json,
+)
+
+__all__ = [
+    "Event",
+    "Span",
+    "TelemetryCollector",
+    "active_collectors",
+    "add",
+    "aggregate_spans",
+    "collect",
+    "collector_to_dict",
+    "counters_table",
+    "event",
+    "events_table",
+    "gauge",
+    "span",
+    "spans_table",
+    "write_json",
+]

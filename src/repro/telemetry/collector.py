@@ -1,0 +1,295 @@
+"""The in-memory telemetry collector: spans, counters, gauges, events.
+
+The paper's framework is measurement-driven -- the autotuner selects
+techniques from observed costs and re-checks its BP choice as sparsity
+drifts (Sec. 4.4) -- so the runtime needs a uniform way to record what it
+actually did.  This module provides that substrate:
+
+* :class:`Span` -- one timed region (a layer's FP pass, a worker's image
+  range) with wall-clock bounds, thread id and parent linkage;
+* :class:`Event` -- a point-in-time occurrence (a retune decision);
+* :class:`TelemetryCollector` -- a thread-safe sink accumulating spans,
+  monotonic counters, gauges and events.
+
+Instrumented code never talks to a collector directly: it calls the
+module-level :func:`span` / :func:`add` / :func:`gauge` / :func:`event`
+helpers, which fan out to every *active* collector (see :func:`collect`).
+When no collector is active the helpers are no-ops, so the instrumented
+hot paths cost one tuple lookup when nobody is measuring.
+
+Collectors may be nested (``collect`` inside ``collect``): emission goes
+to all of them, which is what lets two :class:`NetworkProfiler`\\ s wrap
+the same network without corrupting each other.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+from repro.errors import ReproError
+
+
+@dataclass
+class Span:
+    """One timed region of execution."""
+
+    name: str
+    span_id: int
+    thread_id: int
+    start: float
+    end: float | None = None
+    parent_id: int | None = None
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def seconds(self) -> float:
+        """Wall-clock duration; raises if the span was never finished."""
+        if self.end is None:
+            raise ReproError(f"span {self.name!r} (id {self.span_id}) not finished")
+        return self.end - self.start
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-friendly representation."""
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "thread_id": self.thread_id,
+            "start": self.start,
+            "end": self.end,
+            "seconds": self.end - self.start if self.end is not None else None,
+            "attrs": dict(self.attrs),
+        }
+
+
+@dataclass(frozen=True)
+class Event:
+    """A point-in-time occurrence (e.g. one retune decision)."""
+
+    name: str
+    time: float
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"name": self.name, "time": self.time, "attrs": dict(self.attrs)}
+
+
+class TelemetryCollector:
+    """Thread-safe in-memory sink for spans, counters, gauges and events.
+
+    Finished spans, counters, gauges and events are appended under a lock;
+    the per-thread span stack used for parent linkage lives in
+    thread-local storage, so concurrent worker threads nest independently.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._ids = itertools.count(1)
+        self.spans: list[Span] = []
+        self.events: list[Event] = []
+        self.counters: dict[str, float] = {}
+        self.gauges: dict[str, float] = {}
+        self._local = threading.local()
+
+    # -- span lifecycle ---------------------------------------------------
+
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def start_span(self, name: str, attrs: dict[str, Any] | None = None) -> Span:
+        """Open a span; its parent is the innermost open span on this thread."""
+        stack = self._stack()
+        parent_id = stack[-1].span_id if stack else None
+        with self._lock:
+            span_id = next(self._ids)
+        opened = Span(
+            name=name,
+            span_id=span_id,
+            thread_id=threading.get_ident(),
+            start=time.perf_counter(),
+            parent_id=parent_id,
+            attrs=dict(attrs or {}),
+        )
+        stack.append(opened)
+        return opened
+
+    def finish_span(self, opened: Span) -> Span:
+        """Close a span returned by :meth:`start_span` and record it."""
+        opened.end = time.perf_counter()
+        stack = self._stack()
+        if opened in stack:
+            # Tolerate mismatched closes: drop the span and everything
+            # opened after it on this thread.
+            del stack[stack.index(opened):]
+        with self._lock:
+            self.spans.append(opened)
+        return opened
+
+    @contextmanager
+    def span(self, name: str, **attrs: Any) -> Iterator[Span]:
+        """Context manager recording one span into this collector."""
+        opened = self.start_span(name, attrs)
+        try:
+            yield opened
+        finally:
+            self.finish_span(opened)
+
+    # -- counters / gauges / events ---------------------------------------
+
+    def add(self, name: str, value: float = 1.0) -> None:
+        """Increment a monotonic counter (negative increments are rejected)."""
+        if value < 0:
+            raise ReproError(
+                f"counter {name!r} is monotonic; cannot add {value}"
+            )
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0.0) + value
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set a gauge to its latest observed value."""
+        with self._lock:
+            self.gauges[name] = float(value)
+
+    def event(self, name: str, **attrs: Any) -> Event:
+        """Record a point-in-time event."""
+        recorded = Event(name=name, time=time.perf_counter(), attrs=dict(attrs))
+        with self._lock:
+            self.events.append(recorded)
+        return recorded
+
+    # -- queries ----------------------------------------------------------
+
+    def find_spans(
+        self,
+        name: str | None = None,
+        predicate: Callable[[Span], bool] | None = None,
+        **attr_filters: Any,
+    ) -> list[Span]:
+        """Finished spans matching a name, attribute values and predicate."""
+        with self._lock:
+            spans = list(self.spans)
+        out = []
+        for s in spans:
+            if name is not None and s.name != name:
+                continue
+            if any(s.attrs.get(k) != v for k, v in attr_filters.items()):
+                continue
+            if predicate is not None and not predicate(s):
+                continue
+            out.append(s)
+        return out
+
+    def total_seconds(self, name: str) -> float:
+        """Summed duration of every finished span with the given name."""
+        return sum(s.seconds for s in self.find_spans(name))
+
+    def span_names(self) -> tuple[str, ...]:
+        """Distinct recorded span names, sorted."""
+        with self._lock:
+            return tuple(sorted({s.name for s in self.spans}))
+
+
+# -- the active-collector stack -------------------------------------------
+#
+# The stack is global (not thread-local) on purpose: spans emitted from
+# worker-pool threads must land in the collector the main thread activated.
+
+_ACTIVE: list[TelemetryCollector] = []
+_ACTIVE_LOCK = threading.Lock()
+
+
+def active_collectors() -> tuple[TelemetryCollector, ...]:
+    """The currently active collectors, outermost first."""
+    with _ACTIVE_LOCK:
+        return tuple(_ACTIVE)
+
+
+@contextmanager
+def collect(
+    collector: TelemetryCollector | None = None,
+) -> Iterator[TelemetryCollector]:
+    """Activate a collector for the duration of the ``with`` block.
+
+    Every :func:`span` / :func:`add` / :func:`gauge` / :func:`event` call
+    made while the block runs -- from any thread -- is recorded into it
+    (and into any other active collector).
+    """
+    collector = collector or TelemetryCollector()
+    with _ACTIVE_LOCK:
+        _ACTIVE.append(collector)
+    try:
+        yield collector
+    finally:
+        with _ACTIVE_LOCK:
+            # Remove the topmost occurrence (collectors may repeat).
+            for i in range(len(_ACTIVE) - 1, -1, -1):
+                if _ACTIVE[i] is collector:
+                    del _ACTIVE[i]
+                    break
+
+
+class _MultiSpan:
+    """Context manager opening one span per active collector."""
+
+    __slots__ = ("_entries",)
+
+    def __init__(self, name: str, attrs: dict[str, Any],
+                 collectors: tuple[TelemetryCollector, ...]):
+        self._entries = [(c, c.start_span(name, attrs)) for c in collectors]
+
+    def __enter__(self) -> "_MultiSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        for collector, opened in reversed(self._entries):
+            collector.finish_span(opened)
+
+
+class _NullSpan:
+    """No-op stand-in when no collector is active."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+def span(name: str, **attrs: Any):
+    """Record a span into every active collector (no-op when none)."""
+    collectors = active_collectors()
+    if not collectors:
+        return _NULL_SPAN
+    return _MultiSpan(name, attrs, collectors)
+
+
+def add(name: str, value: float = 1.0) -> None:
+    """Increment a counter in every active collector (no-op when none)."""
+    for collector in active_collectors():
+        collector.add(name, value)
+
+
+def gauge(name: str, value: float) -> None:
+    """Set a gauge in every active collector (no-op when none)."""
+    for collector in active_collectors():
+        collector.gauge(name, value)
+
+
+def event(name: str, **attrs: Any) -> None:
+    """Record an event in every active collector (no-op when none)."""
+    for collector in active_collectors():
+        collector.event(name, **attrs)

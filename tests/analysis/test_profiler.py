@@ -87,3 +87,76 @@ class TestProfiler:
         report = profile_training_steps(net(), data.images, data.labels)
         with pytest.raises(ReproError):
             report.fraction("nonexistent")
+
+
+class TestSpanBackedProfiler:
+    def test_nested_profilers_do_not_corrupt_each_other(self):
+        network = net(seed=7)
+        data = make_dataset(8, 4, (1, 12, 12), seed=7)
+        original = network.layers[0].forward
+        from repro.nn.sgd import SGDTrainer
+
+        trainer = SGDTrainer(network, learning_rate=0.05)
+        with NetworkProfiler(network) as outer:
+            with NetworkProfiler(network) as inner:
+                trainer.step(data.images, data.labels)
+            # Inner exit restored the outer wrappers, not the originals.
+            assert network.layers[0].forward != original
+            trainer.step(data.images, data.labels)
+        assert network.layers[0].forward == original
+        outer_report = outer.report
+        inner_report = inner.report
+        assert [t.name for t in outer_report.layers] == [
+            t.name for t in inner_report.layers
+        ]
+        # Outer saw both steps, inner only the first.
+        assert all(t.calls == 2 for t in outer_report.layers)
+        assert all(t.calls == 1 for t in inner_report.layers)
+        assert outer_report.total_seconds > 0
+        assert inner_report.total_seconds > 0
+
+    def test_enter_is_not_reentrant(self):
+        profiler = NetworkProfiler(net())
+        with profiler:
+            with pytest.raises(ReproError):
+                profiler.__enter__()
+
+    def test_exit_is_idempotent(self):
+        network = net()
+        original = network.layers[0].forward
+        profiler = NetworkProfiler(network)
+        with profiler:
+            pass
+        profiler.__exit__(None, None, None)  # second exit: no-op, no raise
+        assert network.layers[0].forward == original
+
+    def test_preexisting_instance_wrapper_is_preserved(self):
+        network = net()
+        layer = network.layers[0]
+        sentinel_calls = []
+        class_forward = type(layer).forward
+
+        def custom_forward(inputs, training=True):
+            sentinel_calls.append(1)
+            return class_forward(layer, inputs, training=training)
+
+        layer.forward = custom_forward
+        data = make_dataset(4, 4, (1, 12, 12), seed=8)
+        with NetworkProfiler(network) as profiler:
+            network.forward(data.images, training=False)
+        # The profiler removed its wrapper but kept the user's.
+        assert layer.forward is custom_forward
+        assert sentinel_calls
+        assert profiler.report.layers[0].calls == 1
+
+    def test_full_trace_exposed_on_profiler(self):
+        network = net(seed=9)
+        data = make_dataset(4, 4, (1, 12, 12), seed=9)
+        from repro.nn.sgd import SGDTrainer
+
+        with NetworkProfiler(network) as profiler:
+            SGDTrainer(network).step(data.images, data.labels)
+        # Conv layers emit their own engine-level spans into the same
+        # collector, alongside the profiler's wrapper spans.
+        assert profiler.telemetry.find_spans("sgd/fp")
+        assert profiler.telemetry.counters["images.processed"] == 4

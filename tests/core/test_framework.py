@@ -150,3 +150,58 @@ class TestEndToEndTrainingWithSpg:
         assert any(
             layer.bp_engine_name == "sparse" for layer in net.conv_layers()
         )
+
+
+class TestAfterEpochContract:
+    def test_non_multiple_epochs_leave_plans_untouched(self):
+        net = small_net()
+        spg = make_spg(net, recheck_epochs=3)
+        spg.optimize()
+        before = {p.layer_name: p for p in spg.plan.layers}
+        for layer in net.conv_layers():
+            layer.last_error_sparsity = 0.95  # would flip if rechecked
+        for epoch in (1, 2, 4, 5, 7):
+            assert spg.after_epoch(epoch) == []
+        after = {p.layer_name: p for p in spg.plan.layers}
+        # The exact same plan objects are still deployed -- no replanning.
+        assert all(after[name] is before[name] for name in before)
+        assert spg.retune_events == []
+
+    def test_retune_events_accumulate_across_calls(self):
+        net = small_net()
+        spg = make_spg(net, recheck_epochs=2)
+        spg.optimize()
+        for layer in net.conv_layers():
+            layer.last_error_sparsity = 0.95
+        first = spg.after_epoch(2)
+        assert first  # flipped to sparse
+        for layer in net.conv_layers():
+            layer.last_error_sparsity = 0.0
+        second = spg.after_epoch(4)
+        assert second  # flipped back to a dense BP engine
+        assert spg.retune_events == first + second
+        assert spg.after_epoch(6) == []  # stable now
+        assert spg.retune_events == first + second
+
+    def test_sparsity_driven_flip_fires_event_and_redeploys(self):
+        net = small_net()
+        spg = make_spg(net)
+        spg.optimize()
+        deployed_before = {
+            layer.name: layer.bp_engine_name for layer in net.conv_layers()
+        }
+        for layer in net.conv_layers():
+            layer.last_error_sparsity = 0.95
+        events = spg.after_epoch(2)
+        assert events
+        flipped = {e.layer_name for e in events}
+        for layer in net.conv_layers():
+            if layer.name in flipped:
+                event = next(e for e in events if e.layer_name == layer.name)
+                # The event records the transition...
+                assert event.old_engine == deployed_before[layer.name]
+                assert event.new_engine == "sparse"
+                assert event.sparsity == 0.95
+                # ...and the layer actually executes the new engine now.
+                assert layer.bp_engine_name == "sparse"
+                assert spg.plan.for_layer(layer.name).bp_engine == "sparse"

@@ -72,6 +72,22 @@ class TestExecutorBehaviour:
                     np.zeros((0,) + SPEC.input_shape, np.float32), weights
                 )
 
+    def test_backward_weights_empty_batch_rejected(self, data):
+        inputs, _, _ = data
+        with ParallelExecutor("gemm-in-parallel", SPEC,
+                              pool=WorkerPool(2)) as executor:
+            with pytest.raises(ReproError, match="empty batch"):
+                executor.backward_weights(
+                    np.zeros((0,) + SPEC.output_shape, np.float32),
+                    inputs[:0],
+                )
+
+    def test_dead_next_engine_attribute_removed(self):
+        with ParallelExecutor("gemm-in-parallel", SPEC,
+                              pool=WorkerPool(2)) as executor:
+            assert not hasattr(executor, "_next_engine")
+            assert executor.name == "gemm-in-parallel"
+
     def test_owned_pool_closed_on_exit(self):
         executor = ParallelExecutor("gemm-in-parallel", SPEC)
         executor.close()  # must not raise

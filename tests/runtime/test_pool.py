@@ -59,6 +59,43 @@ class TestExecution:
             with pytest.raises(RuntimeError, match="kernel failure"):
                 pool.map_batches(boom, 4)
 
+    def test_mid_batch_failure_waits_for_all_siblings(self):
+        # Regression: a task failing early must not propagate while sibling
+        # tasks are still running -- all submitted tasks finish first.
+        finished = []
+        lock = threading.Lock()
+        release = threading.Event()
+
+        def task(lo, hi):
+            if lo == 0:
+                raise RuntimeError("early failure")
+            release.wait(timeout=5)  # siblings outlive the failing task
+            with lock:
+                finished.append((lo, hi))
+
+        with WorkerPool(num_workers=4) as pool:
+            import threading as _t
+
+            timer = _t.Timer(0.05, release.set)
+            timer.start()
+            with pytest.raises(RuntimeError, match="early failure"):
+                pool.map_batches(task, 12)
+            timer.cancel()
+        # By the time the exception reached us, every sibling had finished.
+        assert sorted(finished) == [(3, 6), (6, 9), (9, 12)]
+
+    def test_first_error_in_range_order_wins(self):
+        def task(lo, hi):
+            if lo >= 6:
+                raise ValueError(f"late {lo}")
+            if lo >= 3:
+                raise RuntimeError(f"early {lo}")
+            return lo
+
+        with WorkerPool(num_workers=4) as pool:
+            with pytest.raises(RuntimeError, match="early 3"):
+                pool.map_batches(task, 12)
+
     def test_single_worker_runs_inline(self):
         pool = WorkerPool(num_workers=1)
         assert pool.map_batches(lambda lo, hi: hi - lo, 5) == [5]

@@ -1,0 +1,78 @@
+"""Tests for the telemetry exporters."""
+
+import json
+
+from repro import telemetry
+from repro.telemetry import (
+    TelemetryCollector,
+    aggregate_spans,
+    collector_to_dict,
+    counters_table,
+    events_table,
+    spans_table,
+    write_json,
+)
+
+
+def sample_collector() -> TelemetryCollector:
+    tel = TelemetryCollector()
+    with tel.span("conv0/fp", layer="conv0", phase="fp", engine="stencil"):
+        pass
+    with tel.span("conv0/bp", layer="conv0", phase="bp", engine="sparse"):
+        pass
+    with tel.span("conv0/fp", layer="conv0", phase="fp", engine="stencil"):
+        pass
+    tel.add("images.processed", 16)
+    tel.gauge("goodput.conv0", 1.5e9)
+    tel.event("retune", layer="conv0", new_engine="sparse")
+    return tel
+
+
+class TestJson:
+    def test_dict_snapshot_structure(self):
+        data = collector_to_dict(sample_collector())
+        assert data["meta"]["num_spans"] == 3
+        assert data["meta"]["num_events"] == 1
+        assert data["meta"]["threads"] == 1
+        names = [s["name"] for s in data["spans"]]
+        assert names.count("conv0/fp") == 2 and "conv0/bp" in names
+        for s in data["spans"]:
+            assert s["seconds"] is not None and s["seconds"] >= 0
+            assert s["attrs"]["layer"] == "conv0"
+        assert data["counters"] == {"images.processed": 16.0}
+        assert data["gauges"] == {"goodput.conv0": 1.5e9}
+        assert data["events"][0]["attrs"]["new_engine"] == "sparse"
+
+    def test_write_json_round_trips(self, tmp_path):
+        path = write_json(sample_collector(), tmp_path / "sub" / "trace.json")
+        assert path.exists()
+        data = json.loads(path.read_text())
+        assert data["meta"]["num_spans"] == 3
+        assert data["counters"]["images.processed"] == 16.0
+
+    def test_module_level_reexports(self):
+        assert telemetry.write_json is write_json
+
+
+class TestTables:
+    def test_aggregate_spans_counts_and_sums(self):
+        totals = aggregate_spans(sample_collector())
+        assert totals["conv0/fp"][0] == 2
+        assert totals["conv0/bp"][0] == 1
+        assert totals["conv0/fp"][1] >= 0
+
+    def test_spans_table_lists_every_name(self):
+        text = spans_table(sample_collector(), title="my-trace")
+        assert "my-trace" in text
+        assert "conv0/fp" in text and "conv0/bp" in text
+        assert "total (ms)" in text
+
+    def test_counters_table_includes_gauges(self):
+        text = counters_table(sample_collector())
+        assert "images.processed" in text
+        assert "goodput.conv0" in text
+        assert "gauge" in text and "counter" in text
+
+    def test_events_table(self):
+        text = events_table(sample_collector())
+        assert "retune" in text and "new_engine=sparse" in text

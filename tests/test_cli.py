@@ -96,3 +96,53 @@ class TestEngines:
         for engine in ("parallel-gemm", "gemm-in-parallel", "stencil",
                        "sparse", "fft"):
             assert engine in text
+
+
+class TestTrace:
+    def test_cifar_trace_writes_full_json_trace(self, tmp_path):
+        out = tmp_path / "trace.json"
+        code, text = run([
+            "trace", "--net", "cifar", "--epochs", "2", "--samples", "16",
+            "--batch", "8", "--scale", "0.25", "--threads", "2",
+            "--out", str(out),
+        ])
+        assert code == 0
+        assert "trace: cifar-10" in text
+        assert f"wrote {out}" in text
+        import json
+
+        data = json.loads(out.read_text())
+        names = {s["name"] for s in data["spans"]}
+        # Per-layer FP and BP spans from the conv layers.
+        assert any(n.endswith("/fp") and n.startswith("conv") for n in names)
+        assert any(n.endswith("/bp") and n.startswith("conv") for n in names)
+        # Per-worker task spans from the threaded runtime.
+        task_workers = {
+            s["attrs"]["worker"] for s in data["spans"]
+            if s["name"] == "pool/task"
+        }
+        assert task_workers == {0, 1}
+        # Goodput counters (total vs useful flops, Eqs. 9-10).
+        assert data["counters"]["conv.flops.total"] > 0
+        assert 0 < data["counters"]["conv.flops.useful"] < (
+            data["counters"]["conv.flops.total"])
+        assert any(k.startswith("goodput.") for k in data["gauges"])
+        # The sparsity drift during training produced a recorded retune.
+        retunes = [e for e in data["events"] if e["name"] == "retune"]
+        assert retunes
+        assert retunes[0]["attrs"]["new_engine"] != retunes[0]["attrs"]["old_engine"]
+        assert data["counters"]["retune.count"] >= 1
+
+    def test_mnist_trace_single_threaded(self, tmp_path):
+        out = tmp_path / "trace.json"
+        code, text = run([
+            "trace", "--net", "mnist", "--epochs", "1", "--samples", "8",
+            "--batch", "4", "--scale", "0.2", "--threads", "1",
+            "--out", str(out),
+        ])
+        assert code == 0
+        import json
+
+        data = json.loads(out.read_text())
+        assert data["counters"]["images.processed"] == 8
+        assert {s["name"] for s in data["spans"]} >= {"train/epoch", "sgd/fp"}
