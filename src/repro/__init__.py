@@ -13,6 +13,7 @@ Public API highlights:
   model; :mod:`repro.analysis.figures` regenerates every table/figure.
 """
 
+from repro.check import CheckReport, Finding
 from repro.core.autotuner import Autotuner, MeasuredCostBackend, ModelCostBackend
 from repro.core.characterization import Region, characterize, classify
 from repro.core.convspec import ConvSpec, square_conv
@@ -38,6 +39,8 @@ import repro.ops.fft_conv  # noqa: F401
 __version__ = "1.0.0"
 
 __all__ = [
+    "CheckReport",
+    "Finding",
     "ConvSpec",
     "square_conv",
     "Region",

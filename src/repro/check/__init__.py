@@ -1,0 +1,43 @@
+"""``repro.check``: static verification of generated kernels, graphs
+and the parallel runtime.
+
+Four analyzers prove correctness properties *before* anything runs on
+training data, so codegen drift and runtime races surface at check time
+instead of as silent numerical corruption mid-training:
+
+* :mod:`repro.check.kernel_ir` -- symbolic interpretation of stencil
+  basic blocks (bounds, register pressure, tap completeness, and the
+  IR <-> machine-model flop-count consistency invariant);
+* :mod:`repro.check.gen_source` -- ``ast`` verification of emitted
+  stencil/sparse Python (literal slice bounds, exact tap coverage,
+  name whitelisting);
+* :mod:`repro.check.graph` -- shape/dtype propagation over networks
+  and netdefs, wired into :class:`TrainingLoop` as a fail-fast
+  pre-flight;
+* :mod:`repro.check.concurrency` -- lint for mutable defaults, shared
+  mutable state under the worker pool, and telemetry misuse.
+
+Usage::
+
+    from repro import check
+
+    report = check.run_all()        # or: python -m repro check
+    if not report.ok:
+        report.raise_if_errors()    # CheckError naming every violation
+"""
+
+from repro.check.findings import SEVERITIES, CheckReport, Finding
+
+
+def run_all(**kwargs) -> CheckReport:
+    """Run every analyzer over the default corpus; see ``runner.run_all``.
+
+    Imported lazily so ``repro.check`` stays cheap to import from the
+    training path's pre-flight hook.
+    """
+    from repro.check.runner import run_all as _run_all
+
+    return _run_all(**kwargs)
+
+
+__all__ = ["CheckReport", "Finding", "SEVERITIES", "run_all"]

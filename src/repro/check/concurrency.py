@@ -1,0 +1,259 @@
+"""Analyzer 4: concurrency lint over the package source.
+
+The parallel runtime (:class:`repro.runtime.pool.WorkerPool`,
+:class:`repro.runtime.parallel.ParallelExecutor`) runs closures on real
+threads, so a small class of Python idioms become data races or silent
+aliasing bugs.  This ``ast`` pass walks every module under ``repro``
+and flags:
+
+* **CHK-MUT-DEFAULT** -- mutable default arguments (``def f(x=[])``):
+  shared across calls and, under the pool, across threads;
+* **CHK-SHARED-MUT** -- module-level mutable state mutated inside a
+  closure (a ``def``/``lambda`` nested in a function) in modules that
+  use the worker pool, unless the mutation is guarded by a ``with``
+  block naming a lock;
+* **CHK-TEL-API** -- telemetry misuse: attribute access on the
+  ``telemetry`` module outside its public API (typo'd helper names
+  emit nothing, silently), and emission helpers invoked at module
+  import time, which always runs outside any collector guard.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from repro.check.findings import Finding
+
+ANALYZER = "concurrency"
+
+#: Attribute names that constitute the telemetry module's public API.
+_TELEMETRY_PUBLIC = frozenset(
+    ("Event", "Span", "TelemetryCollector", "active_collectors", "add",
+     "aggregate_spans", "collect", "collector_to_dict", "counters_table",
+     "event", "events_table", "gauge", "span", "spans_table", "write_json")
+)
+
+#: Telemetry helpers that emit (pointless before any collector exists).
+_TELEMETRY_EMITTERS = frozenset(("add", "gauge", "event", "span"))
+
+_POOL_NAMES = ("WorkerPool", "ParallelExecutor", "ThreadPoolExecutor")
+
+_MUTATING_METHODS = frozenset(
+    ("append", "extend", "add", "update", "insert", "pop", "popitem",
+     "remove", "discard", "clear", "setdefault")
+)
+
+
+def _finding(severity: str, location: str, message: str) -> Finding:
+    return Finding(severity=severity, analyzer=ANALYZER, location=location,
+                   message=message)
+
+
+def _is_mutable_literal(node: ast.expr) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                         ast.DictComp, ast.SetComp)):
+        return True
+    return (isinstance(node, ast.Call) and isinstance(node.func, ast.Name)
+            and node.func.id in ("list", "dict", "set"))
+
+
+def _module_mutable_globals(tree: ast.Module) -> set[str]:
+    """Names bound at module level to mutable containers."""
+    names: set[str] = set()
+    for node in tree.body:
+        targets: list[ast.expr] = []
+        if isinstance(node, ast.Assign) and _is_mutable_literal(node.value):
+            targets = node.targets
+        elif (isinstance(node, ast.AnnAssign) and node.value is not None
+              and _is_mutable_literal(node.value)):
+            targets = [node.target]
+        for target in targets:
+            if isinstance(target, ast.Name):
+                names.add(target.id)
+    return names
+
+
+def _mentions_lock(node: ast.expr) -> bool:
+    for sub in ast.walk(node):
+        name = None
+        if isinstance(sub, ast.Name):
+            name = sub.id
+        elif isinstance(sub, ast.Attribute):
+            name = sub.attr
+        if name is not None and "lock" in name.lower():
+            return True
+    return False
+
+
+class _ClosureMutationVisitor(ast.NodeVisitor):
+    """Find mutations of module-level mutables inside nested functions."""
+
+    def __init__(self, module_name: str, mutables: set[str]):
+        self.module_name = module_name
+        self.mutables = mutables
+        self.findings: list[Finding] = []
+        self._function_depth = 0
+        self._lock_depth = 0
+
+    # -- scope tracking ----------------------------------------------------
+
+    def _visit_function(self, node) -> None:
+        self._function_depth += 1
+        self.generic_visit(node)
+        self._function_depth -= 1
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+    visit_Lambda = _visit_function
+
+    def visit_With(self, node: ast.With) -> None:
+        guarded = any(_mentions_lock(item.context_expr) for item in node.items)
+        if guarded:
+            self._lock_depth += 1
+        self.generic_visit(node)
+        if guarded:
+            self._lock_depth -= 1
+
+    # -- mutation detection ------------------------------------------------
+
+    def _report(self, lineno: int, name: str, how: str) -> None:
+        if self._function_depth < 2 or self._lock_depth > 0:
+            return
+        self.findings.append(_finding(
+            "error", f"{self.module_name}:{lineno}",
+            f"module-level mutable {name!r} {how} inside a closure without "
+            f"a lock; worker-pool threads race on it",
+        ))
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if (isinstance(func, ast.Attribute)
+                and func.attr in _MUTATING_METHODS
+                and isinstance(func.value, ast.Name)
+                and func.value.id in self.mutables):
+            self._report(node.lineno, func.value.id,
+                         f"mutated via .{func.attr}()")
+        self.generic_visit(node)
+
+    def _check_target(self, target: ast.expr, lineno: int, how: str) -> None:
+        if (isinstance(target, ast.Subscript)
+                and isinstance(target.value, ast.Name)
+                and target.value.id in self.mutables):
+            self._report(lineno, target.value.id, how)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._check_target(target, node.lineno, "item-assigned")
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_target(node.target, node.lineno, "augmented-assigned")
+        self.generic_visit(node)
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        for target in node.targets:
+            self._check_target(target, node.lineno, "item-deleted")
+        self.generic_visit(node)
+
+
+def _telemetry_aliases(tree: ast.Module) -> set[str]:
+    """Local names under which the telemetry module is imported."""
+    aliases: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom):
+            if node.module == "repro":
+                for alias in node.names:
+                    if alias.name == "telemetry":
+                        aliases.add(alias.asname or alias.name)
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "repro.telemetry" and alias.asname:
+                    aliases.add(alias.asname)
+    return aliases
+
+
+def lint_source(module_name: str, source: str) -> list[Finding]:
+    """Lint one module's source text; returns all findings."""
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        return [_finding("error", module_name,
+                         f"source does not parse: {exc}")]
+    findings: list[Finding] = []
+
+    # CHK-MUT-DEFAULT: mutable default arguments anywhere.
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        defaults = list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None
+        ]
+        for default in defaults:
+            if _is_mutable_literal(default):
+                findings.append(_finding(
+                    "error", f"{module_name}:{node.lineno}",
+                    f"function {node.name!r} has a mutable default "
+                    f"argument; it is shared across calls and threads",
+                ))
+
+    # CHK-SHARED-MUT: only in modules that touch the parallel runtime.
+    if any(pool in source for pool in _POOL_NAMES):
+        mutables = _module_mutable_globals(tree)
+        if mutables:
+            visitor = _ClosureMutationVisitor(module_name, mutables)
+            visitor.visit(tree)
+            findings.extend(visitor.findings)
+
+    # CHK-TEL-API: unknown telemetry attributes; import-time emission.
+    aliases = _telemetry_aliases(tree)
+    if aliases:
+        in_function: set[int] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.Lambda)):
+                for sub in ast.walk(node):
+                    in_function.add(id(sub))
+        for node in ast.walk(tree):
+            if not (isinstance(node, ast.Attribute)
+                    and isinstance(node.value, ast.Name)
+                    and node.value.id in aliases):
+                continue
+            if node.attr.startswith("_"):
+                findings.append(_finding(
+                    "error", f"{module_name}:{node.lineno}",
+                    f"access to private telemetry attribute "
+                    f"{node.attr!r} bypasses the collector guard",
+                ))
+            elif node.attr not in _TELEMETRY_PUBLIC:
+                findings.append(_finding(
+                    "error", f"{module_name}:{node.lineno}",
+                    f"telemetry.{node.attr} is not a public telemetry "
+                    f"helper; a typo here silently records nothing",
+                ))
+            elif (node.attr in _TELEMETRY_EMITTERS
+                  and id(node) not in in_function):
+                findings.append(_finding(
+                    "warning", f"{module_name}:{node.lineno}",
+                    f"telemetry.{node.attr} called at import time, before "
+                    f"any collector guard can be active",
+                ))
+    return findings
+
+
+def lint_package(root: Path | None = None) -> tuple[list[Finding], int]:
+    """Lint every ``.py`` file under the package root.
+
+    Returns ``(findings, files_linted)``.  Defaults to the installed
+    ``repro`` package directory.
+    """
+    if root is None:
+        import repro
+
+        root = Path(repro.__file__).resolve().parent
+    findings: list[Finding] = []
+    files = sorted(root.rglob("*.py"))
+    for path in files:
+        module_name = str(path.relative_to(root.parent)).replace("\\", "/")
+        findings.extend(lint_source(module_name, path.read_text()))
+    return findings, len(files)

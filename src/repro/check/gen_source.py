@@ -1,0 +1,294 @@
+"""Analyzer 2: ``ast`` verification of emitted kernel source.
+
+The stencil and sparse generators emit Python with every kernel tap
+unrolled and every pointer-shifted slice a literal (paper Figs. 6-7).
+This analyzer parses the emitted source -- never executes it -- and
+proves, per generated kernel:
+
+* every literal slice/index on a tensor parameter is in-range for that
+  tensor's extents under the :class:`ConvSpec`, and strided slices
+  select exactly the expected number of elements (an in-bounds but
+  off-by-one slice is still caught);
+* the union of unrolled taps covers the ``Fy x Fx`` kernel support
+  exactly once -- no dropped taps, no double-accumulated taps;
+* the generated function touches only whitelisted names: ``np`` plus
+  its own parameters (no stray globals, no imports);
+* slice bounds are literals, as the pointer-shifting transformation
+  requires (a non-constant bound means the specializer regressed).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+from repro.check.findings import Finding
+from repro.core.convspec import ConvSpec
+from repro.sparse import codegen as sparse_codegen
+from repro.stencil import emit as stencil_emit
+
+ANALYZER = "gen-source"
+
+
+def _finding(severity: str, location: str, message: str) -> Finding:
+    return Finding(severity=severity, analyzer=ANALYZER, location=location,
+                   message=message)
+
+
+@dataclass(frozen=True)
+class KernelContract:
+    """What the emitted source of one kernel family must satisfy.
+
+    ``arrays`` maps tensor parameter names to per-dimension extents
+    (``None`` leaves a dimension unchecked); ``counts`` optionally pins
+    the number of elements a slice along a dimension must select;
+    ``tap_param``/``tap_dims`` name the tensor and index positions whose
+    literal integer pairs enumerate the kernel taps.
+    """
+
+    arrays: dict[str, tuple[int | None, ...]]
+    tap_param: str
+    tap_dims: tuple[int, int]
+    support: frozenset[tuple[int, int]]
+    counts: dict[str, tuple[int | None, ...]]
+
+
+def _contracts(spec: ConvSpec) -> dict[str, KernelContract]:
+    """The five generated-kernel contracts for one (pre-padded) spec."""
+    support = frozenset(
+        (ky, kx) for ky in range(spec.fy) for kx in range(spec.fx)
+    )
+    oy, ox = spec.out_ny, spec.out_nx
+    stencil_weights = {"weights": (spec.nf, spec.nc, spec.fy, spec.fx)}
+    layout = (spec.fy, spec.fx, spec.nf, spec.nc)
+    return {
+        "stencil-fp": KernelContract(
+            arrays={"inputs": spec.input_shape, "out": spec.output_shape,
+                    **stencil_weights},
+            tap_param="weights", tap_dims=(2, 3), support=support,
+            counts={"inputs": (None, oy, ox)},
+        ),
+        "stencil-bp-data": KernelContract(
+            arrays={"out_error": spec.output_shape,
+                    "in_error": spec.input_shape, **stencil_weights},
+            tap_param="weights", tap_dims=(2, 3), support=support,
+            counts={"in_error": (None, oy, ox)},
+        ),
+        "stencil-bp-weights": KernelContract(
+            arrays={"out_error": spec.output_shape,
+                    "inputs": spec.input_shape,
+                    "dw": (spec.nf, spec.nc, spec.fy, spec.fx)},
+            tap_param="dw", tap_dims=(2, 3), support=support,
+            counts={"inputs": (None, oy, ox)},
+        ),
+        "sparse-bp-data": KernelContract(
+            arrays={"eo": (oy * ox, spec.nf), "w_layout": layout,
+                    "in_error_hwc": (spec.ny, spec.nx, spec.nc)},
+            tap_param="w_layout", tap_dims=(0, 1), support=support,
+            counts={"in_error_hwc": (oy, ox, None)},
+        ),
+        "sparse-bp-weights": KernelContract(
+            arrays={"eo": (oy * ox, spec.nf), "dw_layout": layout,
+                    "inputs_hwc": (spec.ny, spec.nx, spec.nc)},
+            tap_param="dw_layout", tap_dims=(0, 1), support=support,
+            counts={"inputs_hwc": (oy, ox, None)},
+        ),
+    }
+
+
+#: Emitter attribute per kernel family; resolved late so tests can
+#: monkeypatch the emitter modules to seed faults.
+_EMITTERS = {
+    "stencil-fp": (stencil_emit, "emit_forward_kernel"),
+    "stencil-bp-data": (stencil_emit, "emit_backward_data_kernel"),
+    "stencil-bp-weights": (stencil_emit, "emit_backward_weights_kernel"),
+    "sparse-bp-data": (sparse_codegen, "emit_sparse_backward_data"),
+    "sparse-bp-weights": (sparse_codegen, "emit_sparse_backward_weights"),
+}
+
+
+def _index_elements(node: ast.Subscript) -> list[ast.expr]:
+    index = node.slice
+    if isinstance(index, ast.Tuple):
+        return list(index.elts)
+    return [index]
+
+
+def _literal_int(node: ast.expr | None) -> int | None:
+    if node is None:
+        return None
+    if isinstance(node, ast.Constant) and isinstance(node.value, int):
+        return node.value
+    if (isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub)
+            and isinstance(node.operand, ast.Constant)
+            and isinstance(node.operand.value, int)):
+        return -node.operand.value
+    return None
+
+
+def _check_dim(
+    element: ast.expr, extent: int | None, expected_count: int | None,
+    location: str, param: str, dim: int,
+) -> list[Finding]:
+    """Verify one subscript element against one dimension's extent."""
+    if isinstance(element, ast.Slice):
+        if element.lower is None and element.upper is None \
+                and element.step is None:
+            return []  # full-dimension slice
+        start = _literal_int(element.lower)
+        stop = _literal_int(element.upper)
+        step = _literal_int(element.step) if element.step is not None else 1
+        if start is None or stop is None or step is None:
+            return [_finding(
+                "error", location,
+                f"{param}[dim {dim}] slice bound is not a literal int "
+                f"(pointer-shifting requires literal bounds)",
+            )]
+        if step < 1 or start < 0 or stop <= start:
+            return [_finding(
+                "error", location,
+                f"{param}[dim {dim}] degenerate slice {start}:{stop}:{step}",
+            )]
+        out = []
+        if extent is not None and stop > extent:
+            out.append(_finding(
+                "error", location,
+                f"{param}[dim {dim}] slice {start}:{stop}:{step} exceeds "
+                f"extent {extent}",
+            ))
+        if expected_count is not None:
+            selected = len(range(start, stop, step))
+            if selected != expected_count:
+                out.append(_finding(
+                    "error", location,
+                    f"{param}[dim {dim}] slice {start}:{stop}:{step} selects "
+                    f"{selected} elements, expected {expected_count}",
+                ))
+        return out
+    index = _literal_int(element)
+    if index is None:
+        return [_finding(
+            "error", location,
+            f"{param}[dim {dim}] index is not a literal int",
+        )]
+    if extent is not None and not 0 <= index < extent:
+        return [_finding(
+            "error", location,
+            f"{param}[dim {dim}] index {index} out of range for "
+            f"extent {extent}",
+        )]
+    return []
+
+
+def verify_kernel_source(
+    source: str, contract: KernelContract, location: str
+) -> list[Finding]:
+    """Statically verify one emitted kernel source against its contract."""
+    findings: list[Finding] = []
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        return [_finding("error", location,
+                         f"emitted source does not parse: {exc}")]
+    functions = [n for n in tree.body if isinstance(n, ast.FunctionDef)]
+    if len(functions) != 1:
+        return [_finding(
+            "error", location,
+            f"emitted module defines {len(functions)} functions, expected 1",
+        )]
+    func = functions[0]
+    params = {a.arg for a in func.args.args}
+    missing = set(contract.arrays) - params
+    if missing:
+        findings.append(_finding(
+            "error", location,
+            f"generated function is missing tensor parameters "
+            f"{sorted(missing)}",
+        ))
+
+    taps: list[tuple[int, int]] = []
+    for node in ast.walk(func):
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+            if node.id not in params and node.id != "np":
+                findings.append(_finding(
+                    "error", f"{location}:{node.lineno}",
+                    f"generated code references non-whitelisted name "
+                    f"{node.id!r} (allowed: np + parameters)",
+                ))
+        if not isinstance(node, ast.Subscript):
+            continue
+        if not isinstance(node.value, ast.Name):
+            continue
+        param = node.value.id
+        extents = contract.arrays.get(param)
+        if extents is None:
+            continue
+        where = f"{location}:{node.lineno}"
+        elements = _index_elements(node)
+        if len(elements) > len(extents):
+            findings.append(_finding(
+                "error", where,
+                f"{param} subscripted with {len(elements)} indices but has "
+                f"{len(extents)} dimensions",
+            ))
+            continue
+        counts = contract.counts.get(param, (None,) * len(extents))
+        for dim, element in enumerate(elements):
+            findings.extend(_check_dim(
+                element, extents[dim], counts[dim], where, param, dim
+            ))
+        if param == contract.tap_param:
+            pair = tuple(
+                _literal_int(elements[d]) if d < len(elements) else None
+                for d in contract.tap_dims
+            )
+            if None not in pair:
+                taps.append(pair)  # type: ignore[arg-type]
+
+    # Tap coverage: the unrolled taps must tile the support exactly once.
+    duplicates = {t for t in taps if taps.count(t) > 1}
+    if duplicates:
+        findings.append(_finding(
+            "error", location,
+            f"taps emitted more than once (double accumulation): "
+            f"{sorted(duplicates)}",
+        ))
+    uncovered = set(contract.support) - set(taps)
+    if uncovered:
+        findings.append(_finding(
+            "error", location,
+            f"kernel support not covered by the unrolled taps; missing "
+            f"{sorted(uncovered)}",
+        ))
+    unexpected = set(taps) - set(contract.support)
+    if unexpected:
+        findings.append(_finding(
+            "error", location,
+            f"taps outside the kernel support: {sorted(unexpected)}",
+        ))
+    return findings
+
+
+def verify_generated_sources(specs: list[ConvSpec]) -> list[Finding]:
+    """Emit and statically verify every kernel family for every spec.
+
+    Specs must be engine-facing (``pad == 0``); the emitters reject
+    padded specs and that rejection is reported as a finding rather
+    than raised.
+    """
+    findings: list[Finding] = []
+    for spec in specs:
+        contracts = _contracts(spec)
+        for family, (module, attr) in _EMITTERS.items():
+            location = f"{spec.name or spec.describe()}/{family}"
+            try:
+                kernel = getattr(module, attr)(spec)
+            except Exception as exc:  # noqa: BLE001 - report, don't crash
+                findings.append(_finding(
+                    "error", location, f"emitter failed: {exc}"
+                ))
+                continue
+            findings.extend(
+                verify_kernel_source(kernel.source, contracts[family], location)
+            )
+    return findings

@@ -1,0 +1,253 @@
+"""Analyzer 1: symbolic verification of stencil basic-block IR.
+
+The stencil generator (paper Sec. 4.3, Fig. 7) emits vector-instruction
+IR whose statistics feed the machine model; a codegen bug therefore shows
+up twice -- as silent numerical corruption *and* as a mispriced kernel.
+This analyzer symbolically interprets every instruction of a
+:class:`repro.stencil.ir.BasicBlock` and proves, before anything runs:
+
+* every ``VLoad`` lies within the tile's padded input extent
+  (``(ry + fy - 1)`` rows by ``(rx - 1) * V + fx - 1 + V`` columns);
+* every ``VStore`` targets a distinct position inside the ``ry x rx``
+  output tile, and every tile position is stored exactly once;
+* registers are defined before use, loads are never silently
+  redefined, and the block's register demand fits the machine's
+  vector register file;
+* each accumulator receives exactly one FMA per kernel tap, with load
+  and weight coordinates satisfying the stencil relation
+  ``y_off = ty + ky`` and ``x_off = tx * V + kx``;
+* the statically counted FMA flops agree with the analytical flop count
+  of :mod:`repro.machine.stencil_model` / :class:`ConvSpec` (the
+  IR <-> machine-model consistency invariant).
+"""
+
+from __future__ import annotations
+
+from repro.check.findings import Finding
+from repro.core.convspec import ConvSpec
+from repro.errors import CheckError
+from repro.machine.spec import MachineSpec
+from repro.stencil.basic_block import optimize_register_tile
+from repro.stencil.ir import BasicBlock, VBroadcast, VFma, VLoad, VStore
+
+ANALYZER = "kernel-ir"
+
+
+def _finding(severity: str, location: str, message: str) -> Finding:
+    return Finding(severity=severity, analyzer=ANALYZER, location=location,
+                   message=message)
+
+
+def verify_basic_block(
+    block: BasicBlock, num_registers: int | None = None, location: str = ""
+) -> list[Finding]:
+    """Symbolically interpret one basic block; return all violations."""
+    loc = location or f"block[{block.fy}x{block.fx} tile {block.ry}x{block.rx}]"
+    findings: list[Finding] = []
+    ry, rx, fy, fx = block.ry, block.rx, block.fy, block.fx
+    v = block.vector_width
+    if min(ry, rx, fy, fx, v) <= 0:
+        return [_finding("error", loc, "non-positive block parameters")]
+
+    max_y = ry + fy - 2                    # tile halo rows are 0 .. ry+fy-2
+    max_x = (rx - 1) * v + fx - 1          # last legal load column start
+
+    loads: dict[str, tuple[int, int]] = {}
+    weights: dict[str, tuple[int, int]] = {}
+    #: accumulator -> list of (load coords, weight coords) it received.
+    taps: dict[str, list[tuple[tuple[int, int], tuple[int, int]]]] = {}
+    stored: dict[str, tuple[int, int]] = {}
+
+    for i, instr in enumerate(block.instructions):
+        where = f"{loc} @{i}"
+        if isinstance(instr, VLoad):
+            if not (0 <= instr.y_off <= max_y and 0 <= instr.x_off <= max_x):
+                findings.append(_finding(
+                    "error", where,
+                    f"VLoad {instr.dst} at ({instr.y_off}, {instr.x_off}) "
+                    f"outside the tile's padded input extent "
+                    f"[0..{max_y}] x [0..{max_x}]",
+                ))
+            if instr.dst in loads:
+                findings.append(_finding(
+                    "error", where,
+                    f"VLoad redefines register {instr.dst!r} "
+                    f"(first loaded at {loads[instr.dst]})",
+                ))
+            loads[instr.dst] = (instr.y_off, instr.x_off)
+        elif isinstance(instr, VBroadcast):
+            if not (0 <= instr.ky < fy and 0 <= instr.kx < fx):
+                findings.append(_finding(
+                    "error", where,
+                    f"VBroadcast {instr.dst} of tap ({instr.ky}, {instr.kx}) "
+                    f"outside kernel support {fy}x{fx}",
+                ))
+            weights[instr.dst] = (instr.ky, instr.kx)
+        elif isinstance(instr, VFma):
+            if instr.vec not in loads:
+                findings.append(_finding(
+                    "error", where,
+                    f"VFma reads input register {instr.vec!r} before any "
+                    f"VLoad defines it",
+                ))
+            elif instr.wvec not in weights:
+                findings.append(_finding(
+                    "error", where,
+                    f"VFma reads weight register {instr.wvec!r} before any "
+                    f"VBroadcast defines it",
+                ))
+            else:
+                taps.setdefault(instr.acc, []).append(
+                    (loads[instr.vec], weights[instr.wvec])
+                )
+        elif isinstance(instr, VStore):
+            if not (0 <= instr.ty < ry and 0 <= instr.tx < rx):
+                findings.append(_finding(
+                    "error", where,
+                    f"VStore of {instr.acc} at ({instr.ty}, {instr.tx}) "
+                    f"outside the {ry}x{rx} output tile",
+                ))
+                continue
+            if instr.acc in stored:
+                findings.append(_finding(
+                    "error", where,
+                    f"accumulator {instr.acc!r} stored twice "
+                    f"(first at {stored[instr.acc]})",
+                ))
+                continue
+            if instr.acc not in taps:
+                findings.append(_finding(
+                    "error", where,
+                    f"VStore of accumulator {instr.acc!r} that no VFma "
+                    f"ever wrote",
+                ))
+                continue
+            stored[instr.acc] = (instr.ty, instr.tx)
+        else:
+            findings.append(_finding(
+                "error", where, f"unknown instruction kind {type(instr).__name__}"
+            ))
+
+    # Tile coverage: every output position stored exactly once.
+    positions = set(stored.values())
+    if len(positions) != len(stored):
+        findings.append(_finding(
+            "error", loc, "two accumulators stored to the same tile position"
+        ))
+    missing = {(ty, tx) for ty in range(ry) for tx in range(rx)} - positions
+    if missing and not findings:
+        findings.append(_finding(
+            "error", loc,
+            f"output tile positions never stored: {sorted(missing)}",
+        ))
+
+    # Tap completeness per accumulator: exactly one FMA per kernel tap,
+    # with coordinates satisfying the stencil relation.
+    support = {(ky, kx) for ky in range(fy) for kx in range(fx)}
+    for acc, (ty, tx) in stored.items():
+        seen_taps = []
+        for (y_off, x_off), (ky, kx) in taps[acc]:
+            if y_off != ty + ky or x_off != tx * v + kx:
+                findings.append(_finding(
+                    "error", loc,
+                    f"accumulator {acc!r} at ({ty}, {tx}) receives load "
+                    f"({y_off}, {x_off}) via tap ({ky}, {kx}); expected load "
+                    f"({ty + ky}, {tx * v + kx})",
+                ))
+            seen_taps.append((ky, kx))
+        if sorted(seen_taps) != sorted(support):
+            findings.append(_finding(
+                "error", loc,
+                f"accumulator {acc!r} covers taps {sorted(set(seen_taps))} "
+                f"instead of the full {fy}x{fx} support exactly once",
+            ))
+    dangling = set(taps) - set(stored)
+    if dangling:
+        findings.append(_finding(
+            "error", loc,
+            f"accumulators written but never stored: {sorted(dangling)}",
+        ))
+
+    # Register pressure against the machine's vector register file.
+    if num_registers is not None:
+        if block.registers_used > num_registers:
+            findings.append(_finding(
+                "error", loc,
+                f"register pressure {block.registers_used} exceeds the "
+                f"machine's {num_registers} vector registers",
+            ))
+    if block.registers_used != ry * rx + 2:
+        findings.append(_finding(
+            "error", loc,
+            f"registers_used reports {block.registers_used}, expected "
+            f"{ry * rx + 2} (tile accumulators + input + weight)",
+        ))
+    return findings
+
+
+def verify_spec_ir(
+    spec: ConvSpec, machine: MachineSpec, location: str = ""
+) -> list[Finding]:
+    """Verify the register-tiled block the optimizer picks for ``spec``.
+
+    Runs :func:`verify_basic_block` on the chosen tile, re-derives the
+    spec-level bound that the deepest tap stays inside the padded input,
+    and cross-checks the IR's statically counted FMA flops against the
+    analytical flop count the machine model prices
+    (:attr:`ConvSpec.flops`).
+    """
+    loc = location or (spec.name or spec.describe())
+    try:
+        tile = optimize_register_tile(
+            spec.fy, spec.fx,
+            num_registers=machine.num_vector_registers,
+            vector_width=machine.vector_width,
+        )
+    except Exception as exc:  # noqa: BLE001 - analyzer must not crash the run
+        raise CheckError(
+            f"{loc}: register-tile optimization failed for {spec.describe()}: "
+            f"{exc}"
+        ) from exc
+    block = tile.block
+    findings = verify_basic_block(
+        block, num_registers=machine.num_vector_registers,
+        location=f"{loc} tile {tile.ry}x{tile.rx}",
+    )
+
+    # Spec-level bounds: the deepest tap of the last output position must
+    # stay inside the padded input (re-derived, not assumed from ConvSpec).
+    max_in_y = (spec.out_ny - 1) * spec.sy + spec.fy - 1
+    max_in_x = (spec.out_nx - 1) * spec.sx + spec.fx - 1
+    if max_in_y >= spec.padded_ny or max_in_x >= spec.padded_nx:
+        findings.append(_finding(
+            "error", loc,
+            f"deepest tap reads input ({max_in_y}, {max_in_x}) outside the "
+            f"padded extent {spec.padded_ny}x{spec.padded_nx} "
+            f"for {spec.describe()}",
+        ))
+
+    # Cross-model consistency: IR FMA flops per output element (times the
+    # channel passes the block is invoked for) must equal the analytical
+    # count.  Exact integer identity:
+    #   2 * fmas * V * Nc * |O|  ==  flops * outputs_per_block
+    lhs = 2 * block.fmas * block.vector_width * spec.nc * spec.output_elems
+    rhs = spec.flops * block.outputs_per_block
+    if lhs != rhs:
+        findings.append(_finding(
+            "error", loc,
+            f"IR counts {block.fmas} FMAs/block "
+            f"({lhs / max(block.outputs_per_block, 1) / spec.nc:.0f} flops "
+            f"per output element x channel passes) but the machine model "
+            f"prices {spec.flops} flops for {spec.describe()}",
+        ))
+    return findings
+
+
+def verify_kernel_ir(
+    specs: list[ConvSpec], machine: MachineSpec
+) -> list[Finding]:
+    """Run the IR verifier over every spec; returns all findings."""
+    findings: list[Finding] = []
+    for spec in specs:
+        findings.extend(verify_spec_ir(spec, machine))
+    return findings

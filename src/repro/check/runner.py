@@ -1,0 +1,114 @@
+"""Single entry point running every static analyzer: ``run_all``.
+
+The default corpus is everything the framework can deploy: the built-in
+zoo networks (graph checker), the engine-facing ConvSpec of every conv
+layer in those networks plus every Table 2 benchmark convolution
+(kernel-IR verifier and generated-source verifier, covering each
+(ConvSpec x technique) kernel the autotuner can emit), and every module
+of the ``repro`` package itself (concurrency lint).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.check.concurrency import lint_package
+from repro.check.findings import CheckReport
+from repro.check.gen_source import verify_generated_sources
+from repro.check.graph import verify_networks
+from repro.check.kernel_ir import verify_kernel_ir
+from repro.core.convspec import ConvSpec
+from repro.errors import CheckError
+from repro.machine.spec import MachineSpec, xeon_e5_2650
+
+#: The analyzers ``run_all`` knows, in run order.
+ANALYZERS = ("kernel-ir", "gen-source", "graph", "concurrency")
+
+
+def engine_spec(spec: ConvSpec) -> ConvSpec:
+    """The engine-facing (pre-padded, ``pad == 0``) variant of a spec."""
+    if spec.pad == 0:
+        return spec
+    return ConvSpec(
+        nc=spec.nc, ny=spec.padded_ny, nx=spec.padded_nx, nf=spec.nf,
+        fy=spec.fy, fx=spec.fx, sy=spec.sy, sx=spec.sx, pad=0,
+        name=spec.name,
+    )
+
+
+def default_networks() -> list:
+    """The built-in zoo networks the graph checker covers by default."""
+    from repro.nn.zoo import (
+        alexnet_small,
+        cifar10_net,
+        imagenet100_net,
+        mnist_net,
+    )
+
+    return [mnist_net(), cifar10_net(), imagenet100_net(), alexnet_small()]
+
+
+def default_specs(networks: list | None = None) -> list[ConvSpec]:
+    """Every ConvSpec the autotuner can emit kernels for, deduplicated.
+
+    Zoo conv layers contribute their engine-facing padded specs; the
+    Table 2 benchmark tables contribute the paper's evaluation shapes.
+    """
+    from repro.data.tables import TABLE2_LAYERS
+
+    specs: list[ConvSpec] = []
+    seen: set[ConvSpec] = set()
+    pools = [net.conv_layers() for net in (networks or default_networks())]
+    candidates = [layer.padded_spec for layers in pools for layer in layers]
+    for table in TABLE2_LAYERS.values():
+        candidates.extend(engine_spec(spec) for spec in table)
+    for spec in candidates:
+        if spec not in seen:
+            seen.add(spec)
+            specs.append(spec)
+    return specs
+
+
+def run_all(
+    machine: MachineSpec | None = None,
+    analyzers: tuple[str, ...] | None = None,
+    specs: list[ConvSpec] | None = None,
+    networks: list | None = None,
+    lint_root: Path | None = None,
+) -> CheckReport:
+    """Run the selected analyzers (all four by default) and aggregate.
+
+    Returns a :class:`CheckReport`; never raises on findings -- use
+    :meth:`CheckReport.raise_if_errors` (or the CLI's exit code) to gate.
+    """
+    selected = analyzers or ANALYZERS
+    unknown = set(selected) - set(ANALYZERS)
+    if unknown:
+        raise CheckError(
+            f"unknown analyzer(s) {sorted(unknown)}; known: {ANALYZERS}"
+        )
+    machine = machine or xeon_e5_2650()
+    report = CheckReport(meta={"machine": machine.name})
+
+    needs_specs = {"kernel-ir", "gen-source"} & set(selected)
+    needs_networks = bool(needs_specs and specs is None) or "graph" in selected
+    if needs_networks and networks is None:
+        networks = default_networks()
+    if needs_specs and specs is None:
+        specs = default_specs(networks)
+    if needs_specs:
+        report.meta["specs"] = len(specs or [])
+
+    if "kernel-ir" in selected:
+        report.extend(verify_kernel_ir(specs or [], machine))
+    if "gen-source" in selected:
+        report.extend(verify_generated_sources(specs or []))
+        report.meta["kernels"] = 5 * len(specs or [])
+    if "graph" in selected:
+        report.extend(verify_networks(networks or []))
+        report.meta["networks"] = len(networks or [])
+    if "concurrency" in selected:
+        findings, files = lint_package(lint_root)
+        report.extend(findings)
+        report.meta["files_linted"] = files
+    return report

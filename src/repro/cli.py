@@ -11,6 +11,9 @@ Commands:
 * ``trace [--net cifar|mnist] [--epochs N] ...`` -- run a real training
   job with spg-CNN retuning under the telemetry collector, print the
   span/counter/event tables and write a JSON trace (profiling command).
+* ``check [--analyzer A ...] [--json PATH]`` -- statically verify the
+  generated kernels, network graphs and parallel runtime; exits 1 when
+  any error-severity finding is reported (CI gate).
 * ``engines`` -- list the registered convolution engines.
 """
 
@@ -96,6 +99,20 @@ def _build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--recheck", type=int, default=1,
                        help="re-check the BP choice every N epochs")
     trace.add_argument("--out", type=Path, default=Path("results/trace.json"))
+
+    check = sub.add_parser(
+        "check",
+        help="statically verify generated kernels, graphs and runtime",
+    )
+    check.add_argument(
+        "--analyzer", action="append", dest="analyzers", default=None,
+        choices=("kernel-ir", "gen-source", "graph", "concurrency"),
+        help="run only the named analyzer (repeatable; default: all four)",
+    )
+    check.add_argument("--json", type=Path, default=None,
+                       help="also write the findings report as JSON")
+    check.add_argument("--quiet", action="store_true",
+                       help="print only the summary line, not the table")
 
     sub.add_parser("engines", help="list registered engines")
     return parser
@@ -231,6 +248,21 @@ def _cmd_trace(args, out) -> int:
     return 0
 
 
+def _cmd_check(args, out) -> int:
+    from repro.check.runner import run_all
+
+    report = run_all(
+        analyzers=tuple(args.analyzers) if args.analyzers else None
+    )
+    if report.findings and not args.quiet:
+        print(report.table(), file=out)
+    print(report.summary(), file=out)
+    if args.json is not None:
+        path = report.write_json(args.json)
+        print(f"wrote {path}", file=out)
+    return 0 if report.ok else 1
+
+
 def main(argv: list[str] | None = None, out=None) -> int:
     """CLI entry point; returns the process exit code."""
     out = out or sys.stdout
@@ -247,6 +279,8 @@ def main(argv: list[str] | None = None, out=None) -> int:
         return _cmd_reproduce(args, out)
     if args.command == "trace":
         return _cmd_trace(args, out)
+    if args.command == "check":
+        return _cmd_check(args, out)
     if args.command == "engines":
         for name in engine_names():
             print(name, file=out)

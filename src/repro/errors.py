@@ -17,6 +17,15 @@ class CodegenError(ReproError):
     """A code generator could not produce a kernel for the request."""
 
 
+class CheckError(ReproError):
+    """Static verification found errors or an analyzer could not run.
+
+    Raised by :mod:`repro.check` when a generated kernel, network graph or
+    runtime construct fails verification; the message names the offending
+    ConvSpec, instruction or slice so the failure is actionable.
+    """
+
+
 class PlanError(ReproError):
     """An execution plan is invalid or refers to unknown engines."""
 

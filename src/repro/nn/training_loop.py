@@ -71,10 +71,17 @@ class TrainingLoop:
         augment: Callable[[np.ndarray, bool], np.ndarray] | None = None,
         epoch_end_hook: Callable[[int, Network], None] | None = None,
         shuffle_seed: int = 0,
+        preflight: bool = True,
     ):
         if batch_size <= 0:
             raise ReproError(f"batch_size must be positive, got {batch_size}")
         self.network = network
+        if preflight:
+            # Fail fast on graph errors (shape/dtype inconsistencies)
+            # before the first batch; see repro.check.graph.
+            from repro.check.graph import preflight_network
+
+            preflight_network(network)
         self.train_data = train_data
         self.eval_data = eval_data
         self.batch_size = batch_size

@@ -19,7 +19,6 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.convspec import ConvSpec
-from repro.errors import ShapeError
 from repro.ops.engine import ConvEngine, register_engine
 
 

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import ThreadPoolExecutor, wait
-from typing import Callable, Sequence, TypeVar
+from typing import Callable, TypeVar
 
 from repro import telemetry
 from repro.blas.gemm import partition_rows

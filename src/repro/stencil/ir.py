@@ -18,11 +18,14 @@ The IR serves two purposes:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Union
 
 
 @dataclass(frozen=True)
 class VLoad:
     """Unaligned vector load of input row ``y_off``, columns ``x_off..+V``."""
+
+    __slots__ = ("dst", "y_off", "x_off")
 
     dst: str
     y_off: int
@@ -33,6 +36,8 @@ class VLoad:
 class VBroadcast:
     """Broadcast of the scalar weight at kernel offset ``(ky, kx)``."""
 
+    __slots__ = ("dst", "ky", "kx")
+
     dst: str
     ky: int
     kx: int
@@ -41,6 +46,8 @@ class VBroadcast:
 @dataclass(frozen=True)
 class VFma:
     """``acc += vec * wvec`` -- one vector fused multiply-add."""
+
+    __slots__ = ("acc", "vec", "wvec")
 
     acc: str
     vec: str
@@ -51,12 +58,21 @@ class VFma:
 class VStore:
     """Store accumulator ``acc`` to output tile position ``(ty, tx)``."""
 
+    __slots__ = ("acc", "ty", "tx")
+
     acc: str
     ty: int
     tx: int
 
 
-Instruction = object  # union of the four dataclasses above
+#: The closed set of stencil IR instruction kinds.  A real union (not the
+#: old ``object`` placeholder) so the verifier in
+#: :mod:`repro.check.kernel_ir` can exhaustively match on instruction
+#: kinds and treat anything else as a codegen error.
+Instruction = Union[VLoad, VBroadcast, VFma, VStore]
+
+#: Instruction classes in canonical order, for exhaustive dispatch.
+INSTRUCTION_KINDS: tuple[type, ...] = (VLoad, VBroadcast, VFma, VStore)
 
 
 @dataclass

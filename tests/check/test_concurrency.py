@@ -1,0 +1,180 @@
+"""Tests for the concurrency lint: seeded hazards are caught, the real
+package is clean."""
+
+import textwrap
+
+from repro.check.concurrency import lint_package, lint_source
+
+
+def _lint(code: str):
+    return lint_source("mod.py", textwrap.dedent(code))
+
+
+def _errors(findings):
+    return [f for f in findings if f.severity == "error"]
+
+
+class TestMutableDefaults:
+    def test_list_default_is_an_error(self):
+        findings = _lint("def f(x=[]):\n    return x\n")
+        assert any("mutable default" in f.message for f in findings)
+
+    def test_dict_call_default_is_an_error(self):
+        findings = _lint("def f(x=dict()):\n    return x\n")
+        assert any("mutable default" in f.message for f in findings)
+
+    def test_kwonly_default_is_checked(self):
+        findings = _lint("def f(*, x={}):\n    return x\n")
+        assert any("mutable default" in f.message for f in findings)
+
+    def test_immutable_defaults_are_fine(self):
+        assert _lint("def f(x=(), y=0, z=None):\n    return x\n") == []
+
+
+class TestSharedMutation:
+    POOLED = """
+    from repro.runtime.pool import WorkerPool
+
+    RESULTS = []
+
+    def run(pool):
+        def task(i):
+            RESULTS.append(i)
+        pool.map(task, range(4))
+    """
+
+    def test_closure_mutation_without_lock_is_an_error(self):
+        findings = _lint(self.POOLED)
+        assert any("worker-pool threads race" in f.message
+                   for f in findings), findings
+
+    def test_lock_guard_suppresses_the_finding(self):
+        code = """
+        import threading
+        from repro.runtime.pool import WorkerPool
+
+        RESULTS = []
+        _LOCK = threading.Lock()
+
+        def run(pool):
+            def task(i):
+                with _LOCK:
+                    RESULTS.append(i)
+            pool.map(task, range(4))
+        """
+        assert _errors(_lint(code)) == []
+
+    def test_module_without_pool_usage_is_not_flagged(self):
+        code = """
+        RESULTS = []
+
+        def run():
+            def task(i):
+                RESULTS.append(i)
+            task(0)
+        """
+        assert _lint(code) == []
+
+    def test_top_level_function_mutation_is_not_a_closure(self):
+        # Mutation directly in a top-level function (not a closure handed
+        # to the pool) is the collector-style idiom and stays legal.
+        code = """
+        from repro.runtime.pool import WorkerPool
+
+        RESULTS = []
+
+        def record(i):
+            RESULTS.append(i)
+        """
+        assert _lint(code) == []
+
+    def test_subscript_assignment_in_closure_is_an_error(self):
+        code = """
+        from repro.runtime.pool import WorkerPool
+
+        STATE = {}
+
+        def run(pool):
+            def task(i):
+                STATE[i] = i
+            pool.map(task, range(4))
+        """
+        findings = _lint(code)
+        assert any("item-assigned" in f.message for f in findings)
+
+
+class TestTelemetryApi:
+    def test_private_attribute_access_is_an_error(self):
+        code = """
+        from repro import telemetry
+
+        def f():
+            return telemetry._ACTIVE
+        """
+        findings = _lint(code)
+        assert any("private telemetry attribute" in f.message
+                   for f in findings)
+
+    def test_typoed_helper_is_an_error(self):
+        code = """
+        from repro import telemetry
+
+        def f():
+            telemetry.guage("x", 1.0)
+        """
+        findings = _lint(code)
+        assert any("not a public telemetry helper" in f.message
+                   for f in findings)
+
+    def test_import_time_emission_is_a_warning(self):
+        code = """
+        from repro import telemetry
+
+        telemetry.add("boot", 1)
+        """
+        findings = _lint(code)
+        assert any("import time" in f.message and f.severity == "warning"
+                   for f in findings)
+
+    def test_guarded_emission_in_function_is_fine(self):
+        code = """
+        from repro import telemetry
+
+        def f():
+            telemetry.add("x", 1)
+            with telemetry.span("region"):
+                pass
+        """
+        assert _lint(code) == []
+
+    def test_aliased_import_is_tracked(self):
+        code = """
+        from repro import telemetry as tel
+
+        def f():
+            tel.guage("x", 1.0)
+        """
+        findings = _lint(code)
+        assert any("not a public telemetry helper" in f.message
+                   for f in findings)
+
+    def test_unrelated_module_attribute_is_ignored(self):
+        code = """
+        import numpy as np
+
+        def f():
+            return np._private_thing
+        """
+        assert _lint(code) == []
+
+
+class TestPackageLint:
+    def test_real_package_has_no_errors(self):
+        findings, files = lint_package()
+        assert files > 50  # the whole repro package was walked
+        assert _errors(findings) == [], [f.location for f in _errors(findings)]
+
+    def test_syntax_error_is_reported_not_raised(self):
+        findings = lint_source("broken.py", "def broken(:\n")
+        assert len(findings) == 1
+        assert "does not parse" in findings[0].message

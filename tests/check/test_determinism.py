@@ -1,0 +1,58 @@
+"""Codegen determinism (satellite of the verification layer).
+
+The static verifiers reason about *the* source a spec emits, which is
+only sound if emission is deterministic: the same ConvSpec must produce
+byte-identical source, and the ``functools.lru_cache`` on the emitters
+must serve repeat requests from cache (specs are frozen/hashable).
+"""
+
+import pytest
+
+from repro.core.convspec import ConvSpec
+from repro.sparse import codegen as sparse_codegen
+from repro.stencil import emit as stencil_emit
+
+EMITTERS = [
+    stencil_emit.emit_forward_kernel,
+    stencil_emit.emit_backward_data_kernel,
+    stencil_emit.emit_backward_weights_kernel,
+    sparse_codegen.emit_sparse_backward_data,
+    sparse_codegen.emit_sparse_backward_weights,
+]
+
+
+def _spec(name="det"):
+    return ConvSpec(nc=2, ny=10, nx=8, nf=3, fy=3, fx=3, name=name)
+
+
+@pytest.mark.parametrize("emitter", EMITTERS,
+                         ids=lambda e: e.__wrapped__.__name__)
+def test_same_spec_emits_byte_identical_source(emitter):
+    first = emitter(_spec())
+    second = emitter(_spec())
+    assert first.source == second.source
+    assert first.source.encode() == second.source.encode()
+
+
+@pytest.mark.parametrize("emitter", EMITTERS,
+                         ids=lambda e: e.__wrapped__.__name__)
+def test_repeat_emission_is_an_lru_cache_hit(emitter):
+    emitter.cache_clear()
+    kernel = emitter(_spec())
+    hits_before = emitter.cache_info().hits
+    again = emitter(_spec())
+    assert emitter.cache_info().hits == hits_before + 1
+    assert again is kernel  # served from cache, not re-generated
+
+
+@pytest.mark.parametrize("emitter", EMITTERS,
+                         ids=lambda e: e.__wrapped__.__name__)
+def test_spec_name_does_not_fragment_the_cache(emitter):
+    # ConvSpec.name is compare=False: two specs differing only in name
+    # are equal, so they must share one cache entry (and one source).
+    emitter.cache_clear()
+    kernel = emitter(_spec(name="alpha"))
+    again = emitter(_spec(name="beta"))
+    assert again is kernel
+    assert emitter.cache_info().hits == 1
+    assert emitter.cache_info().misses == 1

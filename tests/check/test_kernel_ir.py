@@ -1,0 +1,217 @@
+"""Tests for the kernel-IR verifier: clean blocks pass, seeded faults fail."""
+
+import pytest
+
+from repro.check.kernel_ir import (
+    verify_basic_block,
+    verify_kernel_ir,
+    verify_spec_ir,
+)
+from repro.core.convspec import ConvSpec
+from repro.errors import CheckError
+from repro.machine.spec import xeon_e5_2650
+from repro.stencil.basic_block import (
+    TileChoice,
+    generate_basic_block,
+    optimize_register_tile,
+)
+from repro.stencil.ir import BasicBlock, VBroadcast, VFma, VLoad, VStore
+
+
+def _clean_block(fy=3, fx=3, ry=2, rx=2, vector_width=8) -> BasicBlock:
+    return generate_basic_block(fy, fx, ry, rx, vector_width)
+
+
+def _minimal_block(instructions) -> BasicBlock:
+    """A 1x1-kernel, 1x1-tile block with caller-provided instructions."""
+    return BasicBlock(fy=1, fx=1, ry=1, rx=1, vector_width=4,
+                      instructions=list(instructions))
+
+
+MINIMAL_CLEAN = [
+    VLoad(dst="v0", y_off=0, x_off=0),
+    VBroadcast(dst="w0", ky=0, kx=0),
+    VFma(acc="acc_0_0", vec="v0", wvec="w0"),
+    VStore(acc="acc_0_0", ty=0, tx=0),
+]
+
+
+class TestCleanBlocks:
+    @pytest.mark.parametrize("fy,fx,ry,rx", [
+        (1, 1, 1, 1), (3, 3, 1, 1), (3, 3, 2, 2), (5, 5, 2, 3),
+        (3, 5, 3, 2), (11, 11, 1, 4),
+    ])
+    def test_generated_blocks_verify_clean(self, fy, fx, ry, rx):
+        block = generate_basic_block(fy, fx, ry, rx, 8)
+        assert verify_basic_block(block, num_registers=16) == []
+
+    def test_minimal_hand_built_block_is_clean(self):
+        assert verify_basic_block(_minimal_block(MINIMAL_CLEAN)) == []
+
+
+def _messages(findings):
+    return " | ".join(f.message for f in findings)
+
+
+class TestSeededFaults:
+    def test_off_by_one_vload_is_caught(self):
+        # The acceptance-criteria fault: shift one VLoad offset past the
+        # tile's padded input extent.
+        block = _clean_block()
+        bad = list(block.instructions)
+        for i, instr in enumerate(bad):
+            if isinstance(instr, VLoad):
+                bad[i] = VLoad(dst=instr.dst, y_off=block.ry + block.fy - 1,
+                               x_off=instr.x_off)
+                break
+        doctored = BasicBlock(fy=block.fy, fx=block.fx, ry=block.ry,
+                              rx=block.rx, vector_width=block.vector_width,
+                              instructions=bad)
+        findings = verify_basic_block(doctored, num_registers=16)
+        assert any("padded input extent" in f.message for f in findings), \
+            _messages(findings)
+        assert all(f.severity == "error" for f in findings)
+
+    def test_fma_before_load_is_caught(self):
+        block = _minimal_block([
+            VBroadcast(dst="w0", ky=0, kx=0),
+            VFma(acc="acc", vec="v0", wvec="w0"),
+            VLoad(dst="v0", y_off=0, x_off=0),
+            VStore(acc="acc", ty=0, tx=0),
+        ])
+        findings = verify_basic_block(block)
+        assert any("before any" in f.message and "VLoad" in f.message
+                   for f in findings), _messages(findings)
+
+    def test_fma_with_undefined_weight_is_caught(self):
+        block = _minimal_block([
+            VLoad(dst="v0", y_off=0, x_off=0),
+            VFma(acc="acc", vec="v0", wvec="w_missing"),
+            VStore(acc="acc", ty=0, tx=0),
+        ])
+        findings = verify_basic_block(block)
+        assert any("VBroadcast" in f.message for f in findings), \
+            _messages(findings)
+
+    def test_dropped_fma_breaks_tap_coverage(self):
+        block = _clean_block(fy=2, fx=2, ry=1, rx=1)
+        pruned = list(block.instructions)
+        for i, instr in enumerate(pruned):
+            if isinstance(instr, VFma):
+                del pruned[i]
+                break
+        doctored = BasicBlock(fy=2, fx=2, ry=1, rx=1,
+                              vector_width=block.vector_width,
+                              instructions=pruned)
+        findings = verify_basic_block(doctored)
+        assert any("support exactly once" in f.message for f in findings), \
+            _messages(findings)
+
+    def test_store_outside_tile_is_caught(self):
+        block = _minimal_block(MINIMAL_CLEAN[:-1] + [
+            VStore(acc="acc_0_0", ty=1, tx=0),
+        ])
+        findings = verify_basic_block(block)
+        assert any("outside the 1x1 output tile" in f.message
+                   for f in findings), _messages(findings)
+
+    def test_double_store_is_caught(self):
+        block = _minimal_block(MINIMAL_CLEAN + [
+            VStore(acc="acc_0_0", ty=0, tx=0),
+        ])
+        findings = verify_basic_block(block)
+        assert any("stored twice" in f.message for f in findings), \
+            _messages(findings)
+
+    def test_store_of_unwritten_accumulator_is_caught(self):
+        block = _minimal_block([
+            VLoad(dst="v0", y_off=0, x_off=0),
+            VBroadcast(dst="w0", ky=0, kx=0),
+            VFma(acc="acc_0_0", vec="v0", wvec="w0"),
+            VStore(acc="ghost", ty=0, tx=0),
+        ])
+        findings = verify_basic_block(block)
+        assert any("no VFma" in f.message for f in findings), \
+            _messages(findings)
+        # acc_0_0 is now written but never stored.
+        assert any("never stored" in f.message for f in findings), \
+            _messages(findings)
+
+    def test_register_budget_overflow_is_caught(self):
+        block = _clean_block(fy=1, fx=1, ry=2, rx=2)  # 2*2 + 2 = 6 registers
+        findings = verify_basic_block(block, num_registers=4)
+        assert any("exceeds the" in f.message for f in findings), \
+            _messages(findings)
+
+    def test_missing_tile_position_is_caught(self):
+        block = _clean_block(fy=1, fx=1, ry=1, rx=2)
+        pruned = [i for i in block.instructions
+                  if not (isinstance(i, VStore) and i.tx == 1)]
+        # Also drop the now-dangling accumulator's FMA so the only fault
+        # left is the uncovered tile position.
+        pruned = [i for i in pruned
+                  if not (isinstance(i, VFma) and i.acc.endswith("_0_1"))]
+        doctored = BasicBlock(fy=1, fx=1, ry=1, rx=2,
+                              vector_width=block.vector_width,
+                              instructions=pruned)
+        findings = verify_basic_block(doctored)
+        assert any("never stored" in f.message
+                   or "positions never stored" in f.message
+                   for f in findings), _messages(findings)
+
+
+class TestSpecLevel:
+    def test_clean_specs_have_no_findings(self):
+        machine = xeon_e5_2650()
+        specs = [
+            ConvSpec(nc=2, ny=8, nx=8, nf=3, fy=3, fx=3, name="tiny"),
+            ConvSpec(nc=3, ny=12, nx=10, nf=4, fy=5, fx=3, name="rect"),
+            ConvSpec(nc=1, ny=16, nx=16, nf=2, fy=3, fx=3, sy=2, sx=2,
+                     name="strided"),
+        ]
+        assert verify_kernel_ir(specs, machine) == []
+
+    def test_cross_model_mismatch_is_caught(self, monkeypatch):
+        # Seed a divergence between the IR and the machine model: hand the
+        # verifier a tile whose block dropped one FMA.  Both the tap
+        # coverage and the flop identity must flag it.
+        machine = xeon_e5_2650()
+        spec = ConvSpec(nc=2, ny=8, nx=8, nf=3, fy=3, fx=3, name="tiny")
+        real = optimize_register_tile(
+            spec.fy, spec.fx, num_registers=machine.num_vector_registers,
+            vector_width=machine.vector_width,
+        )
+        pruned = list(real.block.instructions)
+        for i, instr in enumerate(pruned):
+            if isinstance(instr, VFma):
+                del pruned[i]
+                break
+        doctored = TileChoice(
+            ry=real.ry, rx=real.rx,
+            instructions_per_output=real.instructions_per_output,
+            block=BasicBlock(
+                fy=real.block.fy, fx=real.block.fx, ry=real.block.ry,
+                rx=real.block.rx, vector_width=real.block.vector_width,
+                instructions=pruned,
+            ),
+        )
+        monkeypatch.setattr(
+            "repro.check.kernel_ir.optimize_register_tile",
+            lambda *a, **k: doctored,
+        )
+        findings = verify_spec_ir(spec, machine)
+        assert any("machine model" in f.message and "prices" in f.message
+                   for f in findings), _messages(findings)
+
+    def test_optimizer_crash_becomes_check_error(self, monkeypatch):
+        machine = xeon_e5_2650()
+        spec = ConvSpec(nc=2, ny=8, nx=8, nf=3, fy=3, fx=3, name="tiny")
+
+        def boom(*args, **kwargs):
+            raise ValueError("tile search exploded")
+
+        monkeypatch.setattr(
+            "repro.check.kernel_ir.optimize_register_tile", boom
+        )
+        with pytest.raises(CheckError, match="tile search exploded"):
+            verify_spec_ir(spec, machine)

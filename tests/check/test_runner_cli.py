@@ -1,0 +1,111 @@
+"""End-to-end tests for run_all and the ``repro check`` CLI.
+
+Covers the two acceptance gates: a clean tree yields zero errors and
+exit code 0; a seeded codegen fault (out-of-range pointer-shifted
+slice) flips the exit code to 1.
+"""
+
+import io
+import json
+
+import pytest
+
+import repro
+from repro.check import run_all
+from repro.check.runner import ANALYZERS, default_networks, default_specs
+from repro.cli import main
+from repro.core.convspec import ConvSpec
+from repro.errors import CheckError
+from repro.stencil import emit as stencil_emit
+from repro.stencil.emit import GeneratedKernel
+
+TINY = ConvSpec(nc=2, ny=8, nx=8, nf=3, fy=3, fx=3, name="tiny")
+
+
+class TestRunAll:
+    def test_clean_tree_has_zero_errors(self):
+        report = run_all()
+        assert report.ok, [f.message for f in report.errors]
+        assert report.meta["specs"] > 0
+        assert report.meta["kernels"] == 5 * report.meta["specs"]
+        assert report.meta["networks"] == 4
+        assert report.meta["files_linted"] > 50
+
+    def test_analyzer_subset_runs_only_that_analyzer(self):
+        report = run_all(analyzers=("graph",), specs=[], networks=None)
+        assert set(f.analyzer for f in report.findings) <= {"graph"}
+        assert "kernels" not in report.meta
+        assert report.meta["networks"] == 4
+
+    def test_unknown_analyzer_raises(self):
+        with pytest.raises(CheckError, match="unknown analyzer"):
+            run_all(analyzers=("kernel-ir", "spellcheck"))
+
+    def test_explicit_specs_are_used(self):
+        report = run_all(analyzers=("kernel-ir", "gen-source"), specs=[TINY])
+        assert report.ok
+        assert report.meta["specs"] == 1
+        assert report.meta["kernels"] == 5
+
+    def test_default_specs_are_deduplicated_and_engine_facing(self):
+        specs = default_specs(default_networks())
+        assert len(set(specs)) == len(specs)
+        assert all(spec.pad == 0 for spec in specs)
+
+    def test_run_all_is_importable_from_package_root(self):
+        assert repro.CheckReport is type(run_all(analyzers=("graph",),
+                                                 networks=[]))
+
+    def test_analyzers_registry_matches_cli_choices(self):
+        assert ANALYZERS == ("kernel-ir", "gen-source", "graph",
+                             "concurrency")
+
+
+class TestCheckCli:
+    def test_clean_tree_exits_zero(self, tmp_path):
+        out = io.StringIO()
+        json_path = tmp_path / "check.json"
+        code = main(["check", "--quiet", "--json", str(json_path)], out=out)
+        assert code == 0
+        text = out.getvalue()
+        assert "repro check:" in text and "0 error(s)" in text
+        payload = json.loads(json_path.read_text())
+        assert payload["meta"]["ok"] is True
+        assert payload["meta"]["num_errors"] == 0
+
+    def test_analyzer_flag_limits_the_run(self):
+        out = io.StringIO()
+        code = main(["check", "--quiet", "--analyzer", "concurrency"],
+                    out=out)
+        assert code == 0
+        assert "files_linted" in out.getvalue()
+        assert "specs" not in out.getvalue()
+
+    def test_seeded_codegen_fault_exits_nonzero(self, monkeypatch, tmp_path):
+        # Acceptance gate: an off-by-one pointer-shifted slice in an
+        # emitted kernel must flip the CLI to a non-zero exit.
+        real = stencil_emit.emit_forward_kernel
+
+        def faulty_emitter(spec):
+            kernel = real(spec)
+            doctored = kernel.source.replace(
+                f"{spec.fx - 1}:{spec.nx}]", f"{spec.fx - 1}:{spec.nx + 1}]"
+            )
+            assert doctored != kernel.source, "fault was not seeded"
+            return GeneratedKernel(name=kernel.name, source=doctored,
+                                   func=kernel.func)
+
+        monkeypatch.setattr(stencil_emit, "emit_forward_kernel",
+                            faulty_emitter)
+        out = io.StringIO()
+        json_path = tmp_path / "check.json"
+        code = main(
+            ["check", "--analyzer", "gen-source", "--json", str(json_path)],
+            out=out,
+        )
+        assert code == 1
+        text = out.getvalue()
+        assert "exceeds" in text  # the findings table names the fault
+        payload = json.loads(json_path.read_text())
+        assert payload["meta"]["ok"] is False
+        assert payload["meta"]["num_errors"] > 0

@@ -1,7 +1,6 @@
 """Tests for the unfold cache shared between FP and dW (Sec. 3.1's 2|U|)."""
 
 import numpy as np
-import pytest
 
 from repro.core.convspec import ConvSpec
 from repro.ops.engine import make_engine
