@@ -14,6 +14,10 @@ Commands:
 * ``check [--analyzer A ...] [--json PATH]`` -- statically verify the
   generated kernels, network graphs and parallel runtime; exits 1 when
   any error-severity finding is reported (CI gate).
+* ``chaos [--plan P] [--seed N] ...`` -- train a small job under a named
+  fault plan with the resilient policy active and report survival;
+  exits 1 when the run dies, stops improving, or fails the kill/resume
+  bit-identity check (CI chaos gate).
 * ``engines`` -- list the registered convolution engines.
 """
 
@@ -113,6 +117,22 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="also write the findings report as JSON")
     check.add_argument("--quiet", action="store_true",
                        help="print only the summary line, not the table")
+
+    from repro.resilience import plan_names
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="train a small job under a fault plan and report survival",
+    )
+    chaos.add_argument("--plan", choices=plan_names(), default="smoke")
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument("--epochs", type=int, default=3)
+    chaos.add_argument("--batch", type=int, default=8)
+    chaos.add_argument("--samples", type=int, default=48)
+    chaos.add_argument("--threads", type=int, default=2,
+                       help="worker threads per conv layer (1 = inline)")
+    chaos.add_argument("--no-resume-check", action="store_true",
+                       help="skip the kill-and-resume bit-identity replay")
 
     sub.add_parser("engines", help="list registered engines")
     return parser
@@ -248,6 +268,24 @@ def _cmd_trace(args, out) -> int:
     return 0
 
 
+def _cmd_chaos(args, out) -> int:
+    from repro.resilience.chaos import run_chaos
+
+    report = run_chaos(
+        plan_name=args.plan,
+        seed=args.seed,
+        epochs=args.epochs,
+        batch=args.batch,
+        samples=args.samples,
+        threads=args.threads,
+        check_resume=not args.no_resume_check,
+    )
+    for line in report.lines():
+        print(line, file=out)
+    print("chaos: OK" if report.ok else "chaos: FAILED", file=out)
+    return 0 if report.ok else 1
+
+
 def _cmd_check(args, out) -> int:
     from repro.check.runner import run_all
 
@@ -281,6 +319,8 @@ def main(argv: list[str] | None = None, out=None) -> int:
         return _cmd_trace(args, out)
     if args.command == "check":
         return _cmd_check(args, out)
+    if args.command == "chaos":
+        return _cmd_chaos(args, out)
     if args.command == "engines":
         for name in engine_names():
             print(name, file=out)

@@ -26,11 +26,13 @@ import numpy as np
 from repro.core.convspec import ConvSpec
 from repro.core.plan import (
     BP_CANDIDATES,
+    FALLBACK_ENGINE,
     FP_CANDIDATES,
     FP_CANDIDATES_EXTENDED,
     LayerPlan,
 )
 from repro.errors import PlanError
+from repro.resilience.quarantine import QuarantineRegistry, default_registry
 from repro.machine.gemm_model import (
     DEFAULT_PROFILE,
     GemmProfile,
@@ -140,19 +142,32 @@ class Autotuner:
     With ``extended=True`` the FP candidate set additionally includes the
     FFT engine (the Sec. 6 complementary technique), which only wins on
     kernel sizes far beyond the paper's benchmarks.
+
+    Selection is quarantine-aware: engines benched for a layer/phase by
+    the runtime's numeric guards (see :mod:`repro.resilience.quarantine`)
+    are excluded from that layer's candidate set, and if every candidate
+    is benched the plan degrades to the dense reference fallback rather
+    than re-deploying a known-bad kernel.
     """
 
-    def __init__(self, backend: CostBackend, extended: bool = False):
+    def __init__(self, backend: CostBackend, extended: bool = False,
+                 quarantine: QuarantineRegistry | None = None):
         self.backend = backend
         self.fp_candidates = (
             FP_CANDIDATES_EXTENDED if extended else FP_CANDIDATES
         )
+        self.quarantine = quarantine or default_registry()
 
     def _pick(self, candidates: tuple[str, ...], phase: str, spec: ConvSpec,
-              sparsity: float) -> tuple[str, dict[str, float]]:
+              sparsity: float, layer_name: str = "") -> tuple[str, dict[str, float]]:
+        eligible = self.quarantine.filter(candidates, layer_name, phase)
+        if not eligible:
+            # Every candidate is benched for this layer/phase; degrade to
+            # the reference path (infinitely slow on paper, but correct).
+            return FALLBACK_ENGINE, {FALLBACK_ENGINE: float("inf")}
         timings = {
             tech: self.backend.time(tech, phase, spec, sparsity)
-            for tech in candidates
+            for tech in eligible
         }
         chosen = min(timings, key=timings.get)
         return chosen, timings
@@ -164,8 +179,9 @@ class Autotuner:
         ``spec`` should describe the engine-facing (pre-padded) geometry.
         """
         fp_engine, fp_timings = self._pick(self.fp_candidates, "fp", spec,
-                                           sparsity)
-        bp_engine, bp_timings = self._pick(BP_CANDIDATES, "bp", spec, sparsity)
+                                           sparsity, layer_name)
+        bp_engine, bp_timings = self._pick(BP_CANDIDATES, "bp", spec,
+                                           sparsity, layer_name)
         return LayerPlan(
             layer_name=layer_name or spec.name or "conv",
             spec=spec,
@@ -183,7 +199,8 @@ class Autotuner:
         drifts during training, so the BP choice is revisited while the FP
         choice (sparsity-independent) is kept.
         """
-        bp_engine, bp_timings = self._pick(BP_CANDIDATES, "bp", plan.spec, sparsity)
+        bp_engine, bp_timings = self._pick(BP_CANDIDATES, "bp", plan.spec,
+                                           sparsity, plan.layer_name)
         return LayerPlan(
             layer_name=plan.layer_name,
             spec=plan.spec,

@@ -24,6 +24,11 @@ FP_CANDIDATES_EXTENDED: tuple[str, ...] = FP_CANDIDATES + ("fft",)
 #: Techniques eligible for backward propagation (Sec. 4.4).
 BP_CANDIDATES: tuple[str, ...] = ("parallel-gemm", "gemm-in-parallel", "sparse")
 
+#: The always-available dense fallback the runtime degrades to when a
+#: generated kernel is quarantined (never chosen on merit -- deployed
+#: only when every candidate for a layer/phase has been benched).
+FALLBACK_ENGINE = "reference"
+
 
 @dataclass(frozen=True)
 class LayerPlan:
@@ -39,12 +44,12 @@ class LayerPlan:
     sparsity: float = 0.0
 
     def __post_init__(self) -> None:
-        if self.fp_engine not in FP_CANDIDATES_EXTENDED:
+        if self.fp_engine not in FP_CANDIDATES_EXTENDED + (FALLBACK_ENGINE,):
             raise PlanError(
                 f"{self.fp_engine!r} is not an FP candidate "
                 f"{FP_CANDIDATES_EXTENDED}"
             )
-        if self.bp_engine not in BP_CANDIDATES:
+        if self.bp_engine not in BP_CANDIDATES + (FALLBACK_ENGINE,):
             raise PlanError(
                 f"{self.bp_engine!r} is not a BP candidate {BP_CANDIDATES}"
             )

@@ -17,6 +17,15 @@ exchange updates under either synchronization discipline:
 * ``"async"`` -- ADAM/DistBelief-style asynchronous updates: workers push
   whenever they finish, so updates are applied against parameters that
   may be *stale*; staleness is tracked per push.
+
+Staleness is also *bounded*: with ``max_staleness`` set, a push computed
+against parameters more than that many versions old is not applied --
+the gradient would point somewhere the model no longer is.  The
+``staleness_policy`` decides what else happens: ``"reject"`` simply
+drops the gradient, ``"refresh"`` additionally re-pulls fresh
+parameters into the offending worker so its next step is current.
+Rejected pushes stay in the push log (flagged ``applied=False``) and
+count into ``ps.pushes.rejected`` telemetry.
 """
 
 from __future__ import annotations
@@ -25,9 +34,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import telemetry
 from repro.errors import ReproError
 from repro.nn.losses import softmax_cross_entropy
 from repro.nn.network import Network
+from repro.resilience import faults
+
+STALENESS_POLICIES = ("reject", "refresh")
 
 
 @dataclass
@@ -37,19 +50,38 @@ class PushResult:
     worker_id: int
     staleness: int
     loss: float
+    #: False when the push was rejected (stale bound) or dropped (fault).
+    applied: bool = True
 
 
 class ParameterServer:
     """Holds the authoritative model parameters and applies updates."""
 
-    def __init__(self, network: Network, learning_rate: float = 0.01):
+    def __init__(self, network: Network, learning_rate: float = 0.01,
+                 max_staleness: int | None = None,
+                 staleness_policy: str = "reject"):
         if learning_rate <= 0:
             raise ReproError(f"learning_rate must be positive, got {learning_rate}")
+        if max_staleness is not None and max_staleness < 0:
+            raise ReproError(
+                f"max_staleness must be non-negative, got {max_staleness}"
+            )
+        if staleness_policy not in STALENESS_POLICIES:
+            raise ReproError(
+                f"staleness_policy must be one of {STALENESS_POLICIES}, "
+                f"got {staleness_policy!r}"
+            )
         self.network = network
         self.learning_rate = learning_rate
+        self.max_staleness = max_staleness
+        self.staleness_policy = staleness_policy
         #: Monotonic version counter, bumped on every applied update.
         self.version = 0
         self.push_log: list[PushResult] = []
+
+    def admits(self, staleness: int) -> bool:
+        """Whether a push at the given staleness is within the bound."""
+        return self.max_staleness is None or staleness <= self.max_staleness
 
     def snapshot(self) -> tuple[int, dict[str, np.ndarray]]:
         """Current version and a copy of every parameter."""
@@ -127,8 +159,35 @@ class Worker:
 
     def push(self, server: ParameterServer, grads: dict[str, np.ndarray],
              loss: float, scale: float = 1.0) -> PushResult:
-        """Apply this worker's gradients at the server, recording staleness."""
+        """Apply this worker's gradients at the server, recording staleness.
+
+        A push can come back unapplied (``result.applied`` False) in two
+        cases: an injected network fault dropped it on the wire, or its
+        staleness exceeded the server's bound.  Under the ``"refresh"``
+        policy a rejected worker immediately re-pulls fresh parameters.
+        """
         staleness = server.version - self.pulled_version
+        faults.perturb("ps.push", worker=self.worker_id, staleness=staleness)
+        if faults.should_drop("ps.push"):
+            telemetry.add("ps.pushes.dropped", 1)
+            telemetry.event("ps.push_dropped", worker=self.worker_id,
+                            staleness=staleness)
+            result = PushResult(worker_id=self.worker_id, staleness=staleness,
+                                loss=loss, applied=False)
+            server.record_push(result)
+            return result
+        if not server.admits(staleness):
+            telemetry.add("ps.pushes.rejected", 1)
+            telemetry.event("ps.push_rejected", worker=self.worker_id,
+                            staleness=staleness,
+                            bound=server.max_staleness,
+                            policy=server.staleness_policy)
+            result = PushResult(worker_id=self.worker_id, staleness=staleness,
+                                loss=loss, applied=False)
+            server.record_push(result)
+            if server.staleness_policy == "refresh":
+                self.pull(server)
+            return result
         server.apply_gradients(grads, scale=scale)
         result = PushResult(worker_id=self.worker_id, staleness=staleness,
                             loss=loss)

@@ -57,6 +57,8 @@ class DistributedTrainer:
         learning_rate: float = 0.05,
         mode: str = "bsp",
         sync_interval: int = 1,
+        max_staleness: int | None = None,
+        staleness_policy: str = "reject",
     ):
         if mode not in ("bsp", "async"):
             raise ReproError(f"mode must be 'bsp' or 'async', got {mode!r}")
@@ -64,7 +66,12 @@ class DistributedTrainer:
             raise ReproError(f"sync_interval must be positive, got {sync_interval}")
         self.mode = mode
         self.sync_interval = sync_interval
-        self.server = ParameterServer(network, learning_rate=learning_rate)
+        self.server = ParameterServer(
+            network,
+            learning_rate=learning_rate,
+            max_staleness=max_staleness,
+            staleness_policy=staleness_policy,
+        )
         shards = shard_dataset(dataset.images, dataset.labels, num_workers)
         self.workers = [
             Worker(i, _replicate(network), images, labels, batch_size)

@@ -30,5 +30,27 @@ class PlanError(ReproError):
     """An execution plan is invalid or refers to unknown engines."""
 
 
+class ResilienceError(ReproError):
+    """The resilient runtime exhausted its retry/timeout budget."""
+
+
+class TaskTimeoutError(ResilienceError):
+    """A worker-pool task exceeded its deadline with no straggler budget left."""
+
+
+class InjectedFault(ReproError):
+    """A fault raised on purpose by :mod:`repro.resilience.faults`.
+
+    Carries the injection site and invocation index so retry handlers and
+    tests can tell deliberate chaos from organic failures.
+    """
+
+    def __init__(self, site: str, invocation: int, message: str = ""):
+        self.site = site
+        self.invocation = invocation
+        text = message or f"injected fault at {site!r} (invocation {invocation})"
+        super().__init__(text)
+
+
 class MachineModelError(ReproError):
     """The machine model was asked to time an impossible work item."""

@@ -19,6 +19,15 @@ Every FP/BP pass emits a telemetry span (``<name>/fp``, ``<name>/bp``)
 and the backward pass additionally records total/useful flop counters
 and a measured goodput gauge (Eqs. 9-10) -- no-ops unless a collector is
 active (see :mod:`repro.telemetry`).
+
+Every engine call runs behind a numeric guard: if a generated kernel
+raises, returns the wrong shape, or produces non-finite values from
+finite inputs, the engine is quarantined for this layer/phase (see
+:mod:`repro.resilience.quarantine`), the pass is transparently re-run on
+the dense reference path, and an ``engine.fallback`` telemetry event
+records the degradation.  The autotuner consults the same quarantine
+registry, so a benched kernel is never re-deployed onto the layer it
+failed on.
 """
 
 from __future__ import annotations
@@ -30,9 +39,12 @@ import numpy as np
 from repro import telemetry
 from repro.core.convspec import ConvSpec
 from repro.core.goodput import measure_sparsity, nonzero_conv_flops
+from repro.core.plan import FALLBACK_ENGINE
 from repro.errors import ShapeError
 from repro.nn.layers.base import Layer
 from repro.ops.engine import ConvEngine, make_engine
+from repro.resilience import faults
+from repro.resilience.quarantine import QuarantineRegistry, default_registry
 from repro.runtime.parallel import ParallelExecutor
 from repro.runtime.pool import WorkerPool
 
@@ -60,6 +72,7 @@ class ConvLayer(Layer):
         num_cores: int = 1,
         threads: int | None = None,
         rng: np.random.Generator | None = None,
+        quarantine: QuarantineRegistry | None = None,
     ):
         super().__init__(name or spec.name or self.kind)
         self.spec = spec
@@ -88,6 +101,7 @@ class ConvLayer(Layer):
         self.bias = np.zeros(spec.nf, dtype=np.float32)
         self.d_weights = np.zeros_like(self.weights)
         self.d_bias = np.zeros_like(self.bias)
+        self._quarantine = quarantine or default_registry()
         self._fp_engine = self._build_engine(fp_engine)
         self._bp_engine = self._build_engine(bp_engine)
         self._cached_padded_input: np.ndarray | None = None
@@ -97,12 +111,13 @@ class ConvLayer(Layer):
     # -- engine management ----------------------------------------------
 
     def _build_engine(self, engine_name: str) -> ConvEngine | ParallelExecutor:
+        # The reference fallback takes no tuning knobs.
+        kwargs = {} if engine_name == FALLBACK_ENGINE else {"num_cores": self.num_cores}
         if self._pool is not None:
             return ParallelExecutor(
-                engine_name, self.padded_spec, pool=self._pool,
-                num_cores=self.num_cores,
+                engine_name, self.padded_spec, pool=self._pool, **kwargs
             )
-        return make_engine(engine_name, self.padded_spec, num_cores=self.num_cores)
+        return make_engine(engine_name, self.padded_spec, **kwargs)
 
     def close(self) -> None:
         """Shut down the layer's worker pool, if it runs threaded."""
@@ -119,13 +134,85 @@ class ConvLayer(Layer):
         """Name of the engine currently serving backward propagation."""
         return self._bp_engine.name
 
+    def _admitted(self, phase: str, engine_name: str) -> str:
+        """The engine to actually deploy: benched engines become fallback."""
+        if (engine_name != FALLBACK_ENGINE
+                and self._quarantine.is_quarantined(self.name, phase,
+                                                    engine_name)):
+            telemetry.event("engine.deploy_blocked", layer=self.name,
+                            phase=phase, engine=engine_name)
+            return FALLBACK_ENGINE
+        return engine_name
+
     def set_fp_engine(self, engine_name: str) -> None:
         """Swap the forward-propagation engine (spg-CNN deployment)."""
-        self._fp_engine = self._build_engine(engine_name)
+        self._fp_engine = self._build_engine(self._admitted("fp", engine_name))
 
     def set_bp_engine(self, engine_name: str) -> None:
         """Swap the backward-propagation engine (spg-CNN deployment)."""
-        self._bp_engine = self._build_engine(engine_name)
+        self._bp_engine = self._build_engine(self._admitted("bp", engine_name))
+
+    # -- guarded execution ------------------------------------------------
+
+    def _expected_shape(self, method: str, batch: int) -> tuple[int, ...]:
+        if method == "forward":
+            return (batch,) + self.padded_spec.output_shape
+        if method == "backward_data":
+            return (batch,) + self.padded_spec.input_shape
+        return self.padded_spec.weight_shape
+
+    def _numeric_failure(self, method: str, batch: int,
+                         out: np.ndarray) -> str | None:
+        """Why the output fails the guard, or None when it is sound."""
+        expected = self._expected_shape(method, batch)
+        if not isinstance(out, np.ndarray) or tuple(out.shape) != expected:
+            got = tuple(out.shape) if isinstance(out, np.ndarray) else type(out)
+            return f"{method} returned shape {got}, expected {expected}"
+        if not np.isfinite(out).all():
+            return f"{method} produced non-finite values"
+        return None
+
+    def _degrade(self, phase: str, engine_name: str, reason: str) -> None:
+        """Quarantine a misbehaving engine and deploy the fallback."""
+        self._quarantine.quarantine(self.name, phase, engine_name,
+                                    reason=reason)
+        telemetry.add("engine.fallbacks", 1)
+        telemetry.event("engine.fallback", layer=self.name, phase=phase,
+                        engine=engine_name, reason=reason)
+        fallback = self._build_engine(FALLBACK_ENGINE)
+        if phase == "fp":
+            self._fp_engine = fallback
+        else:
+            self._bp_engine = fallback
+
+    def _run_engine(self, phase: str, method: str, primary: np.ndarray,
+                    shared: np.ndarray) -> np.ndarray:
+        """One engine call behind the numeric guard and fault site.
+
+        A raising engine, a wrong-shape result, or non-finite output from
+        finite inputs quarantines the engine and re-runs the call on the
+        reference fallback.  Non-finite *inputs* are passed through -- the
+        engine is not at fault for poison it was fed, and upstream guards
+        (the SGD NaN-batch skip) own that case.
+        """
+        engine = self._fp_engine if phase == "fp" else self._bp_engine
+        if engine.name == FALLBACK_ENGINE:
+            return getattr(engine, method)(primary, shared)
+        batch = int(primary.shape[0])
+        try:
+            faults.perturb(f"engine.{phase}", layer=self.name,
+                           engine=engine.name, method=method)
+            out = getattr(engine, method)(primary, shared)
+            failure = self._numeric_failure(method, batch, out)
+            if failure is None:
+                return out
+            if not (np.isfinite(primary).all() and np.isfinite(shared).all()):
+                return out  # poisoned inputs: not the engine's fault
+        except Exception as error:  # noqa: BLE001 -- any engine failure degrades
+            failure = f"{type(error).__name__}: {error}"
+        self._degrade(phase, engine.name, failure)
+        fallback = self._fp_engine if phase == "fp" else self._bp_engine
+        return getattr(fallback, method)(primary, shared)
 
     # -- Layer interface -------------------------------------------------
 
@@ -161,7 +248,7 @@ class ConvLayer(Layer):
         with telemetry.span(f"{self.name}/fp", layer=self.name, phase="fp",
                             engine=self.fp_engine_name,
                             batch=int(inputs.shape[0])):
-            out = self._fp_engine.forward(padded, self.weights)
+            out = self._run_engine("fp", "forward", padded, self.weights)
             out += self.bias[None, :, None, None]
         return out
 
@@ -178,11 +265,13 @@ class ConvLayer(Layer):
         with telemetry.span(f"{self.name}/bp", layer=self.name, phase="bp",
                             engine=self.bp_engine_name, batch=batch,
                             sparsity=sparsity):
-            self.d_weights += self._bp_engine.backward_weights(
-                out_error, self._cached_padded_input
+            self.d_weights += self._run_engine(
+                "bp", "backward_weights", out_error, self._cached_padded_input
             )
             self.d_bias += out_error.sum(axis=(0, 2, 3))
-            in_error_padded = self._bp_engine.backward_data(out_error, self.weights)
+            in_error_padded = self._run_engine(
+                "bp", "backward_data", out_error, self.weights
+            )
         elapsed = max(time.perf_counter() - start, 1e-9)
         telemetry.add("conv.flops.total", total_flops)
         telemetry.add("conv.flops.useful", useful_flops)

@@ -1,15 +1,30 @@
-"""Model checkpointing: save and restore network parameters.
+"""Model checkpointing: save and restore network and training state.
 
-Parameters are stored in a single ``.npz`` archive keyed by the
-network's qualified parameter names (``<index>.<layer>.<param>``), with a
-structural fingerprint so a checkpoint cannot be silently loaded into a
-mismatched architecture.
+Two formats share one ``.npz`` container:
+
+* **Model checkpoints** (:func:`save_network` / :func:`load_network`) --
+  just the parameters, keyed by the network's qualified parameter names
+  (``<index>.<layer>.<param>``), with a structural fingerprint so a
+  checkpoint cannot be silently loaded into a mismatched architecture.
+* **Training checkpoints** (:func:`save_checkpoint` /
+  :func:`load_checkpoint`) -- everything a killed run needs to resume
+  *bit-identically*: the parameters, the optimizer's momentum buffers
+  (``__velocity__.<param>`` keys), the completed-epoch count and the
+  epoch metric history (``__meta__``, JSON), and the shuffle RNG's
+  bit-generator state (``__rng__``, JSON) so the resumed run draws the
+  exact permutations the uninterrupted run would have.
+
+Both formats carry the same fingerprint and the same mismatch guarantee:
+loading into a structurally different network raises
+:class:`~repro.errors.ReproError` instead of corrupting it.
 """
 
 from __future__ import annotations
 
 import json
+from dataclasses import dataclass, field
 from pathlib import Path
+from typing import Any
 
 import numpy as np
 
@@ -17,6 +32,12 @@ from repro.errors import ReproError
 from repro.nn.network import Network
 
 _FINGERPRINT_KEY = "__structure__"
+_META_KEY = "__meta__"
+_RNG_KEY = "__rng__"
+_VELOCITY_PREFIX = "__velocity__."
+
+#: Bumped when the training-checkpoint layout changes incompatibly.
+CHECKPOINT_FORMAT = 1
 
 
 def structure_fingerprint(network: Network) -> str:
@@ -52,15 +73,126 @@ def load_network(network: Network, path: str | Path) -> Network:
     otherwise a :class:`ReproError` explains the mismatch.
     """
     with np.load(Path(path)) as archive:
-        if _FINGERPRINT_KEY not in archive:
-            raise ReproError(f"{path} is not a repro checkpoint")
-        stored = bytes(archive[_FINGERPRINT_KEY]).decode("utf-8")
-        expected = structure_fingerprint(network)
-        if stored != expected:
-            raise ReproError(
-                "checkpoint structure does not match the network:\n"
-                f"  checkpoint: {stored}\n  network:    {expected}"
-            )
+        _verify_fingerprint(archive, network, path)
         for name, param, _ in network.parameters():
             param[...] = archive[name]
     return network
+
+
+def _verify_fingerprint(archive, network: Network, path) -> None:
+    if _FINGERPRINT_KEY not in archive:
+        raise ReproError(f"{path} is not a repro checkpoint")
+    stored = bytes(archive[_FINGERPRINT_KEY]).decode("utf-8")
+    expected = structure_fingerprint(network)
+    if stored != expected:
+        raise ReproError(
+            "checkpoint structure does not match the network:\n"
+            f"  checkpoint: {stored}\n  network:    {expected}"
+        )
+
+
+def _json_array(value: Any) -> np.ndarray:
+    return np.frombuffer(json.dumps(value).encode("utf-8"), dtype=np.uint8)
+
+
+def _array_json(array: np.ndarray) -> Any:
+    return json.loads(bytes(array).decode("utf-8"))
+
+
+@dataclass
+class CheckpointState:
+    """Everything a training checkpoint restores besides the parameters."""
+
+    epoch: int
+    history: list[dict[str, Any]] = field(default_factory=list)
+    has_velocity: bool = False
+    has_rng: bool = False
+
+
+def save_checkpoint(
+    network: Network,
+    path: str | Path,
+    *,
+    epoch: int = 0,
+    trainer=None,
+    rng: np.random.Generator | None = None,
+    history: list[dict[str, Any]] | None = None,
+) -> Path:
+    """Write a resumable training checkpoint to ``path`` (.npz).
+
+    ``trainer`` (an :class:`~repro.nn.sgd.SGDTrainer`) contributes its
+    momentum buffers; ``rng`` its bit-generator state; ``history`` a list
+    of JSON-friendly epoch records.  All three are optional -- a
+    checkpoint without them restores weights only.
+    """
+    if epoch < 0:
+        raise ReproError(f"epoch must be non-negative, got {epoch}")
+    path = Path(path)
+    arrays = {name: param for name, param, _ in network.parameters()}
+    reserved = (_FINGERPRINT_KEY, _META_KEY, _RNG_KEY)
+    for name in arrays:
+        if name in reserved or name.startswith(_VELOCITY_PREFIX):
+            raise ReproError(f"parameter name collides with {name!r}")
+    arrays[_FINGERPRINT_KEY] = np.frombuffer(
+        structure_fingerprint(network).encode("utf-8"), dtype=np.uint8
+    )
+    meta = {
+        "format": CHECKPOINT_FORMAT,
+        "epoch": int(epoch),
+        "history": list(history or []),
+    }
+    arrays[_META_KEY] = _json_array(meta)
+    if rng is not None:
+        arrays[_RNG_KEY] = _json_array(rng.bit_generator.state)
+    if trainer is not None:
+        for name, velocity in trainer.velocity_state().items():
+            arrays[_VELOCITY_PREFIX + name] = velocity
+    np.savez(path, **arrays)
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_checkpoint(
+    network: Network,
+    path: str | Path,
+    *,
+    trainer=None,
+    rng: np.random.Generator | None = None,
+) -> CheckpointState:
+    """Restore a training checkpoint into ``network`` (and co) in place.
+
+    The fingerprint must match, exactly as in :func:`load_network`.
+    When ``trainer`` / ``rng`` are given, their momentum buffers and
+    bit-generator state are restored too; a checkpoint saved without
+    that state leaves them untouched.  Returns the bookkeeping the
+    caller needs to continue the run.
+    """
+    with np.load(Path(path)) as archive:
+        _verify_fingerprint(archive, network, path)
+        if _META_KEY not in archive:
+            raise ReproError(
+                f"{path} is a model checkpoint, not a training checkpoint; "
+                "use load_network()"
+            )
+        meta = _array_json(archive[_META_KEY])
+        if meta.get("format") != CHECKPOINT_FORMAT:
+            raise ReproError(
+                f"unsupported checkpoint format {meta.get('format')!r}; "
+                f"this build reads format {CHECKPOINT_FORMAT}"
+            )
+        for name, param, _ in network.parameters():
+            param[...] = archive[name]
+        velocity = {
+            key[len(_VELOCITY_PREFIX):]: archive[key]
+            for key in archive.files if key.startswith(_VELOCITY_PREFIX)
+        }
+        if trainer is not None and velocity:
+            trainer.load_velocity_state(velocity)
+        has_rng = _RNG_KEY in archive
+        if rng is not None and has_rng:
+            rng.bit_generator.state = _array_json(archive[_RNG_KEY])
+    return CheckpointState(
+        epoch=int(meta["epoch"]),
+        history=list(meta.get("history", [])),
+        has_velocity=bool(velocity),
+        has_rng=has_rng,
+    )

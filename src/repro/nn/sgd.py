@@ -13,8 +13,10 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro import telemetry
+from repro.errors import ReproError
 from repro.nn.losses import accuracy, softmax_cross_entropy
 from repro.nn.network import Network
+from repro.resilience import faults
 
 
 @dataclass
@@ -24,6 +26,9 @@ class StepResult:
     loss: float
     accuracy: float
     error_sparsities: dict[str, float] = field(default_factory=dict)
+    #: True when the batch was dropped by the non-finite guard: its loss
+    #: or gradient contained NaN/Inf, so no update was applied.
+    skipped: bool = False
 
 
 class SGDTrainer:
@@ -50,12 +55,30 @@ class SGDTrainer:
         self.learning_rate = value
 
     def step(self, inputs: np.ndarray, labels: np.ndarray) -> StepResult:
-        """One FP + BP + update pass over a minibatch."""
+        """One FP + BP + update pass over a minibatch.
+
+        A batch whose loss or loss gradient is non-finite (a poisoned
+        input, an overflowed activation, an injected NaN) is *skipped*:
+        no BP, no parameter update, and the returned result is flagged so
+        the caller can exclude it from epoch metrics.  One bad batch must
+        not destroy the model.
+        """
         net = self.network
         net.zero_grads()
         with telemetry.span("sgd/fp", batch=int(inputs.shape[0])):
             logits = net.forward(inputs, training=True)
         loss, grad = softmax_cross_entropy(logits, labels)
+        grad = faults.corrupt_array("sgd.gradient", grad)
+        if not (np.isfinite(loss) and np.isfinite(grad).all()):
+            telemetry.add("sgd.skipped_batches", 1)
+            telemetry.event("sgd.nonfinite_batch", batch=int(inputs.shape[0]),
+                            loss=float(loss))
+            return StepResult(
+                loss=float(loss),
+                accuracy=accuracy(logits, labels),
+                error_sparsities=net.error_sparsities(),
+                skipped=True,
+            )
         with telemetry.span("sgd/bp", batch=int(inputs.shape[0])):
             net.backward(grad)
         with telemetry.span("sgd/update"):
@@ -77,6 +100,30 @@ class SGDTrainer:
             accuracy=accuracy(logits, labels),
             error_sparsities=net.error_sparsities(),
         )
+
+    # -- optimizer state (checkpointing) ---------------------------------
+
+    def velocity_state(self) -> dict[str, np.ndarray]:
+        """Copies of the momentum buffers, keyed by parameter name."""
+        return {name: vel.copy() for name, vel in self._velocity.items()}
+
+    def load_velocity_state(self, state: dict[str, np.ndarray]) -> None:
+        """Restore momentum buffers saved by :meth:`velocity_state`.
+
+        Buffers must match the shapes of the network's parameters; extra
+        names are rejected so a checkpoint cannot silently smuggle in
+        state for a different architecture.
+        """
+        shapes = {name: param.shape for name, param, _ in self.network.parameters()}
+        for name, vel in state.items():
+            if name not in shapes:
+                raise ReproError(f"velocity for unknown parameter {name!r}")
+            if vel.shape != shapes[name]:
+                raise ReproError(
+                    f"velocity shape {vel.shape} != parameter shape "
+                    f"{shapes[name]} for {name!r}"
+                )
+        self._velocity = {name: vel.copy() for name, vel in state.items()}
 
     def train_epoch(
         self, images: np.ndarray, labels: np.ndarray, batch_size: int

@@ -4,11 +4,23 @@
 training job uses: shuffling, optional augmentation, a learning-rate
 schedule, evaluation on held-out data, and an epoch-end hook where
 spg-CNN's periodic re-tuning (Sec. 4.4) plugs in.
+
+With a ``checkpoint_dir``, the loop writes a resumable checkpoint every
+``checkpoint_every`` epochs -- weights, momentum buffers, schedule
+position and shuffle-RNG state (see :mod:`repro.nn.serialize`) -- and
+:meth:`restore` brings a fresh loop back to exactly that point: the
+resumed run's weights are bit-identical to those of an uninterrupted run
+with the same seed.  Batches the SGD trainer skipped for non-finite
+loss/gradients are excluded from epoch metrics (and counted in
+``EpochRecord.skipped_batches``); the remaining per-batch metrics are
+weighted by batch size, so a short final batch no longer skews the epoch
+mean.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
 from typing import Callable
 
 import numpy as np
@@ -18,6 +30,7 @@ from repro.data.synthetic import Dataset
 from repro.errors import ReproError
 from repro.nn.network import Network
 from repro.nn.schedule import ConstantLR, LRSchedule
+from repro.nn.serialize import load_checkpoint, save_checkpoint
 from repro.nn.sgd import SGDTrainer
 
 
@@ -32,6 +45,8 @@ class EpochRecord:
     eval_accuracy: float | None
     learning_rate: float
     mean_error_sparsity: float
+    #: Batches dropped by the non-finite guard this epoch.
+    skipped_batches: int = 0
 
 
 @dataclass
@@ -72,9 +87,15 @@ class TrainingLoop:
         epoch_end_hook: Callable[[int, Network], None] | None = None,
         shuffle_seed: int = 0,
         preflight: bool = True,
+        checkpoint_dir: str | Path | None = None,
+        checkpoint_every: int = 1,
     ):
         if batch_size <= 0:
             raise ReproError(f"batch_size must be positive, got {batch_size}")
+        if checkpoint_every <= 0:
+            raise ReproError(
+                f"checkpoint_every must be positive, got {checkpoint_every}"
+            )
         self.network = network
         if preflight:
             # Fail fast on graph errors (shape/dtype inconsistencies)
@@ -95,6 +116,62 @@ class TrainingLoop:
         self.augment = augment
         self.epoch_end_hook = epoch_end_hook
         self._shuffle_rng = np.random.default_rng(shuffle_seed)
+        self.checkpoint_dir = Path(checkpoint_dir) if checkpoint_dir else None
+        self.checkpoint_every = checkpoint_every
+        self._completed_epochs = 0
+        self._history = TrainingHistory()
+
+    # -- checkpointing ----------------------------------------------------
+
+    def checkpoint_path(self, epoch: int) -> Path:
+        """Where the checkpoint for ``epoch`` lives."""
+        if self.checkpoint_dir is None:
+            raise ReproError("this loop has no checkpoint_dir configured")
+        return self.checkpoint_dir / f"epoch-{epoch:04d}.npz"
+
+    @staticmethod
+    def latest_checkpoint(checkpoint_dir: str | Path) -> Path | None:
+        """The highest-epoch checkpoint in a directory, or None."""
+        paths = sorted(Path(checkpoint_dir).glob("epoch-*.npz"))
+        return paths[-1] if paths else None
+
+    def save_checkpoint(self, epoch: int) -> Path:
+        """Write the resumable state after ``epoch`` completed epochs."""
+        path = self.checkpoint_path(epoch)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        written = save_checkpoint(
+            self.network, path,
+            epoch=epoch,
+            trainer=self.trainer,
+            rng=self._shuffle_rng,
+            history=[asdict(record) for record in self._history.epochs],
+        )
+        telemetry.add("train.checkpoints", 1)
+        telemetry.event("checkpoint", epoch=epoch, path=str(written))
+        return written
+
+    def restore(self, path: str | Path) -> int:
+        """Resume from a checkpoint written by :meth:`save_checkpoint`.
+
+        Restores weights, momentum, shuffle-RNG state and the epoch
+        history in place; a following :meth:`run` continues from the next
+        epoch bit-identically to a run that was never interrupted.
+        Returns the number of epochs the checkpoint had completed.
+        """
+        state = load_checkpoint(
+            self.network, path, trainer=self.trainer, rng=self._shuffle_rng
+        )
+        self._completed_epochs = state.epoch
+        self._history = TrainingHistory(
+            epochs=[EpochRecord(**record) for record in state.history]
+        )
+        telemetry.event("resume", epoch=state.epoch, path=str(path))
+        return state.epoch
+
+    @property
+    def completed_epochs(self) -> int:
+        """Epochs finished so far (restored ones included)."""
+        return self._completed_epochs
 
     def _epoch_batches(self):
         order = self._shuffle_rng.permutation(len(self.train_data))
@@ -104,21 +181,33 @@ class TrainingLoop:
             yield images[lo : lo + self.batch_size], labels[lo : lo + self.batch_size]
 
     def run(self, epochs: int) -> TrainingHistory:
-        """Train for ``epochs`` epochs; returns the metric history."""
+        """Train until ``epochs`` total epochs are complete.
+
+        ``epochs`` counts from the start of the run, restored epochs
+        included: after ``restore`` of an epoch-2 checkpoint, ``run(3)``
+        trains exactly one more epoch.  Returns the full metric history
+        (restored epochs included); calling with ``epochs`` already
+        completed is a no-op.
+        """
         if epochs <= 0:
             raise ReproError(f"epochs must be positive, got {epochs}")
-        history = TrainingHistory()
-        for epoch in range(1, epochs + 1):
+        history = self._history
+        for epoch in range(self._completed_epochs + 1, epochs + 1):
             rate = self.schedule.rate(epoch)
             self.trainer.set_learning_rate(rate)
-            losses, accuracies, sparsities = [], [], []
+            losses, accuracies, sparsities, sizes = [], [], [], []
+            skipped = 0
             with telemetry.span("train/epoch", epoch=epoch):
                 for batch_x, batch_y in self._epoch_batches():
                     if self.augment is not None:
                         batch_x = self.augment(batch_x, True)
                     result = self.trainer.step(batch_x, batch_y)
+                    if result.skipped:
+                        skipped += 1
+                        continue
                     losses.append(result.loss)
                     accuracies.append(result.accuracy)
+                    sizes.append(len(batch_x))
                     if result.error_sparsities:
                         sparsities.append(
                             float(np.mean(list(result.error_sparsities.values())))
@@ -132,8 +221,18 @@ class TrainingLoop:
                         eval_loss, eval_acc = self.trainer.evaluate(
                             eval_images, self.eval_data.labels
                         )
+            # Batch-size-weighted means: a short final batch contributes
+            # in proportion to the images it actually held.
+            train_loss = (
+                float(np.average(losses, weights=sizes))
+                if losses else float("nan")
+            )
+            train_acc = (
+                float(np.average(accuracies, weights=sizes))
+                if accuracies else float("nan")
+            )
             telemetry.add("train.epochs", 1)
-            telemetry.gauge("train.loss", float(np.mean(losses)))
+            telemetry.gauge("train.loss", train_loss)
             telemetry.gauge(
                 "train.error_sparsity",
                 float(np.mean(sparsities)) if sparsities else 0.0,
@@ -141,16 +240,21 @@ class TrainingLoop:
             history.epochs.append(
                 EpochRecord(
                     epoch=epoch,
-                    train_loss=float(np.mean(losses)),
-                    train_accuracy=float(np.mean(accuracies)),
+                    train_loss=train_loss,
+                    train_accuracy=train_acc,
                     eval_loss=eval_loss,
                     eval_accuracy=eval_acc,
                     learning_rate=rate,
                     mean_error_sparsity=(
                         float(np.mean(sparsities)) if sparsities else 0.0
                     ),
+                    skipped_batches=skipped,
                 )
             )
+            self._completed_epochs = epoch
             if self.epoch_end_hook is not None:
                 self.epoch_end_hook(epoch, self.network)
+            if (self.checkpoint_dir is not None
+                    and epoch % self.checkpoint_every == 0):
+                self.save_checkpoint(epoch)
         return history

@@ -1,0 +1,261 @@
+"""The chaos harness: train a small real network under a fault plan.
+
+``run_chaos`` drives a short MNIST-scale training job with a named
+:class:`~repro.resilience.faults.FaultPlan` active and the resilient
+execution policy applied, then reports whether the job *survived*
+(completed all epochs), whether its loss still *improved*, and which
+faults actually fired.  With ``check_resume`` it additionally replays
+the same job killed after ``epochs - 1`` epochs and resumes it from the
+checkpoint, asserting the resumed run's parameters are bit-identical to
+the uninterrupted run's.
+
+The resume comparison relies on two properties of the stack:
+
+* retries and straggler reassignment are numerics-neutral (tasks are
+  pure and idempotent), so a faulted epoch still produces the exact
+  bytes a fault-free scheduler ordering would; and
+* the named plans fire all their ``at`` faults early (first epoch of
+  the default geometry), so the epoch trained *after* the resume point
+  is fault-free in both the uninterrupted and the resumed run --
+  invocation counters reset on resume, which would otherwise replay
+  first-epoch faults into the final epoch.
+
+This module imports the training stack, so it lives outside
+``repro.resilience.__init__`` to keep the resilience primitives
+importable from low-level runtime modules without cycles.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro import telemetry
+from repro.nn.training_loop import TrainingHistory, TrainingLoop
+from repro.resilience import faults
+from repro.resilience.policy import RetryPolicy, apply_policy
+from repro.resilience.quarantine import default_registry
+
+#: Counters the report surfaces (when present in the collected run).
+REPORT_COUNTERS = (
+    "faults.injected",
+    "pool.retries",
+    "pool.stragglers",
+    "pool.timeouts",
+    "pool.task_failures",
+    "engine.fallbacks",
+    "quarantine.engines",
+    "sgd.skipped_batches",
+    "ps.pushes.dropped",
+    "ps.pushes.rejected",
+    "train.checkpoints",
+)
+
+
+@dataclass
+class ChaosReport:
+    """Outcome of one chaos run."""
+
+    plan: str
+    seed: int
+    epochs: int
+    survived: bool
+    improved: bool
+    final_loss: float
+    skipped_batches: int
+    injections: list[str] = field(default_factory=list)
+    counters: dict[str, float] = field(default_factory=dict)
+    error: str = ""
+    resume_checked: bool = False
+    resume_identical: bool = False
+
+    @property
+    def ok(self) -> bool:
+        """The CI gate: survived, still learning, resume held (if run)."""
+        if not (self.survived and self.improved):
+            return False
+        return self.resume_identical if self.resume_checked else True
+
+    def lines(self) -> list[str]:
+        """A human-readable summary, one line per fact."""
+        out = [
+            f"chaos plan: {self.plan} (seed {self.seed}, "
+            f"{self.epochs} epochs)",
+            f"survived:  {self.survived}"
+            + (f" ({self.error})" if self.error else ""),
+            f"improved:  {self.improved} "
+            f"(final train loss {self.final_loss:.4f})",
+            f"skipped batches: {self.skipped_batches}",
+        ]
+        for name in REPORT_COUNTERS:
+            if name in self.counters:
+                out.append(f"  {name}: {int(self.counters[name])}")
+        if self.injections:
+            out.append("faults fired:")
+            out.extend(f"  {line}" for line in self.injections)
+        else:
+            out.append("faults fired: none")
+        if self.resume_checked:
+            out.append(f"kill/resume bit-identical: {self.resume_identical}")
+        return out
+
+
+def _params_bytes(network) -> bytes:
+    """All parameters concatenated -- the bit-identity fingerprint."""
+    return b"".join(
+        np.ascontiguousarray(param).tobytes()
+        for _, param, _ in network.parameters()
+    )
+
+
+def _build_job(seed: int, samples: int, threads: int, batch: int,
+               checkpoint_dir: str | Path | None) -> TrainingLoop:
+    """A fresh, deterministic training job (network + data + loop)."""
+    from repro.data.synthetic import mnist_like
+    from repro.nn.zoo import mnist_net
+
+    network = mnist_net(
+        scale=0.25,
+        rng=np.random.default_rng(seed),
+        threads=threads if threads and threads > 1 else None,
+    )
+    data = mnist_like(samples, seed=seed)
+    return TrainingLoop(
+        network,
+        data,
+        batch_size=batch,
+        shuffle_seed=seed,
+        checkpoint_dir=checkpoint_dir,
+        checkpoint_every=1,
+    )
+
+
+def _close(loop: TrainingLoop) -> None:
+    for layer in loop.network.conv_layers():
+        layer.close()
+
+
+def _run_ps_segment(seed: int) -> None:
+    """A short async parameter-server job (visits the ``ps.push`` site).
+
+    The single-process training loop never pushes to a parameter
+    server, so plans targeting ``ps.push`` additionally run this
+    data-parallel segment under the same injector; drops and delays
+    must not stop it from completing.
+    """
+    from repro.data.synthetic import mnist_like
+    from repro.distributed.trainer import DistributedTrainer
+    from repro.nn.zoo import mnist_net
+
+    trainer = DistributedTrainer(
+        mnist_net(scale=0.25, rng=np.random.default_rng(seed)),
+        mnist_like(32, seed=seed),
+        num_workers=2,
+        mode="async",
+        sync_interval=2,
+        max_staleness=2,
+        staleness_policy="refresh",
+    )
+    trainer.run(6)
+
+
+def _run_segment(loop: TrainingLoop, epochs: int,
+                 plan: faults.FaultPlan | None,
+                 policy: RetryPolicy) -> TrainingHistory:
+    """Run ``loop`` to ``epochs`` total epochs under plan + policy."""
+    default_registry().clear()
+    if plan is None:
+        with apply_policy(policy):
+            return loop.run(epochs)
+    with faults.inject(plan), apply_policy(policy):
+        return loop.run(epochs)
+
+
+def default_policy() -> RetryPolicy:
+    """The retry/timeout policy the chaos CLI trains under."""
+    return RetryPolicy(max_retries=2, backoff_base=0.01, timeout=0.25,
+                       max_stragglers=1)
+
+
+def run_chaos(
+    plan_name: str = "smoke",
+    seed: int = 0,
+    epochs: int = 3,
+    batch: int = 8,
+    samples: int = 48,
+    threads: int = 2,
+    check_resume: bool = False,
+    checkpoint_dir: str | Path | None = None,
+    policy: RetryPolicy | None = None,
+) -> ChaosReport:
+    """Train under a named fault plan and report survival.
+
+    The job itself is fixed (quarter-scale MNIST net, synthetic data)
+    so a plan + seed is fully reproducible; ``check_resume`` replays it
+    killed after ``epochs - 1`` epochs and resumes from the checkpoint,
+    comparing final parameter bytes against the uninterrupted run.
+    """
+    plan = faults.get_plan(plan_name, seed)
+    policy = policy or default_policy()
+    report = ChaosReport(plan=plan_name, seed=seed, epochs=epochs,
+                         survived=False, improved=False,
+                         final_loss=float("nan"), skipped_batches=0)
+
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-") as tmp:
+        tmp_dir = Path(tmp)
+        ckpt_a = Path(checkpoint_dir) if checkpoint_dir else tmp_dir / "a"
+        loop = _build_job(seed, samples, threads, batch, ckpt_a)
+        injector = faults.FaultInjector(plan)
+        try:
+            with telemetry.collect() as collector:
+                with faults.inject(injector), apply_policy(policy):
+                    default_registry().clear()
+                    history = loop.run(epochs)
+                    if plan.for_site("ps.push"):
+                        _run_ps_segment(seed)
+        except Exception as exc:  # noqa: BLE001 - survival is the result
+            report.error = f"{type(exc).__name__}: {exc}"
+            _close(loop)
+            return report
+        finally:
+            report.counters = {
+                name: value
+                for name, value in collector.counters.items()
+                if name in REPORT_COUNTERS
+            }
+            report.injections = [
+                f"{inj.site} {inj.kind} @ invocation {inj.invocation}"
+                for inj in injector.fired()
+            ]
+        _close(loop)
+        report.survived = True
+        report.improved = history.improved()
+        report.final_loss = history.final.train_loss
+        report.skipped_batches = sum(e.skipped_batches for e in history.epochs)
+        final_bytes = _params_bytes(loop.network)
+        final_losses = history.loss_curve()
+
+        if check_resume and epochs >= 2:
+            report.resume_checked = True
+            # The "killed" run: same job, same faults, stopped one epoch
+            # short of the full run.
+            killed = _build_job(seed, samples, threads, batch, tmp_dir / "b")
+            _run_segment(killed, epochs - 1, plan, policy)
+            _close(killed)
+            ckpt = TrainingLoop.latest_checkpoint(tmp_dir / "b")
+            # The resumed run: a fresh process would rebuild the job from
+            # scratch, so we do too -- then restore and finish.  No fault
+            # plan: the named plans are spent before the resume point,
+            # and re-activating one would replay first-epoch faults.
+            resumed = _build_job(seed, samples, threads, batch, None)
+            resumed.restore(ckpt)
+            resumed_history = _run_segment(resumed, epochs, None, policy)
+            _close(resumed)
+            report.resume_identical = (
+                _params_bytes(resumed.network) == final_bytes
+                and resumed_history.loss_curve() == final_losses
+            )
+    return report

@@ -19,6 +19,7 @@ from repro import telemetry
 from repro.core.convspec import ConvSpec
 from repro.errors import ReproError
 from repro.ops.engine import ConvEngine, make_engine
+from repro.resilience.policy import RetryPolicy
 from repro.runtime.pool import WorkerPool
 
 
@@ -26,10 +27,11 @@ class ParallelExecutor:
     """Run a named engine's FP/BP over a batch with worker threads."""
 
     def __init__(self, engine_name: str, spec: ConvSpec,
-                 pool: WorkerPool | None = None, **engine_kwargs):
+                 pool: WorkerPool | None = None,
+                 policy: RetryPolicy | None = None, **engine_kwargs):
         self.spec = spec
         self.engine_name = engine_name
-        self.pool = pool or WorkerPool()
+        self.pool = pool or WorkerPool(policy=policy)
         self._owns_pool = pool is None
         # One engine per worker: generated kernels are stateless but cheap
         # scratch decisions (e.g. CT-CSR buffers) must not be shared.

@@ -9,17 +9,28 @@ yields real concurrency even from Python.
 The pool is deliberately minimal -- ``map_batches`` mirrors the paper's
 scheduling (contiguous image ranges per core, Sec. 4.1) and is what the
 :class:`repro.runtime.parallel.ParallelExecutor` builds on.
+
+Fault handling: when a :class:`repro.resilience.policy.RetryPolicy` is
+attached (explicitly, or ambiently via ``apply_policy``), ``map_batches``
+runs its tasks under supervision -- bounded retries with backoff for
+attempts that raise, per-attempt deadlines with straggler reassignment
+for attempts that hang -- and the chaos sites ``pool.task`` /
+``pool.result`` let :mod:`repro.resilience.faults` exercise exactly
+those paths deterministically.
 """
 
 from __future__ import annotations
 
 import os
+import weakref
 from concurrent.futures import ThreadPoolExecutor, wait
 from typing import Callable, TypeVar
 
 from repro import telemetry
 from repro.blas.gemm import partition_rows
 from repro.errors import ReproError
+from repro.resilience import faults
+from repro.resilience.policy import RetryPolicy, active_policy, run_supervised
 
 T = TypeVar("T")
 
@@ -32,31 +43,42 @@ def default_worker_count() -> int:
 class WorkerPool:
     """A fixed set of worker threads executing image-range tasks."""
 
-    def __init__(self, num_workers: int | None = None):
+    def __init__(self, num_workers: int | None = None,
+                 policy: RetryPolicy | None = None):
         if num_workers is not None and num_workers <= 0:
             raise ReproError(f"num_workers must be positive, got {num_workers}")
         self.num_workers = num_workers or default_worker_count()
+        self.policy = policy
         self._executor: ThreadPoolExecutor | None = None
+        self._finalizer: weakref.finalize | None = None
 
     # -- lifecycle --------------------------------------------------------
 
     def __enter__(self) -> "WorkerPool":
-        self._executor = ThreadPoolExecutor(max_workers=self.num_workers)
+        self._require_executor()
         return self
 
     def __exit__(self, *exc_info) -> None:
         self.shutdown()
 
     def shutdown(self) -> None:
-        """Stop the worker threads (idempotent)."""
+        """Stop the worker threads (idempotent; the pool may be reused)."""
+        if self._finalizer is not None:
+            self._finalizer.detach()
+            self._finalizer = None
         if self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None
 
     def _require_executor(self) -> ThreadPoolExecutor:
         if self._executor is None:
-            # Lazily start when used outside a ``with`` block.
-            self._executor = ThreadPoolExecutor(max_workers=self.num_workers)
+            # Started lazily (or re-started after shutdown()).  The
+            # finalizer guarantees the threads are reaped even if the
+            # owner never calls shutdown(): it fires when the pool is
+            # garbage-collected, referencing only the executor itself.
+            executor = ThreadPoolExecutor(max_workers=self.num_workers)
+            self._executor = executor
+            self._finalizer = weakref.finalize(self, executor.shutdown, False)
         return self._executor
 
     # -- execution --------------------------------------------------------
@@ -67,26 +89,39 @@ class WorkerPool:
             raise ReproError(f"batch_size must be positive, got {batch_size}")
         return [r for r in partition_rows(batch_size, self.num_workers) if r[0] < r[1]]
 
+    def _effective_policy(self) -> RetryPolicy | None:
+        return self.policy if self.policy is not None else active_policy()
+
     def map_batches(
         self, task: Callable[[int, int], T], batch_size: int
     ) -> list[T]:
         """Run ``task(lo, hi)`` over the per-worker image ranges, in parallel.
 
         Results are returned in range order.  Exceptions propagate to the
-        caller after all submitted tasks finish.
+        caller after all submitted tasks finish.  Under a retry policy,
+        failing attempts are retried and hanging attempts reassigned
+        first; tasks must be idempotent (pure functions of their range).
         """
         ranges = self.assignment(batch_size)
+        policy = self._effective_policy()
         telemetry.add("pool.tasks", len(ranges))
         telemetry.gauge("pool.queue_occupancy", len(ranges))
 
         def run(index: int, lo: int, hi: int) -> T:
             with telemetry.span("pool/task", worker=index, lo=lo, hi=hi):
-                return task(lo, hi)
+                faults.perturb("pool.task", worker=index, lo=lo, hi=hi)
+                return faults.corrupt_array("pool.result", task(lo, hi))
 
-        if len(ranges) == 1:
+        if len(ranges) == 1 and policy is None:
             lo, hi = ranges[0]
             return [run(0, lo, hi)]
         executor = self._require_executor()
+        if policy is not None:
+            thunks = [
+                (lambda i=i, lo=lo, hi=hi: run(i, lo, hi))
+                for i, (lo, hi) in enumerate(ranges)
+            ]
+            return run_supervised(executor, thunks, policy)
         futures = [
             executor.submit(run, i, lo, hi) for i, (lo, hi) in enumerate(ranges)
         ]

@@ -14,6 +14,19 @@ def rng() -> np.random.Generator:
     return np.random.default_rng(1234)
 
 
+@pytest.fixture(autouse=True)
+def _clean_resilience_state():
+    """Empty the process-wide quarantine registry after every test.
+
+    The registry is shared infrastructure by design; tests that bench an
+    engine must not leak the quarantine into later tests.
+    """
+    yield
+    from repro.resilience.quarantine import default_registry
+
+    default_registry().clear()
+
+
 def random_conv_data(
     spec: ConvSpec,
     rng: np.random.Generator,

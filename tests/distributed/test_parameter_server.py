@@ -122,6 +122,110 @@ class TestWorker:
                    np.zeros(0, int), 4)
 
 
+class TestStalenessBound:
+    def _worker(self, server, seed=0, data_seed=9):
+        data = make_dataset(8, 3, (1, 8, 8), seed=data_seed)
+        worker = Worker(0, tiny_net(seed), data.images, data.labels, 4)
+        worker.pull(server)
+        return worker
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            ParameterServer(tiny_net(), max_staleness=-1)
+        with pytest.raises(ReproError):
+            ParameterServer(tiny_net(), staleness_policy="bogus")
+
+    def test_admits(self):
+        unbounded = ParameterServer(tiny_net())
+        assert unbounded.admits(10_000)
+        bounded = ParameterServer(tiny_net(), max_staleness=2)
+        assert bounded.admits(2)
+        assert not bounded.admits(3)
+
+    def test_stale_push_rejected_not_applied(self):
+        server = ParameterServer(tiny_net(), max_staleness=0)
+        worker = self._worker(server)
+        grads, loss = worker.compute_gradients()
+        # Another update lands first, making this worker's pull stale.
+        server.apply_gradients(grads)
+        _, before = server.snapshot()
+        result = worker.push(server, grads, loss)
+        assert result.applied is False
+        assert result.staleness == 1
+        assert server.version == 1  # the stale push did not apply
+        _, after = server.snapshot()
+        for name in before:
+            np.testing.assert_array_equal(after[name], before[name])
+        # The rejection is still logged for the staleness statistics.
+        assert server.push_log[-1].applied is False
+
+    def test_refresh_policy_repulls_worker(self):
+        server = ParameterServer(tiny_net(), max_staleness=0,
+                                 staleness_policy="refresh")
+        worker = self._worker(server)
+        grads, loss = worker.compute_gradients()
+        server.apply_gradients(grads)
+        result = worker.push(server, grads, loss)
+        assert result.applied is False
+        assert worker.pulled_version == server.version  # refreshed
+        # The next push is current again and applies.
+        grads2, loss2 = worker.compute_gradients()
+        assert worker.push(server, grads2, loss2).applied is True
+
+    def test_reject_policy_leaves_worker_stale(self):
+        server = ParameterServer(tiny_net(), max_staleness=0,
+                                 staleness_policy="reject")
+        worker = self._worker(server)
+        grads, loss = worker.compute_gradients()
+        server.apply_gradients(grads)
+        worker.push(server, grads, loss)
+        assert worker.pulled_version == 0  # not refreshed
+
+    def test_rejection_counted_in_telemetry(self):
+        from repro import telemetry
+
+        server = ParameterServer(tiny_net(), max_staleness=0)
+        worker = self._worker(server)
+        grads, loss = worker.compute_gradients()
+        server.apply_gradients(grads)
+        with telemetry.collect() as tel:
+            worker.push(server, grads, loss)
+        assert tel.counters["ps.pushes.rejected"] == 1
+
+    def test_within_bound_applies(self):
+        server = ParameterServer(tiny_net(), max_staleness=1)
+        worker = self._worker(server)
+        grads, loss = worker.compute_gradients()
+        server.apply_gradients(grads)  # staleness becomes 1 == bound
+        result = worker.push(server, grads, loss)
+        assert result.applied is True
+        assert server.version == 2
+
+
+class TestPushFaults:
+    def test_dropped_push_not_applied(self):
+        from repro import telemetry
+        from repro.resilience.faults import FaultPlan, FaultSpec, inject
+
+        server = ParameterServer(tiny_net())
+        data = make_dataset(8, 3, (1, 8, 8), seed=9)
+        worker = Worker(0, tiny_net(), data.images, data.labels, 4)
+        worker.pull(server)
+        grads, loss = worker.compute_gradients()
+        # Each push ticks ps.push twice (perturb, then drop): the first
+        # push's drop tick is invocation 2.
+        plan = FaultPlan("t", specs=(
+            FaultSpec(site="ps.push", kind="drop", at=(2,)),
+        ))
+        with telemetry.collect() as tel, inject(plan):
+            result = worker.push(server, grads, loss)
+        assert result.applied is False
+        assert server.version == 0
+        assert tel.counters["ps.pushes.dropped"] == 1
+        # Without the fault the same push applies.
+        assert worker.push(server, grads, loss).applied is True
+
+
 class TestSharding:
     def test_shards_cover_dataset(self):
         data = make_dataset(10, 3, (1, 8, 8), seed=4)

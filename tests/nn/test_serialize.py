@@ -5,7 +5,13 @@ import pytest
 
 from repro.errors import ReproError
 from repro.nn.netdef import build_network
-from repro.nn.serialize import load_network, save_network, structure_fingerprint
+from repro.nn.serialize import (
+    load_checkpoint,
+    load_network,
+    save_checkpoint,
+    save_network,
+    structure_fingerprint,
+)
 
 
 def net(features=4, seed=0):
@@ -66,6 +72,98 @@ class TestFingerprint:
         np.savez(path, stuff=np.zeros(3))
         with pytest.raises(ReproError, match="not a repro checkpoint"):
             load_network(net(), path)
+
+
+class TestTrainingCheckpoint:
+    def _trained(self, seed=0):
+        from repro.nn.sgd import SGDTrainer
+
+        network = net(seed=seed)
+        trainer = SGDTrainer(network, learning_rate=0.05)
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal((8, 1, 8, 8)).astype(np.float32)
+        y = rng.integers(0, 3, size=8)
+        trainer.step(x, y)  # populates the momentum buffers
+        return network, trainer, rng
+
+    def test_roundtrip_restores_everything(self, tmp_path):
+        network, trainer, rng = self._trained(seed=1)
+        history = [{"epoch": 1, "train_loss": 1.5}]
+        path = save_checkpoint(network, tmp_path / "ckpt.npz", epoch=1,
+                               trainer=trainer, rng=rng, history=history)
+        target, target_trainer, target_rng = self._trained(seed=2)
+        state = load_checkpoint(target, path, trainer=target_trainer,
+                                rng=target_rng)
+        assert state.epoch == 1
+        assert state.history == history
+        assert state.has_velocity and state.has_rng
+        for (_, p1, _), (_, p2, _) in zip(network.parameters(),
+                                          target.parameters()):
+            np.testing.assert_array_equal(p1, p2)
+        for name, vel in trainer.velocity_state().items():
+            np.testing.assert_array_equal(
+                vel, target_trainer.velocity_state()[name]
+            )
+        # The RNG continues exactly where the source RNG would.
+        np.testing.assert_array_equal(target_rng.random(5), rng.random(5))
+
+    def test_mutated_network_rejected(self, tmp_path):
+        # Satellite S4: a checkpoint must not load into a network whose
+        # structure changed after the save.
+        network, trainer, rng = self._trained()
+        path = save_checkpoint(network, tmp_path / "ckpt.npz", epoch=1,
+                               trainer=trainer, rng=rng)
+        mutated = net(features=8)  # different conv width
+        with pytest.raises(ReproError, match="structure"):
+            load_checkpoint(mutated, path)
+        # The mismatch is detected before any parameter is written.
+        fresh = net(features=8)
+        for (_, p1, _), (_, p2, _) in zip(mutated.parameters(),
+                                          fresh.parameters()):
+            np.testing.assert_array_equal(p1, p2)
+
+    def test_model_checkpoint_rejected_by_load_checkpoint(self, tmp_path):
+        network = net()
+        path = save_network(network, tmp_path / "model.npz")
+        with pytest.raises(ReproError, match="not a training checkpoint"):
+            load_checkpoint(net(), path)
+
+    def test_weights_only_checkpoint_loads(self, tmp_path):
+        network = net(seed=3)
+        path = save_checkpoint(network, tmp_path / "bare.npz", epoch=2)
+        state = load_checkpoint(net(seed=4), path)
+        assert state.epoch == 2
+        assert not state.has_velocity and not state.has_rng
+
+    def test_unknown_format_rejected(self, tmp_path):
+        import json
+
+        network = net()
+        path = save_checkpoint(network, tmp_path / "ckpt.npz")
+        with np.load(path) as archive:
+            arrays = {k: archive[k] for k in archive.files}
+        meta = json.loads(bytes(arrays["__meta__"]).decode("utf-8"))
+        meta["format"] = 999
+        arrays["__meta__"] = np.frombuffer(
+            json.dumps(meta).encode("utf-8"), dtype=np.uint8
+        )
+        np.savez(path, **arrays)
+        with pytest.raises(ReproError, match="format"):
+            load_checkpoint(net(), path)
+
+    def test_negative_epoch_rejected(self, tmp_path):
+        with pytest.raises(ReproError):
+            save_checkpoint(net(), tmp_path / "x.npz", epoch=-1)
+
+    def test_velocity_shape_mismatch_rejected(self):
+        from repro.nn.sgd import SGDTrainer
+
+        trainer = SGDTrainer(net())
+        with pytest.raises(ReproError, match="unknown parameter"):
+            trainer.load_velocity_state({"nope": np.zeros(3)})
+        name = next(iter(n for n, _, _ in trainer.network.parameters()))
+        with pytest.raises(ReproError, match="shape"):
+            trainer.load_velocity_state({name: np.zeros(1)})
 
 
 class TestNetdefSerializer:

@@ -105,3 +105,134 @@ class TestTrainingLoop:
             TrainingLoop(net(), train).run(epochs=0)
         with pytest.raises(ReproError):
             _ = TrainingHistory().final
+        with pytest.raises(ReproError):
+            TrainingLoop(net(), train, checkpoint_every=0)
+
+
+class TestEpochMetrics:
+    def test_means_weighted_by_batch_size(self, datasets, monkeypatch):
+        # 48 samples at batch 20 -> batches of 20, 20, 8.  The short
+        # final batch must contribute by its size, not equally.
+        train, _ = datasets
+        loop = TrainingLoop(net(), train, batch_size=20)
+        from repro.nn.sgd import StepResult
+
+        canned = iter([
+            StepResult(loss=1.0, accuracy=1.0),
+            StepResult(loss=1.0, accuracy=1.0),
+            StepResult(loss=10.0, accuracy=0.0),  # the 8-sample batch
+        ])
+        monkeypatch.setattr(loop.trainer, "step",
+                            lambda x, y: next(canned))
+        history = loop.run(epochs=1)
+        want_loss = (1.0 * 20 + 1.0 * 20 + 10.0 * 8) / 48
+        want_acc = (1.0 * 20 + 1.0 * 20 + 0.0 * 8) / 48
+        assert history.final.train_loss == pytest.approx(want_loss)
+        assert history.final.train_accuracy == pytest.approx(want_acc)
+
+    def test_skipped_batches_excluded_from_means(self, datasets, monkeypatch):
+        train, _ = datasets
+        loop = TrainingLoop(net(), train, batch_size=16)
+        from repro.nn.sgd import StepResult
+
+        canned = iter([
+            StepResult(loss=2.0, accuracy=0.5),
+            StepResult(loss=float("nan"), accuracy=0.0, skipped=True),
+            StepResult(loss=4.0, accuracy=0.5),
+        ])
+        monkeypatch.setattr(loop.trainer, "step",
+                            lambda x, y: next(canned))
+        history = loop.run(epochs=1)
+        assert history.final.skipped_batches == 1
+        assert history.final.train_loss == pytest.approx(3.0)
+
+
+class TestCheckpointResume:
+    def _loop(self, datasets, tmp_path, *, net_seed=0, shuffle_seed=5,
+              checkpoint_dir=None, **kwargs):
+        train, evaluation = datasets
+        return TrainingLoop(
+            net(seed=net_seed), train, eval_data=evaluation, batch_size=8,
+            shuffle_seed=shuffle_seed, checkpoint_dir=checkpoint_dir,
+            **kwargs,
+        )
+
+    @staticmethod
+    def _params_bytes(network):
+        return b"".join(
+            np.ascontiguousarray(p).tobytes()
+            for _, p, _ in network.parameters()
+        )
+
+    def test_checkpoints_written_every_epoch(self, datasets, tmp_path):
+        loop = self._loop(datasets, tmp_path, checkpoint_dir=tmp_path)
+        loop.run(epochs=3)
+        names = sorted(p.name for p in tmp_path.glob("epoch-*.npz"))
+        assert names == ["epoch-0001.npz", "epoch-0002.npz",
+                         "epoch-0003.npz"]
+        assert TrainingLoop.latest_checkpoint(tmp_path).name == \
+            "epoch-0003.npz"
+
+    def test_checkpoint_every_n(self, datasets, tmp_path):
+        loop = self._loop(datasets, tmp_path, checkpoint_dir=tmp_path,
+                          checkpoint_every=2)
+        loop.run(epochs=5)
+        names = sorted(p.name for p in tmp_path.glob("epoch-*.npz"))
+        assert names == ["epoch-0002.npz", "epoch-0004.npz"]
+
+    def test_killed_run_resumes_bit_identically(self, datasets, tmp_path):
+        # The uninterrupted run.
+        full = self._loop(datasets, tmp_path, checkpoint_dir=tmp_path / "a")
+        full_history = full.run(epochs=4)
+        # The same run killed after epoch 2...
+        killed = self._loop(datasets, tmp_path,
+                            checkpoint_dir=tmp_path / "b")
+        killed.run(epochs=2)
+        # ...and resumed in a "fresh process": different init and shuffle
+        # seeds, all overwritten by restore().
+        resumed = self._loop(datasets, tmp_path, net_seed=99,
+                             shuffle_seed=99)
+        restored_epoch = resumed.restore(
+            TrainingLoop.latest_checkpoint(tmp_path / "b")
+        )
+        assert restored_epoch == 2
+        assert resumed.completed_epochs == 2
+        resumed_history = resumed.run(epochs=4)
+        assert self._params_bytes(resumed.network) == \
+            self._params_bytes(full.network)
+        assert resumed_history.loss_curve() == full_history.loss_curve()
+        assert [e.epoch for e in resumed_history.epochs] == [1, 2, 3, 4]
+
+    def test_run_past_completed_epochs_is_noop(self, datasets, tmp_path):
+        loop = self._loop(datasets, tmp_path, checkpoint_dir=tmp_path)
+        loop.run(epochs=2)
+        before = self._params_bytes(loop.network)
+        history = loop.run(epochs=2)  # already done
+        assert self._params_bytes(loop.network) == before
+        assert len(history.epochs) == 2
+
+    def test_checkpoint_path_requires_directory(self, datasets, tmp_path):
+        loop = self._loop(datasets, tmp_path)
+        with pytest.raises(ReproError):
+            loop.checkpoint_path(1)
+
+    def test_restore_rejects_mismatched_network(self, datasets, tmp_path):
+        loop = self._loop(datasets, tmp_path, checkpoint_dir=tmp_path)
+        loop.run(epochs=1)
+        other = TrainingLoop(
+            build_network(
+                {
+                    "input": [1, 10, 10],
+                    "layers": [
+                        {"type": "conv", "features": 3, "kernel": 3},
+                        {"type": "relu"},
+                        {"type": "flatten"},
+                        {"type": "dense", "features": 4},
+                    ],
+                },
+                rng=np.random.default_rng(0),
+            ),
+            datasets[0], batch_size=8,
+        )
+        with pytest.raises(ReproError, match="structure"):
+            other.restore(TrainingLoop.latest_checkpoint(tmp_path))

@@ -1,0 +1,157 @@
+"""Tests for the resilient execution policy and supervised runner."""
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro import telemetry
+from repro.errors import ReproError, TaskTimeoutError
+from repro.resilience.policy import (
+    RetryPolicy,
+    active_policy,
+    apply_policy,
+    run_supervised,
+)
+
+
+@pytest.fixture
+def executor():
+    with ThreadPoolExecutor(max_workers=4) as pool:
+        yield pool
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ReproError):
+            RetryPolicy(timeout=0.0)
+        with pytest.raises(ReproError):
+            RetryPolicy(max_stragglers=-1)
+        with pytest.raises(ReproError):
+            RetryPolicy(backoff_base=-0.1)
+
+    def test_backoff_doubles_and_caps(self):
+        policy = RetryPolicy(backoff_base=0.1, backoff_cap=0.35)
+        assert policy.backoff(1) == pytest.approx(0.1)
+        assert policy.backoff(2) == pytest.approx(0.2)
+        assert policy.backoff(3) == pytest.approx(0.35)  # capped
+
+    def test_zero_base_means_no_sleep(self):
+        assert RetryPolicy(backoff_base=0.0).backoff(3) == 0.0
+
+
+class TestAmbientPolicy:
+    def test_apply_installs_and_removes(self):
+        assert active_policy() is None
+        policy = RetryPolicy()
+        with apply_policy(policy):
+            assert active_policy() is policy
+        assert active_policy() is None
+
+    def test_innermost_wins(self):
+        outer = RetryPolicy(max_retries=1)
+        inner = RetryPolicy(max_retries=5)
+        with apply_policy(outer), apply_policy(inner):
+            assert active_policy() is inner
+
+
+class TestRunSupervised:
+    def test_results_in_task_order(self, executor):
+        thunks = [lambda i=i: i * 10 for i in range(5)]
+        policy = RetryPolicy(max_retries=0)
+        assert run_supervised(executor, thunks, policy) == [0, 10, 20, 30, 40]
+
+    def test_failing_task_is_retried(self, executor):
+        attempts = []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise RuntimeError("transient")
+            return "ok"
+
+        with telemetry.collect() as tel:
+            result = run_supervised(
+                executor, [flaky], RetryPolicy(max_retries=2,
+                                               backoff_base=0.0)
+            )
+        assert result == ["ok"]
+        assert len(attempts) == 3
+        assert tel.counters["pool.retries"] == 2
+
+    def test_retry_budget_exhaustion_propagates_error(self, executor):
+        def doomed():
+            raise ValueError("permanent")
+
+        with telemetry.collect() as tel:
+            with pytest.raises(ValueError, match="permanent"):
+                run_supervised(
+                    executor, [doomed], RetryPolicy(max_retries=1,
+                                                    backoff_base=0.0)
+                )
+        assert tel.counters["pool.retries"] == 1
+        assert tel.counters["pool.task_failures"] == 1
+
+    def test_straggler_gets_backup_attempt(self, executor):
+        calls = []
+        lock = threading.Lock()
+
+        def slow_once():
+            with lock:
+                calls.append(1)
+                first = len(calls) == 1
+            if first:
+                time.sleep(0.5)  # the straggler
+            return "done"
+
+        policy = RetryPolicy(timeout=0.05, max_stragglers=1,
+                             backoff_base=0.0)
+        with telemetry.collect() as tel:
+            result = run_supervised(executor, [slow_once], policy)
+        assert result == ["done"]
+        assert len(calls) == 2  # original + backup
+        assert tel.counters["pool.stragglers"] == 1
+
+    def test_timeout_after_straggler_budget_spent(self, executor):
+        def hang():
+            time.sleep(1.0)
+
+        policy = RetryPolicy(timeout=0.05, max_stragglers=0)
+        with telemetry.collect() as tel:
+            with pytest.raises(TaskTimeoutError):
+                run_supervised(executor, [hang], policy)
+        assert tel.counters["pool.timeouts"] == 1
+
+    def test_first_error_in_task_order_wins(self, executor):
+        def make(index):
+            def thunk():
+                if index >= 1:
+                    raise RuntimeError(f"task {index}")
+                return index
+            return thunk
+
+        with pytest.raises(RuntimeError, match="task 1"):
+            run_supervised(executor, [make(i) for i in range(4)],
+                           RetryPolicy(max_retries=0))
+
+    def test_siblings_finish_despite_one_failure(self, executor):
+        finished = []
+        lock = threading.Lock()
+
+        def make(index):
+            def thunk():
+                if index == 0:
+                    raise RuntimeError("early")
+                time.sleep(0.05)
+                with lock:
+                    finished.append(index)
+                return index
+            return thunk
+
+        with pytest.raises(RuntimeError, match="early"):
+            run_supervised(executor, [make(i) for i in range(4)],
+                           RetryPolicy(max_retries=0))
+        assert sorted(finished) == [1, 2, 3]

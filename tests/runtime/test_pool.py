@@ -1,10 +1,15 @@
 """Tests for the worker pool."""
 
+import gc
 import threading
+import time
 
 import pytest
 
+from repro import telemetry
 from repro.errors import ReproError
+from repro.resilience.faults import FaultPlan, FaultSpec, inject
+from repro.resilience.policy import RetryPolicy, apply_policy
 from repro.runtime.pool import WorkerPool, default_worker_count
 
 
@@ -106,6 +111,102 @@ class TestExecution:
         pool.map_items(lambda i: i, 2)
         pool.shutdown()
         pool.shutdown()
+
+
+class TestLifecycle:
+    def test_pool_restarts_after_shutdown(self):
+        # Regression: shutdown() used to leave the pool unusable -- the
+        # executor must be lazily re-created on the next map call.
+        pool = WorkerPool(num_workers=2)
+        assert pool.map_batches(lambda lo, hi: hi - lo, 4) == [2, 2]
+        pool.shutdown()
+        assert pool.map_batches(lambda lo, hi: hi - lo, 4) == [2, 2]
+        pool.shutdown()
+
+    def test_abandoned_pool_reaps_its_threads(self):
+        # Regression: a pool that was never shut down leaked its worker
+        # threads for the life of the process.  The finalizer must stop
+        # them when the pool is garbage-collected.
+        before = threading.active_count()
+        pool = WorkerPool(num_workers=2)
+        pool.map_items(lambda i: i, 4)
+        assert threading.active_count() > before
+        del pool
+        gc.collect()
+        deadline = time.monotonic() + 5.0
+        while threading.active_count() > before:
+            if time.monotonic() > deadline:
+                pytest.fail("worker threads survived pool collection")
+            time.sleep(0.01)
+
+    def test_shutdown_detaches_finalizer(self):
+        pool = WorkerPool(num_workers=2)
+        pool.map_items(lambda i: i, 2)
+        assert pool._finalizer is not None and pool._finalizer.alive
+        pool.shutdown()
+        assert pool._finalizer is None
+
+
+class TestSupervisedExecution:
+    def test_injected_crash_is_retried(self):
+        plan = FaultPlan("t", specs=(
+            FaultSpec(site="pool.task", kind="raise", at=(2,)),
+        ))
+        policy = RetryPolicy(max_retries=2, backoff_base=0.0)
+        with WorkerPool(num_workers=2, policy=policy) as pool:
+            with telemetry.collect() as tel, inject(plan):
+                results = pool.map_batches(lambda lo, hi: (lo, hi), 8)
+        assert results == [(0, 4), (4, 8)]
+        assert tel.counters["pool.retries"] == 1
+        assert tel.counters["faults.raise"] == 1
+
+    def test_injected_straggler_is_reassigned(self):
+        plan = FaultPlan("t", specs=(
+            FaultSpec(site="pool.task", kind="hang", at=(1,), delay=0.5),
+        ))
+        policy = RetryPolicy(timeout=0.05, max_stragglers=1,
+                             backoff_base=0.0)
+        with WorkerPool(num_workers=2, policy=policy) as pool:
+            with telemetry.collect() as tel, inject(plan):
+                results = pool.map_batches(lambda lo, hi: hi - lo, 8)
+        assert results == [4, 4]
+        assert tel.counters["pool.stragglers"] == 1
+
+    def test_ambient_policy_picked_up(self):
+        plan = FaultPlan("t", specs=(
+            FaultSpec(site="pool.task", kind="raise", at=(1,)),
+        ))
+        pool = WorkerPool(num_workers=2)  # no policy of its own
+        with telemetry.collect() as tel, inject(plan):
+            with apply_policy(RetryPolicy(max_retries=1, backoff_base=0.0)):
+                results = pool.map_batches(lambda lo, hi: hi - lo, 8)
+        pool.shutdown()
+        assert results == [4, 4]
+        assert tel.counters["pool.retries"] == 1
+
+    def test_without_policy_injected_crash_propagates(self):
+        from repro.errors import InjectedFault
+
+        plan = FaultPlan("t", specs=(
+            FaultSpec(site="pool.task", kind="raise", at=(1,)),
+        ))
+        with WorkerPool(num_workers=2) as pool:
+            with inject(plan), pytest.raises(InjectedFault):
+                pool.map_batches(lambda lo, hi: hi - lo, 8)
+
+    def test_result_corruption_site(self):
+        import numpy as np
+
+        plan = FaultPlan("t", specs=(
+            FaultSpec(site="pool.result", kind="corrupt", at=(1, 2),
+                      fraction=1.0),
+        ))
+        with WorkerPool(num_workers=2) as pool:
+            with inject(plan):
+                results = pool.map_batches(
+                    lambda lo, hi: np.ones(hi - lo, dtype=np.float32), 8
+                )
+        assert all(np.isnan(chunk).all() for chunk in results)
 
 
 class TestConstruction:
