@@ -15,7 +15,14 @@ and flags:
 * **CHK-TEL-API** -- telemetry misuse: attribute access on the
   ``telemetry`` module outside its public API (typo'd helper names
   emit nothing, silently), and emission helpers invoked at module
-  import time, which always runs outside any collector guard.
+  import time, which always runs outside any collector guard;
+* **CHK-TEL-LEAK** -- ``telemetry.span(...)`` opened outside a ``with``
+  item: the span object is a context manager, and without ``with`` it
+  is never finished, leaking an open span on the thread's stack;
+* **CHK-TEL-HOT** -- ``telemetry.add``/``gauge``/``observe`` called
+  inside a nested (per-element) loop: each call takes the collector
+  lock per active collector, so per-element emission turns a hot
+  kernel loop into a lock convoy -- aggregate outside the loop instead.
 """
 
 from __future__ import annotations
@@ -29,13 +36,18 @@ ANALYZER = "concurrency"
 
 #: Attribute names that constitute the telemetry module's public API.
 _TELEMETRY_PUBLIC = frozenset(
-    ("Event", "Span", "TelemetryCollector", "active_collectors", "add",
-     "aggregate_spans", "collect", "collector_to_dict", "counters_table",
-     "event", "events_table", "gauge", "span", "spans_table", "write_json")
+    ("Event", "Span", "StreamingHistogram", "TelemetryCollector",
+     "active_collectors", "add", "aggregate_spans", "collect",
+     "collector_to_dict", "counters_table", "event", "events_table",
+     "gauge", "histograms_table", "observe", "span", "spans_table",
+     "write_json")
 )
 
 #: Telemetry helpers that emit (pointless before any collector exists).
-_TELEMETRY_EMITTERS = frozenset(("add", "gauge", "event", "span"))
+_TELEMETRY_EMITTERS = frozenset(("add", "gauge", "observe", "event", "span"))
+
+#: Scalar emitters whose per-element use in tight loops is a lock convoy.
+_TELEMETRY_HOT_EMITTERS = frozenset(("add", "gauge", "observe"))
 
 _POOL_NAMES = ("WorkerPool", "ParallelExecutor", "ThreadPoolExecutor")
 
@@ -157,6 +169,59 @@ class _ClosureMutationVisitor(ast.NodeVisitor):
         self.generic_visit(node)
 
 
+class _TelemetryUseVisitor(ast.NodeVisitor):
+    """Instrumentation-misuse rules: span leaks and hot-loop emission."""
+
+    def __init__(self, module_name: str, aliases: set[str]):
+        self.module_name = module_name
+        self.aliases = aliases
+        self.findings: list[Finding] = []
+        self._loop_depth = 0
+        self._with_contexts: set[int] = set()
+
+    def _visit_loop(self, node) -> None:
+        self._loop_depth += 1
+        self.generic_visit(node)
+        self._loop_depth -= 1
+
+    visit_For = _visit_loop
+    visit_AsyncFor = _visit_loop
+    visit_While = _visit_loop
+
+    def _visit_with(self, node) -> None:
+        for item in node.items:
+            self._with_contexts.add(id(item.context_expr))
+        self.generic_visit(node)
+
+    visit_With = _visit_with
+    visit_AsyncWith = _visit_with
+
+    def _telemetry_attr(self, node: ast.Call) -> str | None:
+        func = node.func
+        if (isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id in self.aliases):
+            return func.attr
+        return None
+
+    def visit_Call(self, node: ast.Call) -> None:
+        attr = self._telemetry_attr(node)
+        if attr == "span" and id(node) not in self._with_contexts:
+            self.findings.append(_finding(
+                "error", f"{self.module_name}:{node.lineno}",
+                "telemetry.span(...) opened outside a 'with' item; the "
+                "span is never finished and leaks on the thread's stack",
+            ))
+        elif attr in _TELEMETRY_HOT_EMITTERS and self._loop_depth >= 2:
+            self.findings.append(_finding(
+                "warning", f"{self.module_name}:{node.lineno}",
+                f"telemetry.{attr} called inside a nested per-element "
+                f"loop; each call locks every active collector -- "
+                f"aggregate locally and emit once outside the loop",
+            ))
+        self.generic_visit(node)
+
+
 def _telemetry_aliases(tree: ast.Module) -> set[str]:
     """Local names under which the telemetry module is imported."""
     aliases: set[str] = set()
@@ -238,6 +303,10 @@ def lint_source(module_name: str, source: str) -> list[Finding]:
                     f"telemetry.{node.attr} called at import time, before "
                     f"any collector guard can be active",
                 ))
+        # CHK-TEL-LEAK / CHK-TEL-HOT: span leaks, hot-loop emission.
+        use_visitor = _TelemetryUseVisitor(module_name, aliases)
+        use_visitor.visit(tree)
+        findings.extend(use_visitor.findings)
     return findings
 
 

@@ -18,7 +18,24 @@ Commands:
   fault plan with the resilient policy active and report survival;
   exits 1 when the run dies, stops improving, or fails the kill/resume
   bit-identity check (CI chaos gate).
+* ``train [--net cifar|mnist] ...`` (alias: ``monitor``) -- run a
+  training job under the live :class:`repro.obs.monitor.TrainingMonitor`
+  and write the final run report.
+* ``bench [--repeats N] ...`` -- run the microbenchmark suite, write
+  schema-versioned ``BENCH_<name>.json`` files and compare against the
+  committed baseline; exits 1 on regression (perf gate).
 * ``engines`` -- list the registered convolution engines.
+
+Reporting commands (``trace``, ``check``, ``chaos``, ``train``,
+``bench``) share one I/O contract: ``--format table|json`` selects the
+stdout rendering (human tables vs. machine JSON) and ``--out PATH``
+writes the durable JSON artifact -- ``trace`` additionally accepts
+``--format chrome`` for Chrome trace-event JSON, and ``bench``'s
+``--out`` is a directory (one ``BENCH_<name>.json`` per benchmark).
+
+Exit codes, uniformly: **0** success; **1** gate failure (error-severity
+check findings, a failed chaos run, a benchmark regression); **2** usage
+error (bad flags, unknown names -- raised by argparse).
 """
 
 from __future__ import annotations
@@ -48,6 +65,19 @@ _FIGURES = {
     "fig4f": figure_module.figure4f,
     "fig9": figure_module.figure9,
 }
+
+
+def _add_output_args(
+    parser: argparse.ArgumentParser,
+    formats: tuple[str, ...] = ("table", "json"),
+    out_default: Path | None = None,
+    out_help: str = "write the JSON artifact to PATH",
+) -> None:
+    """The shared ``--out`` / ``--format`` contract of reporting commands."""
+    parser.add_argument("--out", type=Path, default=out_default,
+                        metavar="PATH", help=out_help)
+    parser.add_argument("--format", choices=formats, default=formats[0],
+                        help="stdout rendering (default: %(default)s)")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -102,7 +132,10 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="cores assumed by the autotuner's cost model")
     trace.add_argument("--recheck", type=int, default=1,
                        help="re-check the BP choice every N epochs")
-    trace.add_argument("--out", type=Path, default=Path("results/trace.json"))
+    _add_output_args(trace, formats=("table", "json", "chrome"),
+                     out_default=Path("results/trace.json"),
+                     out_help="trace file to write (JSON, or Chrome "
+                              "trace-event JSON with --format chrome)")
 
     check = sub.add_parser(
         "check",
@@ -113,10 +146,11 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=("kernel-ir", "gen-source", "graph", "concurrency"),
         help="run only the named analyzer (repeatable; default: all four)",
     )
-    check.add_argument("--json", type=Path, default=None,
-                       help="also write the findings report as JSON")
+    check.add_argument("--json", type=Path, default=None, dest="json_alias",
+                       help="alias for --out (kept for compatibility)")
     check.add_argument("--quiet", action="store_true",
                        help="print only the summary line, not the table")
+    _add_output_args(check, out_help="write the findings report as JSON")
 
     from repro.resilience import plan_names
 
@@ -133,6 +167,56 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="worker threads per conv layer (1 = inline)")
     chaos.add_argument("--no-resume-check", action="store_true",
                        help="skip the kill-and-resume bit-identity replay")
+    _add_output_args(chaos, out_help="write the chaos + monitor report "
+                                     "as JSON")
+
+    train = sub.add_parser(
+        "train", aliases=["monitor"],
+        help="train under the live monitor; writes the run report",
+    )
+    train.add_argument("--net", choices=("mnist", "cifar"), default="mnist")
+    train.add_argument("--epochs", type=int, default=2)
+    train.add_argument("--batch", type=int, default=8)
+    train.add_argument("--samples", type=int, default=32)
+    train.add_argument("--scale", type=float, default=0.25,
+                       help="feature-count scale of the zoo network")
+    train.add_argument("--threads", type=int, default=1,
+                       help="worker threads per conv layer (1 = inline)")
+    train.add_argument("--cores", type=int, default=16,
+                       help="cores assumed by the autotuner's cost model")
+    train.add_argument("--recheck", type=int, default=1,
+                       help="re-check the BP choice every N epochs")
+    train.add_argument("--every", type=int, default=0, metavar="N",
+                       help="also render the live table every N batches")
+    _add_output_args(train, out_help="write the run report (JSON, or "
+                                     "markdown when PATH ends in .md)")
+
+    from repro.obs.bench import suite_names
+
+    bench = sub.add_parser(
+        "bench",
+        help="run the microbenchmark suite and compare against baseline",
+    )
+    bench.add_argument("--repeats", type=int, default=3,
+                       help="timed repeats per benchmark (median wins)")
+    bench.add_argument("--filter", action="append", dest="filters",
+                       default=None, choices=suite_names(),
+                       help="run only the named benchmark (repeatable)")
+    bench.add_argument("--baseline", type=Path,
+                       default=Path("benchmarks/baseline.json"),
+                       help="baseline to compare against "
+                            "(default: %(default)s)")
+    bench.add_argument("--update-baseline", action="store_true",
+                       help="record these results as the new baseline "
+                            "instead of comparing")
+    bench.add_argument("--soft", action="store_true",
+                       help="report regressions but still exit 0 "
+                            "(noisy-runner CI smoke)")
+    bench.add_argument("--slowdown", action="append", default=None,
+                       metavar="NAME=FACTOR",
+                       help="test hook: scale a benchmark's measured time")
+    _add_output_args(bench, out_default=Path("results/bench"),
+                     out_help="directory for the BENCH_<name>.json files")
 
     sub.add_parser("engines", help="list registered engines")
     return parser
@@ -224,10 +308,10 @@ def _cmd_figure(args, out) -> int:
     return 0
 
 
-def _cmd_trace(args, out) -> int:
+def _build_training_job(args):
+    """Network + data + spg-CNN + loop shared by ``trace`` and ``train``."""
     import numpy as np
 
-    from repro import telemetry
     from repro.core.framework import SpgCNN
     from repro.data.synthetic import cifar10_like, mnist_like
     from repro.nn.training_loop import TrainingLoop
@@ -244,31 +328,162 @@ def _cmd_trace(args, out) -> int:
     backend = ModelCostBackend(xeon_e5_2650(), cores=args.cores,
                                batch=args.batch)
     spg = SpgCNN(network, backend, recheck_epochs=args.recheck)
+    loop = TrainingLoop(
+        network, data, batch_size=args.batch,
+        epoch_end_hook=lambda epoch, _net: spg.after_epoch(epoch),
+    )
+    return network, spg, loop
+
+
+def _close_network(network) -> None:
+    for layer in network.conv_layers():
+        layer.close()
+
+
+def _cmd_trace(args, out) -> int:
+    import json as json_module
+
+    from repro import telemetry
+
+    network, spg, loop = _build_training_job(args)
     try:
         with telemetry.collect() as tel:
             spg.optimize()
-            loop = TrainingLoop(
-                network, data, batch_size=args.batch,
-                epoch_end_hook=lambda epoch, _net: spg.after_epoch(epoch),
-            )
             history = loop.run(args.epochs)
     finally:
-        for layer in network.conv_layers():
-            layer.close()
-    print(network.describe(), file=out)
-    print(telemetry.spans_table(tel, title=f"trace: {network.name}"), file=out)
-    print(telemetry.counters_table(tel), file=out)
-    if tel.events:
-        print(telemetry.events_table(tel), file=out)
-    print(f"final train loss: {history.final.train_loss:.4f}  "
-          f"mean error sparsity: {history.final.mean_error_sparsity:.2f}",
-          file=out)
-    path = telemetry.write_json(tel, args.out)
-    print(f"wrote {path}", file=out)
+        _close_network(network)
+    if args.format == "json":
+        print(json_module.dumps(telemetry.collector_to_dict(tel)), file=out)
+    else:
+        print(network.describe(), file=out)
+        print(telemetry.spans_table(tel, title=f"trace: {network.name}"),
+              file=out)
+        print(telemetry.histograms_table(tel), file=out)
+        print(telemetry.counters_table(tel), file=out)
+        if tel.events:
+            print(telemetry.events_table(tel), file=out)
+        print(f"final train loss: {history.final.train_loss:.4f}  "
+              f"mean error sparsity: {history.final.mean_error_sparsity:.2f}",
+              file=out)
+    if args.out is not None:
+        if args.format == "chrome":
+            from repro.obs.chrome_trace import write_chrome_trace
+
+            path = write_chrome_trace(tel, args.out)
+        else:
+            path = telemetry.write_json(tel, args.out)
+        print(f"wrote {path}", file=out)
     return 0
 
 
+def _cmd_train(args, out) -> int:
+    import json as json_module
+
+    from repro.obs.monitor import TrainingMonitor
+
+    network, spg, loop = _build_training_job(args)
+    live_out = out if args.format == "table" else None
+    monitor = TrainingMonitor(every_batches=args.every, out=live_out)
+    monitor.attach(loop)
+    try:
+        with monitor:
+            spg.optimize()
+            loop.run(args.epochs)
+    finally:
+        _close_network(network)
+    report = monitor.report()
+    if args.format == "json":
+        print(json_module.dumps(report.to_dict()), file=out)
+    else:
+        print(monitor.render(title=f"run report: {network.name}"), file=out)
+        totals = report.totals
+        print(f"epochs: {totals['epochs']}  batches: {totals['batches']}  "
+              f"final loss: {totals['final_loss']:.4f}  "
+              f"retunes: {totals['retunes']}", file=out)
+    if args.out is not None:
+        if str(args.out).endswith(".md"):
+            path = report.write_markdown(args.out)
+        else:
+            path = report.write_json(args.out)
+        print(f"wrote {path}", file=out)
+    return 0
+
+
+def _cmd_bench(args, out) -> int:
+    import json as json_module
+
+    from repro.obs import bench as bench_module
+
+    slowdown = {}
+    for item in args.slowdown or ():
+        name, _, factor = item.partition("=")
+        try:
+            slowdown[name] = float(factor)
+        except ValueError:
+            raise SystemExit(
+                f"--slowdown expects NAME=FACTOR, got {item!r}"
+            ) from None
+    results = bench_module.run_suite(
+        names=tuple(args.filters) if args.filters else None,
+        repeats=args.repeats,
+        slowdown=slowdown,
+    )
+    paths = bench_module.write_results(results, args.out)
+
+    if args.update_baseline:
+        baseline_path = bench_module.write_baseline(results, args.baseline)
+        if args.format == "json":
+            print(json_module.dumps(
+                {"results": [r.to_dict() for r in results],
+                 "baseline": str(baseline_path)}), file=out)
+        else:
+            print(_bench_results_table(results), file=out)
+            print(f"recorded baseline {baseline_path}", file=out)
+        return 0
+
+    comparison = None
+    if args.baseline.exists():
+        baseline = bench_module.load_baseline(args.baseline)
+        comparison = bench_module.compare_to_baseline(
+            results, baseline, baseline_path=str(args.baseline)
+        )
+    if args.format == "json":
+        payload = {
+            "results": [r.to_dict() for r in results],
+            "comparison": comparison.to_dict() if comparison else None,
+        }
+        print(json_module.dumps(payload), file=out)
+    else:
+        print(_bench_results_table(results), file=out)
+        for path in paths:
+            print(f"wrote {path}", file=out)
+        if comparison is None:
+            print(f"no baseline at {args.baseline}; comparison skipped "
+                  f"(record one with --update-baseline)", file=out)
+        else:
+            print(comparison.table(), file=out)
+    if comparison is None or comparison.ok:
+        print("bench: OK", file=out)
+        return 0
+    names = ", ".join(c.name for c in comparison.regressions)
+    print(f"bench: REGRESSED ({names})", file=out)
+    return 0 if args.soft else 1
+
+
+def _bench_results_table(results) -> str:
+    rows = [
+        [r.name, r.repeats, f"{r.seconds * 1e3:.3f}", f"{r.mflops:.1f}"]
+        for r in results
+    ]
+    return format_table(
+        ["benchmark", "repeats", "median (ms)", "MFLOP/s"], rows,
+        title="microbenchmarks",
+    )
+
+
 def _cmd_chaos(args, out) -> int:
+    import json as json_module
+
     from repro.resilience.chaos import run_chaos
 
     report = run_chaos(
@@ -280,23 +495,35 @@ def _cmd_chaos(args, out) -> int:
         threads=args.threads,
         check_resume=not args.no_resume_check,
     )
-    for line in report.lines():
-        print(line, file=out)
-    print("chaos: OK" if report.ok else "chaos: FAILED", file=out)
+    if args.format == "json":
+        print(json_module.dumps(report.to_dict()), file=out)
+    else:
+        for line in report.lines():
+            print(line, file=out)
+        print("chaos: OK" if report.ok else "chaos: FAILED", file=out)
+    if args.out is not None:
+        path = report.write_json(args.out)
+        print(f"wrote {path}", file=out)
     return 0 if report.ok else 1
 
 
 def _cmd_check(args, out) -> int:
+    import json as json_module
+
     from repro.check.runner import run_all
 
     report = run_all(
         analyzers=tuple(args.analyzers) if args.analyzers else None
     )
-    if report.findings and not args.quiet:
-        print(report.table(), file=out)
-    print(report.summary(), file=out)
-    if args.json is not None:
-        path = report.write_json(args.json)
+    if args.format == "json":
+        print(json_module.dumps(report.to_dict()), file=out)
+    else:
+        if report.findings and not args.quiet:
+            print(report.table(), file=out)
+        print(report.summary(), file=out)
+    out_path = args.out if args.out is not None else args.json_alias
+    if out_path is not None:
+        path = report.write_json(out_path)
         print(f"wrote {path}", file=out)
     return 0 if report.ok else 1
 
@@ -321,6 +548,10 @@ def main(argv: list[str] | None = None, out=None) -> int:
         return _cmd_check(args, out)
     if args.command == "chaos":
         return _cmd_chaos(args, out)
+    if args.command in ("train", "monitor"):
+        return _cmd_train(args, out)
+    if args.command == "bench":
+        return _cmd_bench(args, out)
     if args.command == "engines":
         for name in engine_names():
             print(name, file=out)

@@ -31,7 +31,7 @@ from repro.errors import ReproError
 from repro.nn.network import Network
 from repro.nn.schedule import ConstantLR, LRSchedule
 from repro.nn.serialize import load_checkpoint, save_checkpoint
-from repro.nn.sgd import SGDTrainer
+from repro.nn.sgd import SGDTrainer, StepResult
 
 
 @dataclass
@@ -115,6 +115,11 @@ class TrainingLoop:
         )
         self.augment = augment
         self.epoch_end_hook = epoch_end_hook
+        # Observer hooks (see add_batch_hook / add_epoch_hook): unlike
+        # epoch_end_hook they must not mutate the network -- the monitor
+        # uses them to watch a run without perturbing it.
+        self._batch_hooks: list[Callable[[int, int, "StepResult"], None]] = []
+        self._epoch_hooks: list[Callable[[int, EpochRecord], None]] = []
         self._shuffle_rng = np.random.default_rng(shuffle_seed)
         self.checkpoint_dir = Path(checkpoint_dir) if checkpoint_dir else None
         self.checkpoint_every = checkpoint_every
@@ -173,6 +178,29 @@ class TrainingLoop:
         """Epochs finished so far (restored ones included)."""
         return self._completed_epochs
 
+    # -- observer hooks ---------------------------------------------------
+
+    def add_batch_hook(
+        self, hook: Callable[[int, int, StepResult], None]
+    ) -> None:
+        """Call ``hook(epoch, batch_index, result)`` after every SGD step.
+
+        Skipped (non-finite) batches are reported too, flagged on the
+        :class:`~repro.nn.sgd.StepResult`.  Hooks are observers: they run
+        inside the epoch and must not mutate the network.
+        """
+        self._batch_hooks.append(hook)
+
+    def add_epoch_hook(
+        self, hook: Callable[[int, EpochRecord], None]
+    ) -> None:
+        """Call ``hook(epoch, record)`` after each epoch's record is final.
+
+        Fires after ``epoch_end_hook`` (so re-tuning decisions made there
+        are visible) and before the epoch's checkpoint is written.
+        """
+        self._epoch_hooks.append(hook)
+
     def _epoch_batches(self):
         order = self._shuffle_rng.permutation(len(self.train_data))
         images = self.train_data.images[order]
@@ -202,6 +230,8 @@ class TrainingLoop:
                     if self.augment is not None:
                         batch_x = self.augment(batch_x, True)
                     result = self.trainer.step(batch_x, batch_y)
+                    for hook in self._batch_hooks:
+                        hook(epoch, len(sizes) + skipped, result)
                     if result.skipped:
                         skipped += 1
                         continue
@@ -254,6 +284,8 @@ class TrainingLoop:
             self._completed_epochs = epoch
             if self.epoch_end_hook is not None:
                 self.epoch_end_hook(epoch, self.network)
+            for hook in self._epoch_hooks:
+                hook(epoch, history.epochs[-1])
             if (self.checkpoint_dir is not None
                     and epoch % self.checkpoint_every == 0):
                 self.save_checkpoint(epoch)

@@ -1,0 +1,29 @@
+"""``repro.obs``: the observability layer on top of ``repro.telemetry``.
+
+The telemetry collector is the raw substrate (spans, counters, gauges,
+events, histograms); this package turns one collected run into the
+artifacts a production training stack needs:
+
+* :mod:`repro.obs.chrome_trace` -- Chrome trace-event JSON, loadable in
+  Perfetto / ``chrome://tracing``;
+* :mod:`repro.obs.monitor` -- :class:`TrainingMonitor`, a live view of a
+  training run (per-layer FP/BP time, goodput, sparsity drift, retunes,
+  resilience activity) plus a final markdown/JSON run report;
+* :mod:`repro.obs.bench` -- the benchmark regression harness behind
+  ``python -m repro bench``.
+"""
+
+from repro.obs.chrome_trace import (
+    chrome_trace_dict,
+    chrome_trace_events,
+    write_chrome_trace,
+)
+from repro.obs.monitor import RunReport, TrainingMonitor
+
+__all__ = [
+    "RunReport",
+    "TrainingMonitor",
+    "chrome_trace_dict",
+    "chrome_trace_events",
+    "write_chrome_trace",
+]

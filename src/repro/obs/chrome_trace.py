@@ -1,0 +1,132 @@
+"""Chrome trace-event export: one collected run as a Perfetto timeline.
+
+Converts a :class:`~repro.telemetry.collector.TelemetryCollector`
+snapshot into the Chrome trace-event JSON format (the ``traceEvents``
+array understood by Perfetto and ``chrome://tracing``):
+
+* every finished span becomes a complete duration event (``ph: "X"``)
+  with microsecond timestamps relative to the earliest record, ``pid`` 1
+  and a small stable ``tid`` per OS thread;
+* every gauge write becomes a counter event (``ph: "C"``) -- the goodput
+  and throughput gauges render as per-layer counter tracks;
+* every point event (retune, quarantine, fault injection, checkpoint)
+  becomes a global instant event (``ph: "i"``);
+* a ``thread_name`` metadata event (``ph: "M"``) labels each thread.
+
+All attribute values are sanitised to JSON scalars, so the output always
+round-trips through ``json.loads``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.telemetry.collector import TelemetryCollector
+
+#: Single-process trace: everything shares one pid.
+PID = 1
+
+
+def _json_scalar(value: Any) -> Any:
+    """Coerce an attribute value to something JSON-serialisable."""
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        return value
+    try:  # numpy scalars expose item()
+        return _json_scalar(value.item())
+    except AttributeError:
+        return str(value)
+
+
+def _args(attrs: dict[str, Any]) -> dict[str, Any]:
+    return {key: _json_scalar(value) for key, value in attrs.items()}
+
+
+def _thread_ids(collector: TelemetryCollector) -> dict[int, int]:
+    """Map OS thread ids to small stable tids (span record order)."""
+    tids: dict[int, int] = {}
+    for span in collector.spans:
+        if span.thread_id not in tids:
+            tids[span.thread_id] = len(tids) + 1
+    return tids
+
+
+def _origin(collector: TelemetryCollector) -> float:
+    """The trace's zero point: the earliest timestamp recorded."""
+    candidates = [s.start for s in collector.spans]
+    candidates += [e.time for e in collector.events]
+    candidates += [t for points in collector.gauge_series.values()
+                   for t, _ in points]
+    return min(candidates, default=0.0)
+
+
+def chrome_trace_events(collector: TelemetryCollector) -> list[dict[str, Any]]:
+    """The ``traceEvents`` array for one collected run.
+
+    Every emitted event carries ``name``, ``ph``, ``ts``, ``pid`` and
+    ``tid``.  Unfinished spans are skipped -- they have no duration and
+    Perfetto rejects ``X`` events without ``dur``.
+    """
+    origin = _origin(collector)
+    tids = _thread_ids(collector)
+    out: list[dict[str, Any]] = []
+    for os_tid, tid in tids.items():
+        out.append({
+            "name": "thread_name", "ph": "M", "ts": 0, "pid": PID,
+            "tid": tid, "args": {"name": f"thread-{tid} (os {os_tid})"},
+        })
+    for span in collector.spans:
+        if span.end is None:
+            continue
+        out.append({
+            "name": span.name,
+            "cat": str(span.attrs.get("phase", "span")),
+            "ph": "X",
+            "ts": (span.start - origin) * 1e6,
+            "dur": (span.end - span.start) * 1e6,
+            "pid": PID,
+            "tid": tids[span.thread_id],
+            "args": _args(span.attrs),
+        })
+    for name, points in sorted(collector.gauge_series.items()):
+        for when, value in points:
+            out.append({
+                "name": name,
+                "ph": "C",
+                "ts": (when - origin) * 1e6,
+                "pid": PID,
+                "tid": 0,
+                "args": {"value": _json_scalar(value)},
+            })
+    for recorded in collector.events:
+        out.append({
+            "name": recorded.name,
+            "cat": "event",
+            "ph": "i",
+            "s": "g",
+            "ts": (recorded.time - origin) * 1e6,
+            "pid": PID,
+            "tid": 0,
+            "args": _args(recorded.attrs),
+        })
+    return out
+
+
+def chrome_trace_dict(collector: TelemetryCollector) -> dict[str, Any]:
+    """The full JSON-object trace format (Perfetto-loadable)."""
+    return {
+        "traceEvents": chrome_trace_events(collector),
+        "displayTimeUnit": "ms",
+    }
+
+
+def write_chrome_trace(collector: TelemetryCollector,
+                       path: str | Path) -> Path:
+    """Write the Chrome trace JSON; returns the path written."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(chrome_trace_dict(collector)) + "\n")
+    return path

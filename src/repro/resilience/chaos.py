@@ -27,14 +27,17 @@ importable from low-level runtime modules without cycles.
 
 from __future__ import annotations
 
+import json
 import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import Any
 
 import numpy as np
 
 from repro import telemetry
 from repro.nn.training_loop import TrainingHistory, TrainingLoop
+from repro.obs.monitor import TrainingMonitor
 from repro.resilience import faults
 from repro.resilience.policy import RetryPolicy, apply_policy
 from repro.resilience.quarantine import default_registry
@@ -71,6 +74,9 @@ class ChaosReport:
     error: str = ""
     resume_checked: bool = False
     resume_identical: bool = False
+    #: The attached :class:`~repro.obs.monitor.TrainingMonitor` report
+    #: of the main run (per-layer time, goodput, drift, retunes).
+    monitor_report: dict[str, Any] | None = None
 
     @property
     def ok(self) -> bool:
@@ -101,6 +107,32 @@ class ChaosReport:
         if self.resume_checked:
             out.append(f"kill/resume bit-identical: {self.resume_identical}")
         return out
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-friendly snapshot (the chaos CLI's ``--out`` artifact)."""
+        return {
+            "plan": self.plan,
+            "seed": self.seed,
+            "epochs": self.epochs,
+            "ok": self.ok,
+            "survived": self.survived,
+            "improved": self.improved,
+            "final_loss": self.final_loss,
+            "skipped_batches": self.skipped_batches,
+            "injections": list(self.injections),
+            "counters": dict(self.counters),
+            "error": self.error,
+            "resume_checked": self.resume_checked,
+            "resume_identical": self.resume_identical,
+            "monitor": self.monitor_report,
+        }
+
+    def write_json(self, path: str | Path) -> Path:
+        """Write the report as JSON; returns the path written."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+        return path
 
 
 def _params_bytes(network) -> bytes:
@@ -209,8 +241,12 @@ def run_chaos(
         ckpt_a = Path(checkpoint_dir) if checkpoint_dir else tmp_dir / "a"
         loop = _build_job(seed, samples, threads, batch, ckpt_a)
         injector = faults.FaultInjector(plan)
+        # The monitor shares the chaos collector: its hooks watch the
+        # main run, and its final report rides along on the ChaosReport.
+        monitor = TrainingMonitor()
+        monitor.attach(loop)
         try:
-            with telemetry.collect() as collector:
+            with telemetry.collect(monitor.collector) as collector:
                 with faults.inject(injector), apply_policy(policy):
                     default_registry().clear()
                     history = loop.run(epochs)
@@ -230,6 +266,7 @@ def run_chaos(
                 f"{inj.site} {inj.kind} @ invocation {inj.invocation}"
                 for inj in injector.fired()
             ]
+            report.monitor_report = monitor.report().to_dict()
         _close(loop)
         report.survived = True
         report.improved = history.improved()

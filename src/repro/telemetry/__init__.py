@@ -7,6 +7,7 @@ Usage, from measuring code::
     with telemetry.collect() as tel:
         run_training()                      # instrumented code records here
     print(telemetry.spans_table(tel))
+    print(telemetry.histograms_table(tel))
     telemetry.write_json(tel, "results/trace.json")
 
 and from instrumented code (no-ops unless a collector is active)::
@@ -15,7 +16,11 @@ and from instrumented code (no-ops unless a collector is active)::
         ...
     telemetry.add("images.processed", 16)
     telemetry.gauge("goodput.conv1", flops_per_second)
+    telemetry.observe("batch.load_seconds", elapsed)
     telemetry.event("retune", layer="conv1", old="gemm", new="sparse")
+
+Span durations are additionally auto-fed into a streaming histogram per
+span name, so p50/p95/p99 latencies come for free with every trace.
 """
 
 from repro.telemetry.collector import (
@@ -27,6 +32,7 @@ from repro.telemetry.collector import (
     collect,
     event,
     gauge,
+    observe,
     span,
 )
 from repro.telemetry.export import (
@@ -34,13 +40,16 @@ from repro.telemetry.export import (
     collector_to_dict,
     counters_table,
     events_table,
+    histograms_table,
     spans_table,
     write_json,
 )
+from repro.telemetry.histogram import StreamingHistogram
 
 __all__ = [
     "Event",
     "Span",
+    "StreamingHistogram",
     "TelemetryCollector",
     "active_collectors",
     "add",
@@ -51,6 +60,8 @@ __all__ = [
     "event",
     "events_table",
     "gauge",
+    "histograms_table",
+    "observe",
     "span",
     "spans_table",
     "write_json",

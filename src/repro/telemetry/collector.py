@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator
 
 from repro.errors import ReproError
+from repro.telemetry.histogram import StreamingHistogram
 
 
 @dataclass
@@ -94,6 +95,13 @@ class TelemetryCollector:
         self.events: list[Event] = []
         self.counters: dict[str, float] = {}
         self.gauges: dict[str, float] = {}
+        #: Full history of every gauge: ``name -> [(time, value), ...]``.
+        #: ``gauges`` keeps only the latest value; the series feeds the
+        #: Chrome-trace counter tracks (see :mod:`repro.obs.chrome_trace`).
+        self.gauge_series: dict[str, list[tuple[float, float]]] = {}
+        #: Value distributions: explicit :meth:`observe` calls plus one
+        #: histogram of durations per span name, auto-fed on span finish.
+        self.histograms: dict[str, StreamingHistogram] = {}
         self._local = threading.local()
 
     # -- span lifecycle ---------------------------------------------------
@@ -132,6 +140,7 @@ class TelemetryCollector:
             del stack[stack.index(opened):]
         with self._lock:
             self.spans.append(opened)
+        self.observe(opened.name, opened.end - opened.start)
         return opened
 
     @contextmanager
@@ -155,9 +164,21 @@ class TelemetryCollector:
             self.counters[name] = self.counters.get(name, 0.0) + value
 
     def gauge(self, name: str, value: float) -> None:
-        """Set a gauge to its latest observed value."""
+        """Set a gauge to its latest observed value (history retained)."""
+        value = float(value)
         with self._lock:
-            self.gauges[name] = float(value)
+            self.gauges[name] = value
+            self.gauge_series.setdefault(name, []).append(
+                (time.perf_counter(), value)
+            )
+
+    def observe(self, name: str, value: float) -> None:
+        """Feed one sample into the named streaming histogram."""
+        with self._lock:
+            histogram = self.histograms.get(name)
+            if histogram is None:
+                histogram = self.histograms[name] = StreamingHistogram()
+        histogram.observe(value)
 
     def event(self, name: str, **attrs: Any) -> Event:
         """Record a point-in-time event."""
@@ -208,7 +229,16 @@ _ACTIVE_LOCK = threading.Lock()
 
 
 def active_collectors() -> tuple[TelemetryCollector, ...]:
-    """The currently active collectors, outermost first."""
+    """The currently active collectors, outermost first.
+
+    The unlocked emptiness probe keeps disabled instrumentation cheap:
+    the helpers below run on every batch, layer pass and pool task, and
+    reading the list's truthiness is atomic under the GIL.  A caller
+    racing an activation may miss the very first records -- the same
+    outcome as calling a moment earlier -- never a torn read.
+    """
+    if not _ACTIVE:
+        return ()
     with _ACTIVE_LOCK:
         return tuple(_ACTIVE)
 
@@ -281,6 +311,12 @@ def add(name: str, value: float = 1.0) -> None:
     """Increment a counter in every active collector (no-op when none)."""
     for collector in active_collectors():
         collector.add(name, value)
+
+
+def observe(name: str, value: float) -> None:
+    """Feed a histogram sample into every active collector (no-op when none)."""
+    for collector in active_collectors():
+        collector.observe(name, value)
 
 
 def gauge(name: str, value: float) -> None:

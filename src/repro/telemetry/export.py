@@ -22,6 +22,14 @@ def collector_to_dict(collector: TelemetryCollector) -> dict[str, Any]:
         "spans": [s.to_dict() for s in spans],
         "counters": dict(collector.counters),
         "gauges": dict(collector.gauges),
+        "gauge_series": {
+            name: [[t, v] for t, v in points]
+            for name, points in collector.gauge_series.items()
+        },
+        "histograms": {
+            name: histogram.to_dict()
+            for name, histogram in sorted(collector.histograms.items())
+        },
         "events": [e.to_dict() for e in collector.events],
         "meta": {
             "num_spans": len(spans),
@@ -61,6 +69,40 @@ def spans_table(collector: TelemetryCollector, title: str = "spans") -> str:
     ]
     return format_table(
         ["span", "count", "total (ms)", "mean (ms)"], rows, title=title
+    )
+
+
+def histograms_table(
+    collector: TelemetryCollector, title: str = "histograms"
+) -> str:
+    """Distribution summary per histogram name, hottest total first.
+
+    Span-duration histograms (auto-fed on span finish) and explicit
+    ``observe`` metrics share this table; values render in milliseconds
+    because durations dominate in practice.
+    """
+    entries = sorted(
+        collector.histograms.items(),
+        key=lambda kv: kv[1].total,
+        reverse=True,
+    )
+    rows = []
+    for name, histogram in entries:
+        if histogram.count == 0:
+            continue
+        rows.append([
+            name,
+            histogram.count,
+            f"{histogram.mean * 1e3:.3f}",
+            f"{histogram.p50 * 1e3:.3f}",
+            f"{histogram.p95 * 1e3:.3f}",
+            f"{histogram.p99 * 1e3:.3f}",
+            f"{histogram.max * 1e3:.3f}",
+        ])
+    return format_table(
+        ["histogram", "count", "mean (ms)", "p50 (ms)", "p95 (ms)",
+         "p99 (ms)", "max (ms)"],
+        rows, title=title,
     )
 
 

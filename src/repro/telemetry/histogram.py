@@ -1,0 +1,172 @@
+"""Streaming histograms: distributions for telemetry values.
+
+Span lists answer "what ran"; regression hunting needs "how is the
+duration *distributed*".  :class:`StreamingHistogram` accumulates values
+into log-spaced buckets so tail quantiles (p95/p99) stay meaningful over
+six orders of magnitude of wall-clock time without storing every sample.
+
+The bucket layout is fixed at construction: ``buckets_per_decade``
+geometrically-spaced buckets per factor of ten between ``min_value`` and
+``max_value``, plus one underflow and one overflow bucket.  Quantile
+queries interpolate inside the winning bucket, so the answer is exact to
+within one bucket width (~33% relative error at the default 8 buckets
+per decade -- plenty for "did p99 double?").
+
+Instances are thread-safe: worker-pool threads feed the same histogram
+concurrently (one lock per histogram, taken per observation).
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Any
+
+from repro.errors import ReproError
+
+#: Default bucket geometry: 1e-7 s .. 1e4 s covers a cache hit to a
+#: multi-hour epoch.
+DEFAULT_MIN_VALUE = 1e-7
+DEFAULT_MAX_VALUE = 1e4
+DEFAULT_BUCKETS_PER_DECADE = 8
+
+
+class StreamingHistogram:
+    """Thread-safe log-spaced-bucket histogram with quantile queries."""
+
+    __slots__ = ("_lock", "_min_value", "_max_value", "_per_decade",
+                 "_num_buckets", "_counts", "count", "total", "min", "max")
+
+    def __init__(
+        self,
+        min_value: float = DEFAULT_MIN_VALUE,
+        max_value: float = DEFAULT_MAX_VALUE,
+        buckets_per_decade: int = DEFAULT_BUCKETS_PER_DECADE,
+    ) -> None:
+        if min_value <= 0 or max_value <= min_value:
+            raise ReproError(
+                f"need 0 < min_value < max_value, got "
+                f"[{min_value}, {max_value}]"
+            )
+        if buckets_per_decade <= 0:
+            raise ReproError(
+                f"buckets_per_decade must be positive, got {buckets_per_decade}"
+            )
+        self._lock = threading.Lock()
+        self._min_value = min_value
+        self._max_value = max_value
+        self._per_decade = buckets_per_decade
+        decades = math.log10(max_value / min_value)
+        # +2: underflow bucket at index 0, overflow bucket at the end.
+        self._num_buckets = int(math.ceil(decades * buckets_per_decade)) + 2
+        self._counts = [0] * self._num_buckets
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    # -- recording --------------------------------------------------------
+
+    def _bucket_index(self, value: float) -> int:
+        if value < self._min_value:
+            return 0
+        if value >= self._max_value:
+            return self._num_buckets - 1
+        offset = math.log10(value / self._min_value) * self._per_decade
+        return min(1 + int(offset), self._num_buckets - 2)
+
+    def observe(self, value: float) -> None:
+        """Record one sample (negative / non-finite values are rejected)."""
+        value = float(value)
+        if not math.isfinite(value) or value < 0:
+            raise ReproError(
+                f"histogram values must be finite and non-negative, "
+                f"got {value}"
+            )
+        index = self._bucket_index(value)
+        with self._lock:
+            self._counts[index] += 1
+            self.count += 1
+            self.total += value
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
+
+    # -- bucket geometry ---------------------------------------------------
+
+    def _bucket_bounds(self, index: int) -> tuple[float, float]:
+        """``[lo, hi)`` value bounds of a bucket index."""
+        if index <= 0:
+            return 0.0, self._min_value
+        if index >= self._num_buckets - 1:
+            return self._max_value, math.inf
+        lo = self._min_value * 10 ** ((index - 1) / self._per_decade)
+        hi = self._min_value * 10 ** (index / self._per_decade)
+        return lo, hi
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of all observations (NaN when empty)."""
+        with self._lock:
+            if self.count == 0:
+                return math.nan
+            return self.total / self.count
+
+    def quantile(self, q: float) -> float:
+        """Value at quantile ``q`` in [0, 1] (NaN when empty).
+
+        Linear interpolation inside the winning bucket, clamped to the
+        observed min/max so p0/p100 are exact.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ReproError(f"quantile must be in [0, 1], got {q}")
+        with self._lock:
+            if self.count == 0:
+                return math.nan
+            rank = q * self.count
+            seen = 0
+            for index, bucket_count in enumerate(self._counts):
+                if bucket_count == 0:
+                    continue
+                if seen + bucket_count >= rank:
+                    lo, hi = self._bucket_bounds(index)
+                    frac = (rank - seen) / bucket_count
+                    if not math.isfinite(hi):
+                        value = self.max
+                    else:
+                        value = lo + frac * (hi - lo)
+                    return min(max(value, self.min), self.max)
+                seen += bucket_count
+            return self.max
+
+    @property
+    def p50(self) -> float:
+        return self.quantile(0.50)
+
+    @property
+    def p95(self) -> float:
+        return self.quantile(0.95)
+
+    @property
+    def p99(self) -> float:
+        return self.quantile(0.99)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-friendly summary (buckets elided, quantiles precomputed)."""
+        with self._lock:
+            count, total = self.count, self.total
+            observed_min = self.min if count else None
+            observed_max = self.max if count else None
+        summary: dict[str, Any] = {
+            "count": count,
+            "total": total,
+            "mean": (total / count) if count else None,
+            "min": observed_min,
+            "max": observed_max,
+        }
+        for label, q in (("p50", 0.5), ("p95", 0.95), ("p99", 0.99)):
+            summary[label] = self.quantile(q) if count else None
+        return summary

@@ -168,6 +168,94 @@ class TestTelemetryApi:
         assert _lint(code) == []
 
 
+class TestSpanLeak:
+    def test_span_outside_with_is_an_error(self):
+        code = """
+        from repro import telemetry
+
+        def f():
+            span = telemetry.span("region")
+            do_work()
+        """
+        findings = _lint(code)
+        assert any("never finished and leaks" in f.message
+                   and f.severity == "error" for f in findings)
+
+    def test_span_as_with_item_is_fine(self):
+        code = """
+        from repro import telemetry
+
+        def f():
+            with telemetry.span("region") as s:
+                do_work(s)
+            with telemetry.span("a"), telemetry.span("b"):
+                do_work()
+        """
+        assert _lint(code) == []
+
+    def test_aliased_span_leak_is_caught(self):
+        code = """
+        from repro import telemetry as tel
+
+        def f():
+            tel.span("region")
+        """
+        findings = _lint(code)
+        assert any("never finished and leaks" in f.message for f in findings)
+
+
+class TestHotLoopEmission:
+    def test_emitter_in_nested_loop_is_a_warning(self):
+        code = """
+        from repro import telemetry
+
+        def f(rows):
+            for row in rows:
+                for value in row:
+                    telemetry.add("elements", 1)
+        """
+        findings = _lint(code)
+        assert any("nested per-element loop" in f.message
+                   and f.severity == "warning" for f in findings)
+
+    def test_gauge_and_observe_are_also_hot_emitters(self):
+        code = """
+        from repro import telemetry
+
+        def f(rows):
+            for row in rows:
+                while row:
+                    telemetry.gauge("depth", 1.0)
+                    telemetry.observe("latency", 0.1)
+                    row = row[1:]
+        """
+        findings = _lint(code)
+        hot = [f for f in findings if "per-element loop" in f.message]
+        assert len(hot) == 2
+
+    def test_single_loop_emission_is_fine(self):
+        code = """
+        from repro import telemetry
+
+        def f(batches):
+            for batch in batches:
+                telemetry.add("batches", 1)
+        """
+        assert _lint(code) == []
+
+    def test_span_in_nested_loop_is_not_a_hot_emitter(self):
+        code = """
+        from repro import telemetry
+
+        def f(rows):
+            for row in rows:
+                for value in row:
+                    with telemetry.span("cell"):
+                        do_work(value)
+        """
+        assert _lint(code) == []
+
+
 class TestPackageLint:
     def test_real_package_has_no_errors(self):
         findings, files = lint_package()

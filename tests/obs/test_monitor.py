@@ -1,0 +1,153 @@
+"""The live training monitor and its run report (acceptance tests)."""
+
+import io
+import json
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import make_dataset
+from repro.nn.netdef import build_network
+from repro.nn.training_loop import TrainingLoop
+from repro.obs import RunReport, TrainingMonitor
+from repro.obs.monitor import RESILIENCE_COUNTERS
+
+
+def _small_net():
+    return build_network(
+        {
+            "input": [1, 12, 12],
+            "layers": [
+                {"type": "conv", "features": 6, "kernel": 3, "name": "conv"},
+                {"type": "relu", "name": "relu"},
+                {"type": "pool", "kernel": 2, "stride": 2, "name": "pool"},
+                {"type": "flatten", "name": "flatten"},
+                {"type": "dense", "features": 4, "name": "dense"},
+            ],
+        },
+        rng=np.random.default_rng(0),
+    )
+
+
+def _run_monitored(epochs=2, **monitor_kwargs):
+    loop = TrainingLoop(
+        _small_net(),
+        make_dataset(16, 4, (1, 12, 12), seed=0),
+        batch_size=8,
+        shuffle_seed=0,
+        preflight=False,
+    )
+    monitor = TrainingMonitor(**monitor_kwargs)
+    monitor.attach(loop)
+    with monitor:
+        history = loop.run(epochs)
+    return monitor, history
+
+
+@pytest.fixture(scope="module")
+def monitored():
+    """One monitored 2-epoch run shared by the read-only assertions."""
+    monitor, history = _run_monitored()
+    # A synthetic retune event stands in for autotuner activity: the
+    # tiny fixed-sparsity job never crosses a real retune boundary.
+    monitor.collector.event("retune", epoch=1, layer="conv",
+                            old_engine="gemm", new_engine="sparse",
+                            sparsity=0.85)
+    return monitor, history
+
+
+class TestRunReportContents:
+    def test_per_layer_goodput_and_time(self, monitored):
+        monitor, _ = monitored
+        report = monitor.report()
+        assert "conv" in report.layers
+        stats = report.layers["conv"]
+        assert stats["fp_count"] > 0 and stats["bp_count"] > 0
+        assert stats["fp_seconds"] > 0 and stats["bp_seconds"] > 0
+        assert stats["goodput"] is not None and stats["goodput"] > 0
+        assert stats["throughput"] >= stats["goodput"]
+        assert stats["bp_p95_seconds"] > 0
+
+    def test_sparsity_drift_tracked_per_layer(self, monitored):
+        monitor, _ = monitored
+        stats = monitor.report().layers["conv"]
+        assert 0.0 <= stats["sparsity_first"] <= 1.0
+        assert 0.0 <= stats["sparsity_last"] <= 1.0
+        assert stats["sparsity_drift"] == pytest.approx(
+            stats["sparsity_last"] - stats["sparsity_first"])
+
+    def test_retune_events_surface_in_report(self, monitored):
+        monitor, _ = monitored
+        report = monitor.report()
+        assert report.totals["retunes"] == 1
+        assert report.retunes[0]["layer"] == "conv"
+        assert report.retunes[0]["new_engine"] == "sparse"
+
+    def test_resilience_counters_all_present(self, monitored):
+        monitor, _ = monitored
+        report = monitor.report()
+        assert set(report.resilience) == set(RESILIENCE_COUNTERS)
+        # A clean run keeps them at zero -- but they are *reported*.
+        assert report.resilience["pool.retries"] == 0.0
+
+    def test_epoch_records_and_totals(self, monitored):
+        monitor, history = monitored
+        report = monitor.report()
+        assert report.totals["epochs"] == 2
+        assert report.totals["batches"] == 4  # 16 samples / batch 8 x 2
+        assert report.totals["final_loss"] == pytest.approx(
+            history.final.train_loss)
+        assert report.totals["flops_total"] >= report.totals["flops_useful"] > 0
+        assert [e["epoch"] for e in report.epochs] == [1, 2]
+        assert all("mean_error_sparsity" in e for e in report.epochs)
+
+
+class TestExport:
+    def test_report_json_round_trips(self, monitored, tmp_path):
+        monitor, _ = monitored
+        path = monitor.report().write_json(tmp_path / "report.json")
+        payload = json.loads(path.read_text())
+        assert payload["layers"]["conv"]["goodput"] > 0
+        assert payload["totals"]["retunes"] == 1
+
+    def test_report_markdown_sections(self, monitored, tmp_path):
+        monitor, _ = monitored
+        text = monitor.report().to_markdown()
+        assert "## Per-layer performance" in text
+        assert "## Autotuner retunes" in text
+        assert "## Resilience activity" in text
+        assert "gemm -> sparse" in text
+        assert "| conv |" in text
+        path = monitor.report().write_markdown(tmp_path / "report.md")
+        assert path.read_text() == text
+
+    def test_empty_report_renders(self):
+        text = RunReport().to_markdown()
+        assert "# Training run report" in text
+        assert "- none" in text
+
+
+class TestLiveRendering:
+    def test_periodic_console_output(self):
+        out = io.StringIO()
+        _run_monitored(epochs=1, every_batches=1, out=out)
+        text = out.getvalue()
+        assert "[monitor] epoch 1 batch 1" in text
+        assert "[monitor] epoch 1 done" in text
+        assert "goodput MF/s" in text  # the live table rendered
+
+    def test_silent_without_out(self):
+        monitor, _ = _run_monitored(epochs=1)
+        assert "conv" in monitor.render()  # renderable on demand
+
+    def test_monitor_does_not_change_training(self):
+        _, monitored_history = _run_monitored(epochs=1)
+        bare = TrainingLoop(
+            _small_net(),
+            make_dataset(16, 4, (1, 12, 12), seed=0),
+            batch_size=8,
+            shuffle_seed=0,
+            preflight=False,
+        )
+        bare_history = bare.run(1)
+        assert monitored_history.loss_curve() == bare_history.loss_curve()

@@ -1,0 +1,105 @@
+"""Edge cases of ``telemetry.export.aggregate_spans``.
+
+The aggregation feeds the span tables, the monitor and the trace
+exporters, so its behaviour on irregular inputs -- unfinished spans,
+recursive same-name nesting, spans from worker threads -- is contract,
+not accident.
+"""
+
+import threading
+
+import pytest
+
+from repro import telemetry
+from repro.telemetry.collector import Span
+
+
+class TestUnfinishedSpans:
+    def test_unfinished_span_is_excluded_from_totals(self):
+        tel = telemetry.TelemetryCollector()
+        with tel.span("done"):
+            pass
+        # A crash can leave a span recorded but never finished; emulate
+        # one appended directly (finish_span is what normally appends).
+        tel.spans.append(Span(name="done", span_id=99, thread_id=0,
+                              start=0.0, end=None))
+        totals = telemetry.aggregate_spans(tel)
+        count, seconds = totals["done"]
+        assert count == 1
+        assert seconds >= 0.0
+
+    def test_only_unfinished_spans_yield_no_entry(self):
+        tel = telemetry.TelemetryCollector()
+        tel.spans.append(Span(name="ghost", span_id=1, thread_id=0,
+                              start=0.0, end=None))
+        assert "ghost" not in telemetry.aggregate_spans(tel)
+
+    def test_open_span_not_yet_recorded(self):
+        tel = telemetry.TelemetryCollector()
+        opened = tel.start_span("open")
+        # Not finished: not in collector.spans, so not aggregated.
+        assert "open" not in telemetry.aggregate_spans(tel)
+        tel.finish_span(opened)
+        assert telemetry.aggregate_spans(tel)["open"][0] == 1
+
+
+class TestNestedSameName:
+    def test_recursive_same_name_spans_both_count(self):
+        tel = telemetry.TelemetryCollector()
+        with tel.span("recurse"):
+            with tel.span("recurse"):
+                pass
+        count, seconds = telemetry.aggregate_spans(tel)["recurse"]
+        assert count == 2
+        # Nested totals double-count wall-clock by design: the outer
+        # span's duration includes the inner's.
+        inner, outer = tel.find_spans("recurse")
+        assert seconds == pytest.approx(inner.seconds + outer.seconds)
+        assert outer.seconds >= inner.seconds
+
+    def test_nested_same_name_parent_linkage(self):
+        tel = telemetry.TelemetryCollector()
+        with tel.span("recurse") as outer:
+            with tel.span("recurse") as inner:
+                pass
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+
+
+class TestCrossThreadLinkage:
+    def test_worker_thread_spans_do_not_adopt_main_thread_parent(self):
+        tel = telemetry.TelemetryCollector()
+        child_holder = {}
+
+        def worker():
+            with tel.span("child") as child:
+                child_holder["span"] = child
+
+        with tel.span("parent"):
+            t = threading.Thread(target=worker)
+            t.start()
+            t.join()
+        child = child_holder["span"]
+        # Parent linkage is per-thread: the worker's stack was empty, so
+        # its span is a root even though "parent" was open on the main
+        # thread the whole time.
+        assert child.parent_id is None
+        assert child.thread_id != tel.find_spans("parent")[0].thread_id
+
+    def test_aggregation_merges_across_threads(self):
+        tel = telemetry.TelemetryCollector()
+
+        def worker():
+            with tel.span("shared"):
+                pass
+
+        threads = [threading.Thread(target=worker) for _ in range(3)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        with tel.span("shared"):
+            pass
+        count, _ = telemetry.aggregate_spans(tel)["shared"]
+        assert count == 4
+        assert len({s.thread_id for s in tel.find_spans("shared")}) >= 2

@@ -1,0 +1,146 @@
+"""Tests for the streaming histogram and its collector integration."""
+
+import json
+import math
+import threading
+
+import pytest
+
+from repro import telemetry
+from repro.errors import ReproError
+from repro.telemetry.histogram import StreamingHistogram
+
+
+class TestStreamingHistogram:
+    def test_empty_histogram_quantiles_are_nan(self):
+        h = StreamingHistogram()
+        assert math.isnan(h.p50) and math.isnan(h.mean)
+        assert h.count == 0
+
+    def test_single_value_is_every_quantile(self):
+        h = StreamingHistogram()
+        h.observe(0.25)
+        for q in (0.0, 0.5, 0.95, 0.99, 1.0):
+            assert h.quantile(q) == pytest.approx(0.25)
+
+    def test_quantiles_order_and_bounds(self):
+        h = StreamingHistogram()
+        values = [10 ** (-6 + i / 25) for i in range(100)]  # 1e-6 .. ~1e-2
+        for v in values:
+            h.observe(v)
+        assert h.min == pytest.approx(min(values))
+        assert h.max == pytest.approx(max(values))
+        assert h.p50 <= h.p95 <= h.p99 <= h.max
+        # Log-spaced buckets keep the quantile within ~1 bucket width.
+        assert h.p50 == pytest.approx(values[50], rel=0.5)
+
+    def test_mean_and_total_are_exact(self):
+        h = StreamingHistogram()
+        for v in (0.1, 0.2, 0.3):
+            h.observe(v)
+        assert h.total == pytest.approx(0.6)
+        assert h.mean == pytest.approx(0.2)
+
+    def test_out_of_range_values_clamp_to_edge_buckets(self):
+        h = StreamingHistogram(min_value=1e-3, max_value=1e0)
+        h.observe(1e-9)   # underflow bucket
+        h.observe(1e6)    # overflow bucket
+        assert h.count == 2
+        assert h.quantile(0.0) == pytest.approx(1e-9)
+        assert h.quantile(1.0) == pytest.approx(1e6)
+
+    def test_rejects_negative_and_non_finite(self):
+        h = StreamingHistogram()
+        with pytest.raises(ReproError):
+            h.observe(-1.0)
+        with pytest.raises(ReproError):
+            h.observe(float("nan"))
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ReproError):
+            StreamingHistogram(min_value=0.0)
+        with pytest.raises(ReproError):
+            StreamingHistogram(min_value=1.0, max_value=0.5)
+        with pytest.raises(ReproError):
+            StreamingHistogram(buckets_per_decade=0)
+
+    def test_bad_quantile_rejected(self):
+        h = StreamingHistogram()
+        h.observe(1.0)
+        with pytest.raises(ReproError):
+            h.quantile(1.5)
+
+    def test_concurrent_observes_lose_nothing(self):
+        h = StreamingHistogram()
+        per_thread = 2000
+
+        def feed():
+            for i in range(per_thread):
+                h.observe(1e-5 + (i % 10) * 1e-4)
+
+        threads = [threading.Thread(target=feed) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert h.count == 4 * per_thread
+
+    def test_to_dict_is_json_serializable(self):
+        h = StreamingHistogram()
+        h.observe(0.01)
+        payload = json.loads(json.dumps(h.to_dict()))
+        assert payload["count"] == 1
+        assert payload["p99"] == pytest.approx(0.01)
+
+    def test_empty_to_dict_uses_nulls(self):
+        payload = StreamingHistogram().to_dict()
+        assert payload["count"] == 0
+        assert payload["mean"] is None and payload["p95"] is None
+
+
+class TestCollectorIntegration:
+    def test_span_durations_feed_histogram_per_name(self):
+        tel = telemetry.TelemetryCollector()
+        for _ in range(3):
+            with tel.span("work"):
+                pass
+        assert tel.histograms["work"].count == 3
+        assert tel.histograms["work"].p99 >= 0
+
+    def test_observe_helper_fans_out_to_active_collectors(self):
+        with telemetry.collect() as outer, telemetry.collect() as inner:
+            telemetry.observe("latency", 0.5)
+        assert outer.histograms["latency"].count == 1
+        assert inner.histograms["latency"].count == 1
+
+    def test_observe_is_noop_without_collector(self):
+        telemetry.observe("nobody-listening", 1.0)  # must not raise
+
+    def test_gauge_series_retains_history(self):
+        tel = telemetry.TelemetryCollector()
+        tel.gauge("goodput.conv1", 10.0)
+        tel.gauge("goodput.conv1", 20.0)
+        assert tel.gauges["goodput.conv1"] == 20.0
+        series = tel.gauge_series["goodput.conv1"]
+        assert [v for _, v in series] == [10.0, 20.0]
+        assert series[0][0] <= series[1][0]
+
+    def test_collector_to_dict_includes_new_sections(self):
+        tel = telemetry.TelemetryCollector()
+        with tel.span("s"):
+            pass
+        tel.gauge("g", 1.0)
+        tel.observe("h", 0.1)
+        payload = telemetry.collector_to_dict(tel)
+        assert "s" in payload["histograms"]
+        assert "h" in payload["histograms"]
+        assert payload["gauge_series"]["g"][0][1] == 1.0
+        json.dumps(payload)  # round-trippable
+
+    def test_histograms_table_lists_nonempty_histograms(self):
+        tel = telemetry.TelemetryCollector()
+        with tel.span("conv1/fp"):
+            pass
+        text = telemetry.histograms_table(tel)
+        assert "conv1/fp" in text
+        assert "p95 (ms)" in text

@@ -84,3 +84,21 @@ class TestChaosCommand:
     def test_cli_rejects_unknown_plan(self):
         with pytest.raises(SystemExit):
             main(["chaos", "--plan", "bogus"], out=io.StringIO())
+
+    def test_cli_json_report_carries_monitor(self, tmp_path):
+        import json
+
+        out_path = tmp_path / "chaos.json"
+        out = io.StringIO()
+        code = main(["chaos", "--plan", "none", "--seed", "0",
+                     "--epochs", "2", "--samples", "16", "--threads", "1",
+                     "--no-resume-check", "--format", "json",
+                     "--out", str(out_path)], out=out)
+        assert code == 0
+        stdout_payload = json.loads(out.getvalue().splitlines()[0])
+        file_payload = json.loads(out_path.read_text())
+        for payload in (stdout_payload, file_payload):
+            assert payload["ok"] is True
+            monitor = payload["monitor"]
+            assert monitor["totals"]["epochs"] == 2
+            assert monitor["layers"]  # per-layer stats rode along

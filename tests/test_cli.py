@@ -146,3 +146,160 @@ class TestTrace:
         data = json.loads(out.read_text())
         assert data["counters"]["images.processed"] == 8
         assert {s["name"] for s in data["spans"]} >= {"train/epoch", "sgd/fp"}
+
+    def test_chrome_format_writes_trace_event_json(self, tmp_path):
+        out = tmp_path / "chrome.json"
+        code, text = run([
+            "trace", "--net", "mnist", "--epochs", "1", "--samples", "8",
+            "--batch", "4", "--scale", "0.2", "--threads", "1",
+            "--format", "chrome", "--out", str(out),
+        ])
+        assert code == 0
+        import json
+
+        trace = json.loads(out.read_text())
+        assert trace["displayTimeUnit"] == "ms"
+        events = trace["traceEvents"]
+        assert events
+        for event in events:
+            for key in ("name", "ph", "ts", "pid", "tid"):
+                assert key in event
+        assert {e["ph"] for e in events} >= {"X", "C", "M"}
+
+    def test_json_format_prints_collector_dict(self):
+        code, text = run([
+            "trace", "--net", "mnist", "--epochs", "1", "--samples", "8",
+            "--batch", "4", "--scale", "0.2", "--threads", "1",
+            "--format", "json", "--out", "/dev/null",
+        ])
+        assert code == 0
+        import json
+
+        payload = json.loads(text.splitlines()[0])
+        assert "histograms" in payload and "gauge_series" in payload
+
+
+class TestTrain:
+    ARGS = ["--net", "mnist", "--epochs", "1", "--samples", "8",
+            "--batch", "4", "--scale", "0.2", "--threads", "1"]
+
+    def test_table_output_and_markdown_report(self, tmp_path):
+        out = tmp_path / "report.md"
+        code, text = run(["train", *self.ARGS, "--out", str(out)])
+        assert code == 0
+        assert "run report: mnist" in text
+        assert "epochs: 1" in text
+        report = out.read_text()
+        assert "# Training run report" in report
+        assert "## Per-layer performance" in report
+
+    def test_json_format_and_report(self, tmp_path):
+        out = tmp_path / "report.json"
+        code, text = run(["train", *self.ARGS, "--format", "json",
+                          "--out", str(out)])
+        assert code == 0
+        import json
+
+        stdout_report = json.loads(text.splitlines()[0])
+        file_report = json.loads(out.read_text())
+        assert stdout_report["totals"]["epochs"] == 1
+        assert file_report["layers"]
+        assert set(file_report["resilience"])  # counters reported
+
+    def test_monitor_alias(self):
+        code, text = run(["monitor", *self.ARGS])
+        assert code == 0
+        assert "run report" in text
+
+    def test_live_table_every_batch(self):
+        code, text = run(["train", *self.ARGS, "--every", "1"])
+        assert code == 0
+        assert "[monitor] epoch 1 batch 1" in text
+
+
+class TestBench:
+    ARGS = ["bench", "--filter", "gemm_blocked", "--repeats", "1"]
+
+    def _run(self, tmp_path, *extra):
+        return run([*self.ARGS, "--out", str(tmp_path / "bench"),
+                    "--baseline", str(tmp_path / "baseline.json"), *extra])
+
+    def test_no_baseline_skips_comparison(self, tmp_path):
+        code, text = self._run(tmp_path)
+        assert code == 0
+        assert "comparison skipped" in text
+        assert "bench: OK" in text
+        import json
+
+        payload = json.loads(
+            (tmp_path / "bench" / "BENCH_gemm_blocked.json").read_text())
+        assert payload["schema_version"] == 1
+
+    def test_update_then_compare_clean(self, tmp_path):
+        # Record the baseline artificially slow so the comparison run is
+        # deterministically inside the noise band on any machine.
+        code, text = self._run(tmp_path, "--update-baseline",
+                               "--slowdown", "gemm_blocked=20")
+        assert code == 0
+        assert "recorded baseline" in text
+        code, text = self._run(tmp_path)
+        assert code == 0
+        assert "bench: OK" in text
+
+    def test_injected_slowdown_trips_the_gate(self, tmp_path):
+        assert self._run(tmp_path, "--update-baseline")[0] == 0
+        code, text = self._run(tmp_path, "--slowdown", "gemm_blocked=100")
+        assert code == 1
+        assert "bench: REGRESSED (gemm_blocked)" in text
+
+    def test_soft_reports_but_exits_zero(self, tmp_path):
+        assert self._run(tmp_path, "--update-baseline")[0] == 0
+        code, text = self._run(tmp_path, "--slowdown", "gemm_blocked=100",
+                               "--soft")
+        assert code == 0
+        assert "REGRESSED" in text
+
+    def test_json_format(self, tmp_path):
+        assert self._run(tmp_path, "--update-baseline",
+                         "--slowdown", "gemm_blocked=20")[0] == 0
+        code, text = self._run(tmp_path, "--format", "json")
+        assert code == 0
+        import json
+
+        payload = json.loads(text.splitlines()[0])
+        assert payload["results"][0]["name"] == "gemm_blocked"
+        assert payload["comparison"]["ok"] is True
+
+    def test_bad_slowdown_spec_is_a_usage_error(self, tmp_path):
+        with pytest.raises(SystemExit):
+            self._run(tmp_path, "--slowdown", "gemm_blocked")
+
+    def test_unknown_filter_rejected(self):
+        with pytest.raises(SystemExit):
+            run(["bench", "--filter", "bogus"])
+
+
+class TestCheckOutput:
+    def test_out_writes_findings_json(self, tmp_path):
+        out = tmp_path / "check.json"
+        code, text = run(["check", "--analyzer", "graph",
+                          "--out", str(out)])
+        assert code == 0
+        import json
+
+        assert "findings" in json.loads(out.read_text())
+
+    def test_json_alias_still_works(self, tmp_path):
+        out = tmp_path / "check.json"
+        code, _ = run(["check", "--analyzer", "graph", "--json", str(out)])
+        assert code == 0
+        assert out.exists()
+
+    def test_json_format_prints_report(self):
+        code, text = run(["check", "--analyzer", "graph",
+                          "--format", "json"])
+        assert code == 0
+        import json
+
+        payload = json.loads(text.splitlines()[0])
+        assert payload["meta"]["ok"] is True
