@@ -100,6 +100,7 @@ def parallel_gemm(
     b: np.ndarray,
     num_cores: int,
     blocking: BlockingParams | None = None,
+    out: np.ndarray | None = None,
 ) -> np.ndarray:
     """Parallel-GEMM: one multiplication partitioned across ``num_cores``.
 
@@ -108,12 +109,16 @@ def parallel_gemm(
     through its private cache -- the source of the per-core AIT reduction
     of Sec. 3.2.  Execution here is sequential over the partitions (the
     functional result is identical); concurrency is accounted for by the
-    machine model.
+    machine model.  When ``out`` is given the product is accumulated into
+    it, as with :func:`gemm`.
     """
     m, _, n = _check_operands(a, b)
     if num_cores <= 0:
         raise ValueError(f"num_cores must be positive, got {num_cores}")
-    out = np.zeros((m, n), dtype=np.result_type(a, b))
+    if out is None:
+        out = np.zeros((m, n), dtype=np.result_type(a, b))
+    elif out.shape != (m, n):
+        raise ShapeError(f"out shape {out.shape} != ({m}, {n})")
     for lo, hi in partition_rows(m, num_cores):
         if lo == hi:
             continue

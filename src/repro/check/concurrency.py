@@ -22,7 +22,16 @@ and flags:
 * **CHK-TEL-HOT** -- ``telemetry.add``/``gauge``/``observe`` called
   inside a nested (per-element) loop: each call takes the collector
   lock per active collector, so per-element emission turns a hot
-  kernel loop into a lock convoy -- aggregate outside the loop instead.
+  kernel loop into a lock convoy -- aggregate outside the loop instead;
+* **CHK-FORK** -- a closure submitted to the worker pool
+  (``run_tasks``/``map_batches``/``map_items``/``submit``) captures a
+  fork/pickle-unsafe handle: a threading lock, a live
+  ``TelemetryCollector``, an open ``SharedMemory``/``SharedArray``
+  segment, or an open file.  Under ``backend="process"`` the closure is
+  pickled into a spawned worker, where the lock guards nothing, the
+  collector records into a dead copy, and OS-level handles either fail
+  to pickle or dangle.  Ship :class:`~repro.runtime.shm.ShmDescriptor`
+  values (and re-attach worker-side) instead.
 """
 
 from __future__ import annotations
@@ -55,6 +64,30 @@ _MUTATING_METHODS = frozenset(
     ("append", "extend", "add", "update", "insert", "pop", "popitem",
      "remove", "discard", "clear", "setdefault")
 )
+
+#: Pool methods whose callable arguments cross the backend boundary and
+#: must therefore survive pickling under ``backend="process"``.
+_SUBMIT_METHODS = frozenset(
+    ("run_tasks", "map_batches", "map_items", "submit")
+)
+
+#: Constructors whose results must never be captured by a submitted
+#: closure: what each one means when pickled into a spawned worker.
+_FORK_UNSAFE_CALLS = {
+    "Lock": "a threading lock (guards nothing in a spawned worker)",
+    "RLock": "a threading lock (guards nothing in a spawned worker)",
+    "Condition": "a threading condition (dead in a spawned worker)",
+    "Semaphore": "a threading semaphore (dead in a spawned worker)",
+    "TelemetryCollector":
+        "a telemetry collector (the worker records into a dead copy)",
+    "SharedMemory":
+        "an open shared-memory handle (ship the ShmDescriptor and "
+        "re-attach worker-side)",
+    "SharedArray":
+        "an open shared-memory handle (ship the ShmDescriptor and "
+        "re-attach worker-side)",
+    "open": "an open file handle (OS handles do not pickle)",
+}
 
 
 def _finding(severity: str, location: str, message: str) -> Finding:
@@ -222,6 +255,152 @@ class _TelemetryUseVisitor(ast.NodeVisitor):
         self.generic_visit(node)
 
 
+def _fork_unsafe_description(node: ast.expr) -> str | None:
+    """What a value-producing expression binds, if fork/pickle-unsafe."""
+    if not isinstance(node, ast.Call):
+        return None
+    func = node.func
+    name = None
+    if isinstance(func, ast.Name):
+        name = func.id
+    elif isinstance(func, ast.Attribute):
+        # threading.Lock(), shared_memory.SharedMemory(...) and the
+        # SharedArray classmethods (create/attach/from_array) all bind
+        # a live handle, however deep the attribute chain.
+        parts = []
+        current: ast.expr = func
+        while isinstance(current, ast.Attribute):
+            parts.append(current.attr)
+            current = current.value
+        if isinstance(current, ast.Name):
+            parts.append(current.id)
+        if "SharedArray" in parts:
+            name = "SharedArray"
+        elif "SharedMemory" in parts:
+            name = "SharedMemory"
+        else:
+            name = func.attr
+    return _FORK_UNSAFE_CALLS.get(name) if name else None
+
+
+def _free_names(func_node) -> set[str]:
+    """Names a lambda/def reads without binding them itself."""
+    bound: set[str] = set()
+    args = func_node.args
+    for arg in (list(args.posonlyargs) + list(args.args)
+                + list(args.kwonlyargs)):
+        bound.add(arg.arg)
+    if args.vararg is not None:
+        bound.add(args.vararg.arg)
+    if args.kwarg is not None:
+        bound.add(args.kwarg.arg)
+    body = (func_node.body if isinstance(func_node.body, list)
+            else [func_node.body])
+    loads: set[str] = set()
+    for stmt in body:
+        for sub in ast.walk(stmt):
+            if isinstance(sub, ast.Name):
+                if isinstance(sub.ctx, ast.Load):
+                    loads.add(sub.id)
+                else:
+                    bound.add(sub.id)
+    return loads - bound
+
+
+class _ForkSafetyVisitor(ast.NodeVisitor):
+    """CHK-FORK: fork/pickle-unsafe captures in pool submissions.
+
+    Tracks, per function scope, which local names are bound to unsafe
+    handles (locks, collectors, shm segments, files) and which nested
+    functions are defined; every callable handed to a pool submission
+    method is then checked for free names that resolve to an unsafe
+    handle in any enclosing scope.
+    """
+
+    def __init__(self, module_name: str):
+        self.module_name = module_name
+        self.findings: list[Finding] = []
+        # Innermost scope last; index 0 is the module scope.
+        self._scopes: list[dict] = [{"unsafe": {}, "funcs": {}}]
+
+    # -- scope and handle tracking -----------------------------------------
+
+    def _visit_function(self, node) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            self._scopes[-1]["funcs"][node.name] = node
+        self._scopes.append({"unsafe": {}, "funcs": {}})
+        self.generic_visit(node)
+        self._scopes.pop()
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+    visit_Lambda = _visit_function
+
+    def _bind(self, name: str, description: str) -> None:
+        self._scopes[-1]["unsafe"][name] = description
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        description = _fork_unsafe_description(node.value)
+        if description is not None:
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    self._bind(target.id, description)
+        self.generic_visit(node)
+
+    def visit_With(self, node: ast.With) -> None:
+        for item in node.items:
+            description = _fork_unsafe_description(item.context_expr)
+            if (description is not None
+                    and isinstance(item.optional_vars, ast.Name)):
+                self._bind(item.optional_vars.id, description)
+        self.generic_visit(node)
+
+    # -- submission checking -----------------------------------------------
+
+    def _lookup_unsafe(self, name: str) -> str | None:
+        for scope in reversed(self._scopes):
+            if name in scope["unsafe"]:
+                return scope["unsafe"][name]
+        return None
+
+    def _lookup_func(self, name: str):
+        for scope in reversed(self._scopes):
+            if name in scope["funcs"]:
+                return scope["funcs"][name]
+        return None
+
+    def _check_callable(self, func_node, lineno: int, method: str,
+                        label: str) -> None:
+        for free in sorted(_free_names(func_node)):
+            description = self._lookup_unsafe(free)
+            if description is not None:
+                self.findings.append(_finding(
+                    "error", f"{self.module_name}:{lineno}",
+                    f"{label} submitted via .{method}() captures "
+                    f"{free!r}, {description}; it cannot cross the "
+                    f"process-backend pickle boundary",
+                ))
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if (isinstance(func, ast.Attribute)
+                and func.attr in _SUBMIT_METHODS):
+            values = list(node.args) + [kw.value for kw in node.keywords]
+            for value in values:
+                for sub in ast.walk(value):
+                    if isinstance(sub, ast.Lambda):
+                        self._check_callable(sub, sub.lineno, func.attr,
+                                             "lambda")
+                    elif (isinstance(sub, ast.Name)
+                          and isinstance(sub.ctx, ast.Load)):
+                        target = self._lookup_func(sub.id)
+                        if target is not None:
+                            self._check_callable(
+                                target, sub.lineno, func.attr,
+                                f"closure {sub.id!r}")
+        self.generic_visit(node)
+
+
 def _telemetry_aliases(tree: ast.Module) -> set[str]:
     """Local names under which the telemetry module is imported."""
     aliases: set[str] = set()
@@ -269,6 +448,13 @@ def lint_source(module_name: str, source: str) -> list[Finding]:
             visitor = _ClosureMutationVisitor(module_name, mutables)
             visitor.visit(tree)
             findings.extend(visitor.findings)
+
+    # CHK-FORK: fork/pickle-unsafe captures in pool submissions.  The
+    # rule fires on the submission sites themselves, so no module gate:
+    # a module without ``.run_tasks(...)``-style calls yields nothing.
+    fork_visitor = _ForkSafetyVisitor(module_name)
+    fork_visitor.visit(tree)
+    findings.extend(fork_visitor.findings)
 
     # CHK-TEL-API: unknown telemetry attributes; import-time emission.
     aliases = _telemetry_aliases(tree)

@@ -52,6 +52,7 @@ from repro.core.convspec import ConvSpec
 from repro.machine.spec import xeon_e5_2650
 from repro.nn.netdef import network_from_text
 from repro.ops.engine import engine_names
+from repro.runtime.backends import BACKEND_NAMES as _BACKENDS
 
 _FIGURES = {
     "table1": figure_module.table1,
@@ -128,6 +129,8 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="feature-count scale of the zoo network")
     trace.add_argument("--threads", type=int, default=2,
                        help="worker threads per conv layer (1 = inline)")
+    trace.add_argument("--backend", choices=_BACKENDS, default="thread",
+                       help="execution backend of the conv worker pools")
     trace.add_argument("--cores", type=int, default=16,
                        help="cores assumed by the autotuner's cost model")
     trace.add_argument("--recheck", type=int, default=1,
@@ -165,6 +168,8 @@ def _build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--samples", type=int, default=48)
     chaos.add_argument("--threads", type=int, default=2,
                        help="worker threads per conv layer (1 = inline)")
+    chaos.add_argument("--backend", choices=_BACKENDS, default="thread",
+                       help="execution backend of the conv worker pools")
     chaos.add_argument("--no-resume-check", action="store_true",
                        help="skip the kill-and-resume bit-identity replay")
     _add_output_args(chaos, out_help="write the chaos + monitor report "
@@ -182,6 +187,8 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="feature-count scale of the zoo network")
     train.add_argument("--threads", type=int, default=1,
                        help="worker threads per conv layer (1 = inline)")
+    train.add_argument("--backend", choices=_BACKENDS, default="thread",
+                       help="execution backend of the conv worker pools")
     train.add_argument("--cores", type=int, default=16,
                        help="cores assumed by the autotuner's cost model")
     train.add_argument("--recheck", type=int, default=1,
@@ -199,6 +206,8 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument("--repeats", type=int, default=3,
                        help="timed repeats per benchmark (median wins)")
+    bench.add_argument("--backend", choices=_BACKENDS, default="thread",
+                       help="execution backend for the parallel benchmarks")
     bench.add_argument("--filter", action="append", dest="filters",
                        default=None, choices=suite_names(),
                        help="run only the named benchmark (repeatable)")
@@ -318,12 +327,15 @@ def _build_training_job(args):
     from repro.nn.zoo import cifar10_net, mnist_net
 
     threads = args.threads if args.threads and args.threads > 1 else None
+    backend = getattr(args, "backend", "thread")
     rng = np.random.default_rng(0)
     if args.net == "cifar":
-        network = cifar10_net(scale=args.scale, rng=rng, threads=threads)
+        network = cifar10_net(scale=args.scale, rng=rng, threads=threads,
+                              backend=backend)
         data = cifar10_like(args.samples, seed=0)
     else:
-        network = mnist_net(scale=args.scale, rng=rng, threads=threads)
+        network = mnist_net(scale=args.scale, rng=rng, threads=threads,
+                            backend=backend)
         data = mnist_like(args.samples, seed=0)
     backend = ModelCostBackend(xeon_e5_2650(), cores=args.cores,
                                batch=args.batch)
@@ -427,6 +439,7 @@ def _cmd_bench(args, out) -> int:
         names=tuple(args.filters) if args.filters else None,
         repeats=args.repeats,
         slowdown=slowdown,
+        backend=args.backend,
     )
     paths = bench_module.write_results(results, args.out)
 
@@ -493,6 +506,7 @@ def _cmd_chaos(args, out) -> int:
         batch=args.batch,
         samples=args.samples,
         threads=args.threads,
+        backend=args.backend,
         check_resume=not args.no_resume_check,
     )
     if args.format == "json":

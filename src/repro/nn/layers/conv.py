@@ -71,6 +71,7 @@ class ConvLayer(Layer):
         bp_engine: str = DEFAULT_BP_ENGINE,
         num_cores: int = 1,
         threads: int | None = None,
+        backend: str = "thread",
         rng: np.random.Generator | None = None,
         quarantine: QuarantineRegistry | None = None,
     ):
@@ -91,9 +92,10 @@ class ConvLayer(Layer):
         )
         self.num_cores = num_cores
         self.threads = threads
+        self.backend = backend
         # One pool shared by the FP and BP executors; engines swapped by
-        # the autotuner reuse it rather than spawning new threads.
-        self._pool = WorkerPool(threads) if threads and threads > 1 else None
+        # the autotuner reuse it rather than spawning new workers.
+        self._pool = self._build_pool()
         rng = rng or np.random.default_rng(0)
         fan_in = spec.nc * spec.fy * spec.fx
         scale = np.sqrt(2.0 / fan_in)
@@ -110,6 +112,11 @@ class ConvLayer(Layer):
 
     # -- engine management ----------------------------------------------
 
+    def _build_pool(self) -> WorkerPool | None:
+        if self.threads and self.threads > 1:
+            return WorkerPool(self.threads, backend=self.backend)
+        return None
+
     def _build_engine(self, engine_name: str) -> ConvEngine | ParallelExecutor:
         # The reference fallback takes no tuning knobs.
         kwargs = {} if engine_name == FALLBACK_ENGINE else {"num_cores": self.num_cores}
@@ -119,8 +126,36 @@ class ConvLayer(Layer):
             )
         return make_engine(engine_name, self.padded_spec, **kwargs)
 
+    @staticmethod
+    def _retire_engine(engine: ConvEngine | ParallelExecutor | None) -> None:
+        """Free a replaced engine's workspaces (shm segments, scratch)."""
+        release = getattr(engine, "release_workspace", None)
+        if release is not None:
+            release()
+
+    def set_backend(self, backend: str) -> None:
+        """Switch the execution backend, rebuilding pool and engines.
+
+        A no-op when the backend already matches.  Only meaningful for
+        layers running with ``threads > 1``; single-threaded layers just
+        record the choice (their engines run inline either way).
+        """
+        if backend == self.backend:
+            return
+        fp_name, bp_name = self.fp_engine_name, self.bp_engine_name
+        self._retire_engine(self._fp_engine)
+        self._retire_engine(self._bp_engine)
+        if self._pool is not None:
+            self._pool.shutdown()
+        self.backend = backend
+        self._pool = self._build_pool()
+        self._fp_engine = self._build_engine(fp_name)
+        self._bp_engine = self._build_engine(bp_name)
+
     def close(self) -> None:
-        """Shut down the layer's worker pool, if it runs threaded."""
+        """Release engine workspaces and shut down the worker pool."""
+        self._retire_engine(self._fp_engine)
+        self._retire_engine(self._bp_engine)
         if self._pool is not None:
             self._pool.shutdown()
 
@@ -146,10 +181,12 @@ class ConvLayer(Layer):
 
     def set_fp_engine(self, engine_name: str) -> None:
         """Swap the forward-propagation engine (spg-CNN deployment)."""
+        self._retire_engine(self._fp_engine)
         self._fp_engine = self._build_engine(self._admitted("fp", engine_name))
 
     def set_bp_engine(self, engine_name: str) -> None:
         """Swap the backward-propagation engine (spg-CNN deployment)."""
+        self._retire_engine(self._bp_engine)
         self._bp_engine = self._build_engine(self._admitted("bp", engine_name))
 
     # -- guarded execution ------------------------------------------------
@@ -181,8 +218,10 @@ class ConvLayer(Layer):
                         engine=engine_name, reason=reason)
         fallback = self._build_engine(FALLBACK_ENGINE)
         if phase == "fp":
+            self._retire_engine(self._fp_engine)
             self._fp_engine = fallback
         else:
+            self._retire_engine(self._bp_engine)
             self._bp_engine = fallback
 
     def _run_engine(self, phase: str, method: str, primary: np.ndarray,

@@ -51,6 +51,7 @@ def build_network(
     num_cores: int = 1,
     rng: np.random.Generator | None = None,
     threads: int | None = None,
+    backend: str = "thread",
 ) -> Network:
     """Build a :class:`Network` from a dictionary description.
 
@@ -58,7 +59,8 @@ def build_network(
     ``layers`` list; convolution shapes are inferred from the running
     activation shape so only features/kernel/stride/pad are specified.
     With ``threads > 1`` the convolution layers execute on a real worker
-    pool (see :class:`repro.nn.layers.conv.ConvLayer`).
+    pool on the chosen execution backend (see
+    :class:`repro.nn.layers.conv.ConvLayer`).
     """
     rng = rng or np.random.default_rng(0)
     input_shape = tuple(int(v) for v in _require(definition, "input", "network"))
@@ -86,7 +88,7 @@ def build_network(
                 name=name,
             )
             layer = ConvLayer(spec, name=name, num_cores=num_cores,
-                              threads=threads, rng=rng)
+                              threads=threads, backend=backend, rng=rng)
         elif layer_type == "relu":
             layer = ReLULayer(name=name)
         elif layer_type == "pool":

@@ -89,6 +89,7 @@ class TrainingLoop:
         preflight: bool = True,
         checkpoint_dir: str | Path | None = None,
         checkpoint_every: int = 1,
+        backend: str | None = None,
     ):
         if batch_size <= 0:
             raise ReproError(f"batch_size must be positive, got {batch_size}")
@@ -97,6 +98,14 @@ class TrainingLoop:
                 f"checkpoint_every must be positive, got {checkpoint_every}"
             )
         self.network = network
+        if backend is not None:
+            # Config-level execution-backend override: retarget every
+            # conv layer (their pools and engines are rebuilt); layers
+            # already on the requested backend are untouched.
+            for layer in network.layers:
+                set_backend = getattr(layer, "set_backend", None)
+                if set_backend is not None:
+                    set_backend(backend)
         if preflight:
             # Fail fast on graph errors (shape/dtype inconsistencies)
             # before the first batch; see repro.check.graph.

@@ -42,7 +42,8 @@ def _scaled(features: int, scale: float) -> int:
 
 def mnist_net(num_cores: int = 1, scale: float = 1.0,
               rng: np.random.Generator | None = None,
-              threads: int | None = None) -> Network:
+              threads: int | None = None,
+              backend: str = "thread") -> Network:
     """LeNet-style MNIST classifier (Table 2: one 5x5 conv, 20 features)."""
     definition = {
         "name": "mnist",
@@ -58,12 +59,13 @@ def mnist_net(num_cores: int = 1, scale: float = 1.0,
         ],
     }
     return build_network(definition, num_cores=num_cores, rng=rng,
-                         threads=threads)
+                         threads=threads, backend=backend)
 
 
 def cifar10_net(num_cores: int = 1, scale: float = 1.0,
                 rng: np.random.Generator | None = None,
-                threads: int | None = None) -> Network:
+                threads: int | None = None,
+                backend: str = "thread") -> Network:
     """CIFAR-10 classifier with the Table 2 conv geometry (5x5, 64 features)."""
     definition = {
         "name": "cifar-10",
@@ -80,12 +82,13 @@ def cifar10_net(num_cores: int = 1, scale: float = 1.0,
         ],
     }
     return build_network(definition, num_cores=num_cores, rng=rng,
-                         threads=threads)
+                         threads=threads, backend=backend)
 
 
 def imagenet100_net(num_cores: int = 1, scale: float = 1.0,
                     rng: np.random.Generator | None = None,
-                    threads: int | None = None) -> Network:
+                    threads: int | None = None,
+                    backend: str = "thread") -> Network:
     """A reduced ImageNet-100 classifier (Fig. 3b's third benchmark).
 
     ImageNet-100 is a 100-class subset of ImageNet; full 256x256 training
@@ -107,12 +110,13 @@ def imagenet100_net(num_cores: int = 1, scale: float = 1.0,
         ],
     }
     return build_network(definition, num_cores=num_cores, rng=rng,
-                         threads=threads)
+                         threads=threads, backend=backend)
 
 
 def alexnet_small(num_cores: int = 1, scale: float = 1.0,
                   rng: np.random.Generator | None = None,
-                  threads: int | None = None) -> Network:
+                  threads: int | None = None,
+                  backend: str = "thread") -> Network:
     """A trainable AlexNet-style network with LRN and dropout.
 
     Structurally faithful to the paper's ImageNet-1K benchmark (conv +
@@ -145,7 +149,7 @@ def alexnet_small(num_cores: int = 1, scale: float = 1.0,
         ],
     }
     return build_network(definition, num_cores=num_cores, rng=rng,
-                         threads=threads)
+                         threads=threads, backend=backend)
 
 
 #: Builders for the Fig. 3b sparsity experiment, keyed by display name.

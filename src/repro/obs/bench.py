@@ -23,7 +23,9 @@ real machine speed.
 
 from __future__ import annotations
 
+import functools
 import json
+import os
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -57,6 +59,10 @@ class Benchmark:
     teardown: Callable[[Any], None] | None = None
     #: Allowed fractional slowdown vs. baseline before it regresses.
     threshold: float = DEFAULT_THRESHOLD
+    #: True when the benchmark's cost depends on the execution backend;
+    #: backend-free benchmarks record ``backend="any"`` and stay
+    #: comparable across backend-matrixed CI runs.
+    backend_sensitive: bool = False
 
 
 @dataclass
@@ -70,6 +76,10 @@ class BenchResult:
     all_seconds: list[float]
     flops: float
     threshold: float
+    #: Execution backend the parallel benchmarks ran on.
+    backend: str = "thread"
+    #: CPUs of the recording machine (wall-clock context for readers).
+    cpu_count: int = field(default_factory=lambda: os.cpu_count() or 1)
 
     @property
     def mflops(self) -> float:
@@ -89,6 +99,8 @@ class BenchResult:
             "flops": self.flops,
             "mflops": self.mflops,
             "threshold": self.threshold,
+            "backend": self.backend,
+            "cpu_count": self.cpu_count,
         }
 
 
@@ -185,33 +197,85 @@ def _sparse_bp_run(state) -> None:
     sparse_backward_data(spec, eo, w_layout, buffer)
 
 
-def _pool_setup():
+def _pool_slice_square_sum(descriptor, lo: int, hi: int) -> float:
+    """Sum of squares of rows ``[lo, hi)`` of a shared-memory matrix.
+
+    Module-level (and shipping the data by descriptor) so the identical
+    task runs on every backend, the process one included.
+    """
+    from repro.runtime.shm import SharedArray
+
+    seg = SharedArray.attach(descriptor)
+    try:
+        return float(np.square(seg.ndarray[lo:hi]).sum())
+    finally:
+        seg.close()
+
+
+def _pool_setup(backend: str = "thread"):
     from repro.runtime.pool import WorkerPool
+    from repro.runtime.shm import SharedArray
 
     rng = np.random.default_rng(0)
     data = rng.standard_normal((64, 4096)).astype(np.float32)
-    return WorkerPool(2), data
+    return WorkerPool(2, backend=backend), SharedArray.from_array(data)
 
 
 def _pool_run(state) -> None:
-    pool, data = state
-
-    def task(lo: int, hi: int) -> float:
-        return float(np.square(data[lo:hi]).sum())
-
-    pool.map_batches(task, len(data))
+    pool, seg = state
+    task = functools.partial(_pool_slice_square_sum, seg.descriptor)
+    pool.map_batches(task, seg.shape[0])
 
 
 def _pool_teardown(state) -> None:
-    pool, _ = state
+    pool, seg = state
     pool.shutdown()
+    seg.unlink()
 
 
-def _train_setup():
+def _executor_setup(engine: str, backend: str, batch: int = 8):
+    from repro.runtime.parallel import ParallelExecutor
+    from repro.runtime.pool import WorkerPool
+
+    # Engine modules register on import.
+    import repro.nn.layers.conv  # noqa: F401
+
+    spec = _conv_spec(f"bench-par-{engine}")
+    executor = ParallelExecutor(
+        engine, spec, pool=WorkerPool(2, backend=backend)
+    )
+    rng = np.random.default_rng(0)
+    inputs = rng.standard_normal((batch, *spec.input_shape)).astype(np.float32)
+    weights = rng.standard_normal(spec.weight_shape).astype(np.float32)
+    out_error = rng.standard_normal(
+        (batch, *spec.output_shape)
+    ).astype(np.float32)
+    out_error[rng.random(out_error.shape) < 0.9] = 0.0
+    return executor, inputs, weights, out_error
+
+
+def _par_stencil_run(state) -> None:
+    executor, inputs, weights, _ = state
+    executor.forward(inputs, weights)
+
+
+def _par_sparse_run(state) -> None:
+    executor, _, weights, out_error = state
+    executor.backward_data(out_error, weights)
+
+
+def _executor_teardown(state) -> None:
+    executor = state[0]
+    executor.close()
+    executor.pool.shutdown()
+
+
+def _train_setup(backend: str = "thread"):
     from repro.data.synthetic import mnist_like
     from repro.nn.zoo import mnist_net
 
-    network = mnist_net(scale=0.25, rng=np.random.default_rng(0))
+    network = mnist_net(scale=0.25, rng=np.random.default_rng(0),
+                        threads=2, backend=backend)
     data = mnist_like(16, seed=0)
     return network, data
 
@@ -224,17 +288,33 @@ def _train_run(state) -> None:
     loop.run(1)
 
 
+def _train_teardown(state) -> None:
+    network, _ = state
+    for layer in network.conv_layers():
+        layer.close()
+
+
 def _train_flops() -> float:
     # FP + BP-data + BP-weights over every conv layer, one 16-image epoch.
-    network, _ = _train_setup()
+    from repro.nn.zoo import mnist_net
+
+    network = mnist_net(scale=0.25, rng=np.random.default_rng(0))
     per_image = sum(
         layer.padded_spec.flops for layer in network.conv_layers()
     )
     return 3.0 * 16 * per_image
 
 
-def default_suite() -> tuple[Benchmark, ...]:
-    """The curated suite, in run order."""
+def default_suite(backend: str = "thread") -> tuple[Benchmark, ...]:
+    """The curated suite, in run order.
+
+    ``backend`` selects the execution backend of the parallel-runtime
+    benchmarks (``pool_map``, ``par_stencil_fp``, ``par_sparse_bp``,
+    ``train_epoch``); the single-threaded kernels are backend-free.
+    """
+    from repro.runtime.backends import validate_backend
+
+    validate_backend(backend)
     spec_stencil = _conv_spec("bench-stencil")
     spec_sparse = _conv_spec("bench-sparse")
     from repro.sparse.ctcsr import build_cost_elems
@@ -284,18 +364,40 @@ def default_suite() -> tuple[Benchmark, ...]:
         ),
         Benchmark(
             name="pool_map",
-            description="worker-pool map over 64 reduction tasks",
+            description="worker-pool map over 64 shared-memory tasks",
             flops=2.0 * 64 * 4096,
-            setup=_pool_setup,
+            setup=functools.partial(_pool_setup, backend),
             run=_pool_run,
             teardown=_pool_teardown,
+            backend_sensitive=True,
+        ),
+        Benchmark(
+            name="par_stencil_fp",
+            description="parallel executor, stencil FP over 8 images",
+            flops=8.0 * spec_stencil.flops,
+            setup=functools.partial(_executor_setup, "stencil", backend),
+            run=_par_stencil_run,
+            teardown=_executor_teardown,
+            backend_sensitive=True,
+        ),
+        Benchmark(
+            name="par_sparse_bp",
+            description="parallel executor, sparse BP over 8 images",
+            flops=8.0 * spec_sparse.flops,
+            setup=functools.partial(_executor_setup, "sparse", backend),
+            run=_par_sparse_run,
+            teardown=_executor_teardown,
+            backend_sensitive=True,
         ),
         Benchmark(
             name="train_epoch",
-            description="end-to-end training epoch, quarter-scale MNIST",
+            description="end-to-end training epoch, quarter-scale MNIST, "
+                        "2 workers per conv layer",
             flops=_train_flops(),
-            setup=_train_setup,
+            setup=functools.partial(_train_setup, backend),
             run=_train_run,
+            teardown=_train_teardown,
+            backend_sensitive=True,
         ),
     )
 
@@ -308,10 +410,13 @@ def suite_names() -> tuple[str, ...]:
 
 
 def run_benchmark(bench: Benchmark, repeats: int = 3,
-                  slowdown: float = 1.0) -> BenchResult:
+                  slowdown: float = 1.0,
+                  backend: str = "thread") -> BenchResult:
     """Time one benchmark: median wall-clock over ``repeats`` runs.
 
     ``slowdown`` scales the measured times (test hook; 1.0 in real use).
+    ``backend`` is recorded on the result (the suite builder already
+    baked it into the benchmark's setup).
     """
     if repeats <= 0:
         raise ReproError(f"repeats must be positive, got {repeats}")
@@ -336,6 +441,7 @@ def run_benchmark(bench: Benchmark, repeats: int = 3,
         all_seconds=times,
         flops=bench.flops,
         threshold=bench.threshold,
+        backend=backend,
     )
 
 
@@ -343,9 +449,10 @@ def run_suite(
     names: tuple[str, ...] | None = None,
     repeats: int = 3,
     slowdown: Mapping[str, float] | None = None,
+    backend: str = "thread",
 ) -> list[BenchResult]:
     """Run the selected benchmarks (all by default), in suite order."""
-    suite = default_suite()
+    suite = default_suite(backend)
     known = {bench.name for bench in suite}
     if names:
         unknown = set(names) - known
@@ -362,8 +469,11 @@ def run_suite(
             f"slowdown names {sorted(unknown)} not in suite {sorted(known)}"
         )
     return [
-        run_benchmark(bench, repeats=repeats,
-                      slowdown=slowdown.get(bench.name, 1.0))
+        run_benchmark(
+            bench, repeats=repeats,
+            slowdown=slowdown.get(bench.name, 1.0),
+            backend=backend if bench.backend_sensitive else "any",
+        )
         for bench in suite
     ]
 
@@ -393,6 +503,7 @@ def baseline_dict(results: list[BenchResult]) -> dict[str, Any]:
                 "mflops": result.mflops,
                 "repeats": result.repeats,
                 "threshold": result.threshold,
+                "backend": result.backend,
             }
             for result in results
         },
@@ -511,12 +622,17 @@ def compare_to_baseline(results: list[BenchResult],
     Benchmarks absent from the baseline count as ``new`` (never a
     regression); the per-benchmark threshold is the larger of the
     suite's and the baseline's, so a recorded baseline can widen a noisy
-    benchmark's band without a code change.
+    benchmark's band without a code change.  A baseline entry recorded
+    on a *different execution backend* is not comparable (process and
+    thread runs have different cost structures) and also counts as
+    ``new``.
     """
     recorded = baseline["benchmarks"]
     report = ComparisonReport(baseline_path=baseline_path)
     for result in results:
         entry = recorded.get(result.name)
+        if entry and entry.get("backend", result.backend) != result.backend:
+            entry = None
         baseline_seconds = entry.get("seconds") if entry else None
         threshold = result.threshold
         if entry and "threshold" in entry:

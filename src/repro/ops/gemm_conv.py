@@ -14,6 +14,11 @@ the machine model prices:
 * :class:`GemmInParallelEngine` -- the paper's Sec. 4.1 technique: the
   batch is partitioned across cores and each core runs single-threaded
   blocked GEMMs on whole images, preserving per-core AIT.
+
+Memory behavior: each engine owns a :class:`repro.ops.workspace.Workspace`
+and reuses its unfolded matrix, GEMM output panels and fold scratch
+across images and calls while the geometry is stable; batch outputs are
+written image-by-image into one pre-allocated array (no ``np.stack``).
 """
 
 from __future__ import annotations
@@ -24,6 +29,21 @@ from repro.blas.gemm import BlockingParams, gemm, parallel_gemm, partition_rows
 from repro.core.convspec import ConvSpec
 from repro.ops import unfold as uf
 from repro.ops.engine import ConvEngine, register_engine
+from repro.ops.workspace import Workspace
+
+
+def _batch_fingerprint(inputs: np.ndarray) -> tuple:
+    """A cheap identity for a batch: object id, geometry, leading bytes.
+
+    ``id`` alone is unsafe (freed arrays get their addresses reused) and
+    content hashing the whole batch would cost as much as re-unfolding,
+    so the fingerprint combines the id with the shape, dtype and a small
+    sample of leading bytes -- enough to catch a different batch object
+    *and* the same buffer re-filled with new values.
+    """
+    flat = inputs.reshape(-1)
+    head = flat[: min(64, flat.size)].tobytes()
+    return (id(inputs), inputs.shape, inputs.dtype.str, head)
 
 
 class _UnfoldGemmBase(ConvEngine):
@@ -33,7 +53,9 @@ class _UnfoldGemmBase(ConvEngine):
     forward pass are kept and reused by the following ``backward_weights``
     call on the same batch, halving the unfolding work of one training
     step (the paper's ``2|U|`` accounting assumes the re-read; the cache
-    trades memory for it).
+    trades memory for it).  The cache records a fingerprint of the batch
+    it was filled from and silently invalidates itself when any other
+    batch arrives, so stale unfolds can never leak into a gradient.
     """
 
     def __init__(self, spec: ConvSpec, num_cores: int = 1,
@@ -46,16 +68,38 @@ class _UnfoldGemmBase(ConvEngine):
         self.blocking = blocking or BlockingParams()
         self.cache_unfold = cache_unfold
         self._unfold_cache: dict[int, np.ndarray] = {}
+        self._unfold_cache_key: tuple | None = None
         #: Unfold computations avoided via the cache (for tests/metrics).
         self.unfold_cache_hits = 0
+        #: Reusable scratch buffers (unfolded matrix, GEMM panels, fold).
+        self.workspace = Workspace()
+
+    @property
+    def _unfold_shape(self) -> tuple[int, int]:
+        s = self.spec
+        return (s.out_ny * s.out_nx, s.nc * s.fy * s.fx)
+
+    def _sync_unfold_cache(self, inputs: np.ndarray) -> None:
+        """Invalidate the cache unless it was filled from this batch."""
+        if not self.cache_unfold:
+            return
+        key = _batch_fingerprint(inputs)
+        if key != self._unfold_cache_key:
+            self._unfold_cache.clear()
+            self._unfold_cache_key = key
 
     def _unfold_image(self, index: int, image: np.ndarray) -> np.ndarray:
         if not self.cache_unfold:
-            return uf.unfold(self.spec, image)
+            out = self.workspace.scratch(
+                "unfold", self._unfold_shape, image.dtype
+            )
+            return uf.unfold(self.spec, image, out=out)
         cached = self._unfold_cache.get(index)
         if cached is not None:
             self.unfold_cache_hits += 1
             return cached
+        # Cached entries must own their storage; the workspace buffer
+        # would be overwritten by the next image.
         unfolded = uf.unfold(self.spec, image)
         self._unfold_cache[index] = unfolded
         return unfolded
@@ -63,47 +107,74 @@ class _UnfoldGemmBase(ConvEngine):
     def clear_unfold_cache(self) -> None:
         """Drop cached unfolded matrices (call between batches)."""
         self._unfold_cache.clear()
+        self._unfold_cache_key = None
 
-    # Subclasses choose how a single GEMM is executed.
-    def _gemm(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    def release_workspace(self) -> None:
+        """Drop the reusable scratch buffers and the unfold cache."""
+        self.workspace.release()
+        self.clear_unfold_cache()
+
+    # Subclasses choose how a single GEMM is executed.  ``out`` is a
+    # zeroed workspace panel the product is accumulated into.
+    def _gemm(self, a: np.ndarray, b: np.ndarray,
+              out: np.ndarray) -> np.ndarray:
         raise NotImplementedError
+
+    def _gemm_panel(self, tag: str, a: np.ndarray,
+                    b: np.ndarray) -> np.ndarray:
+        out = self.workspace.zeros(
+            tag, (a.shape[0], b.shape[1]), np.result_type(a, b)
+        )
+        return self._gemm(a, b, out)
 
     def _forward_image(self, index: int, image: np.ndarray,
                        w_mat: np.ndarray) -> np.ndarray:
         unfolded = self._unfold_image(index, image)
-        out_mat = self._gemm(w_mat, unfolded.T)
+        out_mat = self._gemm_panel("fp/out_mat", w_mat, unfolded.T)
         return uf.output_matrix_to_image(self.spec, out_mat)
 
-    def _backward_data_image(self, err: np.ndarray, w_mat: np.ndarray) -> np.ndarray:
+    def _backward_data_image(self, err: np.ndarray, w_mat: np.ndarray,
+                             out: np.ndarray | None = None) -> np.ndarray:
         err_mat = uf.output_image_to_matrix(self.spec, err)
-        unfolded_err = self._gemm(w_mat.T, err_mat)
-        return uf.fold(self.spec, unfolded_err.T)
+        unfolded_err = self._gemm_panel("bd/unfolded_err", w_mat.T, err_mat)
+        return uf.fold(self.spec, unfolded_err.T, out=out)
 
     def _backward_weights_image(self, index: int, err: np.ndarray,
                                 image: np.ndarray) -> np.ndarray:
         unfolded = self._unfold_image(index, image)
         err_mat = uf.output_image_to_matrix(self.spec, err)
-        return self._gemm(err_mat, unfolded).reshape(self.spec.weight_shape)
+        dw_mat = self._gemm_panel("bw/dw_mat", err_mat, unfolded)
+        return dw_mat.reshape(self.spec.weight_shape)
 
     def forward(self, inputs: np.ndarray, weights: np.ndarray) -> np.ndarray:
         self._check_batch_inputs(inputs)
         self._check_weights(weights)
-        if self.cache_unfold:
-            self.clear_unfold_cache()
+        self._sync_unfold_cache(inputs)
         w_mat = uf.weights_matrix(self.spec, weights)
-        return np.stack([
-            self._forward_image(i, img, w_mat) for i, img in enumerate(inputs)
-        ])
+        out = np.empty(
+            (inputs.shape[0],) + self.spec.output_shape,
+            dtype=np.result_type(inputs, weights),
+        )
+        for i, img in enumerate(inputs):
+            out[i] = self._forward_image(i, img, w_mat)
+        return out
 
     def backward_data(self, out_error: np.ndarray, weights: np.ndarray) -> np.ndarray:
         self._check_batch_out_error(out_error)
         self._check_weights(weights)
         w_mat = uf.weights_matrix(self.spec, weights)
-        return np.stack([self._backward_data_image(err, w_mat) for err in out_error])
+        out = np.empty(
+            (out_error.shape[0],) + self.spec.input_shape,
+            dtype=np.result_type(out_error, weights),
+        )
+        for i, err in enumerate(out_error):
+            self._backward_data_image(err, w_mat, out=out[i])
+        return out
 
     def backward_weights(self, out_error: np.ndarray, inputs: np.ndarray) -> np.ndarray:
         self._check_batch_out_error(out_error)
         self._check_batch_inputs(inputs)
+        self._sync_unfold_cache(inputs)
         dw = np.zeros(self.spec.weight_shape, dtype=out_error.dtype)
         for i, (err, img) in enumerate(zip(out_error, inputs)):
             dw += self._backward_weights_image(i, err, img)
@@ -114,8 +185,10 @@ class _UnfoldGemmBase(ConvEngine):
 class ParallelGemmEngine(_UnfoldGemmBase):
     """Baseline Unfold+Parallel-GEMM: each image's GEMM spans all cores."""
 
-    def _gemm(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
-        return parallel_gemm(a, b, num_cores=self.num_cores, blocking=self.blocking)
+    def _gemm(self, a: np.ndarray, b: np.ndarray,
+              out: np.ndarray) -> np.ndarray:
+        return parallel_gemm(a, b, num_cores=self.num_cores,
+                             blocking=self.blocking, out=out)
 
 
 @register_engine("gemm-in-parallel")
@@ -127,8 +200,9 @@ class GemmInParallelEngine(_UnfoldGemmBase):
     image->core mapping so the simulated executor can compute the makespan.
     """
 
-    def _gemm(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
-        return gemm(a, b, blocking=self.blocking)
+    def _gemm(self, a: np.ndarray, b: np.ndarray,
+              out: np.ndarray) -> np.ndarray:
+        return gemm(a, b, out=out, blocking=self.blocking)
 
     def core_assignment(self, batch_size: int) -> list[tuple[int, int]]:
         """Contiguous ``[lo, hi)`` image ranges per core."""

@@ -21,11 +21,15 @@ from repro.core.convspec import ConvSpec
 from repro.errors import ShapeError
 
 
-def unfold(spec: ConvSpec, inputs: np.ndarray) -> np.ndarray:
+def unfold(spec: ConvSpec, inputs: np.ndarray,
+           out: np.ndarray | None = None) -> np.ndarray:
     """Unfold a ``[Nc, Ny, Nx]`` image to ``[out_Ny*out_Nx, Nc*Fy*Fx]``.
 
     The column ordering matches Fig. 2b: channels are the slowest-varying
-    column group, then ``ky``, then ``kx``.
+    column group, then ``ky``, then ``kx``.  When ``out`` is given (a
+    C-contiguous array of the result shape) the patches are gathered
+    straight into it and it is returned -- the engines pass a reusable
+    workspace buffer here to avoid re-allocating ``U`` per image.
     """
     if spec.pad != 0:
         raise ShapeError("unfold expects pre-padded inputs (spec.pad must be 0)")
@@ -35,20 +39,40 @@ def unfold(spec: ConvSpec, inputs: np.ndarray) -> np.ndarray:
     shape = (spec.out_ny, spec.out_nx, spec.nc, spec.fy, spec.fx)
     strides = (ys * spec.sy, xs * spec.sx, cs, ys, xs)
     patches = np.lib.stride_tricks.as_strided(inputs, shape=shape, strides=strides)
-    return patches.reshape(spec.out_ny * spec.out_nx, spec.nc * spec.fy * spec.fx).copy()
+    result_shape = (spec.out_ny * spec.out_nx, spec.nc * spec.fy * spec.fx)
+    if out is None:
+        return patches.reshape(result_shape).copy()
+    if out.shape != result_shape:
+        raise ShapeError(f"out shape {out.shape} != expected {result_shape}")
+    if not out.flags.c_contiguous:
+        # reshape on a non-contiguous target would silently copy.
+        raise ShapeError("unfold out buffer must be C-contiguous")
+    np.copyto(out.reshape(shape), patches)
+    return out
 
 
-def fold(spec: ConvSpec, unfolded: np.ndarray) -> np.ndarray:
+def fold(spec: ConvSpec, unfolded: np.ndarray,
+         out: np.ndarray | None = None) -> np.ndarray:
     """Adjoint of :func:`unfold`: accumulate columns back into an image.
 
     Elements of ``unfolded`` that originated from the same input position
     are summed, making ``fold(unfold(x)) == multiplicity * x`` where the
     multiplicity counts how many kernel applications cover each position.
+    When ``out`` is given it is zero-filled and accumulated into in place
+    (letting engines fold straight into a slice of the batch output).
     """
     expected = (spec.out_ny * spec.out_nx, spec.nc * spec.fy * spec.fx)
     if unfolded.shape != expected:
         raise ShapeError(f"unfolded shape {unfolded.shape} != expected {expected}")
-    image = np.zeros(spec.input_shape, dtype=unfolded.dtype)
+    if out is None:
+        image = np.zeros(spec.input_shape, dtype=unfolded.dtype)
+    else:
+        if out.shape != spec.input_shape:
+            raise ShapeError(
+                f"out shape {out.shape} != spec {spec.input_shape}"
+            )
+        image = out
+        image.fill(0)
     patches = unfolded.reshape(spec.out_ny, spec.out_nx, spec.nc, spec.fy, spec.fx)
     span_y = (spec.out_ny - 1) * spec.sy + 1
     span_x = (spec.out_nx - 1) * spec.sx + 1

@@ -144,7 +144,8 @@ def _params_bytes(network) -> bytes:
 
 
 def _build_job(seed: int, samples: int, threads: int, batch: int,
-               checkpoint_dir: str | Path | None) -> TrainingLoop:
+               checkpoint_dir: str | Path | None,
+               backend: str = "thread") -> TrainingLoop:
     """A fresh, deterministic training job (network + data + loop)."""
     from repro.data.synthetic import mnist_like
     from repro.nn.zoo import mnist_net
@@ -153,6 +154,7 @@ def _build_job(seed: int, samples: int, threads: int, batch: int,
         scale=0.25,
         rng=np.random.default_rng(seed),
         threads=threads if threads and threads > 1 else None,
+        backend=backend,
     )
     data = mnist_like(samples, seed=seed)
     return TrainingLoop(
@@ -219,6 +221,7 @@ def run_chaos(
     batch: int = 8,
     samples: int = 48,
     threads: int = 2,
+    backend: str = "thread",
     check_resume: bool = False,
     checkpoint_dir: str | Path | None = None,
     policy: RetryPolicy | None = None,
@@ -239,7 +242,7 @@ def run_chaos(
     with tempfile.TemporaryDirectory(prefix="repro-chaos-") as tmp:
         tmp_dir = Path(tmp)
         ckpt_a = Path(checkpoint_dir) if checkpoint_dir else tmp_dir / "a"
-        loop = _build_job(seed, samples, threads, batch, ckpt_a)
+        loop = _build_job(seed, samples, threads, batch, ckpt_a, backend)
         injector = faults.FaultInjector(plan)
         # The monitor shares the chaos collector: its hooks watch the
         # main run, and its final report rides along on the ChaosReport.
@@ -279,7 +282,8 @@ def run_chaos(
             report.resume_checked = True
             # The "killed" run: same job, same faults, stopped one epoch
             # short of the full run.
-            killed = _build_job(seed, samples, threads, batch, tmp_dir / "b")
+            killed = _build_job(seed, samples, threads, batch, tmp_dir / "b",
+                                backend)
             _run_segment(killed, epochs - 1, plan, policy)
             _close(killed)
             ckpt = TrainingLoop.latest_checkpoint(tmp_dir / "b")
@@ -287,7 +291,7 @@ def run_chaos(
             # scratch, so we do too -- then restore and finish.  No fault
             # plan: the named plans are spent before the resume point,
             # and re-activating one would replay first-epoch faults.
-            resumed = _build_job(seed, samples, threads, batch, None)
+            resumed = _build_job(seed, samples, threads, batch, None, backend)
             resumed.restore(ckpt)
             resumed_history = _run_segment(resumed, epochs, None, policy)
             _close(resumed)

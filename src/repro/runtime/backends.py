@@ -1,0 +1,424 @@
+"""Pluggable execution backends for the worker pool.
+
+The paper's GEMM-in-Parallel schedule wants one *single-threaded* kernel
+per core over different images (Sec. 4.1).  Threads deliver that only
+for numpy-dominated kernels (the GIL is released inside ``dot``); the
+pure-Python hot loops -- per-image unfold, generated stencil basic
+blocks, CT-CSR construction, pointer-shifted sparse accumulation --
+serialize on the GIL.  The **process** backend runs those kernels in
+persistent spawned worker processes instead, so every core executes
+Python bytecode concurrently, and moves the tensors through
+:mod:`repro.runtime.shm` segments rather than pickles.
+
+Three backends share one contract (:class:`ExecutionBackend`):
+
+* ``serial``  -- tasks run inline on the caller's thread, in range
+  order.  The determinism reference and the zero-overhead baseline.
+* ``thread``  -- tasks run on the pool's dispatcher threads (the
+  pre-existing behavior).
+* ``process`` -- tasks are shipped to persistent worker processes;
+  the dispatcher thread blocks on the round-trip.  Tasks and their
+  arguments must pickle; array payloads should travel via shared
+  memory (see :func:`run_engine_slice`), not through the pickle.
+
+Spawn-safety: workers are started with the ``spawn`` context (no
+inherited locks or collector state -- the fork-unsafety CHK-FORK lints
+against cannot arise), and the parent's ``repro`` source root is pushed
+onto the child's ``PYTHONPATH`` so the spawned interpreter can import
+the task functions it receives by reference.
+
+Fault injection and telemetry remain parent-side: the pool's
+``pool.task`` / ``pool.result`` sites wrap the *dispatch* of a task, so
+a chaos plan fires identically (and deterministically) under every
+backend, and spans never need to cross a process boundary.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import sys
+import threading
+from collections import OrderedDict
+from pathlib import Path
+from typing import Any, Callable
+
+from repro import telemetry
+from repro.errors import ReproError
+from repro.runtime import shm
+
+#: Names accepted by ``WorkerPool(backend=...)``.
+BACKEND_NAMES = ("serial", "thread", "process")
+
+#: Attached-segment LRU size in each worker process.  Segments are
+#: reused across calls while their geometry is stable; stale mappings
+#: (the parent reallocated a role) age out and are closed here.
+_ATTACH_CACHE_SIZE = 32
+
+
+def validate_backend(name: str) -> str:
+    if name not in BACKEND_NAMES:
+        raise ReproError(
+            f"unknown execution backend {name!r}; known: {BACKEND_NAMES}"
+        )
+    return name
+
+
+class WorkerCrashedError(ReproError):
+    """A persistent worker process died while jobs were outstanding."""
+
+
+def _portable_error(exc: BaseException) -> BaseException:
+    """An exception safe to send over the result queue."""
+    try:
+        pickle.loads(pickle.dumps(exc))
+        return exc
+    except Exception:
+        return ReproError(f"{type(exc).__name__}: {exc}")
+
+
+def _worker_main(requests, results) -> None:
+    """Loop of one persistent worker process (spawn entry point)."""
+    while True:
+        item = requests.get()
+        if item is None:
+            return
+        job_id, payload = item
+        try:
+            fn, args = pickle.loads(payload)
+            result = fn(*args)
+            body = pickle.dumps((job_id, "ok", result))
+        except BaseException as exc:  # noqa: BLE001 - shipped to the parent
+            body = pickle.dumps((job_id, "err", _portable_error(exc)))
+        results.put(body)
+
+
+class _Job:
+    __slots__ = ("event", "result", "error")
+
+    def __init__(self):
+        self.event = threading.Event()
+        self.result: Any = None
+        self.error: BaseException | None = None
+
+
+class _Worker:
+    """Parent-side record of one spawned worker process."""
+
+    __slots__ = ("process", "requests", "outstanding")
+
+    def __init__(self, process, requests):
+        self.process = process
+        self.requests = requests
+        self.outstanding: set[int] = set()
+
+
+class ExecutionBackend:
+    """How the pool turns a task into an executed result."""
+
+    name = "abstract"
+
+    def call(self, fn: Callable[..., Any], *args: Any) -> Any:
+        """Run ``fn(*args)`` to completion on this backend."""
+        raise NotImplementedError
+
+    def start(self) -> None:
+        """Acquire backend resources (idempotent)."""
+
+    def shutdown(self) -> None:
+        """Release backend resources (idempotent)."""
+
+
+class SerialBackend(ExecutionBackend):
+    """Inline execution on the calling thread."""
+
+    name = "serial"
+
+    def call(self, fn: Callable[..., Any], *args: Any) -> Any:
+        return fn(*args)
+
+
+class ThreadBackend(ExecutionBackend):
+    """Execution on the pool's dispatcher thread (which called us)."""
+
+    name = "thread"
+
+    def call(self, fn: Callable[..., Any], *args: Any) -> Any:
+        return fn(*args)
+
+
+class ProcessBackend(ExecutionBackend):
+    """Persistent spawned worker processes fed over queues.
+
+    ``call`` is thread-safe: each dispatcher thread ships its job to the
+    least-loaded live worker and blocks for the round-trip.  A worker
+    that dies mid-job fails that worker's outstanding jobs with
+    :class:`WorkerCrashedError` and is respawned, so the backend
+    survives hard crashes without hanging the parent.
+    """
+
+    name = "process"
+
+    def __init__(self, num_workers: int):
+        if num_workers <= 0:
+            raise ReproError(
+                f"num_workers must be positive, got {num_workers}"
+            )
+        self.num_workers = num_workers
+        self._ctx = None
+        self._results = None
+        self._workers: list[_Worker] = []
+        self._jobs: dict[int, _Job] = {}
+        self._job_seq = 0
+        self._lock = threading.Lock()
+        self._collector: threading.Thread | None = None
+        self._started = False
+        self._closed = False
+
+    # -- lifecycle --------------------------------------------------------
+
+    def start(self) -> None:
+        if self._started:
+            return
+        import multiprocessing as mp
+
+        self._ctx = mp.get_context("spawn")
+        self._results = self._ctx.SimpleQueue()
+        with self._spawn_env():
+            for _ in range(self.num_workers):
+                self._workers.append(self._spawn_worker())
+        self._collector = threading.Thread(
+            target=self._collect, name="repro-shm-collector", daemon=True
+        )
+        self._collector.start()
+        self._started = True
+        self._closed = False
+
+    def _spawn_env(self):
+        """Ensure spawned interpreters can import the repro package."""
+        import repro
+
+        src_root = str(Path(repro.__file__).resolve().parents[1])
+
+        class _Env:
+            def __enter__(_self):
+                self._old_path = os.environ.get("PYTHONPATH")
+                parts = [src_root]
+                if self._old_path:
+                    parts.append(self._old_path)
+                os.environ["PYTHONPATH"] = os.pathsep.join(parts)
+
+            def __exit__(_self, *exc_info):
+                if self._old_path is None:
+                    os.environ.pop("PYTHONPATH", None)
+                else:
+                    os.environ["PYTHONPATH"] = self._old_path
+
+        return _Env()
+
+    def _spawn_worker(self) -> _Worker:
+        requests = self._ctx.SimpleQueue()
+        process = self._ctx.Process(
+            target=_worker_main, args=(requests, self._results), daemon=True
+        )
+        process.start()
+        return _Worker(process, requests)
+
+    def shutdown(self) -> None:
+        if not self._started:
+            return
+        self._closed = True
+        for worker in self._workers:
+            try:
+                worker.requests.put(None)
+            except Exception:  # pragma: no cover - queue already broken
+                pass
+        for worker in self._workers:
+            worker.process.join(timeout=5.0)
+            if worker.process.is_alive():  # pragma: no cover - hung worker
+                worker.process.terminate()
+                worker.process.join(timeout=1.0)
+        # Unblock and retire the collector thread.
+        self._results.put(pickle.dumps((None, "stop", None)))
+        if self._collector is not None:
+            self._collector.join(timeout=5.0)
+        with self._lock:
+            for job in self._jobs.values():
+                job.error = ReproError("process backend shut down")
+                job.event.set()
+            self._jobs.clear()
+        self._workers.clear()
+        self._started = False
+
+    def worker_pids(self) -> tuple[int, ...]:
+        """PIDs of the live workers (tests assert persistence on these)."""
+        return tuple(w.process.pid for w in self._workers
+                     if w.process.is_alive())
+
+    # -- dispatch ---------------------------------------------------------
+
+    def _collect(self) -> None:
+        while True:
+            body = self._results.get()
+            job_id, status, payload = pickle.loads(body)
+            if status == "stop":
+                return
+            with self._lock:
+                job = self._jobs.pop(job_id, None)
+                for worker in self._workers:
+                    worker.outstanding.discard(job_id)
+            if job is None:
+                continue  # job already failed (e.g. worker declared dead)
+            if status == "ok":
+                job.result = payload
+            else:
+                job.error = payload
+            job.event.set()
+
+    def _reap_dead_workers(self) -> None:
+        """Fail jobs stranded on dead workers; respawn replacements."""
+        with self._lock:
+            dead = [w for w in self._workers if not w.process.is_alive()]
+            if not dead:
+                return
+            for worker in dead:
+                self._workers.remove(worker)
+                for job_id in worker.outstanding:
+                    job = self._jobs.pop(job_id, None)
+                    if job is not None:
+                        job.error = WorkerCrashedError(
+                            f"worker process {worker.process.pid} died "
+                            f"with the job outstanding"
+                        )
+                        job.event.set()
+        telemetry.add("pool.worker_crashes", len(dead))
+        if not self._closed:
+            with self._spawn_env():
+                with self._lock:
+                    while len(self._workers) < self.num_workers:
+                        self._workers.append(self._spawn_worker())
+
+    def call(self, fn: Callable[..., Any], *args: Any) -> Any:
+        if self._closed:
+            raise ReproError("process backend is shut down")
+        self.start()
+        try:
+            payload = pickle.dumps((fn, args))
+        except Exception as exc:
+            raise ReproError(
+                f"task {getattr(fn, '__name__', fn)!r} cannot be shipped "
+                f"to a worker process: {exc}; process-backend tasks and "
+                f"their arguments must pickle (move array payloads into "
+                f"shared memory)"
+            ) from exc
+        job = _Job()
+        with self._lock:
+            self._job_seq += 1
+            job_id = self._job_seq
+            worker = min(
+                (w for w in self._workers if w.process.is_alive()),
+                key=lambda w: len(w.outstanding),
+                default=None,
+            )
+            if worker is None:
+                raise WorkerCrashedError("no live worker processes")
+            worker.outstanding.add(job_id)
+            self._jobs[job_id] = job
+        worker.requests.put((job_id, payload))
+        telemetry.add("pool.shipped_jobs", 1)
+        while not job.event.wait(timeout=0.2):
+            self._reap_dead_workers()
+        if job.error is not None:
+            raise job.error
+        return job.result
+
+
+def make_backend(name: str, num_workers: int) -> ExecutionBackend:
+    """Instantiate the backend registered under ``name``."""
+    validate_backend(name)
+    if name == "serial":
+        return SerialBackend()
+    if name == "thread":
+        return ThreadBackend()
+    return ProcessBackend(num_workers)
+
+
+# -- worker-side engine execution over shared memory ------------------------
+#
+# Everything below runs inside the spawned workers.  State persists for
+# the worker's lifetime: engines (with their generated kernels and
+# scratch workspaces) are cached per construction key, and shared-memory
+# attachments are cached per segment name, so steady-state calls do no
+# codegen, no allocation and no cross-process copies.
+
+_ENGINE_CACHE: dict = {}
+_ATTACH_CACHE: "OrderedDict[str, shm.SharedArray]" = OrderedDict()
+
+
+def _cached_engine(engine_name: str, spec, kwargs_items: tuple):
+    key = (engine_name, spec, kwargs_items)
+    engine = _ENGINE_CACHE.get(key)
+    if engine is None:
+        # Engine classes register themselves on import; a spawned
+        # interpreter starts with an empty registry.
+        import repro.ops.gemm_conv  # noqa: F401
+        import repro.ops.reference_engine  # noqa: F401
+        import repro.sparse.engine  # noqa: F401
+        import repro.stencil.engine  # noqa: F401
+        from repro.ops.engine import make_engine
+
+        engine = make_engine(engine_name, spec, **dict(kwargs_items))
+        _ENGINE_CACHE[key] = engine
+    return engine
+
+
+def _cached_attach(descriptor: shm.ShmDescriptor):
+    seg = _ATTACH_CACHE.get(descriptor.name)
+    if seg is not None:
+        _ATTACH_CACHE.move_to_end(descriptor.name)
+        return seg.ndarray
+    seg = shm.SharedArray.attach(descriptor)
+    _ATTACH_CACHE[descriptor.name] = seg
+    while len(_ATTACH_CACHE) > _ATTACH_CACHE_SIZE:
+        _, old = _ATTACH_CACHE.popitem(last=False)
+        old.close()
+    return seg.ndarray
+
+
+def run_engine_slice(
+    engine_name: str,
+    spec,
+    kwargs_items: tuple,
+    method: str,
+    primary_desc: shm.ShmDescriptor,
+    shared_desc: shm.ShmDescriptor,
+    out_desc: shm.ShmDescriptor,
+    lo: int,
+    hi: int,
+    slot: int | None,
+) -> None:
+    """Run one engine method over ``[lo, hi)`` directly in shared memory.
+
+    ``forward`` / ``backward_data`` write their output slice into
+    ``out[lo:hi]``; ``backward_weights`` (``slot`` set) slices *both*
+    operands and writes its per-worker partial into ``out[slot]``.  The
+    return value is None on purpose -- results live in the segments.
+    """
+    engine = _cached_engine(engine_name, spec, kwargs_items)
+    primary = _cached_attach(primary_desc)
+    shared = _cached_attach(shared_desc)
+    out = _cached_attach(out_desc)
+    if slot is not None:
+        out[slot] = engine.backward_weights(primary[lo:hi], shared[lo:hi])
+    else:
+        out[lo:hi] = getattr(engine, method)(primary[lo:hi], shared)
+
+
+def worker_diagnostics() -> dict[str, Any]:
+    """Worker-side cache/identity info (shipped back for tests)."""
+    return {
+        "pid": os.getpid(),
+        "engines_cached": len(_ENGINE_CACHE),
+        "segments_attached": len(_ATTACH_CACHE),
+        "executable": sys.executable,
+    }

@@ -1,14 +1,24 @@
-"""Parallel execution of convolution engines over real threads.
+"""Parallel execution of convolution engines over a pluggable backend.
 
 Wraps any registered single-threaded :class:`repro.ops.engine.ConvEngine`
 and executes its batch methods with image-level parallelism on a
 :class:`repro.runtime.pool.WorkerPool` -- the executable counterpart of
-the machine model's GEMM-in-Parallel scheduling.  Each worker processes a
-contiguous slice of the batch with its own engine instance (generated
-kernels and scratch state are not shared across threads).
+the machine model's GEMM-in-Parallel scheduling.  Each worker processes
+a contiguous slice of the batch with its own engine instance (generated
+kernels and scratch state are not shared across workers).
 
-Weight gradients are accumulated per worker and reduced at the end, so
-results are independent of the worker count up to float addition order.
+Memory behavior: the executor pre-allocates **one** output array per
+call and workers write their ``[lo, hi)`` slice in place -- there is no
+per-worker chunk list and no final ``np.concatenate``/``np.stack``.
+Under the process backend the batch operands are published once into
+shared-memory segments (:mod:`repro.runtime.shm`) that workers attach
+zero-copy; segments are owned by a per-executor arena and *reused*
+across calls while shapes are stable, then unlinked on ``close()`` (or
+by the arena's finalizer -- never leaked, even when a task faults).
+
+Weight gradients are accumulated per worker and reduced in the parent
+in fixed range order, so results are bit-identical across the serial,
+thread and process backends for a given worker count.
 """
 
 from __future__ import annotations
@@ -20,33 +30,47 @@ from repro.core.convspec import ConvSpec
 from repro.errors import ReproError
 from repro.ops.engine import ConvEngine, make_engine
 from repro.resilience.policy import RetryPolicy
+from repro.runtime.backends import run_engine_slice
 from repro.runtime.pool import WorkerPool
+from repro.runtime.shm import ShmArena
 
 
 class ParallelExecutor:
-    """Run a named engine's FP/BP over a batch with worker threads."""
+    """Run a named engine's FP/BP over a batch on the pool's backend."""
 
     def __init__(self, engine_name: str, spec: ConvSpec,
                  pool: WorkerPool | None = None,
-                 policy: RetryPolicy | None = None, **engine_kwargs):
+                 policy: RetryPolicy | None = None,
+                 backend: str = "thread", **engine_kwargs):
         self.spec = spec
         self.engine_name = engine_name
-        self.pool = pool or WorkerPool(policy=policy)
+        self.pool = pool or WorkerPool(policy=policy, backend=backend)
         self._owns_pool = pool is None
+        self._engine_kwargs = dict(engine_kwargs)
+        self._arena = ShmArena()
         # One engine per worker: generated kernels are stateless but cheap
-        # scratch decisions (e.g. CT-CSR buffers) must not be shared.
-        self._engines: list[ConvEngine] = [
-            make_engine(engine_name, spec, **engine_kwargs)
-            for _ in range(self.pool.num_workers)
-        ]
+        # scratch decisions (e.g. CT-CSR buffers, unfold workspaces) must
+        # not be shared.  Under the process backend the engines live in
+        # the worker processes instead (cached per construction key).
+        self._engines: list[ConvEngine] = []
+        if self.pool.backend_name != "process":
+            self._engines = [
+                make_engine(engine_name, spec, **engine_kwargs)
+                for _ in range(self.pool.num_workers)
+            ]
 
     @property
     def name(self) -> str:
         """The wrapped engine's registry name (ConvEngine-compatible)."""
         return self.engine_name
 
+    def release_workspace(self) -> None:
+        """Unlink this executor's shared-memory segments now."""
+        self._arena.release()
+
     def close(self) -> None:
-        """Shut the pool down if this executor created it."""
+        """Release segments; shut the pool down if this executor made it."""
+        self.release_workspace()
         if self._owns_pool:
             self.pool.shutdown()
 
@@ -59,24 +83,87 @@ class ParallelExecutor:
     def _engine_for(self, worker_index: int) -> ConvEngine:
         return self._engines[worker_index % len(self._engines)]
 
+    # -- shared-memory dispatch (process backend) -------------------------
+
+    def _publish(self, role: str, array: np.ndarray):
+        """Copy ``array`` into the arena's reusable segment for ``role``."""
+        seg = self._arena.ensure(role, array.shape, array.dtype)
+        seg.ndarray[...] = array
+        return seg
+
+    def _shipped_thunks(self, method: str, primary: np.ndarray,
+                        shared: np.ndarray, out_shape: tuple[int, ...],
+                        out_dtype, ranges: list[tuple[int, int]],
+                        per_worker_out: bool):
+        """Thunks that run the engine slices inside worker processes."""
+        backend = self.pool._require_backend()
+        primary_seg = self._publish(f"{method}/primary", primary)
+        shared_seg = self._publish(f"{method}/shared", shared)
+        out_seg = self._arena.ensure(f"{method}/out", out_shape, out_dtype)
+        kwargs_items = tuple(sorted(self._engine_kwargs.items()))
+        out_view = out_seg.ndarray
+
+        def make(index: int, lo: int, hi: int):
+            slot = index if per_worker_out else None
+
+            def thunk() -> np.ndarray:
+                backend.call(
+                    run_engine_slice, self.engine_name, self.spec,
+                    kwargs_items, method, primary_seg.descriptor,
+                    shared_seg.descriptor, out_seg.descriptor, lo, hi, slot,
+                )
+                # Return the freshly written region: the pool's
+                # ``pool.result`` corrupt site applies to it, and the
+                # caller copies it out of shared memory.
+                return out_view[slot] if per_worker_out else out_view[lo:hi]
+
+            return thunk
+
+        return [make(i, lo, hi) for i, (lo, hi) in enumerate(ranges)]
+
+    # -- sliced execution -------------------------------------------------
+
     def _run_sliced(self, method: str, primary: np.ndarray,
                     shared: np.ndarray) -> np.ndarray:
         batch = primary.shape[0]
         if batch == 0:
             raise ReproError("empty batch")
         ranges = self.pool.assignment(batch)
-        outputs: list[np.ndarray | None] = [None] * len(ranges)
+        item_shape = (self.spec.output_shape if method == "forward"
+                      else self.spec.input_shape)
+        dtype = np.result_type(primary, shared)
+        out = np.empty((batch,) + item_shape, dtype=dtype)
 
-        def task(index: int) -> None:
-            lo, hi = ranges[index]
-            engine = self._engine_for(index)
-            outputs[index] = getattr(engine, method)(primary[lo:hi], shared)
+        if self.pool.backend_name == "process":
+            thunks = self._shipped_thunks(
+                method, primary, shared, out.shape, dtype, ranges,
+                per_worker_out=False,
+            )
+        else:
+            def make(index: int, lo: int, hi: int):
+                engine = self._engine_for(index)
 
+                def thunk() -> np.ndarray:
+                    out[lo:hi] = getattr(engine, method)(
+                        primary[lo:hi], shared
+                    )
+                    return out[lo:hi]
+
+                return thunk
+
+            thunks = [make(i, lo, hi) for i, (lo, hi) in enumerate(ranges)]
+
+        metas = [{"lo": lo, "hi": hi} for lo, hi in ranges]
         with telemetry.span(f"executor/{method}", engine=self.engine_name,
                             batch=batch, workers=len(ranges)):
-            self.pool.map_items(task, len(ranges))
-        chunks = [c for c in outputs if c is not None]
-        return np.concatenate(chunks, axis=0)
+            results = self.pool.run_tasks(thunks, metas)
+        # Adopt any result that does not already live in ``out``: slices
+        # coming back from shared memory, and arrays the fault layer
+        # replaced with corrupted copies.
+        for (lo, hi), result in zip(ranges, results):
+            if isinstance(result, np.ndarray) and result.base is not out:
+                out[lo:hi] = result
+        return out
 
     # -- batch API mirroring ConvEngine -----------------------------------
 
@@ -94,20 +181,35 @@ class ParallelExecutor:
         if batch == 0:
             raise ReproError("empty batch")
         ranges = self.pool.assignment(batch)
-        partials: list[np.ndarray | None] = [None] * len(ranges)
+        partial_shape = (len(ranges),) + self.spec.weight_shape
+        dtype = out_error.dtype
 
-        def task(index: int) -> None:
-            lo, hi = ranges[index]
-            engine = self._engine_for(index)
-            partials[index] = engine.backward_weights(
-                out_error[lo:hi], inputs[lo:hi]
+        if self.pool.backend_name == "process":
+            thunks = self._shipped_thunks(
+                "backward_weights", out_error, inputs, partial_shape, dtype,
+                ranges, per_worker_out=True,
             )
+        else:
+            def make(index: int, lo: int, hi: int):
+                engine = self._engine_for(index)
 
+                def thunk() -> np.ndarray:
+                    return engine.backward_weights(
+                        out_error[lo:hi], inputs[lo:hi]
+                    )
+
+                return thunk
+
+            thunks = [make(i, lo, hi) for i, (lo, hi) in enumerate(ranges)]
+
+        metas = [{"lo": lo, "hi": hi} for lo, hi in ranges]
         with telemetry.span("executor/backward_weights",
                             engine=self.engine_name, batch=batch,
                             workers=len(ranges)):
-            self.pool.map_items(task, len(ranges))
-        total = np.zeros(self.spec.weight_shape, dtype=out_error.dtype)
+            partials = self.pool.run_tasks(thunks, metas)
+        # Fixed reduction order (range order) keeps the result identical
+        # across backends and worker schedules.
+        total = np.zeros(self.spec.weight_shape, dtype=dtype)
         for partial in partials:
             if partial is not None:
                 total += partial

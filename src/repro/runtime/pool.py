@@ -2,35 +2,53 @@
 
 The paper's spg-CNN techniques all parallelize at the *image* level
 (GEMM-in-Parallel, and likewise the stencil and sparse kernels).  This
-pool runs those per-image kernels on real threads: the numpy operations
-that dominate each kernel release the GIL, so image-level parallelism
-yields real concurrency even from Python.
+pool runs those per-image kernels on a pluggable execution backend
+(:mod:`repro.runtime.backends`):
+
+* ``backend="thread"``  (default) -- real threads; the numpy operations
+  that dominate the GEMM kernels release the GIL, so image-level
+  parallelism yields real concurrency even from Python.
+* ``backend="process"`` -- persistent spawned worker processes; the
+  pure-Python hot loops (generated stencil blocks, sparse accumulation,
+  unfold) run concurrently too, because each worker owns its own GIL.
+  Tasks must pickle; array payloads travel through
+  :mod:`repro.runtime.shm` segments.
+* ``backend="serial"`` -- tasks run inline in range order: the
+  determinism reference and the zero-overhead single-core baseline.
 
 The pool is deliberately minimal -- ``map_batches`` mirrors the paper's
 scheduling (contiguous image ranges per core, Sec. 4.1) and is what the
 :class:`repro.runtime.parallel.ParallelExecutor` builds on.
 
 Fault handling: when a :class:`repro.resilience.policy.RetryPolicy` is
-attached (explicitly, or ambiently via ``apply_policy``), ``map_batches``
-runs its tasks under supervision -- bounded retries with backoff for
-attempts that raise, per-attempt deadlines with straggler reassignment
-for attempts that hang -- and the chaos sites ``pool.task`` /
-``pool.result`` let :mod:`repro.resilience.faults` exercise exactly
-those paths deterministically.
+attached (explicitly, or ambiently via ``apply_policy``), tasks run
+under supervision -- bounded retries with backoff for attempts that
+raise, per-attempt deadlines with straggler reassignment for attempts
+that hang -- and the chaos sites ``pool.task`` / ``pool.result`` let
+:mod:`repro.resilience.faults` exercise exactly those paths
+deterministically.  Both sites wrap the *dispatch* of a task, on the
+parent side, so a chaos plan fires identically under every backend.
 """
 
 from __future__ import annotations
 
+import functools
 import os
 import weakref
-from concurrent.futures import ThreadPoolExecutor, wait
-from typing import Callable, TypeVar
+from concurrent.futures import Executor, Future, ThreadPoolExecutor, wait
+from typing import Any, Callable, Mapping, Sequence, TypeVar
 
 from repro import telemetry
 from repro.blas.gemm import partition_rows
 from repro.errors import ReproError
 from repro.resilience import faults
 from repro.resilience.policy import RetryPolicy, active_policy, run_supervised
+from repro.runtime.backends import (
+    BACKEND_NAMES,
+    ExecutionBackend,
+    ProcessBackend,
+    make_backend,
+)
 
 T = TypeVar("T")
 
@@ -40,35 +58,80 @@ def default_worker_count() -> int:
     return max(1, os.cpu_count() or 1)
 
 
+class _InlineExecutor(Executor):
+    """An Executor whose submit() runs the callable immediately.
+
+    Lets the serial backend reuse :func:`run_supervised` unchanged:
+    attempts execute inline in submission order, retries included
+    (deadlines never fire because every attempt finishes before the
+    supervision loop observes it).
+    """
+
+    def submit(self, fn, /, *args, **kwargs):  # noqa: D102
+        future: Future = Future()
+        try:
+            future.set_result(fn(*args, **kwargs))
+        except BaseException as exc:  # noqa: BLE001 - routed via the future
+            future.set_exception(exc)
+        return future
+
+
+def _item_range_task(task: Callable[[int], T], lo: int, hi: int) -> list[T]:
+    """Module-level body of ``map_items`` ranges (picklable for spawn)."""
+    return [task(i) for i in range(lo, hi)]
+
+
 class WorkerPool:
-    """A fixed set of worker threads executing image-range tasks."""
+    """A fixed set of workers executing image-range tasks."""
 
     def __init__(self, num_workers: int | None = None,
-                 policy: RetryPolicy | None = None):
+                 policy: RetryPolicy | None = None,
+                 backend: str | ExecutionBackend = "thread"):
         if num_workers is not None and num_workers <= 0:
             raise ReproError(f"num_workers must be positive, got {num_workers}")
         self.num_workers = num_workers or default_worker_count()
         self.policy = policy
+        if isinstance(backend, ExecutionBackend):
+            self._backend: ExecutionBackend | None = backend
+            self.backend_name = backend.name
+        else:
+            if backend not in BACKEND_NAMES:
+                raise ReproError(
+                    f"unknown execution backend {backend!r}; "
+                    f"known: {BACKEND_NAMES}"
+                )
+            self._backend = None  # built lazily (process spawn is costly)
+            self.backend_name = backend
         self._executor: ThreadPoolExecutor | None = None
         self._finalizer: weakref.finalize | None = None
+        self._backend_finalizer: weakref.finalize | None = None
 
     # -- lifecycle --------------------------------------------------------
 
     def __enter__(self) -> "WorkerPool":
-        self._require_executor()
+        if self.backend_name != "serial":
+            self._require_executor()
         return self
 
     def __exit__(self, *exc_info) -> None:
         self.shutdown()
 
     def shutdown(self) -> None:
-        """Stop the worker threads (idempotent; the pool may be reused)."""
+        """Stop the workers (idempotent; the pool may be reused)."""
         if self._finalizer is not None:
             self._finalizer.detach()
             self._finalizer = None
         if self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None
+        if self._backend_finalizer is not None:
+            self._backend_finalizer.detach()
+            self._backend_finalizer = None
+        if self._backend is not None:
+            self._backend.shutdown()
+            if self.backend_name == "process":
+                # A fresh use after shutdown() respawns workers.
+                self._backend = None
 
     def _require_executor(self) -> ThreadPoolExecutor:
         if self._executor is None:
@@ -81,6 +144,18 @@ class WorkerPool:
             self._finalizer = weakref.finalize(self, executor.shutdown, False)
         return self._executor
 
+    def _require_backend(self) -> ExecutionBackend:
+        if self._backend is None:
+            self._backend = make_backend(self.backend_name, self.num_workers)
+        if isinstance(self._backend, ProcessBackend):
+            needs_finalizer = self._backend_finalizer is None
+            self._backend.start()
+            if needs_finalizer:
+                self._backend_finalizer = weakref.finalize(
+                    self, self._backend.shutdown
+                )
+        return self._backend
+
     # -- execution --------------------------------------------------------
 
     def assignment(self, batch_size: int) -> list[tuple[int, int]]:
@@ -92,6 +167,56 @@ class WorkerPool:
     def _effective_policy(self) -> RetryPolicy | None:
         return self.policy if self.policy is not None else active_policy()
 
+    def run_tasks(
+        self,
+        thunks: Sequence[Callable[[], T]],
+        metas: Sequence[Mapping[str, Any]] | None = None,
+    ) -> list[T]:
+        """Run parent-side thunks with spans, fault sites and supervision.
+
+        The scheduling primitive beneath ``map_batches``: each thunk is
+        wrapped in a ``pool/task`` telemetry span and the ``pool.task``
+        / ``pool.result`` fault sites, then executed on this pool's
+        backend -- inline in order (serial), on the dispatcher threads
+        (thread), or blocking on a worker-process round-trip (process;
+        the thunk itself performs the shipping).  Results come back in
+        thunk order; the first failure propagates after every sibling
+        resolved.  Under a retry policy, thunks must be idempotent.
+        """
+        metas = metas or [{} for _ in thunks]
+        policy = self._effective_policy()
+        telemetry.add("pool.tasks", len(thunks))
+        telemetry.gauge("pool.queue_occupancy", len(thunks))
+
+        def run(index: int) -> T:
+            meta = dict(metas[index])
+            with telemetry.span("pool/task", worker=index, **meta):
+                faults.perturb("pool.task", worker=index, **meta)
+                return faults.corrupt_array("pool.result", thunks[index]())
+
+        serial = self.backend_name == "serial"
+        if policy is None:
+            if serial or len(thunks) == 1:
+                return [run(i) for i in range(len(thunks))]
+            executor = self._require_executor()
+            futures = [executor.submit(run, i) for i in range(len(thunks))]
+            # Let every sibling task finish before propagating any
+            # failure, as documented -- callers must never observe a
+            # task still running after run_tasks raised.
+            wait(futures)
+            for f in futures:
+                error = f.exception()
+                if error is not None:
+                    raise error
+            return [f.result() for f in futures]
+        supervisor: Executor = (
+            _InlineExecutor() if serial else self._require_executor()
+        )
+        wrapped = [
+            (lambda i=i: run(i)) for i in range(len(thunks))
+        ]
+        return run_supervised(supervisor, wrapped, policy)
+
     def map_batches(
         self, task: Callable[[int, int], T], batch_size: int
     ) -> list[T]:
@@ -101,45 +226,31 @@ class WorkerPool:
         caller after all submitted tasks finish.  Under a retry policy,
         failing attempts are retried and hanging attempts reassigned
         first; tasks must be idempotent (pure functions of their range).
+        Under the process backend the task and its captured state must
+        pickle -- ship arrays through :mod:`repro.runtime.shm` instead
+        of capturing them.
         """
         ranges = self.assignment(batch_size)
-        policy = self._effective_policy()
-        telemetry.add("pool.tasks", len(ranges))
-        telemetry.gauge("pool.queue_occupancy", len(ranges))
-
-        def run(index: int, lo: int, hi: int) -> T:
-            with telemetry.span("pool/task", worker=index, lo=lo, hi=hi):
-                faults.perturb("pool.task", worker=index, lo=lo, hi=hi)
-                return faults.corrupt_array("pool.result", task(lo, hi))
-
-        if len(ranges) == 1 and policy is None:
-            lo, hi = ranges[0]
-            return [run(0, lo, hi)]
-        executor = self._require_executor()
-        if policy is not None:
+        if self.backend_name == "process":
+            backend = self._require_backend()
             thunks = [
-                (lambda i=i, lo=lo, hi=hi: run(i, lo, hi))
-                for i, (lo, hi) in enumerate(ranges)
+                (lambda lo=lo, hi=hi: backend.call(task, lo, hi))
+                for lo, hi in ranges
             ]
-            return run_supervised(executor, thunks, policy)
-        futures = [
-            executor.submit(run, i, lo, hi) for i, (lo, hi) in enumerate(ranges)
-        ]
-        # Let every sibling task finish before propagating any failure, as
-        # documented -- callers must never observe a task still running
-        # after map_batches raised.
-        wait(futures)
-        for f in futures:
-            error = f.exception()
-            if error is not None:
-                raise error
-        return [f.result() for f in futures]
+        else:
+            thunks = [
+                (lambda lo=lo, hi=hi: task(lo, hi)) for lo, hi in ranges
+            ]
+        metas = [{"lo": lo, "hi": hi} for lo, hi in ranges]
+        return self.run_tasks(thunks, metas)
 
     def map_items(self, task: Callable[[int], T], count: int) -> list[T]:
-        """Run ``task(i)`` for every item index, spread over the workers."""
+        """Run ``task(i)`` for every item index, spread over the workers.
 
-        def run_range(lo: int, hi: int) -> list[T]:
-            return [task(i) for i in range(lo, hi)]
-
-        nested = self.map_batches(run_range, count)
+        Under the process backend ``task`` itself must pickle (the range
+        wrapper around it already does).
+        """
+        nested = self.map_batches(
+            functools.partial(_item_range_task, task), count
+        )
         return [item for chunk in nested for item in chunk]

@@ -1,0 +1,265 @@
+"""Named shared-memory ndarray segments with explicit lifecycle.
+
+The process execution backend (:mod:`repro.runtime.backends`) moves
+batch slices between the parent and its persistent worker processes
+through POSIX shared memory: the parent *creates* a named segment and
+copies a tensor in once, every worker *attaches* to the same name and
+maps the identical pages, and results are written straight into a
+shared output segment -- no pickling of array payloads, no per-call
+copies across the process boundary.
+
+:class:`SharedArray` wraps one ``multiprocessing.shared_memory``
+segment as an ndarray with an explicit, leak-checked lifecycle:
+
+* ``SharedArray.create(shape, dtype)`` -- allocate a named segment (the
+  *owner* side).  Owners must eventually call :meth:`unlink`.
+* ``SharedArray.attach(descriptor)`` -- map an existing segment by its
+  :class:`ShmDescriptor` (the *worker* side).  Attachers only
+  :meth:`close`; they never unlink.
+* both sides are context managers: ``with`` closes (and unlinks, for
+  owners) even when the body raises.
+
+Every owned segment is recorded in a process-local registry until it is
+unlinked, so tests (and the CI leak check) can assert that no segment
+outlives its run: :func:`owned_segments` must be empty after a clean
+shutdown.  Segment names all carry the :data:`SEGMENT_PREFIX` so a
+``/dev/shm`` scan can tell our segments from anything else on the host.
+
+:class:`ShmArena` groups several owned segments under one lifetime --
+the :class:`~repro.runtime.parallel.ParallelExecutor` keeps one arena
+per executor and reuses segments across calls when shapes match
+(workspace reuse), releasing everything in one ``release()`` (or, as a
+fault net, from a ``weakref.finalize`` when the owner is collected).
+
+Python 3.11's ``SharedMemory`` registers *attached* segments with the
+``multiprocessing`` resource tracker, which then unlinks them when the
+attaching process exits -- destroying a segment the parent still owns
+(fixed only in 3.13 via ``track=False``).  :meth:`SharedArray.attach`
+therefore unregisters the mapping from the tracker: lifetime is owned
+explicitly here, not by the tracker.
+"""
+
+from __future__ import annotations
+
+import os
+import secrets
+import threading
+import weakref
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+
+import numpy as np
+
+from repro.errors import ReproError
+
+#: Prefix of every segment name this module creates; the CI leak check
+#: greps ``/dev/shm`` for it after the test run.
+SEGMENT_PREFIX = "repro-shm-"
+
+
+def _new_segment_name() -> str:
+    return f"{SEGMENT_PREFIX}{os.getpid():x}-{secrets.token_hex(4)}"
+
+
+# -- leak registry ----------------------------------------------------------
+
+_OWNED: set[str] = set()
+_OWNED_LOCK = threading.Lock()
+
+
+def _register_owned(name: str) -> None:
+    with _OWNED_LOCK:
+        _OWNED.add(name)
+
+
+def _unregister_owned(name: str) -> None:
+    with _OWNED_LOCK:
+        _OWNED.discard(name)
+
+
+def owned_segments() -> tuple[str, ...]:
+    """Names of segments this process created and has not yet unlinked.
+
+    A non-empty result after all pools/executors are closed is a leak.
+    """
+    with _OWNED_LOCK:
+        return tuple(sorted(_OWNED))
+
+
+@dataclass(frozen=True)
+class ShmDescriptor:
+    """A picklable handle naming a segment and its ndarray geometry."""
+
+    name: str
+    shape: tuple[int, ...]
+    dtype: str
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ReproError("shm descriptor needs a segment name")
+
+
+class SharedArray:
+    """One ndarray backed by a named shared-memory segment."""
+
+    def __init__(self, shm: shared_memory.SharedMemory,
+                 shape: tuple[int, ...], dtype: np.dtype, owner: bool):
+        self._shm: shared_memory.SharedMemory | None = shm
+        self.shape = tuple(int(s) for s in shape)
+        self.dtype = np.dtype(dtype)
+        self.owner = owner
+        self._ndarray: np.ndarray | None = np.ndarray(
+            self.shape, dtype=self.dtype, buffer=shm.buf
+        )
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def create(cls, shape: tuple[int, ...],
+               dtype: np.dtype | str = np.float32) -> "SharedArray":
+        """Allocate a fresh owned segment sized for ``shape``/``dtype``."""
+        dtype = np.dtype(dtype)
+        nbytes = max(1, int(np.prod(shape, dtype=np.int64)) * dtype.itemsize)
+        shm = shared_memory.SharedMemory(
+            create=True, size=nbytes, name=_new_segment_name()
+        )
+        _register_owned(shm.name)
+        return cls(shm, tuple(shape), dtype, owner=True)
+
+    @classmethod
+    def from_array(cls, array: np.ndarray) -> "SharedArray":
+        """Allocate an owned segment holding a copy of ``array``."""
+        seg = cls.create(array.shape, array.dtype)
+        seg.ndarray[...] = array
+        return seg
+
+    @classmethod
+    def attach(cls, descriptor: ShmDescriptor) -> "SharedArray":
+        """Map an existing segment by descriptor (never unlinks it)."""
+        shm = shared_memory.SharedMemory(name=descriptor.name)
+        try:
+            # Python 3.11 tracks attached segments and unlinks them when
+            # this process exits; ownership lives with the creator, so
+            # take the mapping back out of the tracker's hands.
+            resource_tracker.unregister(shm._name, "shared_memory")  # noqa: SLF001
+        except Exception:  # pragma: no cover - tracker internals moved
+            pass
+        return cls(shm, descriptor.shape, np.dtype(descriptor.dtype),
+                   owner=False)
+
+    # -- access -----------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        if self._shm is None:
+            raise ReproError("shared array is closed")
+        return self._shm.name
+
+    @property
+    def ndarray(self) -> np.ndarray:
+        """The live ndarray view onto the segment."""
+        if self._ndarray is None:
+            raise ReproError("shared array is closed")
+        return self._ndarray
+
+    @property
+    def descriptor(self) -> ShmDescriptor:
+        """The picklable handle workers attach with."""
+        return ShmDescriptor(name=self.name, shape=self.shape,
+                             dtype=self.dtype.str)
+
+    def matches(self, shape: tuple[int, ...], dtype: np.dtype | str) -> bool:
+        """True when this segment can hold ``shape``/``dtype`` as-is."""
+        return (self._shm is not None and self.shape == tuple(shape)
+                and self.dtype == np.dtype(dtype))
+
+    # -- lifecycle --------------------------------------------------------
+
+    def close(self) -> None:
+        """Drop this process's mapping (idempotent)."""
+        if self._shm is None:
+            return
+        # The ndarray view must be released before the buffer can be
+        # unmapped, or SharedMemory.close() raises BufferError.
+        self._ndarray = None
+        self._shm.close()
+        self._shm = None
+
+    def unlink(self) -> None:
+        """Destroy the segment (owner side; closes first; idempotent)."""
+        if self._shm is None:
+            return
+        if not self.owner:
+            raise ReproError(
+                f"segment {self._shm.name} was attached, not created; "
+                f"only the owner unlinks"
+            )
+        name = self._shm.name
+        self.close()
+        try:
+            shared_memory.SharedMemory(name=name).unlink()
+        except FileNotFoundError:  # pragma: no cover - double unlink race
+            pass
+        _unregister_owned(name)
+
+    def __enter__(self) -> "SharedArray":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if self.owner:
+            self.unlink()
+        else:
+            self.close()
+
+
+class ShmArena:
+    """A set of owned segments reused across calls, freed together.
+
+    ``ensure(role, shape, dtype)`` returns the arena's segment for
+    ``role``, reallocating only when the requested geometry changed --
+    the shared-memory counterpart of the engines' scratch
+    :class:`~repro.ops.workspace.Workspace`.  ``release()`` unlinks
+    everything; a ``weakref.finalize`` releases leftover segments when
+    the arena is garbage-collected, so a dropped arena can never leak
+    past the owning process's lifetime.
+    """
+
+    def __init__(self):
+        self._segments: dict[str, SharedArray] = {}
+        self._finalizer = weakref.finalize(
+            self, ShmArena._release_segments, self._segments
+        )
+
+    @staticmethod
+    def _release_segments(segments: dict[str, SharedArray]) -> None:
+        for seg in segments.values():
+            try:
+                seg.unlink()
+            except Exception:  # pragma: no cover - best-effort fault net
+                pass
+        segments.clear()
+
+    def ensure(self, role: str, shape: tuple[int, ...],
+               dtype: np.dtype | str) -> SharedArray:
+        """The segment for ``role``, reallocated only on geometry change."""
+        seg = self._segments.get(role)
+        if seg is not None and seg.matches(shape, dtype):
+            return seg
+        if seg is not None:
+            seg.unlink()
+        seg = SharedArray.create(tuple(shape), dtype)
+        self._segments[role] = seg
+        return seg
+
+    def release(self) -> None:
+        """Unlink every segment now (idempotent)."""
+        ShmArena._release_segments(self._segments)
+
+    def __len__(self) -> int:
+        return len(self._segments)
+
+    def __enter__(self) -> "ShmArena":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()

@@ -17,6 +17,7 @@ import numpy as np
 from repro.core.convspec import ConvSpec
 from repro.ops import layout, reference
 from repro.ops.engine import ConvEngine, register_engine
+from repro.ops.workspace import Workspace
 from repro.sparse.codegen import emit_sparse_backward_data, emit_sparse_backward_weights
 from repro.sparse.ctcsr import DEFAULT_TILE_COLS
 from repro.sparse.kernels import compress_error
@@ -35,6 +36,12 @@ class SparseBPEngine(ConvEngine):
         self.tile_cols = tile_cols
         self._bp_kernel = emit_sparse_backward_data(spec)
         self._dw_kernel = emit_sparse_backward_weights(spec)
+        #: Reusable scratch (HWC error image, sparse dW layout).
+        self.workspace = Workspace()
+
+    def release_workspace(self) -> None:
+        """Drop the reusable scratch buffers."""
+        self.workspace.release()
 
     @property
     def backward_data_source(self) -> str:
@@ -44,18 +51,25 @@ class SparseBPEngine(ConvEngine):
     def forward(self, inputs: np.ndarray, weights: np.ndarray) -> np.ndarray:
         self._check_batch_inputs(inputs)
         self._check_weights(weights)
-        return np.stack([reference.forward(self.spec, img, weights) for img in inputs])
+        out = np.empty(
+            (inputs.shape[0],) + self.spec.output_shape,
+            dtype=np.result_type(inputs, weights),
+        )
+        for b, img in enumerate(inputs):
+            out[b] = reference.forward(self.spec, img, weights)
+        return out
 
     def backward_data(self, out_error: np.ndarray, weights: np.ndarray) -> np.ndarray:
         self._check_batch_out_error(out_error)
         self._check_weights(weights)
         w_layout = layout.weights_to_sparse_layout(self.spec, weights)
         batch = out_error.shape[0]
-        in_err = np.zeros((batch,) + self.spec.input_shape, dtype=out_error.dtype)
+        in_err = np.empty((batch,) + self.spec.input_shape, dtype=out_error.dtype)
         for b in range(batch):
             eo = compress_error(self.spec, out_error[b], tile_cols=self.tile_cols)
-            ei_hwc = np.zeros(
-                (self.spec.ny, self.spec.nx, self.spec.nc), dtype=out_error.dtype
+            ei_hwc = self.workspace.zeros(
+                "bp/ei_hwc", (self.spec.ny, self.spec.nx, self.spec.nc),
+                out_error.dtype,
             )
             self._bp_kernel(eo, w_layout, ei_hwc)
             in_err[b] = layout.hwc_to_chw(ei_hwc)
@@ -64,9 +78,10 @@ class SparseBPEngine(ConvEngine):
     def backward_weights(self, out_error: np.ndarray, inputs: np.ndarray) -> np.ndarray:
         self._check_batch_out_error(out_error)
         self._check_batch_inputs(inputs)
-        dw_layout = np.zeros(
+        dw_layout = self.workspace.zeros(
+            "bw/dw_layout",
             (self.spec.fy, self.spec.fx, self.spec.nf, self.spec.nc),
-            dtype=out_error.dtype,
+            out_error.dtype,
         )
         for b in range(out_error.shape[0]):
             eo = compress_error(self.spec, out_error[b], tile_cols=self.tile_cols)

@@ -36,6 +36,14 @@ class GeneratedKernel:
     def __call__(self, *args, **kwargs):
         return self.func(*args, **kwargs)
 
+    def __reduce__(self):
+        # The exec-compiled function cannot pickle; ship (name, source)
+        # and recompile on the far side.  Codegen is deterministic, so a
+        # kernel crossing a spawn boundary stays identical -- this is
+        # what lets engines holding generated kernels run under the
+        # process execution backend.
+        return (_compile, (self.name, self.source))
+
 
 def _compile(name: str, source: str) -> GeneratedKernel:
     namespace: dict = {"np": np}

@@ -31,6 +31,13 @@ class VLoad:
     y_off: int
     x_off: int
 
+    def __reduce__(self):
+        # frozen + __slots__ defeats default pickling (unpickle falls
+        # back to setattr, which the frozen guard rejects); rebuild by
+        # constructor instead.  Needed to ship engines holding IR across
+        # the process backend's spawn boundary.
+        return (VLoad, (self.dst, self.y_off, self.x_off))
+
 
 @dataclass(frozen=True)
 class VBroadcast:
@@ -41,6 +48,9 @@ class VBroadcast:
     dst: str
     ky: int
     kx: int
+
+    def __reduce__(self):
+        return (VBroadcast, (self.dst, self.ky, self.kx))
 
 
 @dataclass(frozen=True)
@@ -53,6 +63,9 @@ class VFma:
     vec: str
     wvec: str
 
+    def __reduce__(self):
+        return (VFma, (self.acc, self.vec, self.wvec))
+
 
 @dataclass(frozen=True)
 class VStore:
@@ -63,6 +76,9 @@ class VStore:
     acc: str
     ty: int
     tx: int
+
+    def __reduce__(self):
+        return (VStore, (self.acc, self.ty, self.tx))
 
 
 #: The closed set of stencil IR instruction kinds.  A real union (not the

@@ -266,3 +266,87 @@ class TestPackageLint:
         findings = lint_source("broken.py", "def broken(:\n")
         assert len(findings) == 1
         assert "does not parse" in findings[0].message
+
+
+class TestForkSafety:
+    """CHK-FORK: fork/pickle-unsafe captures in pool submissions."""
+
+    def test_lambda_capturing_lock_is_an_error(self):
+        code = """
+        import threading
+
+        def run(pool):
+            lock = threading.Lock()
+            return pool.run_tasks([lambda: work(lock)])
+        """
+        findings = _lint(code)
+        assert any("threading lock" in f.message
+                   and "pickle boundary" in f.message for f in findings)
+
+    def test_nested_function_capturing_shm_handle_is_an_error(self):
+        code = """
+        from repro.runtime.shm import SharedArray
+
+        def run(pool, data):
+            seg = SharedArray.from_array(data)
+            def task(lo, hi):
+                return seg.ndarray[lo:hi].sum()
+            return pool.map_batches(task, data.shape[0])
+        """
+        findings = _lint(code)
+        assert any("shared-memory handle" in f.message for f in findings)
+
+    def test_captured_collector_is_an_error(self):
+        code = """
+        from repro.telemetry import TelemetryCollector
+
+        def run(pool):
+            collector = TelemetryCollector()
+            return pool.map_items(lambda i: collector.add("n", i), 4)
+        """
+        findings = _lint(code)
+        assert any("telemetry collector" in f.message for f in findings)
+
+    def test_open_file_from_with_block_is_an_error(self):
+        code = """
+        def run(pool, path):
+            with open(path) as fh:
+                return pool.run_tasks([lambda: fh.read()])
+        """
+        findings = _lint(code)
+        assert any("file handle" in f.message for f in findings)
+
+    def test_descriptor_shipping_is_clean(self):
+        code = """
+        import functools
+        from repro.runtime.shm import SharedArray
+
+        def run(pool, data, task):
+            seg = SharedArray.from_array(data)
+            try:
+                return pool.map_batches(
+                    functools.partial(task, seg.descriptor), data.shape[0]
+                )
+            finally:
+                seg.unlink()
+        """
+        assert _lint(code) == []
+
+    def test_unsafe_handle_outside_submission_is_clean(self):
+        code = """
+        import threading
+
+        def run(pool):
+            lock = threading.Lock()
+            with lock:
+                return pool.run_tasks([lambda: work()])
+        """
+        assert _lint(code) == []
+
+    def test_safe_captures_are_clean(self):
+        code = """
+        def run(pool, items):
+            scale = 2.0
+            return pool.map_items(lambda i: items[i] * scale, len(items))
+        """
+        assert _lint(code) == []

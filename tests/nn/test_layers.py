@@ -233,3 +233,42 @@ class TestDense:
             layer.forward(np.zeros((2, 5)))
         with pytest.raises(ShapeError):
             DenseLayer(0, 3)
+
+
+class TestConvLayerBackend:
+    def make(self, backend="thread", threads=2):
+        spec = ConvSpec(nc=2, ny=6, nx=6, nf=3, fy=3, fx=3, name="c")
+        return ConvLayer(spec, threads=threads, backend=backend,
+                         rng=np.random.default_rng(5))
+
+    def test_backends_produce_identical_activations(self, rng):
+        x = rng.standard_normal((4, 2, 6, 6)).astype(np.float32)
+        reference = self.make(backend="serial")
+        out_serial = reference.forward(x)
+        for backend in ("thread", "process"):
+            layer = self.make(backend=backend)
+            layer.weights[...] = reference.weights
+            layer.bias[...] = reference.bias
+            try:
+                np.testing.assert_array_equal(layer.forward(x), out_serial)
+            finally:
+                layer.close()
+        reference.close()
+
+    def test_set_backend_rebuilds_and_matches(self, rng):
+        x = rng.standard_normal((4, 2, 6, 6)).astype(np.float32)
+        layer = self.make(backend="thread")
+        expected = layer.forward(x)
+        layer.set_backend("serial")
+        assert layer.backend == "serial"
+        try:
+            np.testing.assert_array_equal(layer.forward(x), expected)
+        finally:
+            layer.close()
+
+    def test_set_backend_same_value_is_a_noop(self):
+        layer = self.make(backend="thread")
+        pool = layer._pool
+        layer.set_backend("thread")
+        assert layer._pool is pool
+        layer.close()

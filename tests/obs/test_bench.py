@@ -30,7 +30,8 @@ class TestSuite:
     def test_suite_covers_every_hot_path(self):
         assert suite_names() == (
             "gemm_blocked", "unfold", "stencil_fp", "ctcsr_build",
-            "sparse_bp", "pool_map", "train_epoch",
+            "sparse_bp", "pool_map", "par_stencil_fp", "par_sparse_bp",
+            "train_epoch",
         )
 
     def test_run_single_benchmark_from_suite(self):

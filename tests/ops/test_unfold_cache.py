@@ -58,3 +58,46 @@ class TestUnfoldCache:
         engine.forward(inputs, weights)
         engine.clear_unfold_cache()
         assert not engine._unfold_cache
+
+
+class TestCacheStaleness:
+    """Regression: dW must never consume unfolds of a *different* batch.
+
+    The cache is keyed by a batch fingerprint (identity, geometry and a
+    content probe), so both a new batch object and an in-place refill of
+    the same buffer invalidate it.
+    """
+
+    def test_backward_weights_rejects_other_batch(self, rng):
+        inputs, weights, err = random_conv_data(SPEC, rng, batch=3)
+        engine = GemmInParallelEngine(SPEC, cache_unfold=True)
+        engine.forward(inputs, weights)
+        other = np.asarray(
+            rng.standard_normal(inputs.shape), dtype=np.float32
+        )
+        dw = engine.backward_weights(err, other)
+        assert engine.unfold_cache_hits == 0
+        oracle = make_engine("reference", SPEC).backward_weights(err, other)
+        np.testing.assert_allclose(dw, oracle, atol=1e-3)
+
+    def test_in_place_refill_of_same_buffer_invalidates(self, rng):
+        inputs, weights, err = random_conv_data(SPEC, rng, batch=3)
+        engine = GemmInParallelEngine(SPEC, cache_unfold=True)
+        engine.forward(inputs, weights)
+        # Same array object, new contents: identity alone would wrongly
+        # hit the cache here; the content probe must catch it.
+        inputs[...] = np.asarray(
+            rng.standard_normal(inputs.shape), dtype=np.float32
+        )
+        dw = engine.backward_weights(err, inputs)
+        assert engine.unfold_cache_hits == 0
+        oracle = make_engine("reference", SPEC).backward_weights(err, inputs)
+        np.testing.assert_allclose(dw, oracle, atol=1e-3)
+
+    def test_same_batch_still_hits_after_repeat_forward(self, rng):
+        inputs, weights, err = random_conv_data(SPEC, rng, batch=2)
+        engine = GemmInParallelEngine(SPEC, cache_unfold=True)
+        engine.forward(inputs, weights)
+        engine.forward(inputs, weights)  # same fingerprint: cache kept
+        engine.backward_weights(err, inputs)
+        assert engine.unfold_cache_hits >= 2

@@ -1,0 +1,149 @@
+"""Tests for the shared-memory segment lifecycle (repro.runtime.shm)."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.runtime.shm import (
+    SEGMENT_PREFIX,
+    SharedArray,
+    ShmArena,
+    ShmDescriptor,
+    owned_segments,
+)
+
+
+@pytest.fixture
+def leak_check():
+    """Assert the test released every segment it created."""
+    before = set(owned_segments())
+    yield
+    leaked = set(owned_segments()) - before
+    assert not leaked, f"leaked shm segments: {sorted(leaked)}"
+
+
+class TestSharedArray:
+    def test_create_write_attach_read(self, leak_check):
+        with SharedArray.create((3, 4), np.float32) as seg:
+            assert seg.name.startswith(SEGMENT_PREFIX)
+            seg.ndarray[...] = 7.0
+            attached = SharedArray.attach(seg.descriptor)
+            try:
+                np.testing.assert_array_equal(
+                    attached.ndarray, np.full((3, 4), 7.0, np.float32)
+                )
+                # Same pages, not a copy: a write on one side is
+                # immediately visible on the other.
+                attached.ndarray[0, 0] = -1.0
+                assert seg.ndarray[0, 0] == -1.0
+            finally:
+                attached.close()
+
+    def test_from_array_copies(self, leak_check):
+        source = np.arange(6, dtype=np.float64).reshape(2, 3)
+        with SharedArray.from_array(source) as seg:
+            source[0, 0] = 99.0
+            assert seg.ndarray[0, 0] == 0.0
+
+    def test_owner_registered_until_unlinked(self):
+        seg = SharedArray.create((2,), np.float32)
+        assert seg.name in owned_segments()
+        name = seg.name
+        seg.unlink()
+        assert name not in owned_segments()
+
+    def test_unlink_is_idempotent(self, leak_check):
+        seg = SharedArray.create((2,), np.float32)
+        seg.unlink()
+        seg.unlink()
+
+    def test_attacher_may_not_unlink(self, leak_check):
+        with SharedArray.create((2,), np.float32) as seg:
+            attached = SharedArray.attach(seg.descriptor)
+            with pytest.raises(ReproError, match="only the owner"):
+                attached.unlink()
+            attached.close()
+
+    def test_access_after_close_raises(self, leak_check):
+        seg = SharedArray.create((2,), np.float32)
+        seg.unlink()
+        with pytest.raises(ReproError, match="closed"):
+            _ = seg.ndarray
+        with pytest.raises(ReproError, match="closed"):
+            _ = seg.name
+
+    def test_owner_context_unlinks_on_error(self):
+        name = None
+        with pytest.raises(RuntimeError):
+            with SharedArray.create((2,), np.float32) as seg:
+                name = seg.name
+                raise RuntimeError("boom")
+        assert name not in owned_segments()
+
+    def test_matches(self, leak_check):
+        with SharedArray.create((2, 3), np.float32) as seg:
+            assert seg.matches((2, 3), np.float32)
+            assert not seg.matches((3, 2), np.float32)
+            assert not seg.matches((2, 3), np.float64)
+
+
+class TestShmDescriptor:
+    def test_descriptor_pickles(self, leak_check):
+        with SharedArray.create((4, 5), np.float64) as seg:
+            descriptor = seg.descriptor
+        clone = pickle.loads(pickle.dumps(descriptor))
+        assert clone == descriptor
+        assert clone.shape == (4, 5)
+        assert np.dtype(clone.dtype) == np.float64
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ReproError, match="segment name"):
+            ShmDescriptor(name="", shape=(1,), dtype="<f4")
+
+
+class TestShmArena:
+    def test_ensure_reuses_matching_geometry(self, leak_check):
+        with ShmArena() as arena:
+            first = arena.ensure("x", (3, 3), np.float32)
+            again = arena.ensure("x", (3, 3), np.float32)
+            assert again is first
+            assert len(arena) == 1
+
+    def test_ensure_reallocates_on_geometry_change(self, leak_check):
+        with ShmArena() as arena:
+            first = arena.ensure("x", (3, 3), np.float32)
+            old_name = first.name
+            second = arena.ensure("x", (5, 2), np.float32)
+            assert second is not first
+            # The stale segment was unlinked, not leaked.
+            assert old_name not in owned_segments()
+            assert len(arena) == 1
+
+    def test_roles_are_independent(self, leak_check):
+        with ShmArena() as arena:
+            a = arena.ensure("a", (2,), np.float32)
+            b = arena.ensure("b", (2,), np.float32)
+            assert a is not b
+            assert len(arena) == 2
+
+    def test_release_unlinks_everything(self):
+        arena = ShmArena()
+        names = [
+            arena.ensure(role, (2, 2), np.float32).name
+            for role in ("p", "q", "r")
+        ]
+        arena.release()
+        assert len(arena) == 0
+        assert not set(names) & set(owned_segments())
+        arena.release()  # idempotent
+
+    def test_finalizer_releases_dropped_arena(self):
+        arena = ShmArena()
+        name = arena.ensure("x", (2,), np.float32).name
+        del arena
+        import gc
+
+        gc.collect()
+        assert name not in owned_segments()

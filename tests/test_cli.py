@@ -279,6 +279,50 @@ class TestBench:
             run(["bench", "--filter", "bogus"])
 
 
+class TestBenchBackend:
+    def _run(self, tmp_path, *extra):
+        return run(["bench", "--repeats", "1",
+                    "--out", str(tmp_path / "bench"),
+                    "--baseline", str(tmp_path / "baseline.json"), *extra])
+
+    def test_backend_recorded_in_artifacts(self, tmp_path):
+        code, _ = self._run(tmp_path, "--filter", "pool_map",
+                            "--backend", "serial")
+        assert code == 0
+        import json
+
+        payload = json.loads(
+            (tmp_path / "bench" / "BENCH_pool_map.json").read_text())
+        assert payload["backend"] == "serial"
+        assert payload["cpu_count"] >= 1
+
+    def test_backend_free_benchmarks_compare_across_backends(self, tmp_path):
+        # gemm_blocked does not touch the pool: a baseline recorded under
+        # one backend must still gate a run under another.
+        assert self._run(tmp_path, "--filter", "gemm_blocked",
+                         "--backend", "serial", "--update-baseline",
+                         "--slowdown", "gemm_blocked=20")[0] == 0
+        code, text = self._run(tmp_path, "--filter", "gemm_blocked",
+                               "--backend", "thread")
+        assert code == 0
+        assert "bench: OK" in text
+        assert "new" not in text
+
+    def test_backend_mismatch_counts_as_new_not_regression(self, tmp_path):
+        assert self._run(tmp_path, "--filter", "pool_map",
+                         "--backend", "serial", "--update-baseline")[0] == 0
+        code, text = self._run(tmp_path, "--filter", "pool_map",
+                               "--backend", "thread",
+                               "--slowdown", "pool_map=100")
+        assert code == 0
+        assert "new" in text
+        assert "REGRESSED" not in text
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(SystemExit):
+            run(["bench", "--backend", "fibers"])
+
+
 class TestCheckOutput:
     def test_out_writes_findings_json(self, tmp_path):
         out = tmp_path / "check.json"
