@@ -32,18 +32,24 @@ from repro.ops.engine import ConvEngine, register_engine
 from repro.ops.workspace import Workspace
 
 
-def _batch_fingerprint(inputs: np.ndarray) -> tuple:
-    """A cheap identity for a batch: object id, geometry, leading bytes.
+def _batch_probe(inputs: np.ndarray) -> tuple:
+    """A cheap content probe for a batch: geometry plus strided samples.
 
-    ``id`` alone is unsafe (freed arrays get their addresses reused) and
-    content hashing the whole batch would cost as much as re-unfolding,
-    so the fingerprint combines the id with the shape, dtype and a small
-    sample of leading bytes -- enough to catch a different batch object
-    *and* the same buffer re-filled with new values.
+    Content hashing the whole batch would cost as much as re-unfolding,
+    so the probe samples 64 elements evenly strided across the *entire*
+    buffer.  Leading bytes alone would be degenerate: convolution layers
+    zero-pad their batches, so the head is identically zero for every
+    batch and zero-leading data (MNIST-style images) collides the same
+    way.  The interior samples catch an in-place refill of the same
+    buffer with new values.
     """
     flat = inputs.reshape(-1)
-    head = flat[: min(64, flat.size)].tobytes()
-    return (id(inputs), inputs.shape, inputs.dtype.str, head)
+    if flat.size <= 64:
+        sample = flat.tobytes()
+    else:
+        offsets = np.linspace(0, flat.size - 1, num=64, dtype=np.int64)
+        sample = flat[offsets].tobytes()
+    return (inputs.shape, inputs.dtype.str, sample)
 
 
 class _UnfoldGemmBase(ConvEngine):
@@ -53,9 +59,11 @@ class _UnfoldGemmBase(ConvEngine):
     forward pass are kept and reused by the following ``backward_weights``
     call on the same batch, halving the unfolding work of one training
     step (the paper's ``2|U|`` accounting assumes the re-read; the cache
-    trades memory for it).  The cache records a fingerprint of the batch
-    it was filled from and silently invalidates itself when any other
-    batch arrives, so stale unfolds can never leak into a gradient.
+    trades memory for it).  The cache pins the batch object it was
+    filled from and records a strided content probe of it, silently
+    invalidating itself when any other batch (or the same buffer with
+    new contents) arrives, so stale unfolds can never leak into a
+    gradient.
     """
 
     def __init__(self, spec: ConvSpec, num_cores: int = 1,
@@ -68,7 +76,13 @@ class _UnfoldGemmBase(ConvEngine):
         self.blocking = blocking or BlockingParams()
         self.cache_unfold = cache_unfold
         self._unfold_cache: dict[int, np.ndarray] = {}
-        self._unfold_cache_key: tuple | None = None
+        # The exact batch object the cache was filled from, held as a
+        # strong reference: while it is alive no new array can reuse its
+        # address, so the ``is`` check below can never falsely match a
+        # different batch (plain ``id()`` comparison could, because
+        # CPython reuses freed addresses).
+        self._unfold_cache_batch: np.ndarray | None = None
+        self._unfold_cache_probe: tuple | None = None
         #: Unfold computations avoided via the cache (for tests/metrics).
         self.unfold_cache_hits = 0
         #: Reusable scratch buffers (unfolded matrix, GEMM panels, fold).
@@ -80,13 +94,20 @@ class _UnfoldGemmBase(ConvEngine):
         return (s.out_ny * s.out_nx, s.nc * s.fy * s.fx)
 
     def _sync_unfold_cache(self, inputs: np.ndarray) -> None:
-        """Invalidate the cache unless it was filled from this batch."""
+        """Invalidate the cache unless it was filled from this batch.
+
+        Reuse requires the *same array object* (identity is sound here
+        because the engine holds the cached batch alive) with unchanged
+        contents at the probed offsets (catching in-place refills).
+        """
         if not self.cache_unfold:
             return
-        key = _batch_fingerprint(inputs)
-        if key != self._unfold_cache_key:
+        probe = _batch_probe(inputs)
+        if (inputs is not self._unfold_cache_batch
+                or probe != self._unfold_cache_probe):
             self._unfold_cache.clear()
-            self._unfold_cache_key = key
+            self._unfold_cache_batch = inputs
+            self._unfold_cache_probe = probe
 
     def _unfold_image(self, index: int, image: np.ndarray) -> np.ndarray:
         if not self.cache_unfold:
@@ -107,7 +128,8 @@ class _UnfoldGemmBase(ConvEngine):
     def clear_unfold_cache(self) -> None:
         """Drop cached unfolded matrices (call between batches)."""
         self._unfold_cache.clear()
-        self._unfold_cache_key = None
+        self._unfold_cache_batch = None
+        self._unfold_cache_probe = None
 
     def release_workspace(self) -> None:
         """Drop the reusable scratch buffers and the unfold cache."""

@@ -51,8 +51,10 @@ from repro.runtime import shm
 BACKEND_NAMES = ("serial", "thread", "process")
 
 #: Attached-segment LRU size in each worker process.  Segments are
-#: reused across calls while their geometry is stable; stale mappings
-#: (the parent reallocated a role) age out and are closed here.
+#: reused across calls while their geometry is stable; a reallocated
+#: role invalidates its stale mapping immediately (see
+#: :func:`_cached_attach`), the LRU bound only caps segments whose
+#: arenas went away entirely.
 _ATTACH_CACHE_SIZE = 32
 
 
@@ -171,6 +173,9 @@ class ProcessBackend(ExecutionBackend):
         self._jobs: dict[int, _Job] = {}
         self._job_seq = 0
         self._lock = threading.Lock()
+        # Serializes start()/shutdown(); separate from ``_lock`` so the
+        # collector and reaper never block behind process spawning.
+        self._lifecycle_lock = threading.Lock()
         self._collector: threading.Thread | None = None
         self._started = False
         self._closed = False
@@ -178,21 +183,29 @@ class ProcessBackend(ExecutionBackend):
     # -- lifecycle --------------------------------------------------------
 
     def start(self) -> None:
+        # Double-checked: call() is documented thread-safe and starts
+        # the backend lazily, so two dispatcher threads can race here --
+        # without the lock each would spawn a full worker set and the
+        # second would reassign self._results, stranding jobs shipped to
+        # workers bound to the replaced queue.
         if self._started:
             return
-        import multiprocessing as mp
+        with self._lifecycle_lock:
+            if self._started:
+                return
+            import multiprocessing as mp
 
-        self._ctx = mp.get_context("spawn")
-        self._results = self._ctx.SimpleQueue()
-        with self._spawn_env():
-            for _ in range(self.num_workers):
-                self._workers.append(self._spawn_worker())
-        self._collector = threading.Thread(
-            target=self._collect, name="repro-shm-collector", daemon=True
-        )
-        self._collector.start()
-        self._started = True
-        self._closed = False
+            self._ctx = mp.get_context("spawn")
+            self._results = self._ctx.SimpleQueue()
+            with self._spawn_env():
+                for _ in range(self.num_workers):
+                    self._workers.append(self._spawn_worker())
+            self._collector = threading.Thread(
+                target=self._collect, name="repro-shm-collector", daemon=True
+            )
+            self._collector.start()
+            self._closed = False
+            self._started = True
 
     def _spawn_env(self):
         """Ensure spawned interpreters can import the repro package."""
@@ -225,6 +238,10 @@ class ProcessBackend(ExecutionBackend):
         return _Worker(process, requests)
 
     def shutdown(self) -> None:
+        with self._lifecycle_lock:
+            self._shutdown_locked()
+
+    def _shutdown_locked(self) -> None:
         if not self._started:
             return
         self._closed = True
@@ -373,12 +390,21 @@ def _cached_engine(engine_name: str, spec, kwargs_items: tuple):
 
 
 def _cached_attach(descriptor: shm.ShmDescriptor):
-    seg = _ATTACH_CACHE.get(descriptor.name)
+    # Arena segments are keyed by their arena-unique role: a descriptor
+    # carrying a known role but a *new* segment name means the parent
+    # reallocated that role (geometry change) and unlinked the old
+    # segment -- close our mapping now instead of pinning the dead
+    # segment's pages until the name ages out of the LRU.
+    key = descriptor.role or descriptor.name
+    seg = _ATTACH_CACHE.get(key)
     if seg is not None:
-        _ATTACH_CACHE.move_to_end(descriptor.name)
-        return seg.ndarray
+        if seg.name == descriptor.name:
+            _ATTACH_CACHE.move_to_end(key)
+            return seg.ndarray
+        del _ATTACH_CACHE[key]
+        seg.close()
     seg = shm.SharedArray.attach(descriptor)
-    _ATTACH_CACHE[descriptor.name] = seg
+    _ATTACH_CACHE[key] = seg
     while len(_ATTACH_CACHE) > _ATTACH_CACHE_SIZE:
         _, old = _ATTACH_CACHE.popitem(last=False)
         old.close()

@@ -3,9 +3,11 @@
 Wraps any registered single-threaded :class:`repro.ops.engine.ConvEngine`
 and executes its batch methods with image-level parallelism on a
 :class:`repro.runtime.pool.WorkerPool` -- the executable counterpart of
-the machine model's GEMM-in-Parallel scheduling.  Each worker processes
-a contiguous slice of the batch with its own engine instance (generated
-kernels and scratch state are not shared across workers).
+the machine model's GEMM-in-Parallel scheduling.  Each attempt processes
+a contiguous slice of the batch with an engine checked out of a
+free-list, so mutable engine scratch is never shared between attempts
+running at once -- not even when straggler reassignment makes a backup
+attempt overlap its still-running original.
 
 Memory behavior: the executor pre-allocates **one** output array per
 call and workers write their ``[lo, hi)`` slice in place -- there is no
@@ -22,6 +24,8 @@ thread and process backends for a given worker count.
 """
 
 from __future__ import annotations
+
+import threading
 
 import numpy as np
 
@@ -48,16 +52,25 @@ class ParallelExecutor:
         self._owns_pool = pool is None
         self._engine_kwargs = dict(engine_kwargs)
         self._arena = ShmArena()
-        # One engine per worker: generated kernels are stateless but cheap
-        # scratch decisions (e.g. CT-CSR buffers, unfold workspaces) must
-        # not be shared.  Under the process backend the engines live in
-        # the worker processes instead (cached per construction key).
+        # One engine per concurrent attempt: engines hold mutable scratch
+        # (unfold workspace, GEMM out= panels, CT-CSR buffers) that must
+        # never be shared between two attempts running at once.  A fixed
+        # index->engine mapping is not enough under a RetryPolicy with
+        # straggler reassignment -- a backup attempt for an index can run
+        # concurrently with its still-running original -- so attempts
+        # check an engine out of a free-list and check it back in, and
+        # the list grows on demand when duplicates overlap.  Under the
+        # process backend the engines live in the worker processes
+        # instead (cached per construction key).
+        self._engine_lock = threading.Lock()
         self._engines: list[ConvEngine] = []
+        self._free_engines: list[ConvEngine] = []
         if self.pool.backend_name != "process":
             self._engines = [
                 make_engine(engine_name, spec, **engine_kwargs)
                 for _ in range(self.pool.num_workers)
             ]
+            self._free_engines = list(self._engines)
 
     @property
     def name(self) -> str:
@@ -80,8 +93,23 @@ class ParallelExecutor:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
-    def _engine_for(self, worker_index: int) -> ConvEngine:
-        return self._engines[worker_index % len(self._engines)]
+    def _checkout_engine(self) -> ConvEngine:
+        """An engine no other in-flight attempt is using."""
+        with self._engine_lock:
+            if self._free_engines:
+                return self._free_engines.pop()
+        # All engines busy: an original attempt and its reassigned
+        # duplicate overlap.  Engines are deterministic, so results do
+        # not depend on which instance an attempt lands on.
+        engine = make_engine(self.engine_name, self.spec,
+                             **self._engine_kwargs)
+        with self._engine_lock:
+            self._engines.append(engine)
+        return engine
+
+    def _checkin_engine(self, engine: ConvEngine) -> None:
+        with self._engine_lock:
+            self._free_engines.append(engine)
 
     # -- shared-memory dispatch (process backend) -------------------------
 
@@ -140,18 +168,20 @@ class ParallelExecutor:
                 per_worker_out=False,
             )
         else:
-            def make(index: int, lo: int, hi: int):
-                engine = self._engine_for(index)
-
+            def make(lo: int, hi: int):
                 def thunk() -> np.ndarray:
-                    out[lo:hi] = getattr(engine, method)(
-                        primary[lo:hi], shared
-                    )
+                    engine = self._checkout_engine()
+                    try:
+                        out[lo:hi] = getattr(engine, method)(
+                            primary[lo:hi], shared
+                        )
+                    finally:
+                        self._checkin_engine(engine)
                     return out[lo:hi]
 
                 return thunk
 
-            thunks = [make(i, lo, hi) for i, (lo, hi) in enumerate(ranges)]
+            thunks = [make(lo, hi) for lo, hi in ranges]
 
         metas = [{"lo": lo, "hi": hi} for lo, hi in ranges]
         with telemetry.span(f"executor/{method}", engine=self.engine_name,
@@ -190,17 +220,19 @@ class ParallelExecutor:
                 ranges, per_worker_out=True,
             )
         else:
-            def make(index: int, lo: int, hi: int):
-                engine = self._engine_for(index)
-
+            def make(lo: int, hi: int):
                 def thunk() -> np.ndarray:
-                    return engine.backward_weights(
-                        out_error[lo:hi], inputs[lo:hi]
-                    )
+                    engine = self._checkout_engine()
+                    try:
+                        return engine.backward_weights(
+                            out_error[lo:hi], inputs[lo:hi]
+                        )
+                    finally:
+                        self._checkin_engine(engine)
 
                 return thunk
 
-            thunks = [make(i, lo, hi) for i, (lo, hi) in enumerate(ranges)]
+            thunks = [make(lo, hi) for lo, hi in ranges]
 
         metas = [{"lo": lo, "hi": hi} for lo, hi in ranges]
         with telemetry.span("executor/backward_weights",

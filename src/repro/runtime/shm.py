@@ -88,11 +88,21 @@ def owned_segments() -> tuple[str, ...]:
 
 @dataclass(frozen=True)
 class ShmDescriptor:
-    """A picklable handle naming a segment and its ndarray geometry."""
+    """A picklable handle naming a segment and its ndarray geometry.
+
+    ``role`` is the arena-unique slot the segment fills (set for
+    arena-owned segments, ``None`` for standalone ones).  A worker's
+    attach cache keys on it: when the parent reallocates a role after a
+    geometry change, the new descriptor carries the same role with a new
+    segment name, telling the worker to drop its mapping of the old --
+    already unlinked -- segment instead of pinning its pages until the
+    name ages out of the cache.
+    """
 
     name: str
     shape: tuple[int, ...]
     dtype: str
+    role: str | None = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -108,6 +118,8 @@ class SharedArray:
         self.shape = tuple(int(s) for s in shape)
         self.dtype = np.dtype(dtype)
         self.owner = owner
+        #: Arena-unique role shipped in the descriptor (None standalone).
+        self.role: str | None = None
         self._ndarray: np.ndarray | None = np.ndarray(
             self.shape, dtype=self.dtype, buffer=shm.buf
         )
@@ -166,7 +178,7 @@ class SharedArray:
     def descriptor(self) -> ShmDescriptor:
         """The picklable handle workers attach with."""
         return ShmDescriptor(name=self.name, shape=self.shape,
-                             dtype=self.dtype.str)
+                             dtype=self.dtype.str, role=self.role)
 
     def matches(self, shape: tuple[int, ...], dtype: np.dtype | str) -> bool:
         """True when this segment can hold ``shape``/``dtype`` as-is."""
@@ -186,7 +198,7 @@ class SharedArray:
         self._shm = None
 
     def unlink(self) -> None:
-        """Destroy the segment (owner side; closes first; idempotent)."""
+        """Destroy the segment (owner side; closes too; idempotent)."""
         if self._shm is None:
             return
         if not self.owner:
@@ -194,12 +206,19 @@ class SharedArray:
                 f"segment {self._shm.name} was attached, not created; "
                 f"only the owner unlinks"
             )
-        name = self._shm.name
-        self.close()
+        shm = self._shm
+        name = shm.name
+        # Unlink through the handle we already hold -- re-attaching by
+        # name would open (and leak until GC) a second fd + mapping.
+        # The ndarray view must be released before the buffer can be
+        # unmapped, or SharedMemory.close() raises BufferError.
+        self._ndarray = None
+        self._shm = None
         try:
-            shared_memory.SharedMemory(name=name).unlink()
+            shm.unlink()
         except FileNotFoundError:  # pragma: no cover - double unlink race
             pass
+        shm.close()
         _unregister_owned(name)
 
     def __enter__(self) -> "SharedArray":
@@ -226,6 +245,9 @@ class ShmArena:
 
     def __init__(self):
         self._segments: dict[str, SharedArray] = {}
+        # Distinguishes this arena's roles from another arena's in a
+        # worker's attach cache when two executors share one pool.
+        self._tag = secrets.token_hex(4)
         self._finalizer = weakref.finalize(
             self, ShmArena._release_segments, self._segments
         )
@@ -248,6 +270,7 @@ class ShmArena:
         if seg is not None:
             seg.unlink()
         seg = SharedArray.create(tuple(shape), dtype)
+        seg.role = f"{self._tag}:{role}"
         self._segments[role] = seg
         return seg
 

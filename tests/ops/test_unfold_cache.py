@@ -63,9 +63,10 @@ class TestUnfoldCache:
 class TestCacheStaleness:
     """Regression: dW must never consume unfolds of a *different* batch.
 
-    The cache is keyed by a batch fingerprint (identity, geometry and a
-    content probe), so both a new batch object and an in-place refill of
-    the same buffer invalidate it.
+    The cache pins the batch object it was filled from (a held reference
+    cannot have its id reused, so object identity is sound) and records
+    a content probe strided across the whole buffer, so both a new batch
+    object and an in-place refill of the same buffer invalidate it.
     """
 
     def test_backward_weights_rejects_other_batch(self, rng):
@@ -93,6 +94,38 @@ class TestCacheStaleness:
         assert engine.unfold_cache_hits == 0
         oracle = make_engine("reference", SPEC).backward_weights(err, inputs)
         np.testing.assert_allclose(dw, oracle, atol=1e-3)
+
+    def test_interior_only_refill_invalidates(self, rng):
+        # A probe of leading bytes alone is degenerate: padded batches
+        # (and zero-leading data) keep the head identically zero, so a
+        # refill that only changes the interior must still be caught by
+        # the strided samples.
+        inputs, weights, err = random_conv_data(SPEC, rng, batch=3)
+        flat = inputs.reshape(-1)
+        flat[:64] = 0.0
+        engine = GemmInParallelEngine(SPEC, cache_unfold=True)
+        engine.forward(inputs, weights)
+        flat[64:] = np.asarray(
+            rng.standard_normal(flat.size - 64), dtype=np.float32
+        )
+        dw = engine.backward_weights(err, inputs)
+        assert engine.unfold_cache_hits == 0
+        oracle = make_engine("reference", SPEC).backward_weights(err, inputs)
+        np.testing.assert_allclose(dw, oracle, atol=1e-3)
+
+    def test_distinct_equal_content_batches_never_alias(self, rng):
+        # Two all-zero batches have equal probes everywhere; only object
+        # identity separates them, and the engine holding the cached
+        # batch alive is what keeps id reuse impossible.
+        inputs = np.zeros((2,) + SPEC.input_shape, np.float32)
+        _, weights, err = random_conv_data(SPEC, rng, batch=2)
+        engine = GemmInParallelEngine(SPEC, cache_unfold=True)
+        engine.forward(inputs, weights)
+        assert engine._unfold_cache_batch is inputs
+        other = np.zeros((2,) + SPEC.input_shape, np.float32)
+        engine.backward_weights(err, other)
+        assert engine.unfold_cache_hits == 0
+        assert engine._unfold_cache_batch is other
 
     def test_same_batch_still_hits_after_repeat_forward(self, rng):
         inputs, weights, err = random_conv_data(SPEC, rng, batch=2)

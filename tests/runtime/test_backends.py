@@ -9,6 +9,7 @@ import functools
 import math
 import operator
 import os
+import threading
 
 import numpy as np
 import pytest
@@ -17,15 +18,17 @@ from repro.errors import ReproError
 from repro.obs.bench import _pool_slice_square_sum
 from repro.resilience.faults import FaultPlan, FaultSpec, InjectedFault, inject
 from repro.runtime.backends import (
+    _ATTACH_CACHE,
     BACKEND_NAMES,
     ProcessBackend,
     WorkerCrashedError,
+    _cached_attach,
     make_backend,
     validate_backend,
     worker_diagnostics,
 )
 from repro.runtime.pool import WorkerPool
-from repro.runtime.shm import SharedArray, owned_segments
+from repro.runtime.shm import SharedArray, ShmArena, owned_segments
 
 
 @pytest.fixture(scope="module")
@@ -115,7 +118,82 @@ class TestProcessExecution:
         assert process_pool.map_items(math.factorial, 4) == [1, 1, 2, 6]
 
 
+class TestAttachCacheInvalidation:
+    """A reallocated arena role must close the worker's stale mapping.
+
+    Exercised parent-side: ``_cached_attach`` is the same function the
+    spawned workers run, and the cache is a module global either way.
+    """
+
+    def test_reallocated_role_closes_stale_mapping(self):
+        with ShmArena() as arena:
+            first = arena.ensure("x", (2, 2), np.float32)
+            first.ndarray[...] = 1.0
+            key = first.descriptor.role
+            assert key is not None
+            try:
+                arr = _cached_attach(first.descriptor)
+                np.testing.assert_array_equal(
+                    arr, np.full((2, 2), 1.0, np.float32)
+                )
+                stale = _ATTACH_CACHE[key]
+                second = arena.ensure("x", (4, 3), np.float32)
+                second.ndarray[...] = 2.0
+                arr = _cached_attach(second.descriptor)
+                assert arr.shape == (4, 3)
+                # Same key, fresh mapping; the old one is closed, not
+                # pinned until the name ages out of the LRU.
+                assert _ATTACH_CACHE[key] is not stale
+                with pytest.raises(ReproError, match="closed"):
+                    _ = stale.ndarray
+            finally:
+                cached = _ATTACH_CACHE.pop(key, None)
+                if cached is not None:
+                    cached.close()
+
+    def test_same_role_same_name_reuses_mapping(self):
+        with ShmArena() as arena:
+            seg = arena.ensure("y", (3,), np.float32)
+            key = seg.descriptor.role
+            try:
+                first = _cached_attach(seg.descriptor)
+                assert _cached_attach(seg.descriptor) is first
+            finally:
+                cached = _ATTACH_CACHE.pop(key, None)
+                if cached is not None:
+                    cached.close()
+
+
 class TestProcessLifecycle:
+    def test_concurrent_first_calls_start_one_worker_set(self):
+        # call() is documented thread-safe and starts lazily: racing
+        # first calls must not each spawn a worker set or replace the
+        # result queue mid-flight.
+        backend = ProcessBackend(2)
+        results: list = [None] * 4
+        errors: list = []
+
+        def work(i: int) -> None:
+            try:
+                results[i] = backend.call(math.factorial, 5)
+            except BaseException as exc:  # noqa: BLE001 - asserted below
+                errors.append(exc)
+
+        try:
+            threads = [
+                threading.Thread(target=work, args=(i,)) for i in range(4)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert not errors
+            assert results == [math.factorial(5)] * 4
+            assert len(backend._workers) == 2
+            assert len(backend.worker_pids()) == 2
+        finally:
+            backend.shutdown()
+
     def test_backend_restarts_after_shutdown(self):
         pool = WorkerPool(1, backend="process")
         assert pool.map_items(math.factorial, 3) == [1, 1, 2]

@@ -6,6 +6,7 @@ import pytest
 from repro.core.convspec import ConvSpec
 from repro.errors import ReproError
 from repro.ops.engine import make_engine
+from repro.resilience.policy import RetryPolicy
 from repro.runtime.parallel import ParallelExecutor
 from repro.runtime.pool import WorkerPool
 from tests.conftest import random_conv_data
@@ -87,6 +88,46 @@ class TestExecutorBehaviour:
                               pool=WorkerPool(2)) as executor:
             assert not hasattr(executor, "_next_engine")
             assert executor.name == "gemm-in-parallel"
+
+    def test_correct_under_straggler_reassignment(self, data, oracle):
+        # A reassigned backup attempt may overlap its original; both
+        # must get their own engine (mutable Workspace scratch) or the
+        # adopted result can be corrupted.
+        inputs, weights, err = data
+        policy = RetryPolicy(max_retries=0, timeout=0.02,
+                             max_stragglers=100)
+        with ParallelExecutor("gemm-in-parallel", SPEC,
+                              pool=WorkerPool(3, policy=policy)) as executor:
+            got_fp = executor.forward(inputs, weights)
+            got_bw = executor.backward_weights(err, inputs)
+        np.testing.assert_allclose(got_fp, oracle["fp"], atol=1e-3)
+        np.testing.assert_allclose(got_bw, oracle["bw"], atol=1e-2)
+
+
+class TestEngineCheckout:
+    """Concurrent attempts never share an engine's mutable scratch."""
+
+    def test_overlapping_checkouts_get_distinct_engines(self):
+        with ParallelExecutor("gemm-in-parallel", SPEC,
+                              pool=WorkerPool(2)) as executor:
+            first = executor._checkout_engine()
+            second = executor._checkout_engine()
+            # More live attempts than workers (straggler overlap): the
+            # free-list grows instead of handing out a busy engine.
+            third = executor._checkout_engine()
+            assert first is not second
+            assert second is not third and first is not third
+            assert len(executor._engines) == 3
+            for engine in (first, second, third):
+                executor._checkin_engine(engine)
+
+    def test_checkin_makes_engine_reusable(self):
+        with ParallelExecutor("gemm-in-parallel", SPEC,
+                              pool=WorkerPool(2)) as executor:
+            engine = executor._checkout_engine()
+            executor._checkin_engine(engine)
+            assert executor._checkout_engine() is engine
+            executor._checkin_engine(engine)
 
     def test_owned_pool_closed_on_exit(self):
         executor = ParallelExecutor("gemm-in-parallel", SPEC)

@@ -1,5 +1,6 @@
 """Tests for the shared-memory segment lifecycle (repro.runtime.shm)."""
 
+import os
 import pickle
 
 import numpy as np
@@ -58,6 +59,22 @@ class TestSharedArray:
         seg = SharedArray.create((2,), np.float32)
         seg.unlink()
         seg.unlink()
+
+    def test_unlink_removes_backing_file_and_open_fds(self, leak_check):
+        seg = SharedArray.create((2,), np.float32)
+        name = seg.name
+        assert os.path.exists(f"/dev/shm/{name}")
+        seg.unlink()
+        assert not os.path.exists(f"/dev/shm/{name}")
+        # Unlink goes through the handle we already held: no second
+        # attachment whose fd/mapping would linger until GC.
+        open_targets = []
+        for fd in os.listdir("/proc/self/fd"):
+            try:
+                open_targets.append(os.readlink(f"/proc/self/fd/{fd}"))
+            except OSError:
+                continue
+        assert not [t for t in open_targets if name in t]
 
     def test_attacher_may_not_unlink(self, leak_check):
         with SharedArray.create((2,), np.float32) as seg:
@@ -127,6 +144,24 @@ class TestShmArena:
             b = arena.ensure("b", (2,), np.float32)
             assert a is not b
             assert len(arena) == 2
+
+    def test_descriptors_carry_arena_unique_roles(self, leak_check):
+        with ShmArena() as arena, ShmArena() as other:
+            first = arena.ensure("x", (2,), np.float32).descriptor
+            assert first.role is not None
+            assert first.role.endswith(":x")
+            # Reallocation keeps the role, changes the name: that pair
+            # is what tells a worker to drop its stale mapping.
+            realloc = arena.ensure("x", (3,), np.float32).descriptor
+            assert realloc.role == first.role
+            assert realloc.name != first.name
+            # The same role in another arena must not collide.
+            twin = other.ensure("x", (2,), np.float32).descriptor
+            assert twin.role != first.role
+
+    def test_standalone_segment_has_no_role(self, leak_check):
+        with SharedArray.create((2,), np.float32) as seg:
+            assert seg.descriptor.role is None
 
     def test_release_unlinks_everything(self):
         arena = ShmArena()
