@@ -31,7 +31,15 @@ and flags:
   pickled into a spawned worker, where the lock guards nothing, the
   collector records into a dead copy, and OS-level handles either fail
   to pickle or dangle.  Ship :class:`~repro.runtime.shm.ShmDescriptor`
-  values (and re-attach worker-side) instead.
+  values (and re-attach worker-side) instead;
+* **CHK-DAG** -- a node callable added to a task graph
+  (``add_node``) captures mutable engine scratch bound ahead of time: a
+  ``make_engine(...)`` result, a ``Workspace(...)``, or an engine
+  checked out via ``_checkout_engine()``.  DAG nodes run concurrently
+  on work-stealing threads, so scratch captured at graph-build time is
+  shared by every node that closes over it -- check engines out of the
+  executor free-list *inside* the node body instead (see
+  :mod:`repro.runtime.dag`).
 """
 
 from __future__ import annotations
@@ -88,6 +96,36 @@ _FORK_UNSAFE_CALLS = {
         "re-attach worker-side)",
     "open": "an open file handle (OS handles do not pickle)",
 }
+
+#: Task-graph submission methods (CHK-DAG): node callables run
+#: concurrently on the work-stealing scheduler.
+_DAG_SUBMIT_METHODS = frozenset(("add_node",))
+
+#: Value-producing calls that bind mutable engine scratch; a DAG node
+#: capturing one shares that scratch with every concurrent node.
+_DAG_UNSAFE_CALLS = {
+    "make_engine":
+        "an engine instance with mutable scratch (unfold workspace, "
+        "GEMM panels); check one out of the executor free-list inside "
+        "the node body instead",
+    "_checkout_engine":
+        "an engine checked out at graph-build time; check it out "
+        "inside the node body so concurrent nodes never share scratch",
+    "Workspace":
+        "a mutable workspace buffer; allocate it inside the node body "
+        "or give each node its own",
+}
+
+_FORK_MESSAGE = (
+    "{label} submitted via .{method}() captures {free!r}, {description}; "
+    "it cannot cross the process-backend pickle boundary"
+)
+
+_DAG_MESSAGE = (
+    "DAG node callable {label} added via .{method}() captures {free!r}, "
+    "{description}; concurrent nodes on the work-stealing scheduler "
+    "would race on it"
+)
 
 
 def _finding(severity: str, location: str, message: str) -> Finding:
@@ -255,8 +293,9 @@ class _TelemetryUseVisitor(ast.NodeVisitor):
         self.generic_visit(node)
 
 
-def _fork_unsafe_description(node: ast.expr) -> str | None:
-    """What a value-producing expression binds, if fork/pickle-unsafe."""
+def _unsafe_call_description(node: ast.expr,
+                             table: dict[str, str]) -> str | None:
+    """What a value-producing expression binds, if listed in ``table``."""
     if not isinstance(node, ast.Call):
         return None
     func = node.func
@@ -266,7 +305,8 @@ def _fork_unsafe_description(node: ast.expr) -> str | None:
     elif isinstance(func, ast.Attribute):
         # threading.Lock(), shared_memory.SharedMemory(...) and the
         # SharedArray classmethods (create/attach/from_array) all bind
-        # a live handle, however deep the attribute chain.
+        # a live handle, however deep the attribute chain -- so any
+        # table name appearing anywhere in the chain counts.
         parts = []
         current: ast.expr = func
         while isinstance(current, ast.Attribute):
@@ -274,13 +314,8 @@ def _fork_unsafe_description(node: ast.expr) -> str | None:
             current = current.value
         if isinstance(current, ast.Name):
             parts.append(current.id)
-        if "SharedArray" in parts:
-            name = "SharedArray"
-        elif "SharedMemory" in parts:
-            name = "SharedMemory"
-        else:
-            name = func.attr
-    return _FORK_UNSAFE_CALLS.get(name) if name else None
+        name = next((part for part in parts if part in table), func.attr)
+    return table.get(name) if name else None
 
 
 def _free_names(func_node) -> set[str]:
@@ -307,18 +342,22 @@ def _free_names(func_node) -> set[str]:
     return loads - bound
 
 
-class _ForkSafetyVisitor(ast.NodeVisitor):
-    """CHK-FORK: fork/pickle-unsafe captures in pool submissions.
+class _CaptureSafetyVisitor(ast.NodeVisitor):
+    """Unsafe-capture rules (CHK-FORK, CHK-DAG) over submitted callables.
 
     Tracks, per function scope, which local names are bound to unsafe
-    handles (locks, collectors, shm segments, files) and which nested
-    functions are defined; every callable handed to a pool submission
-    method is then checked for free names that resolve to an unsafe
-    handle in any enclosing scope.
+    values (per the rule's call table) and which nested functions are
+    defined; every callable handed to one of the rule's submission
+    methods is then checked for free names that resolve to an unsafe
+    binding in any enclosing scope.
     """
 
-    def __init__(self, module_name: str):
+    def __init__(self, module_name: str, submit_methods: frozenset[str],
+                 table: dict[str, str], message: str):
         self.module_name = module_name
+        self.submit_methods = submit_methods
+        self.table = table
+        self.message = message
         self.findings: list[Finding] = []
         # Innermost scope last; index 0 is the module scope.
         self._scopes: list[dict] = [{"unsafe": {}, "funcs": {}}]
@@ -340,7 +379,7 @@ class _ForkSafetyVisitor(ast.NodeVisitor):
         self._scopes[-1]["unsafe"][name] = description
 
     def visit_Assign(self, node: ast.Assign) -> None:
-        description = _fork_unsafe_description(node.value)
+        description = _unsafe_call_description(node.value, self.table)
         if description is not None:
             for target in node.targets:
                 if isinstance(target, ast.Name):
@@ -349,7 +388,8 @@ class _ForkSafetyVisitor(ast.NodeVisitor):
 
     def visit_With(self, node: ast.With) -> None:
         for item in node.items:
-            description = _fork_unsafe_description(item.context_expr)
+            description = _unsafe_call_description(item.context_expr,
+                                                   self.table)
             if (description is not None
                     and isinstance(item.optional_vars, ast.Name)):
                 self._bind(item.optional_vars.id, description)
@@ -376,15 +416,15 @@ class _ForkSafetyVisitor(ast.NodeVisitor):
             if description is not None:
                 self.findings.append(_finding(
                     "error", f"{self.module_name}:{lineno}",
-                    f"{label} submitted via .{method}() captures "
-                    f"{free!r}, {description}; it cannot cross the "
-                    f"process-backend pickle boundary",
+                    self.message.format(label=label, method=method,
+                                        free=free,
+                                        description=description),
                 ))
 
     def visit_Call(self, node: ast.Call) -> None:
         func = node.func
         if (isinstance(func, ast.Attribute)
-                and func.attr in _SUBMIT_METHODS):
+                and func.attr in self.submit_methods):
             values = list(node.args) + [kw.value for kw in node.keywords]
             for value in values:
                 for sub in ast.walk(value):
@@ -452,9 +492,19 @@ def lint_source(module_name: str, source: str) -> list[Finding]:
     # CHK-FORK: fork/pickle-unsafe captures in pool submissions.  The
     # rule fires on the submission sites themselves, so no module gate:
     # a module without ``.run_tasks(...)``-style calls yields nothing.
-    fork_visitor = _ForkSafetyVisitor(module_name)
+    fork_visitor = _CaptureSafetyVisitor(
+        module_name, _SUBMIT_METHODS, _FORK_UNSAFE_CALLS, _FORK_MESSAGE
+    )
     fork_visitor.visit(tree)
     findings.extend(fork_visitor.findings)
+
+    # CHK-DAG: node callables capturing mutable engine scratch.  Same
+    # machinery, different submission methods and unsafe-call table.
+    dag_visitor = _CaptureSafetyVisitor(
+        module_name, _DAG_SUBMIT_METHODS, _DAG_UNSAFE_CALLS, _DAG_MESSAGE
+    )
+    dag_visitor.visit(tree)
+    findings.extend(dag_visitor.findings)
 
     # CHK-TEL-API: unknown telemetry attributes; import-time emission.
     aliases = _telemetry_aliases(tree)

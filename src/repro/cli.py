@@ -131,6 +131,9 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="worker threads per conv layer (1 = inline)")
     trace.add_argument("--backend", choices=_BACKENDS, default="thread",
                        help="execution backend of the conv worker pools")
+    trace.add_argument("--scheduler", choices=("barrier", "dag"),
+                       default="barrier",
+                       help="per-layer barriers or the task-graph runtime")
     trace.add_argument("--cores", type=int, default=16,
                        help="cores assumed by the autotuner's cost model")
     trace.add_argument("--recheck", type=int, default=1,
@@ -189,6 +192,9 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="worker threads per conv layer (1 = inline)")
     train.add_argument("--backend", choices=_BACKENDS, default="thread",
                        help="execution backend of the conv worker pools")
+    train.add_argument("--scheduler", choices=("barrier", "dag"),
+                       default="barrier",
+                       help="per-layer barriers or the task-graph runtime")
     train.add_argument("--cores", type=int, default=16,
                        help="cores assumed by the autotuner's cost model")
     train.add_argument("--recheck", type=int, default=1,
@@ -342,6 +348,7 @@ def _build_training_job(args):
     spg = SpgCNN(network, backend, recheck_epochs=args.recheck)
     loop = TrainingLoop(
         network, data, batch_size=args.batch,
+        scheduler=getattr(args, "scheduler", None),
         epoch_end_hook=lambda epoch, _net: spg.after_epoch(epoch),
     )
     return network, spg, loop

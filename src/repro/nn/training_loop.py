@@ -6,8 +6,9 @@ schedule, evaluation on held-out data, and an epoch-end hook where
 spg-CNN's periodic re-tuning (Sec. 4.4) plugs in.
 
 With a ``checkpoint_dir``, the loop writes a resumable checkpoint every
-``checkpoint_every`` epochs -- weights, momentum buffers, schedule
-position and shuffle-RNG state (see :mod:`repro.nn.serialize`) -- and
+``checkpoint_every`` epochs, plus always after the final completed
+epoch -- weights, momentum buffers, schedule position and shuffle-RNG
+state (see :mod:`repro.nn.serialize`) -- and
 :meth:`restore` brings a fresh loop back to exactly that point: the
 resumed run's weights are bit-identical to those of an uninterrupted run
 with the same seed.  Batches the SGD trainer skipped for non-finite
@@ -90,6 +91,7 @@ class TrainingLoop:
         checkpoint_dir: str | Path | None = None,
         checkpoint_every: int = 1,
         backend: str | None = None,
+        scheduler: str | None = None,
     ):
         if batch_size <= 0:
             raise ReproError(f"batch_size must be positive, got {batch_size}")
@@ -106,6 +108,10 @@ class TrainingLoop:
                 set_backend = getattr(layer, "set_backend", None)
                 if set_backend is not None:
                     set_backend(backend)
+        if scheduler is not None:
+            # Step-execution strategy ("barrier" | "dag"); set before
+            # preflight so the probe exercises the path training uses.
+            network.set_scheduler(scheduler)
         if preflight:
             # Fail fast on graph errors (shape/dtype inconsistencies)
             # before the first batch; see repro.check.graph.
@@ -211,11 +217,15 @@ class TrainingLoop:
         self._epoch_hooks.append(hook)
 
     def _epoch_batches(self):
+        # Fancy-index one batch at a time: materializing the whole
+        # shuffled dataset up front (images[order]) doubles peak memory
+        # and copies every image before the first batch even runs.
         order = self._shuffle_rng.permutation(len(self.train_data))
-        images = self.train_data.images[order]
-        labels = self.train_data.labels[order]
-        for lo in range(0, len(images), self.batch_size):
-            yield images[lo : lo + self.batch_size], labels[lo : lo + self.batch_size]
+        images = self.train_data.images
+        labels = self.train_data.labels
+        for lo in range(0, len(order), self.batch_size):
+            idx = order[lo : lo + self.batch_size]
+            yield images[idx], labels[idx]
 
     def run(self, epochs: int) -> TrainingHistory:
         """Train until ``epochs`` total epochs are complete.
@@ -296,6 +306,10 @@ class TrainingLoop:
             for hook in self._epoch_hooks:
                 hook(epoch, history.epochs[-1])
             if (self.checkpoint_dir is not None
-                    and epoch % self.checkpoint_every == 0):
+                    and (epoch % self.checkpoint_every == 0
+                         or epoch == epochs)):
+                # The final completed epoch is always checkpointed, even
+                # off-cadence -- otherwise checkpoint_every=2, epochs=5
+                # silently loses the epoch-5 state.
                 self.save_checkpoint(epoch)
         return history

@@ -10,7 +10,9 @@ artifacts a production training stack needs:
   training run (per-layer FP/BP time, goodput, sparsity drift, retunes,
   resilience activity) plus a final markdown/JSON run report;
 * :mod:`repro.obs.bench` -- the benchmark regression harness behind
-  ``python -m repro bench``.
+  ``python -m repro bench``;
+* :mod:`repro.obs.idle` -- worker idle-time derivation from span data
+  (the barrier-vs-DAG comparison metric).
 """
 
 from repro.obs.chrome_trace import (
@@ -18,6 +20,7 @@ from repro.obs.chrome_trace import (
     chrome_trace_events,
     write_chrome_trace,
 )
+from repro.obs.idle import total_worker_idle, worker_idle_times
 from repro.obs.monitor import RunReport, TrainingMonitor
 
 __all__ = [
@@ -25,5 +28,7 @@ __all__ = [
     "TrainingMonitor",
     "chrome_trace_dict",
     "chrome_trace_events",
+    "total_worker_idle",
+    "worker_idle_times",
     "write_chrome_trace",
 ]

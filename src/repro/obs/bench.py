@@ -294,6 +294,15 @@ def _train_teardown(state) -> None:
         layer.close()
 
 
+def _dag_train_run(state) -> None:
+    from repro.nn.training_loop import TrainingLoop
+
+    network, data = state
+    loop = TrainingLoop(network, data, batch_size=8, preflight=False,
+                        scheduler="dag")
+    loop.run(1)
+
+
 def _train_flops() -> float:
     # FP + BP-data + BP-weights over every conv layer, one 16-image epoch.
     from repro.nn.zoo import mnist_net
@@ -310,7 +319,8 @@ def default_suite(backend: str = "thread") -> tuple[Benchmark, ...]:
 
     ``backend`` selects the execution backend of the parallel-runtime
     benchmarks (``pool_map``, ``par_stencil_fp``, ``par_sparse_bp``,
-    ``train_epoch``); the single-threaded kernels are backend-free.
+    ``train_epoch``, ``dag_train_epoch``); the single-threaded kernels
+    are backend-free.
     """
     from repro.runtime.backends import validate_backend
 
@@ -396,6 +406,16 @@ def default_suite(backend: str = "thread") -> tuple[Benchmark, ...]:
             flops=_train_flops(),
             setup=functools.partial(_train_setup, backend),
             run=_train_run,
+            teardown=_train_teardown,
+            backend_sensitive=True,
+        ),
+        Benchmark(
+            name="dag_train_epoch",
+            description="training epoch via the task-graph scheduler, "
+                        "quarter-scale MNIST, 2 workers per conv layer",
+            flops=_train_flops(),
+            setup=functools.partial(_train_setup, backend),
+            run=_dag_train_run,
             teardown=_train_teardown,
             backend_sensitive=True,
         ),

@@ -1,0 +1,558 @@
+"""Task-graph asynchronous execution of a training step.
+
+The barrier path (:class:`repro.runtime.parallel.ParallelExecutor`)
+fork/joins on the worker pool at *every* layer and phase -- FP, BP-data
+and dW each pay one synchronization per layer, and the machine model
+charges exactly that cost per parallel region (paper Sec. 4).  ZNN
+(Zlateski & Lee) shows the barriers are not load-bearing: compile the
+step into a dependency graph of fine-grained tasks and the only true
+sync points remain.
+
+This module is that compilation.  One forward or backward pass becomes
+a :class:`TaskGraph` of nodes:
+
+* per layer and per image range, the engine-slice tasks the barrier
+  path would have run between fork and join (built from the same
+  :class:`~repro.runtime.parallel.SliceTask` plans, so the arithmetic
+  is byte-for-byte the same);
+* per sliced conv layer, a *prep* node (pad / cache / publish into
+  Workspace or shared-memory buffers) and a *finish* node (bias add,
+  unpad, fixed-order dW reduction).
+
+Edges encode only data dependencies, so during backward propagation
+layer N's BP-data chain unblocks layer N-1 while layer N's dW partials
+are still reducing, and a conv's dW and BP-data prep/publish work
+overlaps the other chain's GEMMs.  A :class:`DagScheduler` executes the
+graph with per-worker deques and work stealing (own work popped LIFO
+for locality, steals taken FIFO from the oldest end).
+
+**The reduction-order invariant.**  The DAG is allowed to change
+wall-clock, never bits.  Every floating-point reduction keeps the fixed
+order of the barrier path: dW partials accumulate in range order inside
+a single reduce node, sliced outputs are written to disjoint ``[lo,hi)``
+slices, and layers whose math reduces over the whole batch (dense
+layers, bias sums) stay single nodes.  Scheduling order therefore
+affects *when* a node runs, not what it computes.
+
+Scheduler states: a node is *blocked* until every dependency finished
+(``pending`` edges > 0), *ready* once enqueued on a worker deque,
+*running* while its callable executes, and *done* when it returned; the
+first raising node wins, later-ready nodes are abandoned, and in-flight
+nodes drain before the error propagates.  Node bodies must be
+idempotent (they re-run under a retry policy) and should apply side
+effects last, after all raising work.
+
+Fault injection reuses the ``pool.task`` site, so named chaos plans
+(e.g. ``workers``) exercise the DAG scheduler exactly as they do the
+barrier pool, and an ambient :class:`~repro.resilience.policy.RetryPolicy`
+gives per-node bounded retries with backoff.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+import time
+from collections import deque
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro import telemetry
+from repro.errors import ReproError, ShapeError
+from repro.resilience import faults
+from repro.resilience.policy import active_policy
+
+#: The step-execution strategies a network can run under.
+SCHEDULER_NAMES = ("barrier", "dag")
+
+
+def validate_scheduler(name: str) -> str:
+    """Return ``name`` if it is a known scheduler, else raise."""
+    if name not in SCHEDULER_NAMES:
+        raise ReproError(
+            f"unknown scheduler {name!r}; known: {SCHEDULER_NAMES}"
+        )
+    return name
+
+
+class TaskNode:
+    """One schedulable unit of work in a :class:`TaskGraph`."""
+
+    __slots__ = ("node_id", "name", "fn", "deps", "children", "pending",
+                 "attrs", "graph")
+
+    def __init__(self, node_id: int, name: str, fn: Callable[[], Any],
+                 deps: tuple["TaskNode", ...], attrs: dict[str, Any],
+                 graph: "TaskGraph"):
+        self.node_id = node_id
+        self.name = name
+        self.fn = fn
+        self.deps = deps
+        self.children: list[TaskNode] = []
+        self.pending = len(deps)
+        self.attrs = attrs
+        self.graph = graph
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TaskNode({self.node_id}, {self.name!r}, pending={self.pending})"
+
+
+class TaskGraph:
+    """A DAG of :class:`TaskNode`\\ s, acyclic by construction.
+
+    ``add_node`` only accepts already-added nodes as dependencies, so
+    every edge points from a lower node id to a higher one -- a cycle
+    cannot be expressed.
+    """
+
+    def __init__(self, name: str = "graph"):
+        self.name = name
+        self._nodes: list[TaskNode] = []
+
+    @property
+    def nodes(self) -> list[TaskNode]:
+        return self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def add_node(self, name: str, fn: Callable[[], Any],
+                 deps: Sequence[TaskNode] = (), **attrs: Any) -> TaskNode:
+        """Append a node depending on ``deps`` (nodes of this graph)."""
+        deps = tuple(deps)
+        for dep in deps:
+            if not isinstance(dep, TaskNode) or dep.graph is not self:
+                raise ReproError(
+                    f"node {name!r}: dependency {dep!r} is not a node of "
+                    f"this graph"
+                )
+        node = TaskNode(len(self._nodes), name, fn, deps, dict(attrs), self)
+        for dep in deps:
+            dep.children.append(node)
+        self._nodes.append(node)
+        return node
+
+
+class DagScheduler:
+    """Executes a :class:`TaskGraph`: inline when single-threaded,
+    work-stealing threads otherwise.
+
+    With one worker the graph runs deterministically in Kahn order
+    (ready nodes by ascending node id) on the calling thread -- the
+    serial-backend reference.  With N workers, each worker owns a deque:
+    nodes it unblocks are pushed locally and popped LIFO (the freshest
+    work is the cache-warm work); an idle worker steals FIFO from the
+    first non-empty victim, taking the oldest -- most dependency-laden
+    -- node.  All deque traffic happens under one condition variable,
+    which the profile can afford: nodes are engine slices (milliseconds),
+    not microtasks.
+    """
+
+    def __init__(self, num_workers: int = 1, name: str = "dag"):
+        if num_workers <= 0:
+            raise ReproError(
+                f"num_workers must be positive, got {num_workers}"
+            )
+        self.num_workers = num_workers
+        self.name = name
+
+    # -- node execution ---------------------------------------------------
+
+    def _execute(self, node: TaskNode, worker: int) -> None:
+        """Run one node under span, fault site and bounded retries."""
+        policy = active_policy()
+        retries = 0
+        while True:
+            try:
+                with telemetry.span("dag/node", node=node.name,
+                                    worker=worker, **node.attrs):
+                    faults.perturb("pool.task", worker=worker,
+                                   node=node.name)
+                    node.fn()
+                return
+            except Exception as exc:  # noqa: BLE001 - policy decides
+                if policy is None or retries >= policy.max_retries:
+                    raise
+                retries += 1
+                telemetry.add("dag.retries", 1)
+                telemetry.event("dag.retry", node=node.name, retry=retries,
+                                error=f"{type(exc).__name__}: {exc}")
+                delay = policy.backoff(retries)
+                if delay > 0.0:
+                    time.sleep(delay)
+
+    # -- graph execution --------------------------------------------------
+
+    def run(self, graph: TaskGraph) -> None:
+        """Execute every node of ``graph``; returns when all are done."""
+        nodes = graph.nodes
+        if not nodes:
+            return
+        for node in nodes:
+            node.pending = len(node.deps)
+        telemetry.add("dag.graphs", 1)
+        telemetry.add("dag.nodes", len(nodes))
+        workers = min(self.num_workers, len(nodes))
+        start = time.perf_counter()
+        if workers == 1:
+            busy = self._run_inline(nodes)
+        else:
+            busy = self._run_stealing(nodes, workers)
+        wall = time.perf_counter() - start
+        # Aggregate idle = worker-seconds not spent inside a node.  The
+        # tail (waiting for the last node) is included on purpose: it is
+        # exactly the cost a barrier would have paid at every layer.
+        telemetry.gauge("dag.idle_seconds",
+                        max(0.0, wall * workers - sum(busy)))
+
+    def _run_inline(self, nodes: list[TaskNode]) -> list[float]:
+        ready = [n.node_id for n in nodes if n.pending == 0]
+        heapq.heapify(ready)
+        done = 0
+        start = time.perf_counter()
+        while ready:
+            node = nodes[heapq.heappop(ready)]
+            self._execute(node, 0)
+            done += 1
+            for child in node.children:
+                child.pending -= 1
+                if child.pending == 0:
+                    heapq.heappush(ready, child.node_id)
+        if done != len(nodes):  # pragma: no cover - unreachable by construction
+            raise ReproError(
+                f"task graph stalled: {len(nodes) - done} nodes unreachable"
+            )
+        return [time.perf_counter() - start]
+
+    def _run_stealing(self, nodes: list[TaskNode],
+                      workers: int) -> list[float]:
+        deques: list[deque[TaskNode]] = [deque() for _ in range(workers)]
+        cond = threading.Condition()
+        state = {"remaining": len(nodes), "error": None, "steals": 0}
+        busy = [0.0] * workers
+        for i, node in enumerate(n for n in nodes if n.pending == 0):
+            deques[i % workers].append(node)
+
+        def take(worker: int) -> TaskNode | None:
+            """Next node for ``worker`` (call holding ``cond``)."""
+            own = deques[worker]
+            if own:
+                return own.pop()
+            for offset in range(1, workers):
+                victim = deques[(worker + offset) % workers]
+                if victim:
+                    state["steals"] += 1
+                    return victim.popleft()
+            return None
+
+        def work(worker: int) -> None:
+            while True:
+                with cond:
+                    while True:
+                        if state["error"] is not None or state["remaining"] == 0:
+                            return
+                        node = take(worker)
+                        if node is not None:
+                            break
+                        cond.wait()
+                begun = time.perf_counter()
+                try:
+                    self._execute(node, worker)
+                except BaseException as exc:  # noqa: BLE001 - first error wins
+                    busy[worker] += time.perf_counter() - begun
+                    with cond:
+                        if state["error"] is None:
+                            state["error"] = exc
+                        state["remaining"] -= 1
+                        cond.notify_all()
+                    return
+                busy[worker] += time.perf_counter() - begun
+                with cond:
+                    state["remaining"] -= 1
+                    for child in node.children:
+                        child.pending -= 1
+                        if child.pending == 0:
+                            deques[worker].append(child)
+                    cond.notify_all()
+
+        threads = [
+            threading.Thread(target=work, args=(w,),
+                             name=f"{self.name}-worker-{w}", daemon=True)
+            for w in range(workers)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if state["steals"]:
+            telemetry.add("dag.steals", state["steals"])
+        if state["error"] is not None:
+            raise state["error"]
+        return busy
+
+
+# -- compiling a network step into graphs -----------------------------------
+
+
+def _sliced_executor(layer, engine):
+    """The layer's executor when the phase runs sliced, else ``None``."""
+    from repro.runtime.parallel import ParallelExecutor
+
+    return engine if isinstance(engine, ParallelExecutor) else None
+
+
+def build_forward_graph(network, inputs: np.ndarray,
+                        training: bool = True) -> tuple[TaskGraph, list]:
+    """Compile one forward pass; ``cells[-1]`` holds the output after run.
+
+    Sliced conv layers expand into prep -> per-range -> finish nodes;
+    every other layer is a single whole-batch node (their reductions --
+    dense ``x.T @ e``, bias sums -- span the batch, so slicing them
+    would change summation order and break bit-identity; dropout draws
+    its RNG once per pass, which a single node preserves).
+    """
+    from repro.nn.layers.conv import ConvLayer
+
+    if inputs.shape[1:] != network.input_shape:
+        raise ShapeError(
+            f"batch input shape {inputs.shape} != (B, *{network.input_shape})"
+        )
+    graph = TaskGraph(name=f"{network.name}/fp")
+    cells: list = [None] * (len(network.layers) + 1)
+    cells[0] = inputs
+    batch = int(inputs.shape[0])
+    producer: TaskNode | None = None
+    for i, layer in enumerate(network.layers):
+        deps = (producer,) if producer is not None else ()
+        executor = (_sliced_executor(layer, layer._fp_engine)
+                    if isinstance(layer, ConvLayer) else None)
+        if executor is None:
+            def whole(i=i, layer=layer):
+                cells[i + 1] = layer.forward(cells[i], training=training)
+
+            producer = graph.add_node(f"fp/{layer.name}", whole, deps,
+                                      layer=layer.name, phase="fp")
+        else:
+            producer = _add_sliced_forward(graph, layer, executor, i, cells,
+                                           batch, training, deps)
+    return graph, cells
+
+
+def _add_sliced_forward(graph, layer, executor, i, cells, batch, training,
+                        deps) -> TaskNode:
+    from repro.runtime.parallel import adopt_slice
+
+    ranges = executor.pool.assignment(batch)
+    ctx: dict = {}
+
+    def prep():
+        x = cells[i]
+        if x.ndim != 4 or x.shape[1:] != layer.spec.input_shape:
+            raise ShapeError(
+                f"layer {layer.name}: batch input shape {x.shape} != "
+                f"(B, *{layer.spec.input_shape})"
+            )
+        padded = layer._pad_batch(x)
+        if training:
+            layer._cached_padded_input = padded
+        ctx["out"], ctx["tasks"] = executor.slice_plan(
+            "forward", padded, layer.weights
+        )
+
+    prep_node = graph.add_node(f"fp/{layer.name}/prep", prep, deps,
+                               layer=layer.name, phase="fp")
+    range_nodes = []
+    for r, (lo, hi) in enumerate(ranges):
+        def run_range(r=r):
+            task = ctx["tasks"][r]
+            adopt_slice(ctx["out"], task, task.run())
+
+        range_nodes.append(graph.add_node(
+            f"fp/{layer.name}/{lo}:{hi}", run_range, (prep_node,),
+            layer=layer.name, phase="fp", lo=lo, hi=hi,
+        ))
+
+    def finish():
+        out = ctx["out"]
+        out += layer.bias[None, :, None, None]
+        cells[i + 1] = out
+
+    return graph.add_node(f"fp/{layer.name}/finish", finish,
+                          tuple(range_nodes), layer=layer.name, phase="fp")
+
+
+def build_backward_graph(network, out_error: np.ndarray) -> tuple[TaskGraph, list]:
+    """Compile one backward pass; ``ecells[0]`` holds the input error.
+
+    This is where the barriers die: a sliced conv forks into a dW chain
+    (prep -> per-range partials -> fixed-order reduce) and a BP-data
+    chain (prep -> per-range slices -> unpad), and the next layer down
+    depends only on the BP-data chain -- so layer N-1's backward overlaps
+    layer N's dW reduction, which the barrier path serialized.
+    """
+    from repro.nn.layers.conv import ConvLayer
+
+    graph = TaskGraph(name=f"{network.name}/bp")
+    count = len(network.layers)
+    ecells: list = [None] * (count + 1)
+    ecells[count] = out_error
+    batch = int(out_error.shape[0])
+    producer: TaskNode | None = None
+    for i in reversed(range(count)):
+        layer = network.layers[i]
+        deps = (producer,) if producer is not None else ()
+        executor = (_sliced_executor(layer, layer._bp_engine)
+                    if isinstance(layer, ConvLayer) else None)
+        if executor is None:
+            def whole(i=i, layer=layer):
+                ecells[i] = layer.backward(ecells[i + 1])
+
+            producer = graph.add_node(f"bp/{layer.name}", whole, deps,
+                                      layer=layer.name, phase="bp")
+        else:
+            producer = _add_sliced_backward(graph, layer, executor, i,
+                                            ecells, batch, deps)
+    return graph, ecells
+
+
+def _add_sliced_backward(graph, layer, executor, i, ecells, batch,
+                         deps) -> TaskNode:
+    from repro.core.goodput import measure_sparsity, nonzero_conv_flops
+    from repro.runtime.parallel import adopt_slice
+
+    ranges = executor.pool.assignment(batch)
+    ctx: dict = {}
+
+    def head():
+        err = ecells[i + 1]
+        if layer._cached_padded_input is None:
+            raise ShapeError(f"layer {layer.name}: backward before forward")
+        layer.last_error_sparsity = measure_sparsity(err)
+        ctx["begun"] = time.perf_counter()
+
+    head_node = graph.add_node(f"bp/{layer.name}/head", head, deps,
+                               layer=layer.name, phase="bp")
+
+    # dW chain: per-range partials reduced in fixed range order.
+    def dw_prep():
+        ctx["dw_tasks"] = executor.weights_plan(
+            ecells[i + 1], layer._cached_padded_input
+        )
+        ctx["partials"] = [None] * len(ranges)
+
+    dw_prep_node = graph.add_node(f"bp/{layer.name}/dw_prep", dw_prep,
+                                  (head_node,), layer=layer.name, phase="bp")
+    dw_nodes = []
+    for r, (lo, hi) in enumerate(ranges):
+        def run_dw(r=r):
+            ctx["partials"][r] = ctx["dw_tasks"][r].run()
+
+        dw_nodes.append(graph.add_node(
+            f"bp/{layer.name}/dw/{lo}:{hi}", run_dw, (dw_prep_node,),
+            layer=layer.name, phase="bp", lo=lo, hi=hi,
+        ))
+
+    def dw_reduce():
+        err = ecells[i + 1]
+        total = np.zeros(layer.padded_spec.weight_shape, dtype=err.dtype)
+        for partial in ctx["partials"]:
+            if partial is not None:
+                total += partial
+        d_bias = err.sum(axis=(0, 2, 3))
+        # Side effects last, so a retried raise above cannot double-apply.
+        layer.d_weights += total
+        layer.d_bias += d_bias
+
+    dw_reduce_node = graph.add_node(f"bp/{layer.name}/dw_reduce", dw_reduce,
+                                    tuple(dw_nodes), layer=layer.name,
+                                    phase="bp")
+
+    # BP-data chain.  Its prep waits on dw_prep only because both publish
+    # into the same (unlocked) ShmArena under the process backend; the
+    # range nodes of the two chains still overlap freely.
+    def bd_prep():
+        ctx["bd_out"], ctx["bd_tasks"] = executor.slice_plan(
+            "backward_data", ecells[i + 1], layer.weights
+        )
+
+    bd_prep_node = graph.add_node(f"bp/{layer.name}/bd_prep", bd_prep,
+                                  (head_node, dw_prep_node),
+                                  layer=layer.name, phase="bp")
+    bd_nodes = []
+    for r, (lo, hi) in enumerate(ranges):
+        def run_bd(r=r):
+            task = ctx["bd_tasks"][r]
+            adopt_slice(ctx["bd_out"], task, task.run())
+
+        bd_nodes.append(graph.add_node(
+            f"bp/{layer.name}/bd/{lo}:{hi}", run_bd, (bd_prep_node,),
+            layer=layer.name, phase="bp", lo=lo, hi=hi,
+        ))
+
+    def bd_finish():
+        padded = ctx["bd_out"]
+        p = layer.spec.pad
+        ecells[i] = padded if p == 0 else padded[:, :, p:-p, p:-p]
+
+    bd_finish_node = graph.add_node(f"bp/{layer.name}/bd_finish", bd_finish,
+                                    tuple(bd_nodes), layer=layer.name,
+                                    phase="bp")
+
+    # Bookkeeping once both chains land: flop counters and goodput
+    # gauges, mirroring the barrier path's per-backward emission.
+    def done():
+        sparsity = layer.last_error_sparsity
+        total_flops = 2.0 * batch * layer.padded_spec.flops
+        useful_flops = nonzero_conv_flops(total_flops, sparsity)
+        elapsed = max(time.perf_counter() - ctx["begun"], 1e-9)
+        telemetry.add("conv.flops.total", total_flops)
+        telemetry.add("conv.flops.useful", useful_flops)
+        telemetry.gauge(f"goodput.{layer.name}", useful_flops / elapsed)
+        telemetry.gauge(f"throughput.{layer.name}", total_flops / elapsed)
+
+    graph.add_node(f"bp/{layer.name}/done", done,
+                   (dw_reduce_node, bd_finish_node),
+                   layer=layer.name, phase="bp")
+    # Downstream layers wait on BP-data only -- the overlap win.
+    return bd_finish_node
+
+
+def dag_worker_count(network) -> int:
+    """Scheduler width for a network: the widest non-serial conv pool."""
+    workers = 1
+    for layer in network.conv_layers():
+        pool = getattr(layer, "_pool", None)
+        if pool is not None and pool.backend_name != "serial":
+            workers = max(workers, pool.num_workers)
+    return workers
+
+
+class NetworkDagRunner:
+    """Runs a network's FP/BP passes as task graphs.
+
+    Graphs are rebuilt per pass (they capture the current engines, batch
+    geometry and training flag); the scheduler is reused.  With every
+    conv pool on the serial backend the scheduler stays single-threaded,
+    so ``scheduler="dag"`` remains a valid determinism reference there.
+    """
+
+    def __init__(self, network, num_workers: int | None = None):
+        self.network = network
+        self.scheduler = DagScheduler(
+            num_workers or dag_worker_count(network)
+        )
+
+    def forward(self, inputs: np.ndarray, training: bool = True) -> np.ndarray:
+        graph, cells = build_forward_graph(self.network, inputs, training)
+        with telemetry.span("dag/forward", nodes=len(graph),
+                            workers=self.scheduler.num_workers):
+            self.scheduler.run(graph)
+        return cells[-1]
+
+    def backward(self, out_error: np.ndarray) -> np.ndarray:
+        graph, ecells = build_backward_graph(self.network, out_error)
+        with telemetry.span("dag/backward", nodes=len(graph),
+                            workers=self.scheduler.num_workers):
+            self.scheduler.run(graph)
+        return ecells[0]

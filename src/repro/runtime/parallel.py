@@ -26,6 +26,8 @@ thread and process backends for a given worker count.
 from __future__ import annotations
 
 import threading
+from dataclasses import dataclass
+from typing import Callable
 
 import numpy as np
 
@@ -37,6 +39,36 @@ from repro.resilience.policy import RetryPolicy
 from repro.runtime.backends import run_engine_slice
 from repro.runtime.pool import WorkerPool
 from repro.runtime.shm import ShmArena
+
+
+@dataclass(frozen=True)
+class SliceTask:
+    """One schedulable engine slice over images ``[lo, hi)``.
+
+    The shared currency between the barrier path (which wraps ``run``
+    into :meth:`WorkerPool.run_tasks` thunks) and the task-graph runtime
+    (:mod:`repro.runtime.dag`, which wraps it into graph nodes) -- both
+    execute the identical callable, so the two paths cannot diverge
+    numerically.  ``run`` is idempotent: it writes only its own output
+    slice (or returns a fresh partial), so retries and straggler
+    duplicates are safe.
+    """
+
+    index: int
+    lo: int
+    hi: int
+    run: Callable[[], np.ndarray]
+
+
+def adopt_slice(out: np.ndarray, task: SliceTask, result) -> None:
+    """Copy a task result into ``out`` unless it already lives there.
+
+    Covers slices coming back from shared memory and arrays the fault
+    layer replaced with corrupted copies; thread-backend results are
+    views into ``out`` and are left alone.
+    """
+    if isinstance(result, np.ndarray) and result.base is not out:
+        out[task.lo:task.hi] = result
 
 
 class ParallelExecutor:
@@ -151,8 +183,19 @@ class ParallelExecutor:
 
     # -- sliced execution -------------------------------------------------
 
-    def _run_sliced(self, method: str, primary: np.ndarray,
-                    shared: np.ndarray) -> np.ndarray:
+    def slice_plan(self, method: str, primary: np.ndarray,
+                   shared: np.ndarray) -> tuple[np.ndarray, list[SliceTask]]:
+        """Preallocate the output and build one :class:`SliceTask` per range.
+
+        Each task's engine is checked out of the free-list at run time
+        (never captured), so concurrent tasks -- barrier siblings, DAG
+        nodes or straggler duplicates -- never share mutable engine
+        scratch.  Under the process backend this also publishes the
+        operands into the executor's shared-memory arena, so building
+        the plan is itself the prefetch step the DAG overlaps with
+        other layers' GEMMs.  Task results that may live outside ``out``
+        must be adopted via :func:`adopt_slice`.
+        """
         batch = primary.shape[0]
         if batch == 0:
             raise ReproError("empty batch")
@@ -183,16 +226,19 @@ class ParallelExecutor:
 
             thunks = [make(lo, hi) for lo, hi in ranges]
 
-        metas = [{"lo": lo, "hi": hi} for lo, hi in ranges]
+        tasks = [SliceTask(i, lo, hi, thunk)
+                 for i, ((lo, hi), thunk) in enumerate(zip(ranges, thunks))]
+        return out, tasks
+
+    def _run_sliced(self, method: str, primary: np.ndarray,
+                    shared: np.ndarray) -> np.ndarray:
+        out, tasks = self.slice_plan(method, primary, shared)
+        metas = [{"lo": task.lo, "hi": task.hi} for task in tasks]
         with telemetry.span(f"executor/{method}", engine=self.engine_name,
-                            batch=batch, workers=len(ranges)):
-            results = self.pool.run_tasks(thunks, metas)
-        # Adopt any result that does not already live in ``out``: slices
-        # coming back from shared memory, and arrays the fault layer
-        # replaced with corrupted copies.
-        for (lo, hi), result in zip(ranges, results):
-            if isinstance(result, np.ndarray) and result.base is not out:
-                out[lo:hi] = result
+                            batch=primary.shape[0], workers=len(tasks)):
+            results = self.pool.run_tasks([task.run for task in tasks], metas)
+        for task, result in zip(tasks, results):
+            adopt_slice(out, task, result)
         return out
 
     # -- batch API mirroring ConvEngine -----------------------------------
@@ -205,8 +251,15 @@ class ParallelExecutor:
         """Back-propagate the error batch across the workers."""
         return self._run_sliced("backward_data", out_error, weights)
 
-    def backward_weights(self, out_error: np.ndarray, inputs: np.ndarray) -> np.ndarray:
-        """Per-worker dW partials, reduced into one gradient tensor."""
+    def weights_plan(self, out_error: np.ndarray,
+                     inputs: np.ndarray) -> list[SliceTask]:
+        """One dW-partial :class:`SliceTask` per range.
+
+        Each task returns its range's gradient partial; the caller owns
+        the reduction and must accumulate the partials **in range
+        order** -- the fixed order that keeps results bit-identical
+        across backends, worker counts and schedulers.
+        """
         batch = out_error.shape[0]
         if batch == 0:
             raise ReproError("empty batch")
@@ -234,14 +287,21 @@ class ParallelExecutor:
 
             thunks = [make(lo, hi) for lo, hi in ranges]
 
-        metas = [{"lo": lo, "hi": hi} for lo, hi in ranges]
+        return [SliceTask(i, lo, hi, thunk)
+                for i, ((lo, hi), thunk) in enumerate(zip(ranges, thunks))]
+
+    def backward_weights(self, out_error: np.ndarray, inputs: np.ndarray) -> np.ndarray:
+        """Per-worker dW partials, reduced into one gradient tensor."""
+        tasks = self.weights_plan(out_error, inputs)
+        metas = [{"lo": task.lo, "hi": task.hi} for task in tasks]
         with telemetry.span("executor/backward_weights",
-                            engine=self.engine_name, batch=batch,
-                            workers=len(ranges)):
-            partials = self.pool.run_tasks(thunks, metas)
+                            engine=self.engine_name,
+                            batch=out_error.shape[0],
+                            workers=len(tasks)):
+            partials = self.pool.run_tasks([task.run for task in tasks], metas)
         # Fixed reduction order (range order) keeps the result identical
         # across backends and worker schedules.
-        total = np.zeros(self.spec.weight_shape, dtype=dtype)
+        total = np.zeros(self.spec.weight_shape, dtype=out_error.dtype)
         for partial in partials:
             if partial is not None:
                 total += partial

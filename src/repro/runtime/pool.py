@@ -117,7 +117,14 @@ class WorkerPool:
         self.shutdown()
 
     def shutdown(self) -> None:
-        """Stop the workers (idempotent; the pool may be reused)."""
+        """Stop the workers (idempotent; the pool may be reused).
+
+        The reuse contract is uniform across backends -- including a
+        pool constructed with an :class:`ExecutionBackend` *instance*:
+        the backend object is kept and the next dispatch restarts it
+        (``start()`` is idempotent and, for the process backend,
+        respawns the worker set).
+        """
         if self._finalizer is not None:
             self._finalizer.detach()
             self._finalizer = None
@@ -129,9 +136,6 @@ class WorkerPool:
             self._backend_finalizer = None
         if self._backend is not None:
             self._backend.shutdown()
-            if self.backend_name == "process":
-                # A fresh use after shutdown() respawns workers.
-                self._backend = None
 
     def _require_executor(self) -> ThreadPoolExecutor:
         if self._executor is None:
@@ -147,13 +151,15 @@ class WorkerPool:
     def _require_backend(self) -> ExecutionBackend:
         if self._backend is None:
             self._backend = make_backend(self.backend_name, self.num_workers)
-        if isinstance(self._backend, ProcessBackend):
-            needs_finalizer = self._backend_finalizer is None
-            self._backend.start()
-            if needs_finalizer:
-                self._backend_finalizer = weakref.finalize(
-                    self, self._backend.shutdown
-                )
+        # start() is idempotent and revives a shut-down backend, so
+        # reuse-after-shutdown behaves identically whether the pool was
+        # built from a backend name or a live instance.
+        needs_finalizer = self._backend_finalizer is None
+        self._backend.start()
+        if needs_finalizer and isinstance(self._backend, ProcessBackend):
+            self._backend_finalizer = weakref.finalize(
+                self, self._backend.shutdown
+            )
         return self._backend
 
     # -- execution --------------------------------------------------------
@@ -195,27 +201,34 @@ class WorkerPool:
                 return faults.corrupt_array("pool.result", thunks[index]())
 
         serial = self.backend_name == "serial"
-        if policy is None:
-            if serial or len(thunks) == 1:
-                return [run(i) for i in range(len(thunks))]
-            executor = self._require_executor()
-            futures = [executor.submit(run, i) for i in range(len(thunks))]
-            # Let every sibling task finish before propagating any
-            # failure, as documented -- callers must never observe a
-            # task still running after run_tasks raised.
-            wait(futures)
-            for f in futures:
-                error = f.exception()
-                if error is not None:
-                    raise error
-            return [f.result() for f in futures]
-        supervisor: Executor = (
-            _InlineExecutor() if serial else self._require_executor()
-        )
-        wrapped = [
-            (lambda i=i: run(i)) for i in range(len(thunks))
-        ]
-        return run_supervised(supervisor, wrapped, policy)
+        try:
+            if policy is None:
+                if serial or len(thunks) == 1:
+                    return [run(i) for i in range(len(thunks))]
+                executor = self._require_executor()
+                futures = [executor.submit(run, i) for i in range(len(thunks))]
+                # Let every sibling task finish before propagating any
+                # failure, as documented -- callers must never observe a
+                # task still running after run_tasks raised.
+                wait(futures)
+                for f in futures:
+                    error = f.exception()
+                    if error is not None:
+                        raise error
+                return [f.result() for f in futures]
+            supervisor: Executor = (
+                _InlineExecutor() if serial else self._require_executor()
+            )
+            wrapped = [
+                (lambda i=i: run(i)) for i in range(len(thunks))
+            ]
+            return run_supervised(supervisor, wrapped, policy)
+        finally:
+            # Results collected (or the batch failed): the queue is
+            # drained either way, and the gauge must say so -- a stuck
+            # nonzero value reads as a phantom backlog on the trace's
+            # counter track and in the monitor report.
+            telemetry.gauge("pool.queue_occupancy", 0)
 
     def map_batches(
         self, task: Callable[[int, int], T], batch_size: int

@@ -350,3 +350,80 @@ class TestForkSafety:
             return pool.map_items(lambda i: items[i] * scale, len(items))
         """
         assert _lint(code) == []
+
+
+class TestDagCaptureSafety:
+    """CHK-DAG: node callables capturing mutable engine scratch."""
+
+    def test_captured_engine_instance_is_an_error(self):
+        code = """
+        from repro.ops.engine import make_engine
+
+        def build(graph, spec, weights, x):
+            engine = make_engine("parallel-gemm", spec)
+            graph.add_node("fp", lambda: engine.forward(x, weights))
+        """
+        findings = _lint(code)
+        assert any("work-stealing scheduler" in f.message
+                   and "mutable scratch" in f.message for f in findings)
+
+    def test_captured_checked_out_engine_is_an_error(self):
+        code = """
+        def build(graph, executor, x, weights):
+            engine = executor._checkout_engine()
+            def node():
+                return engine.forward(x, weights)
+            graph.add_node("fp", node)
+        """
+        findings = _lint(code)
+        assert any("graph-build time" in f.message for f in findings)
+
+    def test_captured_workspace_is_an_error(self):
+        code = """
+        from repro.ops.workspace import Workspace
+
+        def build(graph, shape):
+            scratch = Workspace()
+            graph.add_node("fp", lambda: scratch.request("a", shape))
+        """
+        findings = _lint(code)
+        assert any("workspace buffer" in f.message for f in findings)
+
+    def test_checkout_inside_node_body_is_clean(self):
+        code = """
+        def build(graph, executor, x, weights):
+            def node():
+                engine = executor._checkout_engine()
+                try:
+                    return engine.forward(x, weights)
+                finally:
+                    executor._return_engine(engine)
+            graph.add_node("fp", node)
+        """
+        assert _lint(code) == []
+
+    def test_engine_outside_add_node_is_clean(self):
+        code = """
+        from repro.ops.engine import make_engine
+
+        def run(spec, x, weights):
+            engine = make_engine("parallel-gemm", spec)
+            return engine.forward(x, weights)
+        """
+        assert _lint(code) == []
+
+    def test_plan_task_capture_is_clean(self):
+        code = """
+        def build(graph, executor, padded, weights):
+            ctx = {}
+
+            def prep():
+                ctx["out"], ctx["tasks"] = executor.slice_plan(
+                    "forward", padded, weights
+                )
+
+            prep_node = graph.add_node("prep", prep)
+            graph.add_node("range", lambda: ctx["tasks"][0].run(),
+                           (prep_node,))
+        """
+        assert _lint(code) == []

@@ -147,6 +147,34 @@ class TestEpochMetrics:
         assert history.final.train_loss == pytest.approx(3.0)
 
 
+class TestEpochBatches:
+    def test_batches_cover_dataset_once_shuffled(self, datasets):
+        train, _ = datasets
+        loop = TrainingLoop(net(), train, batch_size=8, shuffle_seed=5)
+        batches = list(loop._epoch_batches())
+        assert sum(len(y) for _, y in batches) == len(train)
+        # Same seed, same order as indexing by the raw permutation.
+        expected = np.random.default_rng(5).permutation(len(train))
+        got = np.concatenate([x for x, _ in batches])
+        np.testing.assert_array_equal(got, train.images[expected])
+
+    def test_peak_allocation_stays_batch_sized(self):
+        import tracemalloc
+
+        # Big enough that a whole-dataset shuffled copy dwarfs batch
+        # copies and interpreter noise.
+        train = make_dataset(256, 4, (1, 16, 16), noise=0.2, seed=0)
+        loop = TrainingLoop(net(), train, batch_size=8, shuffle_seed=5)
+        tracemalloc.start()
+        for _ in loop._epoch_batches():
+            pass
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        # The old implementation copied images[order] + labels[order]
+        # up front (>= dataset size); batch-at-a-time stays far below.
+        assert peak < train.images.nbytes / 2
+
+
 class TestCheckpointResume:
     def _loop(self, datasets, tmp_path, *, net_seed=0, shuffle_seed=5,
               checkpoint_dir=None, **kwargs):
@@ -178,7 +206,37 @@ class TestCheckpointResume:
                           checkpoint_every=2)
         loop.run(epochs=5)
         names = sorted(p.name for p in tmp_path.glob("epoch-*.npz"))
+        # Cadence epochs 2 and 4, plus the final epoch: a run must never
+        # end without its last completed epoch on disk.
+        assert names == ["epoch-0002.npz", "epoch-0004.npz",
+                         "epoch-0005.npz"]
+
+    def test_final_epoch_on_cadence_written_once(self, datasets, tmp_path):
+        loop = self._loop(datasets, tmp_path, checkpoint_dir=tmp_path,
+                          checkpoint_every=2)
+        loop.run(epochs=4)
+        names = sorted(p.name for p in tmp_path.glob("epoch-*.npz"))
         assert names == ["epoch-0002.npz", "epoch-0004.npz"]
+
+    def test_resume_from_final_off_cadence_checkpoint(self, datasets,
+                                                      tmp_path):
+        # 3 epochs with checkpoint_every=2: the final checkpoint is the
+        # off-cadence epoch-0003 written by the always-final rule.
+        full = self._loop(datasets, tmp_path, checkpoint_dir=tmp_path / "a")
+        full_history = full.run(epochs=5)
+        partial = self._loop(datasets, tmp_path,
+                             checkpoint_dir=tmp_path / "b",
+                             checkpoint_every=2)
+        partial.run(epochs=3)
+        latest = TrainingLoop.latest_checkpoint(tmp_path / "b")
+        assert latest.name == "epoch-0003.npz"
+        resumed = self._loop(datasets, tmp_path, net_seed=7,
+                             shuffle_seed=7)
+        assert resumed.restore(latest) == 3
+        resumed_history = resumed.run(epochs=5)
+        assert self._params_bytes(resumed.network) == \
+            self._params_bytes(full.network)
+        assert resumed_history.loss_curve() == full_history.loss_curve()
 
     def test_killed_run_resumes_bit_identically(self, datasets, tmp_path):
         # The uninterrupted run.

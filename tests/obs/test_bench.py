@@ -31,7 +31,7 @@ class TestSuite:
         assert suite_names() == (
             "gemm_blocked", "unfold", "stencil_fp", "ctcsr_build",
             "sparse_bp", "pool_map", "par_stencil_fp", "par_sparse_bp",
-            "train_epoch",
+            "train_epoch", "dag_train_epoch",
         )
 
     def test_run_single_benchmark_from_suite(self):

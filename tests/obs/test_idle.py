@@ -1,0 +1,95 @@
+"""Tests for worker idle-time derivation from span data."""
+
+from repro import telemetry
+from repro.obs.idle import (
+    WORKER_SPAN_NAMES,
+    total_worker_idle,
+    worker_idle_times,
+)
+from repro.telemetry.collector import Span
+
+
+def span(name, thread_id, start, end, span_id=0):
+    return Span(name=name, span_id=span_id, thread_id=thread_id,
+                start=start, end=end)
+
+
+class TestWorkerIdleTimes:
+    def test_gap_between_consecutive_tasks_counts(self):
+        spans = [
+            span("pool/task", 1, 0.0, 1.0),
+            span("pool/task", 1, 3.0, 4.0),
+        ]
+        assert worker_idle_times(spans) == {1: 2.0}
+
+    def test_threads_accounted_separately(self):
+        spans = [
+            span("pool/task", 1, 0.0, 1.0),
+            span("pool/task", 1, 2.0, 3.0),
+            span("dag/node", 2, 0.0, 2.0),
+            span("dag/node", 2, 2.5, 3.0),
+        ]
+        idles = worker_idle_times(spans)
+        assert idles == {1: 1.0, 2: 0.5}
+        assert total_worker_idle(spans) == 1.5
+
+    def test_nested_spans_add_no_phantom_idle(self):
+        # A task span enclosing another (retry wrapper, sub-span) must
+        # not count the inner span's surroundings as idle.
+        spans = [
+            span("dag/node", 1, 0.0, 4.0),
+            span("dag/node", 1, 1.0, 2.0),
+            span("dag/node", 1, 5.0, 6.0),
+        ]
+        assert worker_idle_times(spans) == {1: 1.0}
+
+    def test_overlap_extends_the_horizon(self):
+        # Second span starts inside the first but ends later: idle only
+        # starts after the later end.
+        spans = [
+            span("dag/node", 1, 0.0, 2.0),
+            span("dag/node", 1, 1.0, 5.0),
+            span("dag/node", 1, 6.0, 7.0),
+        ]
+        assert worker_idle_times(spans) == {1: 1.0}
+
+    def test_edges_before_first_and_after_last_excluded(self):
+        spans = [span("pool/task", 1, 10.0, 11.0)]
+        assert worker_idle_times(spans) == {1: 0.0}
+
+    def test_non_worker_spans_ignored(self):
+        spans = [
+            span("pool/task", 1, 0.0, 1.0),
+            span("conv0/fp", 1, 1.0, 2.0),
+            span("pool/task", 1, 3.0, 4.0),
+        ]
+        assert worker_idle_times(spans) == {1: 2.0}
+
+    def test_unfinished_spans_skipped(self):
+        spans = [
+            span("pool/task", 1, 0.0, 1.0),
+            span("pool/task", 1, 2.0, None),
+            span("pool/task", 1, 5.0, 6.0),
+        ]
+        assert worker_idle_times(spans) == {1: 4.0}
+
+    def test_custom_names_selectable(self):
+        spans = [
+            span("my/task", 1, 0.0, 1.0),
+            span("my/task", 1, 2.0, 3.0),
+        ]
+        assert worker_idle_times(spans) == {}
+        assert worker_idle_times(spans, names=("my/task",)) == {1: 1.0}
+
+    def test_accepts_a_collector(self):
+        with telemetry.collect() as tel:
+            with telemetry.span("pool/task"):
+                pass
+            with telemetry.span("pool/task"):
+                pass
+        idles = worker_idle_times(tel)
+        assert len(idles) == 1
+        assert all(v >= 0.0 for v in idles.values())
+
+    def test_default_names_cover_both_schedulers(self):
+        assert set(WORKER_SPAN_NAMES) == {"pool/task", "dag/node"}

@@ -147,6 +147,61 @@ class TestLifecycle:
         assert pool._finalizer is None
 
 
+class TestQueueOccupancyGauge:
+    def test_gauge_drains_to_zero_after_collection(self):
+        with telemetry.collect() as tel:
+            with WorkerPool(num_workers=2) as pool:
+                pool.run_tasks([lambda: 1, lambda: 2])
+        series = [v for _, v in tel.gauge_series["pool.queue_occupancy"]]
+        assert series == [2, 0]
+        assert tel.gauges["pool.queue_occupancy"] == 0
+
+    def test_gauge_drains_even_when_a_task_fails(self):
+        def boom():
+            raise RuntimeError("task died")
+
+        with telemetry.collect() as tel:
+            with WorkerPool(num_workers=2) as pool:
+                with pytest.raises(RuntimeError):
+                    pool.run_tasks([boom, lambda: 1])
+        # The batch is over either way -- a stuck nonzero value would
+        # read as a phantom backlog on the trace's counter track.
+        assert tel.gauges["pool.queue_occupancy"] == 0
+
+
+class TestReuseAfterShutdown:
+    @pytest.mark.parametrize("backend", ["serial", "thread"])
+    def test_named_backend_pool_reusable(self, backend):
+        pool = WorkerPool(num_workers=2, backend=backend)
+        assert pool.run_tasks([lambda: 1, lambda: 2]) == [1, 2]
+        pool.shutdown()
+        assert pool.run_tasks([lambda: 3, lambda: 4]) == [3, 4]
+        pool.shutdown()
+
+    def test_process_backend_respawns_after_shutdown(self):
+        pool = WorkerPool(num_workers=2, backend="process")
+        backend = pool._require_backend()
+        assert backend.call(len, [1, 2, 3]) == 3
+        pool.shutdown()
+        # The backend instance is kept -- shutdown() must not orphan it
+        # to a dead None slot -- and the next dispatch respawns workers.
+        assert pool._backend is backend
+        assert pool._require_backend() is backend
+        assert backend.call(len, [1, 2, 3, 4]) == 4
+        pool.shutdown()
+
+    def test_instance_constructed_pool_keeps_its_backend(self):
+        from repro.runtime.backends import SerialBackend
+
+        backend = SerialBackend()
+        pool = WorkerPool(num_workers=2, backend=backend)
+        assert pool.run_tasks([lambda: 1]) == [1]
+        pool.shutdown()
+        assert pool._backend is backend
+        assert pool.run_tasks([lambda: 2]) == [2]
+        pool.shutdown()
+
+
 class TestSupervisedExecution:
     def test_injected_crash_is_retried(self):
         plan = FaultPlan("t", specs=(
