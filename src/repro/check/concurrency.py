@@ -39,13 +39,18 @@ and flags:
   on work-stealing threads, so scratch captured at graph-build time is
   shared by every node that closes over it -- check engines out of the
   executor free-list *inside* the node body instead (see
-  :mod:`repro.runtime.dag`).
+  :mod:`repro.runtime.dag`).  The rule sees through every way a node
+  callable can smuggle scratch: closures and lambdas (free names),
+  ``functools.partial(fn, scratch)`` (bound arguments, positional or
+  keyword), and bare bound methods (``scratch.run`` captures its
+  instance).
 """
 
 from __future__ import annotations
 
 import ast
 from pathlib import Path
+from typing import Any
 
 from repro.check.findings import Finding
 
@@ -172,7 +177,7 @@ def _mentions_lock(node: ast.expr) -> bool:
 class _ClosureMutationVisitor(ast.NodeVisitor):
     """Find mutations of module-level mutables inside nested functions."""
 
-    def __init__(self, module_name: str, mutables: set[str]):
+    def __init__(self, module_name: str, mutables: set[str]) -> None:
         self.module_name = module_name
         self.mutables = mutables
         self.findings: list[Finding] = []
@@ -181,7 +186,7 @@ class _ClosureMutationVisitor(ast.NodeVisitor):
 
     # -- scope tracking ----------------------------------------------------
 
-    def _visit_function(self, node) -> None:
+    def _visit_function(self, node: ast.AST) -> None:
         self._function_depth += 1
         self.generic_visit(node)
         self._function_depth -= 1
@@ -243,14 +248,14 @@ class _ClosureMutationVisitor(ast.NodeVisitor):
 class _TelemetryUseVisitor(ast.NodeVisitor):
     """Instrumentation-misuse rules: span leaks and hot-loop emission."""
 
-    def __init__(self, module_name: str, aliases: set[str]):
+    def __init__(self, module_name: str, aliases: set[str]) -> None:
         self.module_name = module_name
         self.aliases = aliases
         self.findings: list[Finding] = []
         self._loop_depth = 0
         self._with_contexts: set[int] = set()
 
-    def _visit_loop(self, node) -> None:
+    def _visit_loop(self, node: ast.AST) -> None:
         self._loop_depth += 1
         self.generic_visit(node)
         self._loop_depth -= 1
@@ -259,7 +264,7 @@ class _TelemetryUseVisitor(ast.NodeVisitor):
     visit_AsyncFor = _visit_loop
     visit_While = _visit_loop
 
-    def _visit_with(self, node) -> None:
+    def _visit_with(self, node: ast.With) -> None:
         for item in node.items:
             self._with_contexts.add(id(item.context_expr))
         self.generic_visit(node)
@@ -318,7 +323,7 @@ def _unsafe_call_description(node: ast.expr,
     return table.get(name) if name else None
 
 
-def _free_names(func_node) -> set[str]:
+def _free_names(func_node: "ast.FunctionDef | ast.AsyncFunctionDef | ast.Lambda") -> set[str]:
     """Names a lambda/def reads without binding them itself."""
     bound: set[str] = set()
     args = func_node.args
@@ -353,18 +358,25 @@ class _CaptureSafetyVisitor(ast.NodeVisitor):
     """
 
     def __init__(self, module_name: str, submit_methods: frozenset[str],
-                 table: dict[str, str], message: str):
+                 table: dict[str, str], message: str,
+                 bound_methods: bool = False) -> None:
         self.module_name = module_name
         self.submit_methods = submit_methods
         self.table = table
         self.message = message
+        # Flag bare bound-method callables (``obj.method``).  Only the
+        # DAG rule opts in: under CHK-FORK, attribute access on an
+        # unsafe handle is how the *sanctioned* pattern extracts the
+        # picklable descriptor (``seg.descriptor``), so the same shape
+        # is clean there.
+        self.bound_methods = bound_methods
         self.findings: list[Finding] = []
         # Innermost scope last; index 0 is the module scope.
         self._scopes: list[dict] = [{"unsafe": {}, "funcs": {}}]
 
     # -- scope and handle tracking -----------------------------------------
 
-    def _visit_function(self, node) -> None:
+    def _visit_function(self, node: ast.AST) -> None:
         if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
             self._scopes[-1]["funcs"][node.name] = node
         self._scopes.append({"unsafe": {}, "funcs": {}})
@@ -403,13 +415,13 @@ class _CaptureSafetyVisitor(ast.NodeVisitor):
                 return scope["unsafe"][name]
         return None
 
-    def _lookup_func(self, name: str):
+    def _lookup_func(self, name: str) -> Any:
         for scope in reversed(self._scopes):
             if name in scope["funcs"]:
                 return scope["funcs"][name]
         return None
 
-    def _check_callable(self, func_node, lineno: int, method: str,
+    def _check_callable(self, func_node: Any, lineno: int, method: str,
                         label: str) -> None:
         for free in sorted(_free_names(func_node)):
             description = self._lookup_unsafe(free)
@@ -421,16 +433,57 @@ class _CaptureSafetyVisitor(ast.NodeVisitor):
                                         description=description),
                 ))
 
+    @staticmethod
+    def _is_partial_call(node: ast.expr) -> bool:
+        if not isinstance(node, ast.Call):
+            return False
+        func = node.func
+        return ((isinstance(func, ast.Name) and func.id == "partial")
+                or (isinstance(func, ast.Attribute)
+                    and func.attr == "partial"))
+
+    def _check_partial(self, call: ast.Call, method: str) -> None:
+        """``functools.partial(fn, x, k=y)``: x/y are captured like a
+        closure's free names -- unsafe bindings among them race too."""
+        for value in list(call.args) + [kw.value for kw in call.keywords]:
+            if (isinstance(value, ast.Name)
+                    and isinstance(value.ctx, ast.Load)):
+                description = self._lookup_unsafe(value.id)
+                if description is not None:
+                    self.findings.append(_finding(
+                        "error", f"{self.module_name}:{value.lineno}",
+                        self.message.format(label="functools.partial(...)",
+                                            method=method, free=value.id,
+                                            description=description),
+                    ))
+
     def visit_Call(self, node: ast.Call) -> None:
         func = node.func
         if (isinstance(func, ast.Attribute)
                 and func.attr in self.submit_methods):
             values = list(node.args) + [kw.value for kw in node.keywords]
             for value in values:
+                # Bound methods handed over bare (``obj.method``, not
+                # ``obj.method(...)``) capture their instance exactly
+                # like a closure captures a free name; exempt call-form
+                # attributes and anything inside a lambda (the lambda's
+                # own free-name check already covers those).
+                called = {
+                    id(sub.func) for sub in ast.walk(value)
+                    if isinstance(sub, ast.Call)
+                }
+                in_lambda = {
+                    id(inner)
+                    for sub in ast.walk(value)
+                    if isinstance(sub, ast.Lambda)
+                    for inner in ast.walk(sub.body)
+                }
                 for sub in ast.walk(value):
                     if isinstance(sub, ast.Lambda):
                         self._check_callable(sub, sub.lineno, func.attr,
                                              "lambda")
+                    elif self._is_partial_call(sub):
+                        self._check_partial(sub, func.attr)
                     elif (isinstance(sub, ast.Name)
                           and isinstance(sub.ctx, ast.Load)):
                         target = self._lookup_func(sub.id)
@@ -438,6 +491,23 @@ class _CaptureSafetyVisitor(ast.NodeVisitor):
                             self._check_callable(
                                 target, sub.lineno, func.attr,
                                 f"closure {sub.id!r}")
+                    elif (self.bound_methods
+                          and isinstance(sub, ast.Attribute)
+                          and isinstance(sub.ctx, ast.Load)
+                          and isinstance(sub.value, ast.Name)
+                          and id(sub) not in called
+                          and id(sub) not in in_lambda):
+                        description = self._lookup_unsafe(sub.value.id)
+                        if description is not None:
+                            self.findings.append(_finding(
+                                "error",
+                                f"{self.module_name}:{sub.lineno}",
+                                self.message.format(
+                                    label=(f"bound method "
+                                           f"'{sub.value.id}.{sub.attr}'"),
+                                    method=func.attr, free=sub.value.id,
+                                    description=description),
+                            ))
         self.generic_visit(node)
 
 
@@ -501,7 +571,8 @@ def lint_source(module_name: str, source: str) -> list[Finding]:
     # CHK-DAG: node callables capturing mutable engine scratch.  Same
     # machinery, different submission methods and unsafe-call table.
     dag_visitor = _CaptureSafetyVisitor(
-        module_name, _DAG_SUBMIT_METHODS, _DAG_UNSAFE_CALLS, _DAG_MESSAGE
+        module_name, _DAG_SUBMIT_METHODS, _DAG_UNSAFE_CALLS, _DAG_MESSAGE,
+        bound_methods=True,
     )
     dag_visitor.visit(tree)
     findings.extend(dag_visitor.findings)

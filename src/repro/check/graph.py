@@ -22,6 +22,8 @@ before the first batch instead of surfacing as mid-training corruption.
 
 from __future__ import annotations
 
+from typing import Any
+
 import numpy as np
 
 from repro import telemetry
@@ -82,7 +84,7 @@ def _check_conv(layer: ConvLayer, shape: tuple[int, ...], loc: str
     return findings
 
 
-def _check_pool(layer, shape: tuple[int, ...], loc: str) -> list[Finding]:
+def _check_pool(layer: Any, shape: tuple[int, ...], loc: str) -> list[Finding]:
     findings = []
     if len(shape) != 3:
         return [_finding(

@@ -1,11 +1,12 @@
 """Single entry point running every static analyzer: ``run_all``.
 
 The default corpus is everything the framework can deploy: the built-in
-zoo networks (graph checker), the engine-facing ConvSpec of every conv
-layer in those networks plus every Table 2 benchmark convolution
-(kernel-IR verifier and generated-source verifier, covering each
-(ConvSpec x technique) kernel the autotuner can emit), and every module
-of the ``repro`` package itself (concurrency lint).
+zoo networks (graph checker and task-graph effects verifier), the
+engine-facing ConvSpec of every conv layer in those networks plus every
+Table 2 benchmark convolution (kernel-IR verifier and generated-source
+verifier, covering each (ConvSpec x technique) kernel the autotuner can
+emit), every module of the ``repro`` package itself (concurrency lint),
+and the shm-owning runtime modules (lifecycle analyzer).
 """
 
 from __future__ import annotations
@@ -13,16 +14,19 @@ from __future__ import annotations
 from pathlib import Path
 
 from repro.check.concurrency import lint_package
+from repro.check.effects import verify_networks as verify_network_effects
 from repro.check.findings import CheckReport
 from repro.check.gen_source import verify_generated_sources
 from repro.check.graph import verify_networks
 from repro.check.kernel_ir import verify_kernel_ir
+from repro.check.lifecycle import lint_lifecycle
 from repro.core.convspec import ConvSpec
 from repro.errors import CheckError
 from repro.machine.spec import MachineSpec, xeon_e5_2650
 
 #: The analyzers ``run_all`` knows, in run order.
-ANALYZERS = ("kernel-ir", "gen-source", "graph", "concurrency")
+ANALYZERS = ("kernel-ir", "gen-source", "graph", "effects", "concurrency",
+             "lifecycle")
 
 
 def engine_spec(spec: ConvSpec) -> ConvSpec:
@@ -76,7 +80,7 @@ def run_all(
     networks: list | None = None,
     lint_root: Path | None = None,
 ) -> CheckReport:
-    """Run the selected analyzers (all four by default) and aggregate.
+    """Run the selected analyzers (all six by default) and aggregate.
 
     Returns a :class:`CheckReport`; never raises on findings -- use
     :meth:`CheckReport.raise_if_errors` (or the CLI's exit code) to gate.
@@ -91,7 +95,10 @@ def run_all(
     report = CheckReport(meta={"machine": machine.name})
 
     needs_specs = {"kernel-ir", "gen-source"} & set(selected)
-    needs_networks = bool(needs_specs and specs is None) or "graph" in selected
+    needs_networks = (
+        bool(needs_specs and specs is None)
+        or bool({"graph", "effects"} & set(selected))
+    )
     if needs_networks and networks is None:
         networks = default_networks()
     if needs_specs and specs is None:
@@ -107,8 +114,16 @@ def run_all(
     if "graph" in selected:
         report.extend(verify_networks(networks or []))
         report.meta["networks"] = len(networks or [])
+    if "effects" in selected:
+        findings, meta = verify_network_effects(networks or [])
+        report.extend(findings)
+        report.meta.update(meta)
     if "concurrency" in selected:
         findings, files = lint_package(lint_root)
         report.extend(findings)
         report.meta["files_linted"] = files
+    if "lifecycle" in selected:
+        findings, files = lint_lifecycle(lint_root)
+        report.extend(findings)
+        report.meta["lifecycle_files"] = files
     return report

@@ -11,13 +11,16 @@ Commands:
 * ``trace [--net cifar|mnist] [--epochs N] ...`` -- run a real training
   job with spg-CNN retuning under the telemetry collector, print the
   span/counter/event tables and write a JSON trace (profiling command).
-* ``check [--analyzer A ...] [--json PATH]`` -- statically verify the
-  generated kernels, network graphs and parallel runtime; exits 1 when
-  any error-severity finding is reported (CI gate).
-* ``chaos [--plan P] [--seed N] ...`` -- train a small job under a named
-  fault plan with the resilient policy active and report survival;
-  exits 1 when the run dies, stops improving, or fails the kill/resume
-  bit-identity check (CI chaos gate).
+* ``check [--only A,B] [--analyzer A ...] [--json PATH]`` -- statically
+  verify the generated kernels, network graphs, task-graph effects,
+  shm buffer lifecycles and parallel runtime; ``--only`` takes a
+  comma-separated analyzer list, ``--format sarif`` emits SARIF 2.1.0
+  for code-host upload; exits 1 when any error-severity finding is
+  reported (CI gate).
+* ``chaos [--plan P] [--seed N] [--scheduler barrier|dag] ...`` -- train
+  a small job under a named fault plan with the resilient policy active
+  and report survival; exits 1 when the run dies, stops improving, or
+  fails the kill/resume bit-identity check (CI chaos gate).
 * ``train [--net cifar|mnist] ...`` (alias: ``monitor``) -- run a
   training job under the live :class:`repro.obs.monitor.TrainingMonitor`
   and write the final run report.
@@ -30,8 +33,10 @@ Reporting commands (``trace``, ``check``, ``chaos``, ``train``,
 ``bench``) share one I/O contract: ``--format table|json`` selects the
 stdout rendering (human tables vs. machine JSON) and ``--out PATH``
 writes the durable JSON artifact -- ``trace`` additionally accepts
-``--format chrome`` for Chrome trace-event JSON, and ``bench``'s
-``--out`` is a directory (one ``BENCH_<name>.json`` per benchmark).
+``--format chrome`` for Chrome trace-event JSON, ``check`` accepts
+``--format sarif`` (stdout and ``--out`` both become SARIF 2.1.0), and
+``bench``'s ``--out`` is a directory (one ``BENCH_<name>.json`` per
+benchmark).
 
 Exit codes, uniformly: **0** success; **1** gate failure (error-severity
 check findings, a failed chaos run, a benchmark regression); **2** usage
@@ -46,6 +51,7 @@ from pathlib import Path
 
 from repro.analysis import figures as figure_module
 from repro.analysis.reporting import format_series, format_table
+from repro.check.runner import ANALYZERS as _ANALYZERS
 from repro.core.autotuner import Autotuner, ModelCostBackend
 from repro.core.characterization import characterize
 from repro.core.convspec import ConvSpec
@@ -66,6 +72,18 @@ _FIGURES = {
     "fig4f": figure_module.figure4f,
     "fig9": figure_module.figure9,
 }
+
+
+def _analyzer_list(text: str) -> tuple[str, ...]:
+    """``--only`` type: comma-separated analyzer names, validated."""
+    names = tuple(name.strip() for name in text.split(",") if name.strip())
+    unknown = [name for name in names if name not in _ANALYZERS]
+    if unknown:
+        raise argparse.ArgumentTypeError(
+            f"unknown analyzer(s) {', '.join(sorted(unknown))}; "
+            f"known: {', '.join(_ANALYZERS)}"
+        )
+    return names
 
 
 def _add_output_args(
@@ -149,14 +167,20 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     check.add_argument(
         "--analyzer", action="append", dest="analyzers", default=None,
-        choices=("kernel-ir", "gen-source", "graph", "concurrency"),
-        help="run only the named analyzer (repeatable; default: all four)",
+        choices=_ANALYZERS,
+        help="run only the named analyzer (repeatable; default: all six)",
+    )
+    check.add_argument(
+        "--only", type=_analyzer_list, default=None, metavar="A[,B...]",
+        help="comma-separated analyzer list (combined with --analyzer)",
     )
     check.add_argument("--json", type=Path, default=None, dest="json_alias",
                        help="alias for --out (kept for compatibility)")
     check.add_argument("--quiet", action="store_true",
                        help="print only the summary line, not the table")
-    _add_output_args(check, out_help="write the findings report as JSON")
+    _add_output_args(check, formats=("table", "json", "sarif"),
+                     out_help="write the findings report (JSON, or SARIF "
+                              "with --format sarif)")
 
     from repro.resilience import plan_names
 
@@ -173,6 +197,9 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="worker threads per conv layer (1 = inline)")
     chaos.add_argument("--backend", choices=_BACKENDS, default="thread",
                        help="execution backend of the conv worker pools")
+    chaos.add_argument("--scheduler", choices=("barrier", "dag"),
+                       default="barrier",
+                       help="per-layer barriers or the task-graph runtime")
     chaos.add_argument("--no-resume-check", action="store_true",
                        help="skip the kill-and-resume bit-identity replay")
     _add_output_args(chaos, out_help="write the chaos + monitor report "
@@ -514,6 +541,7 @@ def _cmd_chaos(args, out) -> int:
         samples=args.samples,
         threads=args.threads,
         backend=args.backend,
+        scheduler=args.scheduler,
         check_resume=not args.no_resume_check,
     )
     if args.format == "json":
@@ -532,19 +560,27 @@ def _cmd_check(args, out) -> int:
     import json as json_module
 
     from repro.check.runner import run_all
+    from repro.check.sarif import to_sarif, write_sarif
 
-    report = run_all(
-        analyzers=tuple(args.analyzers) if args.analyzers else None
-    )
+    selected = list(args.analyzers or ())
+    for name in args.only or ():
+        if name not in selected:
+            selected.append(name)
+    report = run_all(analyzers=tuple(selected) if selected else None)
     if args.format == "json":
         print(json_module.dumps(report.to_dict()), file=out)
+    elif args.format == "sarif":
+        print(json_module.dumps(to_sarif(report)), file=out)
     else:
         if report.findings and not args.quiet:
             print(report.table(), file=out)
         print(report.summary(), file=out)
     out_path = args.out if args.out is not None else args.json_alias
     if out_path is not None:
-        path = report.write_json(out_path)
+        if args.format == "sarif":
+            path = write_sarif(report, out_path)
+        else:
+            path = report.write_json(out_path)
         print(f"wrote {path}", file=out)
     return 0 if report.ok else 1
 

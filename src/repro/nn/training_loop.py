@@ -118,6 +118,14 @@ class TrainingLoop:
             from repro.check.graph import preflight_network
 
             preflight_network(network)
+            if getattr(network, "scheduler", "barrier") == "dag":
+                # The task-graph runtime replaces per-layer barriers
+                # with declared happens-before edges; prove the compiled
+                # FP/BP graphs race-free before trusting them with
+                # training state.  See repro.check.effects.
+                from repro.check.effects import preflight_dag
+
+                preflight_dag(network, batch_size)
         self.train_data = train_data
         self.eval_data = eval_data
         self.batch_size = batch_size

@@ -145,7 +145,8 @@ def _params_bytes(network) -> bytes:
 
 def _build_job(seed: int, samples: int, threads: int, batch: int,
                checkpoint_dir: str | Path | None,
-               backend: str = "thread") -> TrainingLoop:
+               backend: str = "thread",
+               scheduler: str = "barrier") -> TrainingLoop:
     """A fresh, deterministic training job (network + data + loop)."""
     from repro.data.synthetic import mnist_like
     from repro.nn.zoo import mnist_net
@@ -164,6 +165,7 @@ def _build_job(seed: int, samples: int, threads: int, batch: int,
         shuffle_seed=seed,
         checkpoint_dir=checkpoint_dir,
         checkpoint_every=1,
+        scheduler=scheduler,
     )
 
 
@@ -222,6 +224,7 @@ def run_chaos(
     samples: int = 48,
     threads: int = 2,
     backend: str = "thread",
+    scheduler: str = "barrier",
     check_resume: bool = False,
     checkpoint_dir: str | Path | None = None,
     policy: RetryPolicy | None = None,
@@ -242,7 +245,8 @@ def run_chaos(
     with tempfile.TemporaryDirectory(prefix="repro-chaos-") as tmp:
         tmp_dir = Path(tmp)
         ckpt_a = Path(checkpoint_dir) if checkpoint_dir else tmp_dir / "a"
-        loop = _build_job(seed, samples, threads, batch, ckpt_a, backend)
+        loop = _build_job(seed, samples, threads, batch, ckpt_a, backend,
+                          scheduler)
         injector = faults.FaultInjector(plan)
         # The monitor shares the chaos collector: its hooks watch the
         # main run, and its final report rides along on the ChaosReport.
@@ -283,7 +287,7 @@ def run_chaos(
             # The "killed" run: same job, same faults, stopped one epoch
             # short of the full run.
             killed = _build_job(seed, samples, threads, batch, tmp_dir / "b",
-                                backend)
+                                backend, scheduler)
             _run_segment(killed, epochs - 1, plan, policy)
             _close(killed)
             ckpt = TrainingLoop.latest_checkpoint(tmp_dir / "b")
@@ -291,7 +295,8 @@ def run_chaos(
             # scratch, so we do too -- then restore and finish.  No fault
             # plan: the named plans are spent before the resume point,
             # and re-activating one would replay first-epoch faults.
-            resumed = _build_job(seed, samples, threads, batch, None, backend)
+            resumed = _build_job(seed, samples, threads, batch, None, backend,
+                                 scheduler)
             resumed.restore(ckpt)
             resumed_history = _run_segment(resumed, epochs, None, policy)
             _close(resumed)

@@ -79,7 +79,7 @@ def _portable_error(exc: BaseException) -> BaseException:
         return ReproError(f"{type(exc).__name__}: {exc}")
 
 
-def _worker_main(requests, results) -> None:
+def _worker_main(requests: Any, results: Any) -> None:
     """Loop of one persistent worker process (spawn entry point)."""
     while True:
         item = requests.get()
@@ -98,7 +98,7 @@ def _worker_main(requests, results) -> None:
 class _Job:
     __slots__ = ("event", "result", "error")
 
-    def __init__(self):
+    def __init__(self) -> None:
         self.event = threading.Event()
         self.result: Any = None
         self.error: BaseException | None = None
@@ -109,7 +109,7 @@ class _Worker:
 
     __slots__ = ("process", "requests", "outstanding")
 
-    def __init__(self, process, requests):
+    def __init__(self, process: Any, requests: Any) -> None:
         self.process = process
         self.requests = requests
         self.outstanding: set[int] = set()
@@ -161,14 +161,15 @@ class ProcessBackend(ExecutionBackend):
 
     name = "process"
 
-    def __init__(self, num_workers: int):
+    def __init__(self, num_workers: int) -> None:
         if num_workers <= 0:
             raise ReproError(
                 f"num_workers must be positive, got {num_workers}"
             )
         self.num_workers = num_workers
-        self._ctx = None
-        self._results = None
+        self._ctx: Any = None
+        self._results: Any = None
+        self._old_path: str | None = None
         self._workers: list[_Worker] = []
         self._jobs: dict[int, _Job] = {}
         self._job_seq = 0
@@ -207,21 +208,21 @@ class ProcessBackend(ExecutionBackend):
             self._closed = False
             self._started = True
 
-    def _spawn_env(self):
+    def _spawn_env(self) -> Any:
         """Ensure spawned interpreters can import the repro package."""
         import repro
 
         src_root = str(Path(repro.__file__).resolve().parents[1])
 
         class _Env:
-            def __enter__(_self):
+            def __enter__(_self) -> None:
                 self._old_path = os.environ.get("PYTHONPATH")
                 parts = [src_root]
                 if self._old_path:
                     parts.append(self._old_path)
                 os.environ["PYTHONPATH"] = os.pathsep.join(parts)
 
-            def __exit__(_self, *exc_info):
+            def __exit__(_self, *exc_info: object) -> None:
                 if self._old_path is None:
                     os.environ.pop("PYTHONPATH", None)
                 else:
@@ -372,7 +373,8 @@ _ENGINE_CACHE: dict = {}
 _ATTACH_CACHE: "OrderedDict[str, shm.SharedArray]" = OrderedDict()
 
 
-def _cached_engine(engine_name: str, spec, kwargs_items: tuple):
+def _cached_engine(engine_name: str, spec: Any,
+                   kwargs_items: tuple) -> Any:
     key = (engine_name, spec, kwargs_items)
     engine = _ENGINE_CACHE.get(key)
     if engine is None:
@@ -389,7 +391,7 @@ def _cached_engine(engine_name: str, spec, kwargs_items: tuple):
     return engine
 
 
-def _cached_attach(descriptor: shm.ShmDescriptor):
+def _cached_attach(descriptor: shm.ShmDescriptor) -> Any:
     # Arena segments are keyed by their arena-unique role: a descriptor
     # carrying a known role but a *new* segment name means the parent
     # reallocated that role (geometry change) and unlinked the old
@@ -413,7 +415,7 @@ def _cached_attach(descriptor: shm.ShmDescriptor):
 
 def run_engine_slice(
     engine_name: str,
-    spec,
+    spec: Any,
     kwargs_items: tuple,
     method: str,
     primary_desc: shm.ShmDescriptor,

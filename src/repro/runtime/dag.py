@@ -54,7 +54,8 @@ import heapq
 import threading
 import time
 from collections import deque
-from typing import Any, Callable, Sequence
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable, Sequence
 
 import numpy as np
 
@@ -63,8 +64,73 @@ from repro.errors import ReproError, ShapeError
 from repro.resilience import faults
 from repro.resilience.policy import active_policy
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.nn.network import Network
+    from repro.runtime.parallel import ParallelExecutor
+
 #: The step-execution strategies a network can run under.
 SCHEDULER_NAMES = ("barrier", "dag")
+
+
+@dataclass(frozen=True)
+class Region:
+    """A symbolic read/write region over one logical buffer.
+
+    ``buffer`` names the logical storage a node touches; the graph
+    builders use a fixed ``family:qualifier`` vocabulary (see
+    :mod:`repro.check.effects` for the full contract):
+
+    * ``act:{i}`` / ``err:{i}`` -- the forward/backward activation cell
+      between layers ``i`` and ``i+1``;
+    * ``weights:{layer}`` / ``grad:{layer}`` -- a layer's parameters and
+      accumulated gradients;
+    * ``cache:{layer}`` -- the conv layer's ``_cached_padded_input``;
+    * ``state:{layer}`` -- miscellaneous per-layer mutable state
+      (sparsity gauges, per-pass timing, layer-internal caches);
+    * ``plan:{layer}:{chain}`` -- the prep node's published slice plan
+      (output array + :class:`SliceTask` handles) for chain ``fp`` /
+      ``dw`` / ``bd``;
+    * ``partial:{layer}`` -- the dW partial list, one element per range;
+    * ``bdout:{layer}`` -- the padded BP-data output slab;
+    * ``ws:{layer}:{phase}`` -- engine scratch drawn from the executor
+      free-list (always ``atomic``);
+    * ``shm:{arena_tag}`` -- a :class:`~repro.runtime.shm.ShmArena`'s
+      segment map (mutated by publishing preps under the process
+      backend).
+
+    ``lo``/``hi`` restrict the region to an element range ``[lo, hi)``
+    of the buffer (both ``None`` means the whole buffer).  ``atomic``
+    marks a region whose accesses are serialized by the runtime itself
+    (the engine free-list checkout): two atomic regions never conflict,
+    but an atomic against a plain region does -- that is exactly the
+    aliasing bug the verifier must catch.
+    """
+
+    buffer: str
+    lo: int | None = None
+    hi: int | None = None
+    atomic: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.buffer:
+            raise ReproError("effect region needs a buffer name")
+        if (self.lo is None) != (self.hi is None):
+            raise ReproError(
+                f"region on {self.buffer!r}: lo and hi must be set together"
+            )
+        if self.lo is not None and self.hi is not None and self.lo >= self.hi:
+            raise ReproError(
+                f"region on {self.buffer!r}: empty range [{self.lo}, {self.hi})"
+            )
+
+    def overlaps(self, other: "Region") -> bool:
+        """True when the two regions can touch the same bytes."""
+        if self.buffer != other.buffer:
+            return False
+        if self.lo is None or other.lo is None:
+            return True
+        assert self.hi is not None and other.hi is not None
+        return self.lo < other.hi and other.lo < self.hi
 
 
 def validate_scheduler(name: str) -> str:
@@ -77,14 +143,23 @@ def validate_scheduler(name: str) -> str:
 
 
 class TaskNode:
-    """One schedulable unit of work in a :class:`TaskGraph`."""
+    """One schedulable unit of work in a :class:`TaskGraph`.
+
+    ``reads``/``writes`` are the node's declared effect set: the
+    symbolic :class:`Region`\\ s its callable may touch.  The scheduler
+    ignores them; :mod:`repro.check.effects` proves from them that no
+    two unordered nodes conflict, and cross-checks the declarations
+    against the callable's source so they cannot drift from the code.
+    """
 
     __slots__ = ("node_id", "name", "fn", "deps", "children", "pending",
-                 "attrs", "graph")
+                 "attrs", "graph", "reads", "writes")
 
     def __init__(self, node_id: int, name: str, fn: Callable[[], Any],
                  deps: tuple["TaskNode", ...], attrs: dict[str, Any],
-                 graph: "TaskGraph"):
+                 graph: "TaskGraph",
+                 reads: tuple[Region, ...] = (),
+                 writes: tuple[Region, ...] = ()) -> None:
         self.node_id = node_id
         self.name = name
         self.fn = fn
@@ -93,6 +168,8 @@ class TaskNode:
         self.pending = len(deps)
         self.attrs = attrs
         self.graph = graph
+        self.reads = reads
+        self.writes = writes
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"TaskNode({self.node_id}, {self.name!r}, pending={self.pending})"
@@ -106,7 +183,7 @@ class TaskGraph:
     cannot be expressed.
     """
 
-    def __init__(self, name: str = "graph"):
+    def __init__(self, name: str = "graph") -> None:
         self.name = name
         self._nodes: list[TaskNode] = []
 
@@ -118,17 +195,26 @@ class TaskGraph:
         return len(self._nodes)
 
     def add_node(self, name: str, fn: Callable[[], Any],
-                 deps: Sequence[TaskNode] = (), **attrs: Any) -> TaskNode:
-        """Append a node depending on ``deps`` (nodes of this graph)."""
-        deps = tuple(deps)
-        for dep in deps:
+                 deps: Sequence[TaskNode] = (),
+                 reads: Sequence[Region] = (),
+                 writes: Sequence[Region] = (),
+                 **attrs: Any) -> TaskNode:
+        """Append a node depending on ``deps`` (nodes of this graph).
+
+        ``reads``/``writes`` declare the node's effect regions for the
+        static race verifier (:mod:`repro.check.effects`); nodes built
+        without them verify as *undeclared* there, never as race-free.
+        """
+        dep_nodes = tuple(deps)
+        for dep in dep_nodes:
             if not isinstance(dep, TaskNode) or dep.graph is not self:
                 raise ReproError(
                     f"node {name!r}: dependency {dep!r} is not a node of "
                     f"this graph"
                 )
-        node = TaskNode(len(self._nodes), name, fn, deps, dict(attrs), self)
-        for dep in deps:
+        node = TaskNode(len(self._nodes), name, fn, dep_nodes, dict(attrs),
+                        self, reads=tuple(reads), writes=tuple(writes))
+        for dep in dep_nodes:
             dep.children.append(node)
         self._nodes.append(node)
         return node
@@ -149,7 +235,7 @@ class DagScheduler:
     not microtasks.
     """
 
-    def __init__(self, num_workers: int = 1, name: str = "dag"):
+    def __init__(self, num_workers: int = 1, name: str = "dag") -> None:
         if num_workers <= 0:
             raise ReproError(
                 f"num_workers must be positive, got {num_workers}"
@@ -295,15 +381,30 @@ class DagScheduler:
 # -- compiling a network step into graphs -----------------------------------
 
 
-def _sliced_executor(layer, engine):
+def _sliced_executor(layer: Any, engine: Any) -> "ParallelExecutor | None":
     """The layer's executor when the phase runs sliced, else ``None``."""
     from repro.runtime.parallel import ParallelExecutor
 
     return engine if isinstance(engine, ParallelExecutor) else None
 
 
-def build_forward_graph(network, inputs: np.ndarray,
-                        training: bool = True) -> tuple[TaskGraph, list]:
+def _shm_regions(executor: "ParallelExecutor") -> tuple[Region, ...]:
+    """The arena segment-map write of a publishing prep node.
+
+    Only the process backend publishes operands into the executor's
+    :class:`~repro.runtime.shm.ShmArena`; its segment dict is unlocked,
+    so any two nodes publishing into the same arena must be ordered --
+    which is precisely the ``bd_prep -> dw_prep`` edge the backward
+    builder adds, and what the effects verifier re-proves.
+    """
+    if executor.pool.backend_name != "process":
+        return ()
+    return (Region(f"shm:{executor._arena._tag}"),)
+
+
+def build_forward_graph(network: "Network", inputs: np.ndarray,
+                        training: bool = True
+                        ) -> tuple[TaskGraph, list[Any]]:
     """Compile one forward pass; ``cells[-1]`` holds the output after run.
 
     Sliced conv layers expand into prep -> per-range -> finish nodes;
@@ -319,7 +420,7 @@ def build_forward_graph(network, inputs: np.ndarray,
             f"batch input shape {inputs.shape} != (B, *{network.input_shape})"
         )
     graph = TaskGraph(name=f"{network.name}/fp")
-    cells: list = [None] * (len(network.layers) + 1)
+    cells: list[Any] = [None] * (len(network.layers) + 1)
     cells[0] = inputs
     batch = int(inputs.shape[0])
     producer: TaskNode | None = None
@@ -328,25 +429,36 @@ def build_forward_graph(network, inputs: np.ndarray,
         executor = (_sliced_executor(layer, layer._fp_engine)
                     if isinstance(layer, ConvLayer) else None)
         if executor is None:
-            def whole(i=i, layer=layer):
+            def whole(i: int = i, layer: Any = layer) -> None:
                 cells[i + 1] = layer.forward(cells[i], training=training)
 
-            producer = graph.add_node(f"fp/{layer.name}", whole, deps,
-                                      layer=layer.name, phase="fp")
+            writes = [Region(f"act:{i + 1}"), Region(f"state:{layer.name}")]
+            if isinstance(layer, ConvLayer):
+                # Unsliced conv forward caches its padded input.
+                writes.append(Region(f"cache:{layer.name}"))
+            producer = graph.add_node(
+                f"fp/{layer.name}", whole, deps,
+                reads=(Region(f"act:{i}"), Region(f"weights:{layer.name}")),
+                writes=tuple(writes),
+                layer=layer.name, phase="fp",
+            )
         else:
             producer = _add_sliced_forward(graph, layer, executor, i, cells,
                                            batch, training, deps)
     return graph, cells
 
 
-def _add_sliced_forward(graph, layer, executor, i, cells, batch, training,
-                        deps) -> TaskNode:
+def _add_sliced_forward(graph: TaskGraph, layer: Any,
+                        executor: "ParallelExecutor", i: int,
+                        cells: list[Any], batch: int, training: bool,
+                        deps: tuple[TaskNode, ...]) -> TaskNode:
     from repro.runtime.parallel import adopt_slice
 
     ranges = executor.pool.assignment(batch)
-    ctx: dict = {}
+    ctx: dict[str, Any] = {}
+    L = layer.name
 
-    def prep():
+    def prep() -> None:
         x = cells[i]
         if x.ndim != 4 or x.shape[1:] != layer.spec.input_shape:
             raise ShapeError(
@@ -360,29 +472,42 @@ def _add_sliced_forward(graph, layer, executor, i, cells, batch, training,
             "forward", padded, layer.weights
         )
 
-    prep_node = graph.add_node(f"fp/{layer.name}/prep", prep, deps,
-                               layer=layer.name, phase="fp")
+    prep_node = graph.add_node(
+        f"fp/{layer.name}/prep", prep, deps,
+        reads=(Region(f"act:{i}"), Region(f"weights:{L}")),
+        writes=(Region(f"cache:{L}"), Region(f"plan:{L}:fp"))
+        + _shm_regions(executor),
+        layer=layer.name, phase="fp",
+    )
     range_nodes = []
     for r, (lo, hi) in enumerate(ranges):
-        def run_range(r=r):
+        def run_range(r: int = r) -> None:
             task = ctx["tasks"][r]
             adopt_slice(ctx["out"], task, task.run())
 
         range_nodes.append(graph.add_node(
             f"fp/{layer.name}/{lo}:{hi}", run_range, (prep_node,),
+            reads=(Region(f"plan:{L}:fp"), Region(f"weights:{L}")),
+            writes=(Region(f"act:{i + 1}", lo, hi),
+                    Region(f"ws:{L}:fp", atomic=True)),
             layer=layer.name, phase="fp", lo=lo, hi=hi,
         ))
 
-    def finish():
+    def finish() -> None:
         out = ctx["out"]
         out += layer.bias[None, :, None, None]
         cells[i + 1] = out
 
-    return graph.add_node(f"fp/{layer.name}/finish", finish,
-                          tuple(range_nodes), layer=layer.name, phase="fp")
+    return graph.add_node(
+        f"fp/{layer.name}/finish", finish, tuple(range_nodes),
+        reads=(Region(f"plan:{L}:fp"), Region(f"weights:{L}")),
+        writes=(Region(f"act:{i + 1}"),),
+        layer=layer.name, phase="fp",
+    )
 
 
-def build_backward_graph(network, out_error: np.ndarray) -> tuple[TaskGraph, list]:
+def build_backward_graph(network: "Network", out_error: np.ndarray
+                         ) -> tuple[TaskGraph, list[Any]]:
     """Compile one backward pass; ``ecells[0]`` holds the input error.
 
     This is where the barriers die: a sliced conv forks into a dW chain
@@ -395,7 +520,7 @@ def build_backward_graph(network, out_error: np.ndarray) -> tuple[TaskGraph, lis
 
     graph = TaskGraph(name=f"{network.name}/bp")
     count = len(network.layers)
-    ecells: list = [None] * (count + 1)
+    ecells: list[Any] = [None] * (count + 1)
     ecells[count] = out_error
     batch = int(out_error.shape[0])
     producer: TaskNode | None = None
@@ -405,55 +530,80 @@ def build_backward_graph(network, out_error: np.ndarray) -> tuple[TaskGraph, lis
         executor = (_sliced_executor(layer, layer._bp_engine)
                     if isinstance(layer, ConvLayer) else None)
         if executor is None:
-            def whole(i=i, layer=layer):
+            def whole(i: int = i, layer: Any = layer) -> None:
                 ecells[i] = layer.backward(ecells[i + 1])
 
-            producer = graph.add_node(f"bp/{layer.name}", whole, deps,
-                                      layer=layer.name, phase="bp")
+            reads = [Region(f"err:{i + 1}"), Region(f"weights:{layer.name}"),
+                     Region(f"state:{layer.name}")]
+            if isinstance(layer, ConvLayer):
+                # Unsliced conv backward consumes the forward's cache.
+                reads.append(Region(f"cache:{layer.name}"))
+            producer = graph.add_node(
+                f"bp/{layer.name}", whole, deps,
+                reads=tuple(reads),
+                writes=(Region(f"err:{i}"), Region(f"grad:{layer.name}"),
+                        Region(f"state:{layer.name}")),
+                layer=layer.name, phase="bp",
+            )
         else:
             producer = _add_sliced_backward(graph, layer, executor, i,
                                             ecells, batch, deps)
     return graph, ecells
 
 
-def _add_sliced_backward(graph, layer, executor, i, ecells, batch,
-                         deps) -> TaskNode:
+def _add_sliced_backward(graph: TaskGraph, layer: Any,
+                         executor: "ParallelExecutor", i: int,
+                         ecells: list[Any], batch: int,
+                         deps: tuple[TaskNode, ...]) -> TaskNode:
     from repro.core.goodput import measure_sparsity, nonzero_conv_flops
     from repro.runtime.parallel import adopt_slice
 
     ranges = executor.pool.assignment(batch)
-    ctx: dict = {}
+    ctx: dict[str, Any] = {}
+    L = layer.name
 
-    def head():
+    def head() -> None:
         err = ecells[i + 1]
         if layer._cached_padded_input is None:
             raise ShapeError(f"layer {layer.name}: backward before forward")
         layer.last_error_sparsity = measure_sparsity(err)
         ctx["begun"] = time.perf_counter()
 
-    head_node = graph.add_node(f"bp/{layer.name}/head", head, deps,
-                               layer=layer.name, phase="bp")
+    head_node = graph.add_node(
+        f"bp/{layer.name}/head", head, deps,
+        reads=(Region(f"err:{i + 1}"), Region(f"cache:{L}")),
+        writes=(Region(f"state:{L}"),),
+        layer=layer.name, phase="bp",
+    )
 
     # dW chain: per-range partials reduced in fixed range order.
-    def dw_prep():
+    def dw_prep() -> None:
         ctx["dw_tasks"] = executor.weights_plan(
             ecells[i + 1], layer._cached_padded_input
         )
         ctx["partials"] = [None] * len(ranges)
 
-    dw_prep_node = graph.add_node(f"bp/{layer.name}/dw_prep", dw_prep,
-                                  (head_node,), layer=layer.name, phase="bp")
+    dw_prep_node = graph.add_node(
+        f"bp/{layer.name}/dw_prep", dw_prep, (head_node,),
+        reads=(Region(f"err:{i + 1}"), Region(f"cache:{L}")),
+        writes=(Region(f"plan:{L}:dw"), Region(f"partial:{L}"))
+        + _shm_regions(executor),
+        layer=layer.name, phase="bp",
+    )
     dw_nodes = []
     for r, (lo, hi) in enumerate(ranges):
-        def run_dw(r=r):
+        def run_dw(r: int = r) -> None:
             ctx["partials"][r] = ctx["dw_tasks"][r].run()
 
         dw_nodes.append(graph.add_node(
             f"bp/{layer.name}/dw/{lo}:{hi}", run_dw, (dw_prep_node,),
+            reads=(Region(f"plan:{L}:dw"),),
+            writes=(Region(f"partial:{L}", r, r + 1),
+                    Region(f"ws:{L}:bp", atomic=True)),
             layer=layer.name, phase="bp", lo=lo, hi=hi,
         ))
 
-    def dw_reduce():
+    def dw_reduce() -> None:
         err = ecells[i + 1]
         total = np.zeros(layer.padded_spec.weight_shape, dtype=err.dtype)
         for partial in ctx["partials"]:
@@ -464,44 +614,60 @@ def _add_sliced_backward(graph, layer, executor, i, ecells, batch,
         layer.d_weights += total
         layer.d_bias += d_bias
 
-    dw_reduce_node = graph.add_node(f"bp/{layer.name}/dw_reduce", dw_reduce,
-                                    tuple(dw_nodes), layer=layer.name,
-                                    phase="bp")
+    dw_reduce_node = graph.add_node(
+        f"bp/{layer.name}/dw_reduce", dw_reduce, tuple(dw_nodes),
+        reads=(Region(f"err:{i + 1}"),)
+        + tuple(Region(f"partial:{L}", r, r + 1)
+                for r in range(len(ranges))),
+        writes=(Region(f"grad:{L}"),),
+        layer=layer.name, phase="bp",
+        reduce_buffer=f"partial:{L}",
+        reduce_order=tuple(range(len(ranges))),
+    )
 
     # BP-data chain.  Its prep waits on dw_prep only because both publish
     # into the same (unlocked) ShmArena under the process backend; the
     # range nodes of the two chains still overlap freely.
-    def bd_prep():
+    def bd_prep() -> None:
         ctx["bd_out"], ctx["bd_tasks"] = executor.slice_plan(
             "backward_data", ecells[i + 1], layer.weights
         )
 
-    bd_prep_node = graph.add_node(f"bp/{layer.name}/bd_prep", bd_prep,
-                                  (head_node, dw_prep_node),
-                                  layer=layer.name, phase="bp")
+    bd_prep_node = graph.add_node(
+        f"bp/{layer.name}/bd_prep", bd_prep, (head_node, dw_prep_node),
+        reads=(Region(f"err:{i + 1}"), Region(f"weights:{L}")),
+        writes=(Region(f"plan:{L}:bd"),) + _shm_regions(executor),
+        layer=layer.name, phase="bp",
+    )
     bd_nodes = []
     for r, (lo, hi) in enumerate(ranges):
-        def run_bd(r=r):
+        def run_bd(r: int = r) -> None:
             task = ctx["bd_tasks"][r]
             adopt_slice(ctx["bd_out"], task, task.run())
 
         bd_nodes.append(graph.add_node(
             f"bp/{layer.name}/bd/{lo}:{hi}", run_bd, (bd_prep_node,),
+            reads=(Region(f"plan:{L}:bd"), Region(f"weights:{L}")),
+            writes=(Region(f"bdout:{L}", lo, hi),
+                    Region(f"ws:{L}:bp", atomic=True)),
             layer=layer.name, phase="bp", lo=lo, hi=hi,
         ))
 
-    def bd_finish():
+    def bd_finish() -> None:
         padded = ctx["bd_out"]
         p = layer.spec.pad
         ecells[i] = padded if p == 0 else padded[:, :, p:-p, p:-p]
 
-    bd_finish_node = graph.add_node(f"bp/{layer.name}/bd_finish", bd_finish,
-                                    tuple(bd_nodes), layer=layer.name,
-                                    phase="bp")
+    bd_finish_node = graph.add_node(
+        f"bp/{layer.name}/bd_finish", bd_finish, tuple(bd_nodes),
+        reads=(Region(f"plan:{L}:bd"), Region(f"bdout:{L}")),
+        writes=(Region(f"err:{i}"),),
+        layer=layer.name, phase="bp",
+    )
 
     # Bookkeeping once both chains land: flop counters and goodput
     # gauges, mirroring the barrier path's per-backward emission.
-    def done():
+    def done() -> None:
         sparsity = layer.last_error_sparsity
         total_flops = 2.0 * batch * layer.padded_spec.flops
         useful_flops = nonzero_conv_flops(total_flops, sparsity)
@@ -513,12 +679,13 @@ def _add_sliced_backward(graph, layer, executor, i, ecells, batch,
 
     graph.add_node(f"bp/{layer.name}/done", done,
                    (dw_reduce_node, bd_finish_node),
+                   reads=(Region(f"state:{L}"),),
                    layer=layer.name, phase="bp")
     # Downstream layers wait on BP-data only -- the overlap win.
     return bd_finish_node
 
 
-def dag_worker_count(network) -> int:
+def dag_worker_count(network: "Network") -> int:
     """Scheduler width for a network: the widest non-serial conv pool."""
     workers = 1
     for layer in network.conv_layers():
@@ -537,7 +704,8 @@ class NetworkDagRunner:
     so ``scheduler="dag"`` remains a valid determinism reference there.
     """
 
-    def __init__(self, network, num_workers: int | None = None):
+    def __init__(self, network: "Network",
+                 num_workers: int | None = None) -> None:
         self.network = network
         self.scheduler = DagScheduler(
             num_workers or dag_worker_count(network)

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
-from typing import Callable
+from typing import Any, Callable
 
 import numpy as np
 
@@ -38,7 +38,7 @@ from repro.ops.engine import ConvEngine, make_engine
 from repro.resilience.policy import RetryPolicy
 from repro.runtime.backends import run_engine_slice
 from repro.runtime.pool import WorkerPool
-from repro.runtime.shm import ShmArena
+from repro.runtime.shm import SharedArray, ShmArena
 
 
 @dataclass(frozen=True)
@@ -60,7 +60,7 @@ class SliceTask:
     run: Callable[[], np.ndarray]
 
 
-def adopt_slice(out: np.ndarray, task: SliceTask, result) -> None:
+def adopt_slice(out: np.ndarray, task: SliceTask, result: object) -> None:
     """Copy a task result into ``out`` unless it already lives there.
 
     Covers slices coming back from shared memory and arrays the fault
@@ -77,7 +77,7 @@ class ParallelExecutor:
     def __init__(self, engine_name: str, spec: ConvSpec,
                  pool: WorkerPool | None = None,
                  policy: RetryPolicy | None = None,
-                 backend: str = "thread", **engine_kwargs):
+                 backend: str = "thread", **engine_kwargs: Any) -> None:
         self.spec = spec
         self.engine_name = engine_name
         self.pool = pool or WorkerPool(policy=policy, backend=backend)
@@ -122,7 +122,7 @@ class ParallelExecutor:
     def __enter__(self) -> "ParallelExecutor":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
     def _checkout_engine(self) -> ConvEngine:
@@ -145,16 +145,17 @@ class ParallelExecutor:
 
     # -- shared-memory dispatch (process backend) -------------------------
 
-    def _publish(self, role: str, array: np.ndarray):
+    def _publish(self, role: str, array: np.ndarray) -> SharedArray:
         """Copy ``array`` into the arena's reusable segment for ``role``."""
         seg = self._arena.ensure(role, array.shape, array.dtype)
         seg.ndarray[...] = array
         return seg
 
-    def _shipped_thunks(self, method: str, primary: np.ndarray,
-                        shared: np.ndarray, out_shape: tuple[int, ...],
-                        out_dtype, ranges: list[tuple[int, int]],
-                        per_worker_out: bool):
+    def _shipped_thunks(
+        self, method: str, primary: np.ndarray, shared: np.ndarray,
+        out_shape: tuple[int, ...], out_dtype: np.dtype,
+        ranges: list[tuple[int, int]], per_worker_out: bool,
+    ) -> list[Callable[[], np.ndarray]]:
         """Thunks that run the engine slices inside worker processes."""
         backend = self.pool._require_backend()
         primary_seg = self._publish(f"{method}/primary", primary)
@@ -163,7 +164,7 @@ class ParallelExecutor:
         kwargs_items = tuple(sorted(self._engine_kwargs.items()))
         out_view = out_seg.ndarray
 
-        def make(index: int, lo: int, hi: int):
+        def make(index: int, lo: int, hi: int) -> Callable[[], np.ndarray]:
             slot = index if per_worker_out else None
 
             def thunk() -> np.ndarray:
@@ -211,7 +212,7 @@ class ParallelExecutor:
                 per_worker_out=False,
             )
         else:
-            def make(lo: int, hi: int):
+            def make(lo: int, hi: int) -> Callable[[], np.ndarray]:
                 def thunk() -> np.ndarray:
                     engine = self._checkout_engine()
                     try:
@@ -273,7 +274,7 @@ class ParallelExecutor:
                 ranges, per_worker_out=True,
             )
         else:
-            def make(lo: int, hi: int):
+            def make(lo: int, hi: int) -> Callable[[], np.ndarray]:
                 def thunk() -> np.ndarray:
                     engine = self._checkout_engine()
                     try:

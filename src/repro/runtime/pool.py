@@ -67,8 +67,9 @@ class _InlineExecutor(Executor):
     supervision loop observes it).
     """
 
-    def submit(self, fn, /, *args, **kwargs):  # noqa: D102
-        future: Future = Future()
+    def submit(self, fn: Callable[..., Any], /, *args: Any,
+               **kwargs: Any) -> "Future[Any]":  # noqa: D102
+        future: "Future[Any]" = Future()
         try:
             future.set_result(fn(*args, **kwargs))
         except BaseException as exc:  # noqa: BLE001 - routed via the future
@@ -86,7 +87,7 @@ class WorkerPool:
 
     def __init__(self, num_workers: int | None = None,
                  policy: RetryPolicy | None = None,
-                 backend: str | ExecutionBackend = "thread"):
+                 backend: str | ExecutionBackend = "thread") -> None:
         if num_workers is not None and num_workers <= 0:
             raise ReproError(f"num_workers must be positive, got {num_workers}")
         self.num_workers = num_workers or default_worker_count()
@@ -113,7 +114,7 @@ class WorkerPool:
             self._require_executor()
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.shutdown()
 
     def shutdown(self) -> None:

@@ -113,7 +113,8 @@ class SharedArray:
     """One ndarray backed by a named shared-memory segment."""
 
     def __init__(self, shm: shared_memory.SharedMemory,
-                 shape: tuple[int, ...], dtype: np.dtype, owner: bool):
+                 shape: tuple[int, ...], dtype: np.dtype,
+                 owner: bool) -> None:
         self._shm: shared_memory.SharedMemory | None = shm
         self.shape = tuple(int(s) for s in shape)
         self.dtype = np.dtype(dtype)
@@ -224,7 +225,7 @@ class SharedArray:
     def __enter__(self) -> "SharedArray":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         if self.owner:
             self.unlink()
         else:
@@ -243,7 +244,7 @@ class ShmArena:
     past the owning process's lifetime.
     """
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._segments: dict[str, SharedArray] = {}
         # Distinguishes this arena's roles from another arena's in a
         # worker's attach cache when two executors share one pool.
@@ -284,5 +285,5 @@ class ShmArena:
     def __enter__(self) -> "ShmArena":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.release()

@@ -427,3 +427,96 @@ class TestDagCaptureSafety:
                            (prep_node,))
         """
         assert _lint(code) == []
+
+
+class TestDagWrappedCallables:
+    """CHK-DAG sees through functools.partial and bound-method nodes."""
+
+    def test_partial_shipping_an_engine_is_an_error(self):
+        code = """
+        import functools
+        from repro.ops.engine import make_engine
+
+        def build(graph, spec, x, weights):
+            engine = make_engine("parallel-gemm", spec)
+            graph.add_node(
+                "fp", functools.partial(run_slice, engine, x, weights)
+            )
+        """
+        findings = _lint(code)
+        assert len(findings) == 1
+        assert "functools.partial(...)" in findings[0].message
+
+    def test_partial_shipping_safe_arguments_is_clean(self):
+        code = """
+        import functools
+
+        def build(graph, spec, x, weights):
+            graph.add_node(
+                "fp", functools.partial(run_slice, spec, x, weights)
+            )
+        """
+        assert _lint(code) == []
+
+    def test_bound_method_of_workspace_is_an_error(self):
+        code = """
+        from repro.ops.workspace import Workspace
+
+        def build(graph):
+            scratch = Workspace()
+            graph.add_node("zero", scratch.reset)
+        """
+        findings = _lint(code)
+        assert len(findings) == 1
+        assert "bound method 'scratch.reset'" in findings[0].message
+
+    def test_bound_method_of_safe_object_is_clean(self):
+        code = """
+        def build(graph, recorder):
+            graph.add_node("note", recorder.flush)
+        """
+        assert _lint(code) == []
+
+    def test_method_call_inside_lambda_is_not_a_bound_method(self):
+        code = """
+        def build(graph, ctx):
+            graph.add_node("run", lambda: ctx.run_all())
+        """
+        assert _lint(code) == []
+
+    def test_fork_submission_keeps_descriptor_extraction_clean(self):
+        # The bound-method rule is CHK-DAG only: extracting
+        # seg.descriptor inside a partial is the *sanctioned* CHK-FORK
+        # remediation and must stay clean (regression guard for the
+        # rule gating).
+        code = """
+        import functools
+        from repro.runtime.shm import SharedArray
+
+        def run(pool, data, task):
+            seg = SharedArray.from_array(data)
+            try:
+                return pool.map_batches(
+                    functools.partial(task, seg.descriptor), data.shape[0]
+                )
+            finally:
+                seg.unlink()
+        """
+        assert _lint(code) == []
+
+    def test_fork_partial_shipping_unsafe_handle_is_an_error(self):
+        # Partial see-through applies to CHK-FORK too: shipping the
+        # handle itself (not its descriptor) through a partial is the
+        # bug the descriptor pattern exists to avoid.
+        code = """
+        import functools
+        from repro.runtime.shm import SharedArray
+
+        def run(pool, data, task):
+            seg = SharedArray.from_array(data)
+            return pool.map_batches(functools.partial(task, seg),
+                                    data.shape[0])
+        """
+        findings = _lint(code)
+        assert len(findings) == 1
+        assert "functools.partial(...)" in findings[0].message

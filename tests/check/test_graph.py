@@ -57,6 +57,29 @@ class TestVerifyNetwork:
     def test_clean_tiny_net(self):
         assert _errors(verify_network(_tiny_net())) == []
 
+    @pytest.mark.parametrize("factory", [
+        mnist_net, cifar10_net, imagenet100_net, alexnet_small,
+    ])
+    def test_zoo_preflight_is_scheduler_invariant(self, factory):
+        # The graph verifier probes shapes/dtypes through the same
+        # layers either scheduler executes; its verdict must not depend
+        # on which step-execution strategy the network is set to.
+        net = factory(scale=0.25)
+        try:
+            by_scheduler = {}
+            for scheduler in ("barrier", "dag"):
+                net.set_scheduler(scheduler)
+                by_scheduler[scheduler] = [
+                    (f.severity, f.location, f.message)
+                    for f in verify_network(net)
+                ]
+            assert by_scheduler["barrier"] == by_scheduler["dag"]
+            assert not [f for f in by_scheduler["barrier"]
+                        if f[0] == "error"]
+        finally:
+            for layer in net.conv_layers():
+                layer.close()
+
     def test_consecutive_relu_is_dead_layer_warning(self):
         findings = verify_network(_tiny_net(extra_relu=True))
         assert any("dead layer" in f.message and f.severity == "warning"

@@ -1,0 +1,26 @@
+"""Strict type-checking gate over the analyzer and runtime packages.
+
+Runs only where mypy is installed (the CI check job installs it); the
+local test environment ships without it, so the gate is skip-not-fail
+there.  This mirrors the CI step exactly:
+
+    mypy --strict src/repro/check src/repro/runtime
+"""
+
+from pathlib import Path
+
+import pytest
+
+mypy_api = pytest.importorskip("mypy.api")
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_check_and_runtime_packages_are_strict_clean():
+    stdout, stderr, status = mypy_api.run([
+        "--strict",
+        "--config-file", str(REPO_ROOT / "pyproject.toml"),
+        str(REPO_ROOT / "src" / "repro" / "check"),
+        str(REPO_ROOT / "src" / "repro" / "runtime"),
+    ])
+    assert status == 0, f"mypy --strict failed:\n{stdout}\n{stderr}"

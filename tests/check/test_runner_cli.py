@@ -57,8 +57,8 @@ class TestRunAll:
                                                  networks=[]))
 
     def test_analyzers_registry_matches_cli_choices(self):
-        assert ANALYZERS == ("kernel-ir", "gen-source", "graph",
-                             "concurrency")
+        assert ANALYZERS == ("kernel-ir", "gen-source", "graph", "effects",
+                             "concurrency", "lifecycle")
 
 
 class TestCheckCli:
@@ -80,6 +80,33 @@ class TestCheckCli:
         assert code == 0
         assert "files_linted" in out.getvalue()
         assert "specs" not in out.getvalue()
+
+    def test_only_flag_takes_a_comma_separated_list(self):
+        out = io.StringIO()
+        code = main(["check", "--quiet", "--only", "lifecycle,concurrency"],
+                    out=out)
+        assert code == 0
+        text = out.getvalue()
+        assert "lifecycle_files" in text and "files_linted" in text
+        assert "specs" not in text
+
+    def test_only_flag_rejects_unknown_analyzer_with_usage_error(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["check", "--only", "spellcheck"], out=io.StringIO())
+        assert excinfo.value.code == 2
+
+    def test_sarif_format_writes_sarif_stdout_and_artifact(self, tmp_path):
+        out = io.StringIO()
+        sarif_path = tmp_path / "check.sarif"
+        code = main(["check", "--only", "lifecycle", "--format", "sarif",
+                     "--out", str(sarif_path)], out=out)
+        assert code == 0
+        log = json.loads(out.getvalue().splitlines()[0])
+        assert log["version"] == "2.1.0"
+        payload = json.loads(sarif_path.read_text())
+        run = payload["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro-check"
+        assert run["properties"]["lifecycle_files"] == 3
 
     def test_seeded_codegen_fault_exits_nonzero(self, monkeypatch, tmp_path):
         # Acceptance gate: an off-by-one pointer-shifted slice in an
