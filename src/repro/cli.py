@@ -183,12 +183,15 @@ def _build_parser() -> argparse.ArgumentParser:
                               "with --format sarif)")
 
     from repro.resilience import plan_names
+    from repro.resilience.faults import REAL_KILL_PLANS
 
     chaos = sub.add_parser(
         "chaos",
         help="train a small job under a fault plan and report survival",
     )
-    chaos.add_argument("--plan", choices=plan_names(), default="smoke")
+    chaos.add_argument("--plan",
+                       choices=plan_names() + tuple(REAL_KILL_PLANS),
+                       default="smoke")
     chaos.add_argument("--seed", type=int, default=0)
     chaos.add_argument("--epochs", type=int, default=3)
     chaos.add_argument("--batch", type=int, default=8)
@@ -259,6 +262,23 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="test hook: scale a benchmark's measured time")
     _add_output_args(bench, out_default=Path("results/bench"),
                      out_help="directory for the BENCH_<name>.json files")
+
+    shm_cmd = sub.add_parser(
+        "shm",
+        help="inspect or reap this host's repro shared-memory segments",
+    )
+    shm_cmd.add_argument("action", choices=("list", "reap"),
+                         help="list manifest entries, or unlink segments "
+                              "whose owning process died")
+    _add_output_args(shm_cmd, out_help="write the segment report as JSON")
+
+    workers = sub.add_parser(
+        "workers",
+        help="spin up the process backend and report worker diagnostics",
+    )
+    workers.add_argument("--workers", type=int, default=2,
+                         help="worker processes to spawn (default: 2)")
+    _add_output_args(workers, out_help="write the worker report as JSON")
 
     sub.add_parser("engines", help="list registered engines")
     return parser
@@ -556,6 +576,117 @@ def _cmd_chaos(args, out) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_shm(args, out) -> int:
+    import json as json_module
+
+    from repro.runtime import shm as shm_module
+
+    reaped = shm_module.reap_orphans() if args.action == "reap" else ()
+    entries = shm_module.manifest_entries()
+    payload = {
+        "action": args.action,
+        "reaped": list(reaped),
+        "entries": [
+            {
+                "name": e.name,
+                "pid": e.pid,
+                "role": e.role,
+                "created": e.created,
+                "owner_alive": e.owner_alive,
+                "segment_exists": e.segment_exists,
+                "orphaned": e.orphaned,
+            }
+            for e in entries
+        ],
+    }
+    if args.format == "json":
+        print(json_module.dumps(payload), file=out)
+    else:
+        if entries:
+            rows = [
+                [e.name, e.pid, e.role or "-",
+                 "yes" if e.owner_alive else "no",
+                 "yes" if e.segment_exists else "no",
+                 "YES" if e.orphaned else "no"]
+                for e in entries
+            ]
+            print(format_table(
+                ["segment", "owner pid", "role", "owner alive", "on host",
+                 "orphaned"],
+                rows, title="shm manifest",
+            ), file=out)
+        else:
+            print("shm manifest: no segments", file=out)
+        if args.action == "reap":
+            print(f"reaped {len(reaped)} orphaned segment(s)"
+                  + (": " + ", ".join(reaped) if reaped else ""), file=out)
+    if args.out is not None:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(json_module.dumps(payload, indent=2) + "\n")
+        print(f"wrote {args.out}", file=out)
+    # Leak gate: orphaned segments surviving a list (or worse, a reap)
+    # mean crashed owners are still pinning host memory.
+    return 1 if any(e.orphaned for e in entries) else 0
+
+
+def _cmd_workers(args, out) -> int:
+    import json as json_module
+
+    from repro.runtime import shm as shm_module
+    from repro.runtime.backends import ProcessBackend, worker_diagnostics
+
+    backend = ProcessBackend(args.workers)
+    try:
+        backend.start()
+        diagnostics = backend.broadcast(worker_diagnostics)
+        state = backend.supervisor_state()
+    except Exception as exc:  # noqa: BLE001 - report, don't traceback
+        print(f"workers: backend failed: {type(exc).__name__}: {exc}",
+              file=out)
+        return 1
+    finally:
+        backend.shutdown()
+    ok = (len(diagnostics) == args.workers
+          and all(w["alive"] for w in state["workers"])
+          and state["supervisor_alive"])
+    payload = {"ok": ok, "state": state, "diagnostics": diagnostics}
+    if args.format == "json":
+        print(json_module.dumps(payload), file=out)
+    else:
+        diag_by_pid = {d["pid"]: d for d in diagnostics}
+        rows = []
+        for worker in state["workers"]:
+            diag = diag_by_pid.get(worker["pid"], {})
+            rows.append([
+                worker["pid"], worker["slot"],
+                "alive" if worker["alive"] else "dead",
+                worker["state"], int(worker["beats"]),
+                worker["outstanding"],
+                diag.get("engines_cached", "-"),
+                diag.get("segments_attached", "-"),
+            ])
+        print(format_table(
+            ["pid", "slot", "status", "state", "beats", "outstanding",
+             "engines", "segments"],
+            rows, title="process-backend workers",
+        ), file=out)
+        deadline = state["task_deadline"]
+        print(f"supervisor: {'alive' if state['supervisor_alive'] else 'dead'}"
+              f", deadline "
+              f"{'none' if deadline is None else f'{deadline:.1f}s'}"
+              f", respawns {state['respawns']}"
+              f", redispatches {state['redispatches']}"
+              f", hung {state['hung_workers']}", file=out)
+        print(f"manifest segments: {len(shm_module.manifest_entries())}",
+              file=out)
+        print("workers: OK" if ok else "workers: DEGRADED", file=out)
+    if args.out is not None:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(json_module.dumps(payload, indent=2) + "\n")
+        print(f"wrote {args.out}", file=out)
+    return 0 if ok else 1
+
+
 def _cmd_check(args, out) -> int:
     import json as json_module
 
@@ -609,6 +740,10 @@ def main(argv: list[str] | None = None, out=None) -> int:
         return _cmd_train(args, out)
     if args.command == "bench":
         return _cmd_bench(args, out)
+    if args.command == "shm":
+        return _cmd_shm(args, out)
+    if args.command == "workers":
+        return _cmd_workers(args, out)
     if args.command == "engines":
         for name in engine_names():
             print(name, file=out)

@@ -14,6 +14,16 @@ Two formats share one ``.npz`` container:
   bit-generator state (``__rng__``, JSON) so the resumed run draws the
   exact permutations the uninterrupted run would have.
 
+A third format rides on the training-checkpoint layout:
+
+* **Batch journals** (:func:`save_journal` / :func:`load_journal`) -- a
+  *mid-epoch* snapshot for crash-consistent recovery: the training
+  checkpoint's payload plus the epoch's shuffled index order
+  (``__order__``), the completed-batch index and the partial epoch
+  metrics.  Journals are written atomically (tmp file + ``fsync`` +
+  ``rename`` + directory ``fsync``) so a kill at any instant leaves
+  either the previous journal or the new one, never a torn file.
+
 Both formats carry the same fingerprint and the same mismatch guarantee:
 loading into a structurally different network raises
 :class:`~repro.errors.ReproError` instead of corrupting it.
@@ -21,7 +31,9 @@ loading into a structurally different network raises
 
 from __future__ import annotations
 
+import io
 import json
+import os
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
@@ -35,9 +47,13 @@ _FINGERPRINT_KEY = "__structure__"
 _META_KEY = "__meta__"
 _RNG_KEY = "__rng__"
 _VELOCITY_PREFIX = "__velocity__."
+_ORDER_KEY = "__order__"
 
 #: Bumped when the training-checkpoint layout changes incompatibly.
 CHECKPOINT_FORMAT = 1
+
+#: Bumped when the batch-journal layout changes incompatibly.
+JOURNAL_FORMAT = 1
 
 
 def structure_fingerprint(network: Network) -> str:
@@ -195,4 +211,154 @@ def load_checkpoint(
         history=list(meta.get("history", [])),
         has_velocity=bool(velocity),
         has_rng=has_rng,
+    )
+
+
+# -- batch journals (mid-epoch crash recovery) -------------------------------
+
+
+@dataclass
+class JournalState:
+    """Everything a batch journal restores besides the parameters.
+
+    ``epoch`` is the *in-progress* epoch (1-based), ``batches_done`` how
+    many of its batches had completed when the journal was written, and
+    ``order`` the epoch's full shuffled index permutation -- together
+    they pin exactly which batches remain.  ``partial`` carries the
+    per-batch metric lists accumulated so far, so the resumed epoch's
+    record is identical to the uninterrupted one.
+    """
+
+    epoch: int
+    batches_done: int
+    order: np.ndarray
+    history: list[dict[str, Any]] = field(default_factory=list)
+    partial: dict[str, Any] = field(default_factory=dict)
+
+
+def save_journal(
+    network: Network,
+    path: str | Path,
+    *,
+    epoch: int,
+    batches_done: int,
+    order: np.ndarray,
+    trainer=None,
+    rng: np.random.Generator | None = None,
+    history: list[dict[str, Any]] | None = None,
+    partial: dict[str, Any] | None = None,
+) -> Path:
+    """Write a crash-consistent mid-epoch journal to ``path`` (.npz).
+
+    The RNG state saved here is the state *after* this epoch's
+    permutation draw, and the permutation itself travels in the file --
+    a resumed run never re-draws it, so the remaining batches replay
+    bit-identically.  The write is atomic and durable: the bytes are
+    fsync'd in a temp file, renamed over ``path``, and the directory
+    entry fsync'd, so a kill mid-write can never leave a torn journal.
+    """
+    if epoch <= 0:
+        raise ReproError(f"journal epoch must be positive, got {epoch}")
+    if batches_done < 0:
+        raise ReproError(
+            f"batches_done must be non-negative, got {batches_done}"
+        )
+    path = Path(path)
+    arrays = {name: param for name, param, _ in network.parameters()}
+    reserved = (_FINGERPRINT_KEY, _META_KEY, _RNG_KEY, _ORDER_KEY)
+    for name in arrays:
+        if name in reserved or name.startswith(_VELOCITY_PREFIX):
+            raise ReproError(f"parameter name collides with {name!r}")
+    arrays[_FINGERPRINT_KEY] = np.frombuffer(
+        structure_fingerprint(network).encode("utf-8"), dtype=np.uint8
+    )
+    meta = {
+        "format": CHECKPOINT_FORMAT,
+        "journal_format": JOURNAL_FORMAT,
+        "epoch": int(epoch),
+        "batches_done": int(batches_done),
+        "history": list(history or []),
+        "partial": dict(partial or {}),
+    }
+    arrays[_META_KEY] = _json_array(meta)
+    arrays[_ORDER_KEY] = np.asarray(order, dtype=np.int64)
+    if rng is not None:
+        arrays[_RNG_KEY] = _json_array(rng.bit_generator.state)
+    if trainer is not None:
+        for name, velocity in trainer.velocity_state().items():
+            arrays[_VELOCITY_PREFIX + name] = velocity
+    buffer = io.BytesIO()
+    np.savez(buffer, **arrays)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "wb") as handle:
+        handle.write(buffer.getvalue())
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+    dir_fd = os.open(path.parent, os.O_RDONLY)
+    try:
+        os.fsync(dir_fd)
+    finally:
+        os.close(dir_fd)
+    return path
+
+
+def journal_position(path: str | Path) -> tuple[int, int] | None:
+    """``(epoch, batches_done)`` of a journal, or None if unreadable.
+
+    Reads only the metadata -- no network is needed -- so a watcher
+    (e.g. the kill-chaos harness deciding when to strike) can poll a
+    journal another process is writing.
+    """
+    try:
+        with np.load(Path(path)) as archive:
+            meta = _array_json(archive[_META_KEY])
+        if meta.get("journal_format") != JOURNAL_FORMAT:
+            return None
+        return int(meta["epoch"]), int(meta["batches_done"])
+    except Exception:
+        return None
+
+
+def load_journal(
+    network: Network,
+    path: str | Path,
+    *,
+    trainer=None,
+    rng: np.random.Generator | None = None,
+) -> JournalState:
+    """Restore a batch journal into ``network`` (and co) in place.
+
+    Mirrors :func:`load_checkpoint`, additionally returning the epoch's
+    permutation and completed-batch cursor so the caller can replay
+    exactly the remaining batches.
+    """
+    with np.load(Path(path)) as archive:
+        _verify_fingerprint(archive, network, path)
+        if _META_KEY not in archive or _ORDER_KEY not in archive:
+            raise ReproError(f"{path} is not a repro batch journal")
+        meta = _array_json(archive[_META_KEY])
+        if meta.get("journal_format") != JOURNAL_FORMAT:
+            raise ReproError(
+                f"unsupported journal format {meta.get('journal_format')!r}; "
+                f"this build reads format {JOURNAL_FORMAT}"
+            )
+        for name, param, _ in network.parameters():
+            param[...] = archive[name]
+        velocity = {
+            key[len(_VELOCITY_PREFIX):]: archive[key]
+            for key in archive.files if key.startswith(_VELOCITY_PREFIX)
+        }
+        if trainer is not None and velocity:
+            trainer.load_velocity_state(velocity)
+        if rng is not None and _RNG_KEY in archive:
+            rng.bit_generator.state = _array_json(archive[_RNG_KEY])
+        order = np.array(archive[_ORDER_KEY], dtype=np.int64)
+    return JournalState(
+        epoch=int(meta["epoch"]),
+        batches_done=int(meta["batches_done"]),
+        order=order,
+        history=list(meta.get("history", [])),
+        partial=dict(meta.get("partial", {})),
     )

@@ -16,6 +16,15 @@ loss/gradients are excluded from epoch metrics (and counted in
 ``EpochRecord.skipped_batches``); the remaining per-batch metrics are
 weighted by batch size, so a short final batch no longer skews the epoch
 mean.
+
+With ``journal_every > 0`` the loop additionally writes a *batch
+journal* (``journal.npz`` next to the checkpoints) every that many
+completed batches: weights, momentum, the epoch's shuffled order, the
+completed-batch cursor, the RNG cursor and the partial epoch metrics,
+fsync'd atomically.  After a mid-epoch kill, :meth:`resume_latest`
+restores whichever of (latest checkpoint, journal) is further along and
+:meth:`run` replays exactly the remaining batches -- the recovered run's
+weights and epoch records are bit-identical to an uninterrupted run.
 """
 
 from __future__ import annotations
@@ -31,7 +40,13 @@ from repro.data.synthetic import Dataset
 from repro.errors import ReproError
 from repro.nn.network import Network
 from repro.nn.schedule import ConstantLR, LRSchedule
-from repro.nn.serialize import load_checkpoint, save_checkpoint
+from repro.nn.serialize import (
+    JournalState,
+    load_checkpoint,
+    load_journal,
+    save_checkpoint,
+    save_journal,
+)
 from repro.nn.sgd import SGDTrainer, StepResult
 
 
@@ -90,6 +105,7 @@ class TrainingLoop:
         preflight: bool = True,
         checkpoint_dir: str | Path | None = None,
         checkpoint_every: int = 1,
+        journal_every: int = 0,
         backend: str | None = None,
         scheduler: str | None = None,
     ):
@@ -98,6 +114,15 @@ class TrainingLoop:
         if checkpoint_every <= 0:
             raise ReproError(
                 f"checkpoint_every must be positive, got {checkpoint_every}"
+            )
+        if journal_every < 0:
+            raise ReproError(
+                f"journal_every must be non-negative, got {journal_every}"
+            )
+        if journal_every > 0 and checkpoint_dir is None:
+            raise ReproError(
+                "journal_every needs a checkpoint_dir to write the "
+                "journal into"
             )
         self.network = network
         if backend is not None:
@@ -146,8 +171,11 @@ class TrainingLoop:
         self._shuffle_rng = np.random.default_rng(shuffle_seed)
         self.checkpoint_dir = Path(checkpoint_dir) if checkpoint_dir else None
         self.checkpoint_every = checkpoint_every
+        self.journal_every = journal_every
         self._completed_epochs = 0
         self._history = TrainingHistory()
+        # Pending mid-epoch resume state set by restore_journal().
+        self._journal_resume: JournalState | None = None
 
     # -- checkpointing ----------------------------------------------------
 
@@ -201,6 +229,87 @@ class TrainingLoop:
         """Epochs finished so far (restored ones included)."""
         return self._completed_epochs
 
+    # -- batch journal (mid-epoch crash recovery) -------------------------
+
+    @property
+    def journal_path(self) -> Path:
+        """Where this loop's batch journal lives."""
+        if self.checkpoint_dir is None:
+            raise ReproError("this loop has no checkpoint_dir configured")
+        return self.checkpoint_dir / "journal.npz"
+
+    def _write_journal(self, epoch: int, order: np.ndarray,
+                       batches_done: int, losses: list, accuracies: list,
+                       sparsities: list, sizes: list, skipped: int) -> None:
+        partial = {
+            "losses": [float(x) for x in losses],
+            "accuracies": [float(x) for x in accuracies],
+            "sparsities": [float(x) for x in sparsities],
+            "sizes": [int(x) for x in sizes],
+            "skipped": int(skipped),
+        }
+        save_journal(
+            self.network, self.journal_path,
+            epoch=epoch, batches_done=batches_done, order=order,
+            trainer=self.trainer, rng=self._shuffle_rng,
+            history=[asdict(record) for record in self._history.epochs],
+            partial=partial,
+        )
+        telemetry.add("train.journal_writes", 1)
+
+    def restore_journal(self, path: str | Path) -> tuple[int, int]:
+        """Resume mid-epoch from a batch journal.
+
+        Restores weights, momentum and RNG in place and arms the next
+        :meth:`run` to replay exactly the remaining batches of the
+        journaled epoch (using the journal's stored permutation -- it is
+        never re-drawn).  Returns ``(epoch, batches_done)``.
+        """
+        state = load_journal(
+            self.network, path, trainer=self.trainer, rng=self._shuffle_rng
+        )
+        self._completed_epochs = state.epoch - 1
+        self._history = TrainingHistory(
+            epochs=[EpochRecord(**record) for record in state.history]
+        )
+        self._journal_resume = state
+        telemetry.event("resume_journal", epoch=state.epoch,
+                        batches_done=state.batches_done, path=str(path))
+        return state.epoch, state.batches_done
+
+    def resume_latest(self) -> int:
+        """Restore the furthest recovery point in ``checkpoint_dir``.
+
+        Prefers the batch journal when its in-progress epoch is ahead of
+        the newest epoch checkpoint (the crash happened mid-epoch after
+        the checkpoint); otherwise restores the checkpoint and discards
+        the stale journal.  A no-op (returning 0) when the directory has
+        neither.  Returns the completed-epoch count restored to.
+        """
+        if self.checkpoint_dir is None:
+            raise ReproError("this loop has no checkpoint_dir configured")
+        ckpt = self.latest_checkpoint(self.checkpoint_dir)
+        ckpt_epoch = 0
+        if ckpt is not None:
+            try:
+                ckpt_epoch = int(ckpt.stem.split("-")[1])
+            except (IndexError, ValueError):  # pragma: no cover - foreign file
+                ckpt_epoch = 0
+        journal = self.journal_path
+        if journal.exists():
+            try:
+                journal_epoch, _ = self.restore_journal(journal)
+                if journal_epoch > ckpt_epoch:
+                    return self._completed_epochs
+            except Exception:
+                # Torn or foreign journal: fall back to the checkpoint.
+                pass
+            self._journal_resume = None
+            journal.unlink(missing_ok=True)
+        if ckpt is not None:
+            return self.restore(ckpt)
+        return self._completed_epochs
+
     # -- observer hooks ---------------------------------------------------
 
     def add_batch_hook(
@@ -224,14 +333,18 @@ class TrainingLoop:
         """
         self._epoch_hooks.append(hook)
 
-    def _epoch_batches(self):
+    def _epoch_batches(self, order: np.ndarray | None = None,
+                       start_batch: int = 0):
         # Fancy-index one batch at a time: materializing the whole
         # shuffled dataset up front (images[order]) doubles peak memory
         # and copies every image before the first batch even runs.
-        order = self._shuffle_rng.permutation(len(self.train_data))
+        # ``start_batch`` skips batches a journal already replayed.
+        if order is None:
+            order = self._shuffle_rng.permutation(len(self.train_data))
         images = self.train_data.images
         labels = self.train_data.labels
-        for lo in range(0, len(order), self.batch_size):
+        for lo in range(start_batch * self.batch_size, len(order),
+                        self.batch_size):
             idx = order[lo : lo + self.batch_size]
             yield images[idx], labels[idx]
 
@@ -250,10 +363,30 @@ class TrainingLoop:
         for epoch in range(self._completed_epochs + 1, epochs + 1):
             rate = self.schedule.rate(epoch)
             self.trainer.set_learning_rate(rate)
-            losses, accuracies, sparsities, sizes = [], [], [], []
-            skipped = 0
+            resume = self._journal_resume
+            self._journal_resume = None
+            if resume is not None and resume.epoch == epoch:
+                # Mid-epoch recovery: replay the journaled permutation
+                # from the completed-batch cursor; the partial metrics
+                # seed the epoch's accumulators so its final record is
+                # identical to the uninterrupted run's.
+                order = resume.order
+                start_batch = resume.batches_done
+                partial = resume.partial
+                losses = [float(x) for x in partial.get("losses", [])]
+                accuracies = [float(x) for x in partial.get("accuracies", [])]
+                sparsities = [float(x) for x in partial.get("sparsities", [])]
+                sizes = [int(x) for x in partial.get("sizes", [])]
+                skipped = int(partial.get("skipped", 0))
+            else:
+                order = self._shuffle_rng.permutation(len(self.train_data))
+                start_batch = 0
+                losses, accuracies, sparsities, sizes = [], [], [], []
+                skipped = 0
+            batches_done = start_batch
             with telemetry.span("train/epoch", epoch=epoch):
-                for batch_x, batch_y in self._epoch_batches():
+                for batch_x, batch_y in self._epoch_batches(order,
+                                                            start_batch):
                     if self.augment is not None:
                         batch_x = self.augment(batch_x, True)
                     result = self.trainer.step(batch_x, batch_y)
@@ -261,13 +394,22 @@ class TrainingLoop:
                         hook(epoch, len(sizes) + skipped, result)
                     if result.skipped:
                         skipped += 1
-                        continue
-                    losses.append(result.loss)
-                    accuracies.append(result.accuracy)
-                    sizes.append(len(batch_x))
-                    if result.error_sparsities:
-                        sparsities.append(
-                            float(np.mean(list(result.error_sparsities.values())))
+                    else:
+                        losses.append(result.loss)
+                        accuracies.append(result.accuracy)
+                        sizes.append(len(batch_x))
+                        if result.error_sparsities:
+                            sparsities.append(
+                                float(np.mean(
+                                    list(result.error_sparsities.values())
+                                ))
+                            )
+                    batches_done += 1
+                    if (self.journal_every
+                            and batches_done % self.journal_every == 0):
+                        self._write_journal(
+                            epoch, order, batches_done, losses,
+                            accuracies, sparsities, sizes, skipped,
                         )
                 eval_loss = eval_acc = None
                 if self.eval_data is not None:
@@ -320,4 +462,9 @@ class TrainingLoop:
                 # off-cadence -- otherwise checkpoint_every=2, epochs=5
                 # silently loses the epoch-5 state.
                 self.save_checkpoint(epoch)
+                if self.journal_every:
+                    # The epoch checkpoint supersedes any mid-epoch
+                    # journal; off-cadence epochs keep theirs as the
+                    # best available recovery point.
+                    self.journal_path.unlink(missing_ok=True)
         return history

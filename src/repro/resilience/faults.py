@@ -343,14 +343,31 @@ _PLAN_BUILDERS = {
     "ps": _ps_plan,
 }
 
+#: Plans the chaos harness realizes with *real signals* against live
+#: worker processes -- ``kill9`` SIGKILLs and ``hang`` SIGSTOPs a worker
+#: mid-step -- instead of Python-level fault specs.  They have no
+#: :class:`FaultPlan` (there is nothing to inject at a call site) and
+#: are handled by :func:`repro.resilience.chaos.run_chaos` directly.
+REAL_KILL_PLANS = ("hang", "kill9")
+
 
 def plan_names() -> tuple[str, ...]:
-    """The registered named plans, sorted."""
+    """The registered injection-based plans, sorted.
+
+    The real-kill plans (:data:`REAL_KILL_PLANS`) are deliberately not
+    listed here: they are chaos-harness modes, not injectable plans.
+    """
     return tuple(sorted(_PLAN_BUILDERS))
 
 
 def get_plan(name: str, seed: int = 0) -> FaultPlan:
     """Build a named plan with the given trigger seed."""
+    if name in REAL_KILL_PLANS:
+        raise ReproError(
+            f"plan {name!r} uses real process signals and has no "
+            f"injectable FaultPlan; run it through "
+            f"repro.resilience.chaos.run_chaos"
+        )
     try:
         builder = _PLAN_BUILDERS[name]
     except KeyError:

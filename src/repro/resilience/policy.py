@@ -55,6 +55,12 @@ class RetryPolicy:
     #: Backup attempts submitted per task after deadline misses; once
     #: spent, the next miss abandons the task with TaskTimeoutError.
     max_stragglers: int = 1
+    #: Process-backend crash budget: how many times one in-flight job
+    #: may be re-dispatched to a surviving worker after its worker died,
+    #: before it fails with WorkerCrashedError.  The pool mirrors this
+    #: onto :attr:`repro.runtime.backends.ProcessBackend.max_redispatch`
+    #: so the policy is the single fault-budget knob.
+    max_redispatches: int = 2
 
     def __post_init__(self) -> None:
         if self.max_retries < 0:
@@ -71,6 +77,11 @@ class RetryPolicy:
         if self.max_stragglers < 0:
             raise ReproError(
                 f"max_stragglers must be non-negative, got {self.max_stragglers}"
+            )
+        if self.max_redispatches < 0:
+            raise ReproError(
+                f"max_redispatches must be non-negative, "
+                f"got {self.max_redispatches}"
             )
 
     def backoff(self, retry_number: int) -> float:

@@ -31,6 +31,15 @@ Fault injection and telemetry remain parent-side: the pool's
 ``pool.task`` / ``pool.result`` sites wrap the *dispatch* of a task, so
 a chaos plan fires identically (and deterministically) under every
 backend, and spans never need to cross a process boundary.
+
+Supervision: every worker stamps a shared heartbeat slot around each
+task (see :mod:`repro.runtime.supervisor`), and a supervisor thread
+sweeps the worker table -- dead *and* hung workers are escalated
+``terminate`` -> ``kill``, respawned, and their in-flight jobs
+re-dispatched to surviving workers (bounded by ``max_redispatch``;
+engine-slice tasks are idempotent, they write disjoint shared-memory
+ranges).  Backend start also runs the shm janitor, reclaiming segments
+orphaned by a previous hard-killed process.
 """
 
 from __future__ import annotations
@@ -39,6 +48,8 @@ import os
 import pickle
 import sys
 import threading
+import time
+import traceback
 from collections import OrderedDict
 from pathlib import Path
 from typing import Any, Callable
@@ -46,6 +57,12 @@ from typing import Any, Callable
 from repro import telemetry
 from repro.errors import ReproError
 from repro.runtime import shm
+from repro.runtime.supervisor import (
+    STATE_BUSY,
+    STATE_IDLE,
+    HeartbeatBoard,
+    WorkerSupervisor,
+)
 
 #: Names accepted by ``WorkerPool(backend=...)``.
 BACKEND_NAMES = ("serial", "thread", "process")
@@ -79,40 +96,94 @@ def _portable_error(exc: BaseException) -> BaseException:
         return ReproError(f"{type(exc).__name__}: {exc}")
 
 
-def _worker_main(requests: Any, results: Any) -> None:
-    """Loop of one persistent worker process (spawn entry point)."""
+def _worker_main(requests: Any, results: Any,
+                 heartbeat: Any, slot: int) -> None:
+    """Loop of one persistent worker process (spawn entry point).
+
+    Stamps its heartbeat slot *busy* on task pickup and *idle* once the
+    result is posted; an idle worker blocks in ``get()`` without
+    stamping, so the supervisor only reads staleness against work the
+    worker actually owes.
+
+    ``results`` is this worker's **private** pipe end.  A shared result
+    queue would put a lock in shared memory between all workers -- a
+    worker SIGKILL'd mid-``put`` would die holding it and every sibling
+    (and the parent's shutdown sentinel) would block on that dead lock
+    forever.  One pipe per worker means a hard kill can only ever poison
+    the dead worker's own channel, which the parent detects as EOF.
+    """
+    from repro.runtime.supervisor import HeartbeatBoard
+
+    # Drop this process's inherited copy of the request queue's write
+    # end, mirroring the parent dropping its copy of the result send
+    # end.  The parent is then the pipe's only writer, so a dead parent
+    # (even SIGKILL'd) closes it and get() raises EOFError; with the
+    # copy still open the worker keeps its own pipe alive and blocks in
+    # get() forever as an orphan.
+    try:
+        requests._writer.close()
+    except (AttributeError, OSError):  # pragma: no cover - impl drift
+        pass
+    HeartbeatBoard.stamp(heartbeat, slot, STATE_IDLE)
     while True:
-        item = requests.get()
+        try:
+            item = requests.get()
+        except (EOFError, OSError):
+            # Parent died and took its end of the pipe with it; exit so
+            # a hard-killed parent does not strand orphan workers.
+            return
         if item is None:
             return
         job_id, payload = item
+        HeartbeatBoard.stamp(heartbeat, slot, STATE_BUSY)
         try:
             fn, args = pickle.loads(payload)
             result = fn(*args)
             body = pickle.dumps((job_id, "ok", result))
         except BaseException as exc:  # noqa: BLE001 - shipped to the parent
             body = pickle.dumps((job_id, "err", _portable_error(exc)))
-        results.put(body)
+        try:
+            results.send_bytes(body)
+        except (BrokenPipeError, OSError):  # pragma: no cover - parent died
+            return
+        HeartbeatBoard.stamp(heartbeat, slot, STATE_IDLE)
 
 
 class _Job:
-    __slots__ = ("event", "result", "error")
+    __slots__ = ("event", "result", "error", "payload", "dispatched",
+                 "redispatches")
 
-    def __init__(self) -> None:
+    def __init__(self, payload: bytes = b"") -> None:
         self.event = threading.Event()
         self.result: Any = None
         self.error: BaseException | None = None
+        #: The pickled (fn, args) body, kept so a job stranded on a dead
+        #: worker can be re-dispatched to a survivor.
+        self.payload = payload
+        #: ``time.monotonic()`` of the most recent dispatch.
+        self.dispatched = 0.0
+        #: How many times this job has been re-dispatched after a crash.
+        self.redispatches = 0
 
 
 class _Worker:
     """Parent-side record of one spawned worker process."""
 
-    __slots__ = ("process", "requests", "outstanding")
+    __slots__ = ("process", "requests", "results", "outstanding", "slot",
+                 "escalating")
 
-    def __init__(self, process: Any, requests: Any) -> None:
+    def __init__(self, process: Any, requests: Any, results: Any,
+                 slot: int) -> None:
         self.process = process
         self.requests = requests
+        #: Parent's receive end of this worker's private result pipe.
+        self.results = results
         self.outstanding: set[int] = set()
+        #: Fixed heartbeat-slot index; respawns reuse freed slots.
+        self.slot = slot
+        #: Set (under the backend lock) by the first sweep that decides
+        #: to kill this worker, so concurrent sweeps never double-signal.
+        self.escalating = False
 
 
 class ExecutionBackend:
@@ -161,23 +232,54 @@ class ProcessBackend(ExecutionBackend):
 
     name = "process"
 
-    def __init__(self, num_workers: int) -> None:
+    #: How long ``shutdown`` waits for a worker to drain its sentinel.
+    shutdown_join = 5.0
+    #: Bounded join after SIGTERM and again after SIGKILL when a worker
+    #: has to be escalated (hung at shutdown, or flagged by the sweep).
+    escalate_grace = 2.0
+
+    def __init__(self, num_workers: int,
+                 task_deadline: float | None = None,
+                 max_redispatch: int = 2) -> None:
         if num_workers <= 0:
             raise ReproError(
                 f"num_workers must be positive, got {num_workers}"
             )
         self.num_workers = num_workers
+        #: Hang deadline in seconds: a worker whose oldest obligation is
+        #: older than this is escalated.  ``None`` disables hang
+        #: detection (dead-worker reaping still runs).
+        self.task_deadline = task_deadline
+        self._deadline_pinned = task_deadline is not None
+        #: Per-job budget of crash re-dispatches before the job fails
+        #: with :class:`WorkerCrashedError`.
+        self.max_redispatch = max_redispatch
+        #: Supervision counters (exposed via :meth:`supervisor_state`).
+        self.respawns = 0
+        self.redispatches = 0
+        self.hung_workers = 0
         self._ctx: Any = None
-        self._results: Any = None
+        #: Receive ends the collector multiplexes over (one per worker,
+        #: plus the private shutdown pipe).  Guarded by ``_lock``.
+        self._result_conns: set[Any] = set()
+        self._stop_reader: Any = None
+        self._stop_writer: Any = None
         self._old_path: str | None = None
         self._workers: list[_Worker] = []
+        self._free_slots: list[int] = []
+        self._heartbeat: HeartbeatBoard | None = None
+        self._supervisor: WorkerSupervisor | None = None
         self._jobs: dict[int, _Job] = {}
         self._job_seq = 0
         self._lock = threading.Lock()
         # Serializes start()/shutdown(); separate from ``_lock`` so the
         # collector and reaper never block behind process spawning.
         self._lifecycle_lock = threading.Lock()
+        # Serializes respawn batches (PYTHONPATH is process-global
+        # state; two concurrent _spawn_env blocks would corrupt it).
+        self._respawn_lock = threading.Lock()
         self._collector: threading.Thread | None = None
+        self._collector_error: str | None = None
         self._started = False
         self._closed = False
 
@@ -187,8 +289,8 @@ class ProcessBackend(ExecutionBackend):
         # Double-checked: call() is documented thread-safe and starts
         # the backend lazily, so two dispatcher threads can race here --
         # without the lock each would spawn a full worker set and the
-        # second would reassign self._results, stranding jobs shipped to
-        # workers bound to the replaced queue.
+        # second would reassign the pipe set, stranding jobs shipped to
+        # workers bound to the replaced channels.
         if self._started:
             return
         with self._lifecycle_lock:
@@ -196,17 +298,29 @@ class ProcessBackend(ExecutionBackend):
                 return
             import multiprocessing as mp
 
+            # Janitor first: reclaim segments a previous hard-killed
+            # process left in /dev/shm before allocating new ones.
+            shm.reap_orphans()
             self._ctx = mp.get_context("spawn")
-            self._results = self._ctx.SimpleQueue()
+            self._stop_reader, self._stop_writer = self._ctx.Pipe(
+                duplex=False
+            )
+            self._heartbeat = HeartbeatBoard(self.num_workers, self._ctx)
+            self._free_slots = list(range(self.num_workers - 1, -1, -1))
             with self._spawn_env():
                 for _ in range(self.num_workers):
-                    self._workers.append(self._spawn_worker())
+                    self._workers.append(
+                        self._spawn_worker(self._free_slots.pop())
+                    )
+            self._collector_error = None
             self._collector = threading.Thread(
                 target=self._collect, name="repro-shm-collector", daemon=True
             )
             self._collector.start()
             self._closed = False
             self._started = True
+            self._supervisor = WorkerSupervisor(self)
+            self._supervisor.start()
 
     def _spawn_env(self) -> Any:
         """Ensure spawned interpreters can import the repro package."""
@@ -230,13 +344,21 @@ class ProcessBackend(ExecutionBackend):
 
         return _Env()
 
-    def _spawn_worker(self) -> _Worker:
+    def _spawn_worker(self, slot: int) -> _Worker:
+        assert self._heartbeat is not None
         requests = self._ctx.SimpleQueue()
+        recv_end, send_end = self._ctx.Pipe(duplex=False)
         process = self._ctx.Process(
-            target=_worker_main, args=(requests, self._results), daemon=True
+            target=_worker_main,
+            args=(requests, send_end, self._heartbeat.shared, slot),
+            daemon=True,
         )
         process.start()
-        return _Worker(process, requests)
+        # Drop the parent's copy of the send end: the pipe must hit EOF
+        # (worker death detection) as soon as the worker's copy closes.
+        send_end.close()
+        self._result_conns.add(recv_end)
+        return _Worker(process, requests, recv_end, slot)
 
     def shutdown(self) -> None:
         with self._lifecycle_lock:
@@ -246,18 +368,35 @@ class ProcessBackend(ExecutionBackend):
         if not self._started:
             return
         self._closed = True
+        # Supervisor first: it must not escalate or respawn workers
+        # while the table is being torn down underneath it.
+        if self._supervisor is not None:
+            self._supervisor.stop()
+            self._supervisor = None
         for worker in self._workers:
             try:
                 worker.requests.put(None)
             except Exception:  # pragma: no cover - queue already broken
                 pass
         for worker in self._workers:
-            worker.process.join(timeout=5.0)
-            if worker.process.is_alive():  # pragma: no cover - hung worker
+            worker.process.join(timeout=self.shutdown_join)
+            if worker.process.is_alive():
+                # Hung (or SIGSTOP'd) worker: the sentinel will never be
+                # read.  SIGTERM is not delivered to a stopped process;
+                # SIGKILL always is, so escalate with bounded joins.
                 worker.process.terminate()
-                worker.process.join(timeout=1.0)
-        # Unblock and retire the collector thread.
-        self._results.put(pickle.dumps((None, "stop", None)))
+                worker.process.join(timeout=self.escalate_grace)
+                if worker.process.is_alive():
+                    worker.process.kill()
+                    worker.process.join(timeout=self.escalate_grace)
+        # Unblock and retire the collector thread.  The stop pipe has
+        # the parent as its only writer, so this send can never block on
+        # a lock a dead worker took with it (the failure mode a shared
+        # result queue had).
+        try:
+            self._stop_writer.send_bytes(b"stop")
+        except (BrokenPipeError, OSError):  # pragma: no cover - torn pipe
+            pass
         if self._collector is not None:
             self._collector.join(timeout=5.0)
         with self._lock:
@@ -265,7 +404,23 @@ class ProcessBackend(ExecutionBackend):
                 job.error = ReproError("process backend shut down")
                 job.event.set()
             self._jobs.clear()
+            for conn in self._result_conns:
+                try:
+                    conn.close()
+                except OSError:  # pragma: no cover - collector closed it
+                    pass
+            self._result_conns.clear()
+        for conn in (self._stop_reader, self._stop_writer):
+            if conn is not None:
+                try:
+                    conn.close()
+                except OSError:
+                    # Already closed -- e.g. by the fault that killed the
+                    # collector; Connection.close() is not idempotent.
+                    pass
+        self._stop_reader = self._stop_writer = None
         self._workers.clear()
+        self._free_slots = []
         self._started = False
 
     def worker_pids(self) -> tuple[int, ...]:
@@ -276,45 +431,227 @@ class ProcessBackend(ExecutionBackend):
     # -- dispatch ---------------------------------------------------------
 
     def _collect(self) -> None:
-        while True:
-            body = self._results.get()
-            job_id, status, payload = pickle.loads(body)
-            if status == "stop":
-                return
+        from multiprocessing.connection import wait as connection_wait
+
+        stop = self._stop_reader
+        try:
+            while True:
+                with self._lock:
+                    conns = list(self._result_conns)
+                conns.append(stop)
+                # Bounded wait so pipes of workers respawned since the
+                # snapshot join the multiplex set on the next pass.
+                for conn in connection_wait(conns, timeout=0.2):
+                    if conn is stop:
+                        return
+                    try:
+                        body = conn.recv_bytes()
+                    except (EOFError, OSError):
+                        # Worker died (possibly mid-send: a truncated
+                        # message reads as EOF).  The sweep redispatches
+                        # its jobs; here just retire the pipe.
+                        with self._lock:
+                            self._result_conns.discard(conn)
+                        conn.close()
+                        continue
+                    job_id, status, payload = pickle.loads(body)
+                    with self._lock:
+                        job = self._jobs.pop(job_id, None)
+                        for worker in self._workers:
+                            worker.outstanding.discard(job_id)
+                    if job is None:
+                        continue  # already failed, or redispatch duplicate
+                    if status == "ok":
+                        job.result = payload
+                    else:
+                        job.error = payload
+                    job.event.set()
+        except BaseException:  # noqa: BLE001 - collector is load-bearing
+            # The collector is the only path that completes jobs; if it
+            # dies every pending and future wait would spin forever.
+            # Record the traceback (call() re-raises it) and fail every
+            # pending job now.
+            tb = traceback.format_exc()
+            self._collector_error = tb
+            telemetry.event("pool.collector_died", traceback=tb)
             with self._lock:
-                job = self._jobs.pop(job_id, None)
+                pending = list(self._jobs.values())
+                self._jobs.clear()
                 for worker in self._workers:
-                    worker.outstanding.discard(job_id)
-            if job is None:
-                continue  # job already failed (e.g. worker declared dead)
-            if status == "ok":
-                job.result = payload
-            else:
-                job.error = payload
-            job.event.set()
+                    worker.outstanding.clear()
+            for job in pending:
+                job.error = WorkerCrashedError(
+                    f"result collector thread died:\n{tb}"
+                )
+                job.event.set()
+
+    def _check_collector(self) -> None:
+        """Raise if the result-collector thread is no longer serving."""
+        if self._closed:
+            return
+        collector = self._collector
+        if self._collector_error is not None or (
+            collector is not None and not collector.is_alive()
+        ):
+            raise WorkerCrashedError(
+                "result collector thread died; jobs can never complete"
+                + (f":\n{self._collector_error}"
+                   if self._collector_error else "")
+            )
+
+    def sweep_workers(self) -> None:
+        """One supervision pass: escalate hung workers, reap dead ones.
+
+        Run on a cadence by the supervisor thread and opportunistically
+        by dispatcher poll loops.  A worker counts as *hung* only while
+        it owes results: its heartbeat is silent **and** its oldest
+        outstanding dispatch is older than ``task_deadline``.
+        """
+        if not self._started or self._closed:
+            return
+        deadline = self.task_deadline
+        hung: list[_Worker] = []
+        if deadline is not None and self._heartbeat is not None:
+            now = time.monotonic()
+            with self._lock:
+                for worker in self._workers:
+                    if (worker.escalating or not worker.outstanding
+                            or not worker.process.is_alive()):
+                        continue
+                    dispatches = [
+                        self._jobs[j].dispatched
+                        for j in worker.outstanding if j in self._jobs
+                    ]
+                    if not dispatches:
+                        continue
+                    _, _, stamp = self._heartbeat.read(worker.slot)
+                    # Busy worker: stamp is the running task's pickup
+                    # time.  Worker stopped while idle: the dispatch
+                    # timestamp starts the clock instead.
+                    if now - max(stamp, min(dispatches)) > deadline:
+                        worker.escalating = True
+                        hung.append(worker)
+        for worker in hung:
+            self._escalate(worker)
+        self._reap_dead_workers()
+
+    def _escalate(self, worker: _Worker) -> None:
+        """terminate -> bounded join -> kill -> join; then it is dead."""
+        pid = worker.process.pid
+        self.hung_workers += 1
+        telemetry.add("supervisor.hung_workers", 1)
+        telemetry.event("supervisor.hung", pid=pid,
+                        deadline=self.task_deadline)
+        try:
+            worker.process.terminate()
+            worker.process.join(timeout=self.escalate_grace)
+            if worker.process.is_alive():
+                worker.process.kill()
+                worker.process.join(timeout=self.escalate_grace)
+        except Exception:  # pragma: no cover - process already reaped
+            pass
 
     def _reap_dead_workers(self) -> None:
-        """Fail jobs stranded on dead workers; respawn replacements."""
+        """Handle dead workers: redispatch or fail their jobs; respawn."""
+        redispatch: list[tuple[int, _Job]] = []
+        failed: list[tuple[_Job, WorkerCrashedError]] = []
         with self._lock:
             dead = [w for w in self._workers if not w.process.is_alive()]
             if not dead:
                 return
             for worker in dead:
                 self._workers.remove(worker)
-                for job_id in worker.outstanding:
-                    job = self._jobs.pop(job_id, None)
-                    if job is not None:
-                        job.error = WorkerCrashedError(
+                self._free_slots.append(worker.slot)
+                for job_id in sorted(worker.outstanding):
+                    job = self._jobs.get(job_id)
+                    if job is None:
+                        continue
+                    if (not self._closed
+                            and job.redispatches < self.max_redispatch):
+                        job.redispatches += 1
+                        redispatch.append((job_id, job))
+                    else:
+                        del self._jobs[job_id]
+                        failed.append((job, WorkerCrashedError(
                             f"worker process {worker.process.pid} died "
                             f"with the job outstanding"
-                        )
-                        job.event.set()
+                            + (" (redispatch budget spent)"
+                               if job.redispatches else "")
+                        )))
         telemetry.add("pool.worker_crashes", len(dead))
         if not self._closed:
-            with self._spawn_env():
-                with self._lock:
-                    while len(self._workers) < self.num_workers:
-                        self._workers.append(self._spawn_worker())
+            with self._respawn_lock:
+                with self._spawn_env():
+                    with self._lock:
+                        while (len(self._workers) < self.num_workers
+                               and self._free_slots):
+                            slot = self._free_slots.pop()
+                            self._workers.append(self._spawn_worker(slot))
+                            self.respawns += 1
+                            telemetry.add("supervisor.respawns", 1)
+        # Fail jobs only after replacements exist: a waiter that wakes
+        # on WorkerCrashedError may immediately re-dispatch.
+        for job, error in failed:
+            job.error = error
+            job.event.set()
+        if self._closed:
+            return
+        # Re-dispatch stranded jobs to the (possibly fresh) survivors.
+        shipments: list[tuple[_Worker, int, bytes]] = []
+        with self._lock:
+            for job_id, job in redispatch:
+                target = min(
+                    (w for w in self._workers
+                     if w.process.is_alive() and not w.escalating),
+                    key=lambda w: len(w.outstanding),
+                    default=None,
+                )
+                if target is None:
+                    self._jobs.pop(job_id, None)
+                    job.error = WorkerCrashedError(
+                        "no live worker to re-dispatch a stranded job to"
+                    )
+                    job.event.set()
+                    continue
+                target.outstanding.add(job_id)
+                job.dispatched = time.monotonic()
+                shipments.append((target, job_id, job.payload))
+        for target, job_id, payload in shipments:
+            target.requests.put((job_id, payload))
+            self.redispatches += 1
+            telemetry.add("supervisor.redispatches", 1)
+
+    def _dispatch(self, job: _Job) -> bool:
+        """Ship ``job`` to the least-loaded live worker; False if none."""
+        with self._lock:
+            target = min(
+                (w for w in self._workers
+                 if w.process.is_alive() and not w.escalating),
+                key=lambda w: len(w.outstanding),
+                default=None,
+            )
+            if target is None:
+                return False
+            self._job_seq += 1
+            job_id = self._job_seq
+            target.outstanding.add(job_id)
+            job.dispatched = time.monotonic()
+            self._jobs[job_id] = job
+        target.requests.put((job_id, job.payload))
+        return True
+
+    def _await(self, job: _Job) -> Any:
+        """Block for a dispatched job, supervising while it waits."""
+        while not job.event.wait(timeout=0.2):
+            self._check_collector()
+            supervisor = self._supervisor
+            if supervisor is None or not supervisor.alive:
+                # Degraded mode: no supervisor thread, so the waiters
+                # themselves keep dead-worker detection alive.
+                self.sweep_workers()
+        if job.error is not None:
+            raise job.error
+        return job.result
 
     def call(self, fn: Callable[..., Any], *args: Any) -> Any:
         if self._closed:
@@ -329,26 +666,97 @@ class ProcessBackend(ExecutionBackend):
                 f"their arguments must pickle (move array payloads into "
                 f"shared memory)"
             ) from exc
-        job = _Job()
-        with self._lock:
-            self._job_seq += 1
-            job_id = self._job_seq
-            worker = min(
-                (w for w in self._workers if w.process.is_alive()),
-                key=lambda w: len(w.outstanding),
-                default=None,
-            )
-            if worker is None:
-                raise WorkerCrashedError("no live worker processes")
-            worker.outstanding.add(job_id)
-            self._jobs[job_id] = job
-        worker.requests.put((job_id, payload))
-        telemetry.add("pool.shipped_jobs", 1)
-        while not job.event.wait(timeout=0.2):
+        job = _Job(payload)
+        if not self._dispatch(job):
+            # Every worker is dead right now; reap (which respawns
+            # replacements) and retry once before giving up.
             self._reap_dead_workers()
-        if job.error is not None:
-            raise job.error
-        return job.result
+            if not self._dispatch(job):
+                raise WorkerCrashedError("no live worker processes")
+        telemetry.add("pool.shipped_jobs", 1)
+        return self._await(job)
+
+    def broadcast(self, fn: Callable[..., Any], *args: Any) -> list[Any]:
+        """Run ``fn(*args)`` once on every live worker; ordered results.
+
+        Used for per-worker introspection (``repro workers``): unlike
+        :meth:`call`, which targets the least-loaded worker, this ships
+        one job to *each* worker's queue.
+        """
+        if self._closed:
+            raise ReproError("process backend is shut down")
+        self.start()
+        payload = pickle.dumps((fn, args))
+        dispatched: list[tuple[_Worker, int, _Job]] = []
+        with self._lock:
+            for worker in self._workers:
+                if not worker.process.is_alive() or worker.escalating:
+                    continue
+                self._job_seq += 1
+                job = _Job(payload)
+                worker.outstanding.add(self._job_seq)
+                job.dispatched = time.monotonic()
+                self._jobs[self._job_seq] = job
+                dispatched.append((worker, self._job_seq, job))
+        for worker, job_id, _ in dispatched:
+            worker.requests.put((job_id, payload))
+        telemetry.add("pool.shipped_jobs", len(dispatched))
+        return [self._await(job) for _, _, job in dispatched]
+
+    # -- supervision surface ----------------------------------------------
+
+    def set_task_deadline(self, seconds: float | None) -> None:
+        """Pin the hang deadline (``None`` disables hang detection).
+
+        An explicitly pinned deadline is never overridden by
+        :meth:`propose_task_deadline`.
+        """
+        self.task_deadline = seconds
+        self._deadline_pinned = True
+
+    def propose_task_deadline(self, seconds: float) -> None:
+        """Raise the derived deadline to cover the priciest task seen.
+
+        Called by the executor with the machine-model-derived deadline
+        (see :func:`repro.runtime.supervisor.derive_task_deadline`); a
+        no-op when the user pinned an explicit deadline.
+        """
+        if self._deadline_pinned:
+            return
+        if self.task_deadline is None or seconds > self.task_deadline:
+            self.task_deadline = seconds
+
+    def supervisor_state(self) -> dict[str, Any]:
+        """Parent-side supervision snapshot (pids, heartbeats, counters)."""
+        workers: list[dict[str, Any]] = []
+        with self._lock:
+            for worker in self._workers:
+                if self._heartbeat is not None:
+                    seq, state, _ = self._heartbeat.read(worker.slot)
+                    age = self._heartbeat.age(worker.slot)
+                else:  # pragma: no cover - backend never started
+                    seq, state, age = 0, STATE_IDLE, float("inf")
+                workers.append({
+                    "pid": worker.process.pid,
+                    "slot": worker.slot,
+                    "alive": worker.process.is_alive(),
+                    "state": "busy" if state == STATE_BUSY else "idle",
+                    "beats": seq,
+                    "heartbeat_age": age,
+                    "outstanding": len(worker.outstanding),
+                })
+        supervisor = self._supervisor
+        return {
+            "backend": self.name,
+            "num_workers": self.num_workers,
+            "task_deadline": self.task_deadline,
+            "respawns": self.respawns,
+            "redispatches": self.redispatches,
+            "hung_workers": self.hung_workers,
+            "supervisor_alive": bool(supervisor is not None
+                                     and supervisor.alive),
+            "workers": workers,
+        }
 
 
 def make_backend(name: str, num_workers: int) -> ExecutionBackend:

@@ -247,8 +247,11 @@ class DagScheduler:
 
     def _execute(self, node: TaskNode, worker: int) -> None:
         """Run one node under span, fault site and bounded retries."""
+        from repro.runtime.backends import WorkerCrashedError
+
         policy = active_policy()
         retries = 0
+        crash_retried = False
         while True:
             try:
                 with telemetry.span("dag/node", node=node.name,
@@ -257,6 +260,27 @@ class DagScheduler:
                                    node=node.name)
                     node.fn()
                 return
+            except WorkerCrashedError as exc:
+                # Infrastructure fault, not a task fault: the process
+                # backend has already respawned workers by the time this
+                # surfaces, and nodes are idempotent, so even without an
+                # ambient policy one immediate re-run is safe and keeps
+                # a crash during a policy-less step from failing it.
+                if policy is None and not crash_retried:
+                    crash_retried = True
+                    telemetry.add("dag.crash_retries", 1)
+                    telemetry.event("dag.crash_retry", node=node.name,
+                                    error=f"{type(exc).__name__}: {exc}")
+                    continue
+                if policy is None or retries >= policy.max_retries:
+                    raise
+                retries += 1
+                telemetry.add("dag.retries", 1)
+                telemetry.event("dag.retry", node=node.name, retry=retries,
+                                error=f"{type(exc).__name__}: {exc}")
+                delay = policy.backoff(retries)
+                if delay > 0.0:
+                    time.sleep(delay)
             except Exception as exc:  # noqa: BLE001 - policy decides
                 if policy is None or retries >= policy.max_retries:
                     raise

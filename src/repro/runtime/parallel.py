@@ -21,6 +21,12 @@ by the arena's finalizer -- never leaked, even when a task faults).
 Weight gradients are accumulated per worker and reduced in the parent
 in fixed range order, so results are bit-identical across the serial,
 thread and process backends for a given worker count.
+
+Under the process backend the executor also feeds the supervisor: each
+dispatch proposes a *task deadline* derived from the machine model's
+GEMM-in-Parallel cost estimate for that (phase, batch), so hang
+detection is calibrated to the work actually shipped rather than a
+wall-clock guess (see :mod:`repro.runtime.supervisor`).
 """
 
 from __future__ import annotations
@@ -34,11 +40,14 @@ import numpy as np
 from repro import telemetry
 from repro.core.convspec import ConvSpec
 from repro.errors import ReproError
+from repro.machine.gemm_model import gemm_in_parallel_conv_time
+from repro.machine.spec import xeon_e5_2650
 from repro.ops.engine import ConvEngine, make_engine
 from repro.resilience.policy import RetryPolicy
 from repro.runtime.backends import run_engine_slice
 from repro.runtime.pool import WorkerPool
 from repro.runtime.shm import SharedArray, ShmArena
+from repro.runtime.supervisor import derive_task_deadline
 
 
 @dataclass(frozen=True)
@@ -84,6 +93,8 @@ class ParallelExecutor:
         self._owns_pool = pool is None
         self._engine_kwargs = dict(engine_kwargs)
         self._arena = ShmArena()
+        # Machine-model hang deadlines, cached per (method, batch).
+        self._deadline_cache: dict[tuple[str, int], float] = {}
         # One engine per concurrent attempt: engines hold mutable scratch
         # (unfold workspace, GEMM out= panels, CT-CSR buffers) that must
         # never be shared between two attempts running at once.  A fixed
@@ -145,6 +156,32 @@ class ParallelExecutor:
 
     # -- shared-memory dispatch (process backend) -------------------------
 
+    def _propose_deadline(self, backend: Any, method: str,
+                          batch: int) -> None:
+        """Calibrate the backend's hang deadline to this dispatch.
+
+        The machine model prices the slice work; the supervisor's floor
+        and safety multiple absorb model optimism.  A user-pinned
+        deadline wins (``propose_task_deadline`` is then a no-op).
+        """
+        propose = getattr(backend, "propose_task_deadline", None)
+        if propose is None:  # pragma: no cover - non-process backend
+            return
+        key = (method, batch)
+        deadline = self._deadline_cache.get(key)
+        if deadline is None:
+            phase = "fp" if method == "forward" else "bp"
+            try:
+                modeled = gemm_in_parallel_conv_time(
+                    self.spec, phase, batch, xeon_e5_2650(),
+                    cores=max(1, self.pool.num_workers),
+                )
+            except ReproError:  # pragma: no cover - degenerate spec
+                modeled = 0.0
+            deadline = derive_task_deadline(modeled)
+            self._deadline_cache[key] = deadline
+        propose(deadline)
+
     def _publish(self, role: str, array: np.ndarray) -> SharedArray:
         """Copy ``array`` into the arena's reusable segment for ``role``."""
         seg = self._arena.ensure(role, array.shape, array.dtype)
@@ -158,6 +195,7 @@ class ParallelExecutor:
     ) -> list[Callable[[], np.ndarray]]:
         """Thunks that run the engine slices inside worker processes."""
         backend = self.pool._require_backend()
+        self._propose_deadline(backend, method, primary.shape[0])
         primary_seg = self._publish(f"{method}/primary", primary)
         shared_seg = self._publish(f"{method}/shared", shared)
         out_seg = self._arena.ensure(f"{method}/out", out_shape, out_dtype)

@@ -152,6 +152,13 @@ class WorkerPool:
     def _require_backend(self) -> ExecutionBackend:
         if self._backend is None:
             self._backend = make_backend(self.backend_name, self.num_workers)
+        if isinstance(self._backend, ProcessBackend):
+            # The retry policy is the user-facing fault-budget knob;
+            # mirror its crash budget onto the backend's per-job
+            # redispatch budget so one setting governs both layers.
+            policy = self._effective_policy()
+            if policy is not None:
+                self._backend.max_redispatch = policy.max_redispatches
         # start() is idempotent and revives a shut-down backend, so
         # reuse-after-shutdown behaves identically whether the pool was
         # built from a backend name or a live instance.
@@ -161,6 +168,17 @@ class WorkerPool:
             self._backend_finalizer = weakref.finalize(
                 self, self._backend.shutdown
             )
+        return self._backend
+
+    @property
+    def backend(self) -> ExecutionBackend | None:
+        """The live backend instance, if one has been built yet.
+
+        Supervision tooling (``repro workers``, the kill-chaos harness)
+        reaches the :class:`ProcessBackend` through this to read
+        ``supervisor_state()`` or pin ``task_deadline`` -- without
+        forcing a lazy pool to spawn workers just to be inspected.
+        """
         return self._backend
 
     # -- execution --------------------------------------------------------

@@ -33,32 +33,93 @@ fault net, from a ``weakref.finalize`` when the owner is collected).
 
 Python 3.11's ``SharedMemory`` registers *attached* segments with the
 ``multiprocessing`` resource tracker, which then unlinks them when the
-attaching process exits -- destroying a segment the parent still owns
-(fixed only in 3.13 via ``track=False``).  :meth:`SharedArray.attach`
-therefore unregisters the mapping from the tracker: lifetime is owned
-explicitly here, not by the tracker.
+tracker retires -- destroying a segment the parent still owns (fixed
+only in 3.13 via ``track=False``).  Worse, spawn children share the
+parent's tracker daemon, so the classic attach-then-unregister
+workaround strips the *creator's* registration out of the shared cache.
+:meth:`SharedArray.attach` therefore suppresses the registration
+entirely (:func:`_attach_untracked`): lifetime is owned explicitly
+here, not by the tracker.
+
+**Crash reaping.**  The process-local ``owned_segments()`` registry dies
+with the process, so a SIGKILL'd owner orphans its segments in
+``/dev/shm`` with nobody left who knows to unlink them.  Every
+``create`` therefore also writes an *on-disk manifest entry* (owner pid,
+role, creation time) under :func:`manifest_dir`, removed again by
+``unlink``; :func:`reap_orphans` -- the janitor -- scans the manifest
+(and the raw ``/dev/shm`` namespace, whose segment names embed the
+creator pid) and unlinks every segment whose owner is dead.  The janitor
+runs at process-backend start, after kill-chaos runs, and from the
+``repro shm`` CLI.
 """
 
 from __future__ import annotations
 
+import json
 import os
 import secrets
+import tempfile
 import threading
+import time
 import weakref
 from dataclasses import dataclass
 from multiprocessing import resource_tracker, shared_memory
+from pathlib import Path
 
 import numpy as np
 
+from repro import telemetry
 from repro.errors import ReproError
 
 #: Prefix of every segment name this module creates; the CI leak check
-#: greps ``/dev/shm`` for it after the test run.
+#: greps ``/dev/shm`` for it after the test run.  The hex field after
+#: the prefix is the *creator's pid*, which lets the janitor attribute
+#: even an unmanifested segment to its (possibly dead) owner.
 SEGMENT_PREFIX = "repro-shm-"
+
+#: Environment override for the manifest directory (tests point it at a
+#: tmpdir so concurrent suites never see each other's entries).
+MANIFEST_ENV = "REPRO_SHM_MANIFEST_DIR"
 
 
 def _new_segment_name() -> str:
     return f"{SEGMENT_PREFIX}{os.getpid():x}-{secrets.token_hex(4)}"
+
+
+def _segment_owner_pid(name: str) -> "int | None":
+    """The creator pid embedded in a segment name, if parseable."""
+    if not name.startswith(SEGMENT_PREFIX):
+        return None
+    head = name[len(SEGMENT_PREFIX):].partition("-")[0]
+    try:
+        return int(head, 16)
+    except ValueError:
+        return None
+
+
+# -- untracked attach -------------------------------------------------------
+
+_ATTACH_LOCK = threading.Lock()
+
+
+def _attach_untracked(name: str) -> shared_memory.SharedMemory:
+    """Attach to ``name`` without registering it with the resource tracker.
+
+    Python 3.11's ``SharedMemory`` registers attached segments; spawn
+    children *share the parent's tracker daemon*, so the historical
+    attach-then-``unregister`` workaround removes the creator's own
+    registration from the shared cache -- the owner's later ``unlink``
+    then double-unregisters and the tracker prints a ``KeyError`` at
+    every worker exit.  Suppressing the registration instead leaves
+    exactly one entry (the creator's) for the segment's whole life.
+    """
+    with _ATTACH_LOCK:
+        original = resource_tracker.register
+        resource_tracker.register = lambda *a, **k: None
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original
 
 
 # -- leak registry ----------------------------------------------------------
@@ -84,6 +145,181 @@ def owned_segments() -> tuple[str, ...]:
     """
     with _OWNED_LOCK:
         return tuple(sorted(_OWNED))
+
+
+# -- on-disk manifest and crash janitor -------------------------------------
+
+
+def manifest_dir() -> Path:
+    """Directory holding one JSON manifest entry per live owned segment."""
+    override = os.environ.get(MANIFEST_ENV)
+    if override:
+        return Path(override)
+    return Path(tempfile.gettempdir()) / "repro-shm-manifest"
+
+
+def _manifest_path(name: str) -> Path:
+    return manifest_dir() / f"{name}.json"
+
+
+def _manifest_write(name: str, role: str | None) -> None:
+    """Record segment ownership on disk (atomic; best-effort).
+
+    Written at ``create`` time so that even a SIGKILL'd owner leaves a
+    record the janitor can act on; removed again by ``unlink``.
+    """
+    directory = manifest_dir()
+    try:
+        directory.mkdir(parents=True, exist_ok=True)
+        entry = {
+            "name": name,
+            "pid": os.getpid(),
+            "role": role,
+            "created": time.time(),
+        }
+        tmp = directory / f".{name}.tmp"
+        tmp.write_text(json.dumps(entry))
+        os.replace(tmp, _manifest_path(name))
+    except OSError:  # pragma: no cover - manifest dir unwritable
+        pass
+
+
+def _manifest_remove(name: str) -> None:
+    """Drop the manifest entry for ``name`` (idempotent; best-effort)."""
+    try:
+        _manifest_path(name).unlink(missing_ok=True)
+    except OSError:  # pragma: no cover - manifest dir unwritable
+        pass
+
+
+@dataclass(frozen=True)
+class ManifestEntry:
+    """One manifest record, joined against live pid and segment state."""
+
+    name: str
+    pid: int
+    role: str | None
+    created: float
+    #: True when the owning process is still running.
+    owner_alive: bool
+    #: True when the named segment still exists in ``/dev/shm``.
+    segment_exists: bool
+
+    @property
+    def orphaned(self) -> bool:
+        """A reapable leak: the segment outlived its dead owner."""
+        return self.segment_exists and not self.owner_alive
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - other-user pid
+        return True
+    return True
+
+
+def _segment_exists(name: str) -> bool:
+    # Stat the host namespace rather than attach-probing: attaching
+    # registers the segment with this process's resource tracker, and
+    # unregistering it back out would also strip the entry a live owner
+    # in this process still needs (double-unregister noise at exit).
+    shm_root = Path("/dev/shm")
+    if shm_root.is_dir():
+        return (shm_root / name).exists()
+    try:  # pragma: no cover - non-Linux host
+        probe = _attach_untracked(name)
+    except FileNotFoundError:  # pragma: no cover - non-Linux host
+        return False
+    probe.close()  # pragma: no cover - non-Linux host
+    return True  # pragma: no cover - non-Linux host
+
+
+def host_segments() -> tuple[str, ...]:
+    """Our segment names currently present in the host shm namespace."""
+    shm_root = Path("/dev/shm")
+    if not shm_root.is_dir():  # pragma: no cover - non-Linux host
+        return ()
+    return tuple(sorted(
+        p.name for p in shm_root.iterdir()
+        if p.name.startswith(SEGMENT_PREFIX)
+    ))
+
+
+def manifest_entries() -> tuple[ManifestEntry, ...]:
+    """All manifest records plus unmanifested on-host segments.
+
+    Segments found in ``/dev/shm`` without a manifest entry (e.g. the
+    manifest dir was wiped) are synthesized from the creator pid embedded
+    in the segment name, so the janitor still sees them.
+    """
+    entries: dict[str, ManifestEntry] = {}
+    directory = manifest_dir()
+    if directory.is_dir():
+        for path in sorted(directory.glob("*.json")):
+            try:
+                raw = json.loads(path.read_text())
+                name = str(raw["name"])
+                pid = int(raw["pid"])
+            except (OSError, ValueError, KeyError):
+                continue
+            entries[name] = ManifestEntry(
+                name=name,
+                pid=pid,
+                role=raw.get("role"),
+                created=float(raw.get("created", 0.0)),
+                owner_alive=_pid_alive(pid),
+                segment_exists=_segment_exists(name),
+            )
+    for name in host_segments():
+        if name in entries:
+            continue
+        pid = _segment_owner_pid(name)
+        if pid is None:  # pragma: no cover - foreign name under our prefix
+            continue
+        entries[name] = ManifestEntry(
+            name=name, pid=pid, role=None, created=0.0,
+            owner_alive=_pid_alive(pid), segment_exists=True,
+        )
+    return tuple(entries[name] for name in sorted(entries))
+
+
+def reap_orphans() -> tuple[str, ...]:
+    """Unlink every segment whose owning process died; prune stale entries.
+
+    Returns the names of segments actually reclaimed.  Segments with a
+    live owner are left strictly alone -- the janitor is safe to run
+    concurrently with active pools in other processes.
+    """
+    reaped: list[str] = []
+    for entry in manifest_entries():
+        if entry.owner_alive:
+            continue
+        if entry.segment_exists:
+            try:
+                seg = shared_memory.SharedMemory(name=entry.name)
+            except FileNotFoundError:  # pragma: no cover - concurrent reap
+                seg = None
+            if seg is not None:
+                # Attaching registered the name with our resource
+                # tracker; unlink() unregisters it again, so the pair
+                # stays balanced (no explicit unregister here).
+                try:
+                    seg.unlink()
+                except FileNotFoundError:  # pragma: no cover - reap race
+                    pass
+                seg.close()
+                reaped.append(entry.name)
+                telemetry.add("shm.reaped_segments", 1)
+                telemetry.event(
+                    "shm.reap", segment=entry.name, owner=entry.pid,
+                    role=entry.role,
+                )
+        # Entry is stale either way: segment gone or just reclaimed.
+        _manifest_remove(entry.name)
+    return tuple(reaped)
 
 
 @dataclass(frozen=True)
@@ -129,7 +365,8 @@ class SharedArray:
 
     @classmethod
     def create(cls, shape: tuple[int, ...],
-               dtype: np.dtype | str = np.float32) -> "SharedArray":
+               dtype: np.dtype | str = np.float32,
+               role: str | None = None) -> "SharedArray":
         """Allocate a fresh owned segment sized for ``shape``/``dtype``."""
         dtype = np.dtype(dtype)
         nbytes = max(1, int(np.prod(shape, dtype=np.int64)) * dtype.itemsize)
@@ -137,7 +374,10 @@ class SharedArray:
             create=True, size=nbytes, name=_new_segment_name()
         )
         _register_owned(shm.name)
-        return cls(shm, tuple(shape), dtype, owner=True)
+        _manifest_write(shm.name, role)
+        seg = cls(shm, tuple(shape), dtype, owner=True)
+        seg.role = role
+        return seg
 
     @classmethod
     def from_array(cls, array: np.ndarray) -> "SharedArray":
@@ -149,14 +389,7 @@ class SharedArray:
     @classmethod
     def attach(cls, descriptor: ShmDescriptor) -> "SharedArray":
         """Map an existing segment by descriptor (never unlinks it)."""
-        shm = shared_memory.SharedMemory(name=descriptor.name)
-        try:
-            # Python 3.11 tracks attached segments and unlinks them when
-            # this process exits; ownership lives with the creator, so
-            # take the mapping back out of the tracker's hands.
-            resource_tracker.unregister(shm._name, "shared_memory")  # noqa: SLF001
-        except Exception:  # pragma: no cover - tracker internals moved
-            pass
+        shm = _attach_untracked(descriptor.name)
         return cls(shm, descriptor.shape, np.dtype(descriptor.dtype),
                    owner=False)
 
@@ -221,6 +454,7 @@ class SharedArray:
             pass
         shm.close()
         _unregister_owned(name)
+        _manifest_remove(name)
 
     def __enter__(self) -> "SharedArray":
         return self
@@ -270,8 +504,8 @@ class ShmArena:
             return seg
         if seg is not None:
             seg.unlink()
-        seg = SharedArray.create(tuple(shape), dtype)
-        seg.role = f"{self._tag}:{role}"
+        seg = SharedArray.create(tuple(shape), dtype,
+                                 role=f"{self._tag}:{role}")
         self._segments[role] = seg
         return seg
 

@@ -190,3 +190,100 @@ class TestNetdefSerializer:
 
         with pytest.raises(ShapeError):
             format_netdef({"layers": []})
+
+
+class TestBatchJournal:
+    """Mid-epoch crash-recovery journal (save_journal / load_journal)."""
+
+    def _trained(self, seed=0):
+        from repro.nn.sgd import SGDTrainer
+
+        network = net(seed=seed)
+        trainer = SGDTrainer(network, learning_rate=0.05)
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal((8, 1, 8, 8)).astype(np.float32)
+        y = rng.integers(0, 3, size=8)
+        trainer.step(x, y)
+        return network, trainer, rng
+
+    def _write(self, tmp_path, seed=1):
+        from repro.nn.serialize import save_journal
+
+        network, trainer, rng = self._trained(seed=seed)
+        order = np.random.default_rng(9).permutation(24)
+        history = [{"epoch": 1, "train_loss": 1.25}]
+        partial = {"losses": [1.5, 1.4], "sizes": [8, 8], "skipped": 0}
+        path = save_journal(
+            network, tmp_path / "journal.npz", epoch=2, batches_done=2,
+            order=order, trainer=trainer, rng=rng, history=history,
+            partial=partial,
+        )
+        return network, trainer, rng, order, history, partial, path
+
+    def test_roundtrip_restores_everything(self, tmp_path):
+        from repro.nn.serialize import load_journal
+
+        network, trainer, rng, order, history, partial, path = \
+            self._write(tmp_path)
+        target, target_trainer, target_rng = self._trained(seed=2)
+        state = load_journal(target, path, trainer=target_trainer,
+                             rng=target_rng)
+        assert state.epoch == 2
+        assert state.batches_done == 2
+        assert state.history == history
+        assert state.partial == partial
+        np.testing.assert_array_equal(state.order, order)
+        for (_, p1, _), (_, p2, _) in zip(network.parameters(),
+                                          target.parameters()):
+            np.testing.assert_array_equal(p1, p2)
+        for name, vel in trainer.velocity_state().items():
+            np.testing.assert_array_equal(
+                vel, target_trainer.velocity_state()[name]
+            )
+        np.testing.assert_array_equal(target_rng.random(5), rng.random(5))
+
+    def test_journal_position_peeks_metadata_without_a_network(
+            self, tmp_path):
+        from repro.nn.serialize import journal_position
+
+        *_, path = self._write(tmp_path)
+        assert journal_position(path) == (2, 2)
+
+    def test_journal_position_is_none_for_non_journals(self, tmp_path):
+        from repro.nn.serialize import journal_position
+
+        assert journal_position(tmp_path / "missing.npz") is None
+        network, trainer, rng = self._trained()
+        ckpt = save_checkpoint(network, tmp_path / "ckpt.npz", epoch=1,
+                               trainer=trainer, rng=rng)
+        assert journal_position(ckpt) is None
+        torn = tmp_path / "torn.npz"
+        torn.write_bytes(b"\x00\x01garbage")
+        assert journal_position(torn) is None
+
+    def test_checkpoint_rejected_by_load_journal(self, tmp_path):
+        from repro.nn.serialize import load_journal
+
+        network, trainer, rng = self._trained()
+        ckpt = save_checkpoint(network, tmp_path / "ckpt.npz", epoch=1,
+                               trainer=trainer, rng=rng)
+        with pytest.raises(ReproError, match="journal"):
+            load_journal(net(), ckpt)
+
+    def test_mismatched_structure_rejected(self, tmp_path):
+        from repro.nn.serialize import load_journal
+
+        *_, path = self._write(tmp_path)
+        with pytest.raises(ReproError, match="structure"):
+            load_journal(net(features=8), path)
+
+    def test_invalid_positions_rejected(self, tmp_path):
+        from repro.nn.serialize import save_journal
+
+        network, _, _ = self._trained()
+        with pytest.raises(ReproError, match="epoch"):
+            save_journal(network, tmp_path / "j.npz", epoch=0,
+                         batches_done=0, order=np.arange(4))
+        with pytest.raises(ReproError, match="batches_done"):
+            save_journal(network, tmp_path / "j.npz", epoch=1,
+                         batches_done=-1, order=np.arange(4))

@@ -294,3 +294,113 @@ class TestCheckpointResume:
         )
         with pytest.raises(ReproError, match="structure"):
             other.restore(TrainingLoop.latest_checkpoint(tmp_path))
+
+
+class TestJournalResume:
+    """Crash-consistent mid-epoch recovery through the batch journal."""
+
+    def _loop(self, datasets, tmp_path, *, net_seed=0, shuffle_seed=5,
+              checkpoint_dir=None, **kwargs):
+        train, evaluation = datasets
+        return TrainingLoop(
+            net(seed=net_seed), train, eval_data=evaluation, batch_size=8,
+            shuffle_seed=shuffle_seed, checkpoint_dir=checkpoint_dir,
+            **kwargs,
+        )
+
+    @staticmethod
+    def _params_bytes(network):
+        return b"".join(
+            np.ascontiguousarray(p).tobytes()
+            for _, p, _ in network.parameters()
+        )
+
+    def test_journal_requires_checkpoint_dir(self, datasets):
+        train, _ = datasets
+        with pytest.raises(ReproError, match="checkpoint_dir"):
+            TrainingLoop(net(), train, journal_every=1)
+
+    def test_negative_journal_cadence_rejected(self, datasets, tmp_path):
+        train, _ = datasets
+        with pytest.raises(ReproError, match="journal_every"):
+            TrainingLoop(net(), train, checkpoint_dir=tmp_path,
+                         journal_every=-1)
+
+    def test_mid_epoch_crash_resumes_bit_identically(self, datasets,
+                                                     tmp_path):
+        full = self._loop(datasets, tmp_path, checkpoint_dir=tmp_path / "a")
+        full_history = full.run(epochs=4)
+
+        crashed = self._loop(datasets, tmp_path,
+                             checkpoint_dir=tmp_path / "b",
+                             journal_every=1)
+
+        def crash(epoch, batch, result):
+            if epoch == 2 and batch == 2:
+                raise RuntimeError("simulated crash")
+
+        crashed.add_batch_hook(crash)
+        with pytest.raises(RuntimeError, match="simulated crash"):
+            crashed.run(epochs=4)
+        assert crashed.journal_path.exists()
+
+        # A "fresh process": different init and shuffle seeds, so any
+        # state not carried by the journal breaks bit-identity.
+        resumed = self._loop(datasets, tmp_path, net_seed=99,
+                             shuffle_seed=1, checkpoint_dir=tmp_path / "b",
+                             journal_every=1)
+        assert resumed.resume_latest() == 1  # epoch 2 was in flight
+        resumed_history = resumed.run(epochs=4)
+        assert self._params_bytes(resumed.network) == \
+            self._params_bytes(full.network)
+        assert resumed_history.loss_curve() == full_history.loss_curve()
+        assert [e.epoch for e in resumed_history.epochs] == [1, 2, 3, 4]
+
+    def test_epoch_checkpoint_supersedes_journal(self, datasets, tmp_path):
+        loop = self._loop(datasets, tmp_path, checkpoint_dir=tmp_path,
+                          journal_every=1)
+        loop.run(epochs=2)
+        # Every epoch ended in a checkpoint, so no journal should remain
+        # as a (stale) recovery point.
+        assert not loop.journal_path.exists()
+        assert TrainingLoop.latest_checkpoint(tmp_path) is not None
+
+    def test_resume_latest_with_empty_directory_is_a_noop(self, datasets,
+                                                          tmp_path):
+        loop = self._loop(datasets, tmp_path, checkpoint_dir=tmp_path)
+        assert loop.resume_latest() == 0
+        assert loop.completed_epochs == 0
+
+    def test_resume_latest_falls_back_to_checkpoint_on_torn_journal(
+            self, datasets, tmp_path):
+        first = self._loop(datasets, tmp_path, checkpoint_dir=tmp_path)
+        first.run(epochs=2)
+        (tmp_path / "journal.npz").write_bytes(b"torn")
+        resumed = self._loop(datasets, tmp_path, net_seed=7,
+                             checkpoint_dir=tmp_path)
+        assert resumed.resume_latest() == 2
+        # The garbage journal was discarded, not left to confuse the
+        # next recovery.
+        assert not (tmp_path / "journal.npz").exists()
+
+    def test_stale_journal_loses_to_newer_checkpoint(self, datasets,
+                                                     tmp_path):
+        crashed = self._loop(datasets, tmp_path, checkpoint_dir=tmp_path,
+                             journal_every=1)
+
+        def crash(epoch, batch, result):
+            if epoch == 1 and batch == 3:
+                raise RuntimeError("boom")
+
+        crashed.add_batch_hook(crash)
+        with pytest.raises(RuntimeError):
+            crashed.run(epochs=2)
+        assert crashed.journal_path.exists()  # epoch-1 journal
+        # A later run completed epoch 2 (e.g. recovery happened once
+        # already); the old epoch-1 journal must not win.
+        finished = self._loop(datasets, tmp_path, checkpoint_dir=tmp_path)
+        finished.run(epochs=2)
+        resumed = self._loop(datasets, tmp_path, net_seed=3,
+                             checkpoint_dir=tmp_path, journal_every=1)
+        assert resumed.resume_latest() == 2
+        assert not resumed.journal_path.exists()

@@ -1,0 +1,370 @@
+"""Tests for worker supervision (repro.runtime.supervisor + backends).
+
+Covers the heartbeat board, the machine-model-derived hang deadline,
+hung/dead worker escalation and redispatch, shutdown under a SIGSTOP'd
+worker, collector-death detection, and the shm crash manifest/janitor.
+
+Real signals against real worker processes run here, so deadlines and
+grace periods are shrunk to keep the suite fast; every timing assertion
+leaves generous slack for a loaded single-core host.
+"""
+
+import math
+import multiprocessing
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.resilience.policy import RetryPolicy, apply_policy
+from repro.runtime import shm
+from repro.runtime.backends import ProcessBackend, WorkerCrashedError
+from repro.runtime.pool import WorkerPool
+from repro.runtime.supervisor import (
+    DEADLINE_FLOOR,
+    DEADLINE_SAFETY,
+    STATE_BUSY,
+    STATE_IDLE,
+    HeartbeatBoard,
+    derive_task_deadline,
+)
+
+
+@pytest.fixture()
+def manifest_dir(tmp_path, monkeypatch):
+    """Isolate the on-disk manifest so concurrent suites never collide."""
+    directory = tmp_path / "manifest"
+    monkeypatch.setenv(shm.MANIFEST_ENV, str(directory))
+    return directory
+
+
+class TestDeriveTaskDeadline:
+    def test_floor_applies_to_fast_tasks(self):
+        assert derive_task_deadline(0.0001) == DEADLINE_FLOOR
+
+    def test_safety_factor_scales_slow_tasks(self):
+        modeled = 1.0
+        assert derive_task_deadline(modeled) == DEADLINE_SAFETY * modeled
+
+    def test_zero_model_means_floor(self):
+        assert derive_task_deadline(0.0) == DEADLINE_FLOOR
+
+    def test_custom_floor_and_safety(self):
+        assert derive_task_deadline(0.1, floor=1.0, safety=30.0) == 3.0
+
+    @pytest.mark.parametrize("bad", [-0.1, float("nan"), float("inf")])
+    def test_rejects_nonfinite_or_negative(self, bad):
+        with pytest.raises(ValueError, match="finite"):
+            derive_task_deadline(bad)
+
+
+class TestHeartbeatBoard:
+    def test_unstamped_slot_has_infinite_age(self):
+        board = HeartbeatBoard(2, multiprocessing.get_context("spawn"))
+        assert board.age(0) == float("inf")
+        assert board.read(1) == (0, STATE_IDLE, 0.0)
+
+    def test_stamp_advances_seq_and_state(self):
+        board = HeartbeatBoard(2, multiprocessing.get_context("spawn"))
+        HeartbeatBoard.stamp(board.shared, 0, STATE_BUSY)
+        seq, state, stamp = board.read(0)
+        assert (seq, state) == (1, STATE_BUSY)
+        assert stamp > 0.0
+        HeartbeatBoard.stamp(board.shared, 0, STATE_IDLE)
+        seq, state, _ = board.read(0)
+        assert (seq, state) == (2, STATE_IDLE)
+
+    def test_age_tracks_wall_clock(self):
+        board = HeartbeatBoard(1, multiprocessing.get_context("spawn"))
+        HeartbeatBoard.stamp(board.shared, 0, STATE_IDLE)
+        age = board.age(0)
+        assert 0.0 <= age < 5.0
+
+    def test_slots_are_independent(self):
+        board = HeartbeatBoard(3, multiprocessing.get_context("spawn"))
+        HeartbeatBoard.stamp(board.shared, 1, STATE_BUSY)
+        assert board.read(0)[0] == 0
+        assert board.read(1)[0] == 1
+        assert board.read(2)[0] == 0
+
+
+class TestSupervisorLifecycle:
+    def test_supervisor_runs_while_backend_lives(self, manifest_dir):
+        backend = ProcessBackend(1)
+        try:
+            backend.start()
+            state = backend.supervisor_state()
+            assert state["supervisor_alive"]
+            assert len(state["workers"]) == 1
+            assert state["workers"][0]["alive"]
+        finally:
+            backend.shutdown()
+        assert not backend.supervisor_state()["supervisor_alive"]
+
+    def test_deadline_proposal_never_overrides_pin(self):
+        backend = ProcessBackend(1)
+        backend.set_task_deadline(2.0)
+        backend.propose_task_deadline(100.0)
+        assert backend.task_deadline == 2.0
+        backend.set_task_deadline(None)
+        backend.propose_task_deadline(100.0)
+        assert backend.task_deadline is None
+
+    def test_deadline_proposals_take_the_max(self):
+        backend = ProcessBackend(1)
+        backend.propose_task_deadline(10.0)
+        backend.propose_task_deadline(5.0)
+        assert backend.task_deadline == 10.0
+        backend.propose_task_deadline(20.0)
+        assert backend.task_deadline == 20.0
+
+    def test_policy_mirrors_redispatch_budget(self, manifest_dir):
+        pool = WorkerPool(1, backend="process")
+        try:
+            with apply_policy(RetryPolicy(max_redispatches=7)):
+                pool.map_items(math.factorial, 2)
+            assert pool.backend is not None
+            assert pool.backend.max_redispatch == 7
+        finally:
+            pool.shutdown()
+
+
+class TestHungWorkerEscalation:
+    def test_sigstopped_worker_is_escalated_and_job_redispatched(
+            self, manifest_dir):
+        backend = ProcessBackend(2, task_deadline=1.0)
+        backend.escalate_grace = 0.5
+        try:
+            backend.start()
+            victim = backend.worker_pids()[0]
+            os.kill(victim, signal.SIGSTOP)
+            # The least-loaded dispatch targets the stopped worker (all
+            # are idle; list order breaks the tie), the dispatch
+            # timestamp starts the hang clock, and the supervisor must
+            # escalate + redispatch without any help from this thread.
+            assert backend.call(math.factorial, 5) == 120
+            assert backend.hung_workers >= 1
+            assert backend.respawns >= 1
+            assert victim not in backend.worker_pids()
+            assert len(backend.worker_pids()) == 2
+        finally:
+            backend.shutdown()
+
+    def test_idle_workers_are_never_flagged(self, manifest_dir):
+        backend = ProcessBackend(1, task_deadline=0.2)
+        try:
+            backend.start()
+            time.sleep(1.0)  # several supervisor sweeps with no work
+            backend.sweep_workers()
+            assert backend.hung_workers == 0
+            assert backend.call(math.factorial, 3) == 6
+        finally:
+            backend.shutdown()
+
+
+class TestShutdownEscalation:
+    def test_shutdown_escalates_sigstopped_worker(self, manifest_dir):
+        # Satellite: a SIGSTOP'd worker never drains its sentinel, and
+        # SIGTERM is not delivered to a stopped process -- shutdown must
+        # escalate to SIGKILL instead of hanging on the join.
+        backend = ProcessBackend(2)
+        backend.shutdown_join = 0.5
+        backend.escalate_grace = 0.5
+        backend.start()
+        pids = backend.worker_pids()
+        os.kill(pids[0], signal.SIGSTOP)
+        started = time.monotonic()
+        backend.shutdown()
+        assert time.monotonic() - started < 30.0
+        for pid in pids:
+            with pytest.raises(ProcessLookupError):
+                os.kill(pid, 0)
+
+    def test_dead_worker_redispatch_budget_bounds_failure(
+            self, manifest_dir):
+        # os._exit kills every redispatch target too, so the job must
+        # fail once the budget is spent instead of cycling forever.
+        backend = ProcessBackend(1, max_redispatch=1)
+        try:
+            backend.start()
+            with pytest.raises(WorkerCrashedError):
+                backend.call(os._exit, 1)
+            assert backend.call(math.factorial, 4) == 24
+        finally:
+            backend.shutdown()
+
+
+def _start_backend_and_report(conn) -> None:
+    """Child entry: start a backend, ship its worker pids, then block."""
+    backend = ProcessBackend(1)
+    backend.start()
+    conn.send(backend.worker_pids())
+    conn.close()
+    time.sleep(300.0)  # the parent SIGKILLs us long before this
+
+
+def _gone_or_zombie(pid: int) -> bool:
+    """True once ``pid`` has exited (reaped, or zombie awaiting init)."""
+    try:
+        with open(f"/proc/{pid}/stat") as fh:
+            stat = fh.read()
+    except OSError:
+        return True
+    return stat.rsplit(")", 1)[1].split()[0] == "Z"
+
+
+class TestOrphanedWorkers:
+    def test_workers_exit_when_owner_is_sigkilled(self, manifest_dir):
+        # A SIGKILL'd owner gets no chance to shut its workers down; the
+        # workers must notice the request pipe's EOF and exit on their
+        # own.  This only works because the worker drops its inherited
+        # copy of the queue's write end -- otherwise it keeps its own
+        # pipe alive and blocks in get() forever as an orphan of init.
+        ctx = multiprocessing.get_context("spawn")
+        parent_conn, child_conn = ctx.Pipe()
+        child = ctx.Process(target=_start_backend_and_report,
+                            args=(child_conn,))
+        child.start()
+        child_conn.close()
+        try:
+            assert parent_conn.poll(120.0), "child never started a backend"
+            worker_pids = parent_conn.recv()
+            assert worker_pids
+        finally:
+            assert child.pid is not None
+            try:
+                os.kill(child.pid, signal.SIGKILL)
+            except ProcessLookupError:  # pragma: no cover - child crashed
+                pass
+            child.join(timeout=30.0)
+        deadline = time.monotonic() + 30.0
+        while time.monotonic() < deadline:
+            if all(_gone_or_zombie(pid) for pid in worker_pids):
+                break
+            time.sleep(0.1)
+        stranded = [p for p in worker_pids if not _gone_or_zombie(p)]
+        assert not stranded, f"orphaned workers survived: {stranded}"
+
+
+class TestCollectorDeath:
+    def test_dead_collector_fails_calls_with_traceback(self, manifest_dir):
+        # Satellite: if the collector thread dies, waiting on
+        # ``job.event`` would poll forever -- the waiter must notice and
+        # surface the collector's traceback instead.
+        backend = ProcessBackend(1)
+        try:
+            backend.start()
+            assert backend.call(math.factorial, 3) == 6
+            # Kill the collector: closing the stop pipe under it makes
+            # its connection wait raise.
+            backend._stop_reader.close()
+            assert backend._collector is not None
+            backend._collector.join(timeout=10.0)
+            assert not backend._collector.is_alive()
+            with pytest.raises(WorkerCrashedError,
+                               match="collector thread died"):
+                backend.call(math.factorial, 3)
+        finally:
+            backend.shutdown()  # must not hang on the dead stop pipe
+
+
+class TestManifest:
+    def test_create_writes_entry_and_unlink_removes_it(self, manifest_dir):
+        seg = shm.SharedArray.create((2, 2), np.float32, role="input")
+        name = seg.name
+        try:
+            entries = {e.name: e for e in shm.manifest_entries()}
+            entry = entries[name]
+            assert entry.pid == os.getpid()
+            assert entry.role == "input"
+            assert entry.owner_alive
+            assert entry.segment_exists
+            assert not entry.orphaned
+        finally:
+            seg.unlink()
+        assert name not in {e.name for e in shm.manifest_entries()}
+
+    def test_arena_entries_carry_tagged_roles(self, manifest_dir):
+        arena = shm.ShmArena()
+        seg = arena.ensure("x", (2,), np.float32)
+        name = seg.name
+        entries = {e.name: e for e in shm.manifest_entries()}
+        assert entries[name].role is not None
+        assert entries[name].role.endswith(":x")
+        arena.release()
+        assert name not in {e.name for e in shm.manifest_entries()}
+
+    def test_segment_name_embeds_owner_pid(self):
+        seg = shm.SharedArray.create((2,), np.float32)
+        try:
+            assert shm._segment_owner_pid(seg.name) == os.getpid()
+        finally:
+            seg.unlink()
+
+    def test_unmanifested_segment_is_synthesized_from_name(
+            self, manifest_dir):
+        seg = shm.SharedArray.create((2,), np.float32)
+        try:
+            shm._manifest_remove(seg.name)  # simulate a wiped manifest dir
+            entries = {e.name: e for e in shm.manifest_entries()}
+            assert entries[seg.name].pid == os.getpid()
+            assert entries[seg.name].owner_alive
+        finally:
+            seg.unlink()
+
+
+def _create_and_abandon(name: str) -> None:
+    """Child entry: create a raw segment and exit without unlinking."""
+    from multiprocessing import resource_tracker, shared_memory
+
+    segment = shared_memory.SharedMemory(name=name, create=True, size=64)
+    shm._manifest_write(name, role="abandoned")
+    # Keep the tracker from "helpfully" unlinking at child exit: the
+    # point is to orphan the segment like SIGKILL would.
+    resource_tracker.unregister(segment._name, "shared_memory")  # noqa: SLF001
+    segment.close()
+
+
+class TestJanitor:
+    def _orphan_segment(self) -> str:
+        ctx = multiprocessing.get_context("spawn")
+        name = f"{shm.SEGMENT_PREFIX}{os.getpid():x}-janitor"
+        child = ctx.Process(target=_create_and_abandon, args=(name,))
+        child.start()
+        child.join(timeout=60.0)
+        assert child.exitcode == 0
+        # The manifest entry the child wrote carries the child's (now
+        # dead) pid, so the janitor sees a textbook orphan.
+        return name
+
+    def test_reaps_segment_of_dead_owner(self, manifest_dir):
+        name = self._orphan_segment()
+        assert shm._segment_exists(name)
+        reaped = shm.reap_orphans()
+        assert name in reaped
+        assert not shm._segment_exists(name)
+        assert name not in {e.name for e in shm.manifest_entries()}
+
+    def test_leaves_live_owners_alone(self, manifest_dir):
+        seg = shm.SharedArray.create((2,), np.float32)
+        try:
+            assert shm.reap_orphans() == ()
+            assert shm._segment_exists(seg.name)
+        finally:
+            seg.unlink()
+
+    def test_reap_is_idempotent(self, manifest_dir):
+        name = self._orphan_segment()
+        assert name in shm.reap_orphans()
+        assert shm.reap_orphans() == ()
+
+    def test_backend_start_runs_the_janitor(self, manifest_dir):
+        name = self._orphan_segment()
+        backend = ProcessBackend(1)
+        try:
+            backend.start()
+            assert not shm._segment_exists(name)
+        finally:
+            backend.shutdown()

@@ -347,3 +347,113 @@ class TestCheckOutput:
 
         payload = json.loads(text.splitlines()[0])
         assert payload["meta"]["ok"] is True
+
+
+class TestShmCommand:
+    @pytest.fixture(autouse=True)
+    def _isolated_manifest(self, tmp_path, monkeypatch):
+        from repro.runtime import shm
+
+        monkeypatch.setenv(shm.MANIFEST_ENV, str(tmp_path / "manifest"))
+
+    @staticmethod
+    def _orphan_segment():
+        """A /dev/shm segment whose name pins a pid that has exited."""
+        import subprocess
+        import sys
+        from multiprocessing import resource_tracker, shared_memory
+
+        probe = subprocess.run(
+            [sys.executable, "-c", "import os; print(os.getpid())"],
+            capture_output=True, text=True, check=True,
+        )
+        dead_pid = int(probe.stdout)
+        name = f"repro-shm-{dead_pid:x}-cliorphan"
+        seg = shared_memory.SharedMemory(name=name, create=True, size=32)
+        # This process is only staging the orphan; keep the resource
+        # tracker out of it so the reap-under-test does the unlink.
+        resource_tracker.unregister(seg._name, "shared_memory")
+        seg.close()
+        return name
+
+    def test_list_empty_manifest(self):
+        code, text = run(["shm", "list"])
+        assert code == 0
+        assert "no segments" in text
+
+    def test_list_live_segment_exits_zero(self):
+        import numpy as np
+
+        from repro.runtime.shm import SharedArray
+
+        seg = SharedArray.create((2,), np.float32, role="demo")
+        try:
+            code, text = run(["shm", "list"])
+            assert code == 0
+            assert seg.name in text
+            assert "demo" in text
+        finally:
+            seg.unlink()
+
+    def test_list_flags_orphan_with_exit_one(self):
+        from repro.runtime import shm
+
+        name = self._orphan_segment()
+        try:
+            code, text = run(["shm", "list"])
+            assert code == 1
+            assert name in text and "YES" in text
+        finally:
+            shm.reap_orphans()
+
+    def test_reap_reclaims_orphan_and_writes_artifact(self, tmp_path):
+        import json
+
+        from repro.runtime import shm
+
+        name = self._orphan_segment()
+        out_path = tmp_path / "shm.json"
+        code, text = run(["shm", "reap", "--out", str(out_path)])
+        assert code == 0
+        assert "reaped 1 orphaned segment" in text
+        assert not shm._segment_exists(name)
+        payload = json.loads(out_path.read_text())
+        assert payload["reaped"] == [name]
+
+    def test_json_format(self):
+        import json
+
+        code, text = run(["shm", "list", "--format", "json"])
+        assert code == 0
+        payload = json.loads(text.splitlines()[0])
+        assert payload["action"] == "list"
+        assert payload["entries"] == []
+
+
+class TestWorkersCommand:
+    @pytest.fixture(autouse=True)
+    def _isolated_manifest(self, tmp_path, monkeypatch):
+        from repro.runtime import shm
+
+        monkeypatch.setenv(shm.MANIFEST_ENV, str(tmp_path / "manifest"))
+
+    def test_table_reports_ok(self):
+        code, text = run(["workers", "--workers", "1"])
+        assert code == 0
+        assert "process-backend workers" in text
+        assert "supervisor: alive" in text
+        assert "workers: OK" in text
+
+    def test_json_payload(self, tmp_path):
+        import json
+
+        out_path = tmp_path / "workers.json"
+        code, text = run(["workers", "--workers", "2", "--format", "json",
+                          "--out", str(out_path)])
+        assert code == 0
+        payload = json.loads(text.splitlines()[0])
+        assert payload["ok"] is True
+        assert len(payload["state"]["workers"]) == 2
+        assert len(payload["diagnostics"]) == 2
+        assert all("engines_cached" in d for d in payload["diagnostics"])
+        assert json.loads(out_path.read_text())["ok"] is True
