@@ -154,6 +154,9 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="per-layer barriers or the task-graph runtime")
     trace.add_argument("--cores", type=int, default=16,
                        help="cores assumed by the autotuner's cost model")
+    trace.add_argument("--critical-path", action="store_true",
+                       help="print the DAG critical-path / goodput "
+                            "attribution table (needs --scheduler dag)")
     trace.add_argument("--recheck", type=int, default=1,
                        help="re-check the BP choice every N epochs")
     _add_output_args(trace, formats=("table", "json", "chrome"),
@@ -431,6 +434,15 @@ def _cmd_trace(args, out) -> int:
         print(f"final train loss: {history.final.train_loss:.4f}  "
               f"mean error sparsity: {history.final.mean_error_sparsity:.2f}",
               file=out)
+    if getattr(args, "critical_path", False):
+        from repro.obs.critical import critical_path_report
+
+        report = critical_path_report(tel)
+        if report is None:
+            print("no dag graphs recorded (run with --scheduler dag)",
+                  file=out)
+        else:
+            print(report.table(), file=out)
     if args.out is not None:
         if args.format == "chrome":
             from repro.obs.chrome_trace import write_chrome_trace

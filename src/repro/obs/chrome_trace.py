@@ -5,13 +5,23 @@ snapshot into the Chrome trace-event JSON format (the ``traceEvents``
 array understood by Perfetto and ``chrome://tracing``):
 
 * every finished span becomes a complete duration event (``ph: "X"``)
-  with microsecond timestamps relative to the earliest record, ``pid`` 1
-  and a small stable ``tid`` per OS thread;
+  with microsecond timestamps relative to the earliest record and a
+  small stable ``tid`` per OS thread;
+* spans merged from worker processes (they carry a ``process_pid``
+  attribute, see :mod:`repro.telemetry.remote`) land on their own
+  ``pid`` track, labelled by a ``process_name`` metadata event, so a
+  process-backend run renders one real track per worker process;
+* every dispatched job is stitched across the process boundary with
+  flow events (``ph: "s"/"t"/"f"``): the parent's ``pool/dispatch``
+  span starts the arrow, the worker-side execution span receives it,
+  and the dispatch span's end (result collection) terminates it --
+  all keyed by the shared ``job`` id;
 * every gauge write becomes a counter event (``ph: "C"``) -- the goodput
   and throughput gauges render as per-layer counter tracks;
-* every point event (retune, quarantine, fault injection, checkpoint)
-  becomes a global instant event (``ph: "i"``);
-* a ``thread_name`` metadata event (``ph: "M"``) labels each thread.
+* every point event (retune, quarantine, fault injection, supervisor
+  kill/respawn, checkpoint) becomes a global instant event (``ph: "i"``);
+* ``thread_name`` / ``process_name`` metadata events (``ph: "M"``)
+  label each track.
 
 All attribute values are sanitised to JSON scalars, so the output always
 round-trips through ``json.loads``.
@@ -23,9 +33,11 @@ import json
 from pathlib import Path
 from typing import Any
 
-from repro.telemetry.collector import TelemetryCollector
+from repro.telemetry.collector import Span, TelemetryCollector
 
-#: Single-process trace: everything shares one pid.
+#: The parent process's trace pid.  Worker-process spans use their real
+#: OS pid (always > 1 in practice; a worker claiming pid 1 would simply
+#: merge into the parent track rather than corrupt the trace).
 PID = 1
 
 
@@ -45,12 +57,27 @@ def _args(attrs: dict[str, Any]) -> dict[str, Any]:
     return {key: _json_scalar(value) for key, value in attrs.items()}
 
 
-def _thread_ids(collector: TelemetryCollector) -> dict[int, int]:
-    """Map OS thread ids to small stable tids (span record order)."""
-    tids: dict[int, int] = {}
+def _span_pid(span: Span) -> int:
+    """The trace pid a span renders under (worker pid or parent)."""
+    pid = span.attrs.get("process_pid")
+    if isinstance(pid, int) and pid > 0:
+        return pid
+    return PID
+
+
+def _track_ids(collector: TelemetryCollector) -> dict[tuple[int, int], int]:
+    """Map ``(pid, os_thread_id)`` to small stable tids (record order).
+
+    Tids restart from 1 within each pid: Perfetto namespaces threads by
+    process, and worker rings stamp one logical writer per process.
+    """
+    tids: dict[tuple[int, int], int] = {}
+    per_pid: dict[int, int] = {}
     for span in collector.spans:
-        if span.thread_id not in tids:
-            tids[span.thread_id] = len(tids) + 1
+        key = (_span_pid(span), span.thread_id)
+        if key not in tids:
+            per_pid[key[0]] = per_pid.get(key[0], 0) + 1
+            tids[key] = per_pid[key[0]]
     return tids
 
 
@@ -63,6 +90,56 @@ def _origin(collector: TelemetryCollector) -> float:
     return min(candidates, default=0.0)
 
 
+def _flow_events(collector: TelemetryCollector, origin: float,
+                 tids: dict[tuple[int, int], int]) -> list[dict[str, Any]]:
+    """Dispatch -> execution -> collection arrows, one chain per job id.
+
+    A chain is emitted only when both sides recorded the job: the
+    parent's ``pool/dispatch`` span and at least one worker-process span
+    carrying the same ``job`` attribute.  The flow starts when dispatch
+    begins, touches each worker execution span as it starts, and
+    finishes at the dispatch span's end -- which is when the parent
+    collected the result.
+    """
+    dispatches: dict[int, Span] = {}
+    executions: dict[int, list[Span]] = {}
+    for span in collector.spans:
+        if span.end is None:
+            continue
+        job = span.attrs.get("job")
+        if not isinstance(job, int):
+            continue
+        if span.name == "pool/dispatch":
+            dispatches.setdefault(job, span)
+        elif "process_pid" in span.attrs:
+            executions.setdefault(job, []).append(span)
+    out: list[dict[str, Any]] = []
+    for job, dispatch in sorted(dispatches.items()):
+        workers = executions.get(job)
+        if not workers:
+            continue
+        base = {"name": "job", "cat": "flow", "id": job}
+        assert dispatch.end is not None
+        out.append({
+            **base, "ph": "s",
+            "ts": (dispatch.start - origin) * 1e6,
+            "pid": PID, "tid": tids[(PID, dispatch.thread_id)],
+        })
+        for execution in sorted(workers, key=lambda s: s.start):
+            out.append({
+                **base, "ph": "t",
+                "ts": (execution.start - origin) * 1e6,
+                "pid": _span_pid(execution),
+                "tid": tids[(_span_pid(execution), execution.thread_id)],
+            })
+        out.append({
+            **base, "ph": "f", "bp": "e",
+            "ts": (dispatch.end - origin) * 1e6,
+            "pid": PID, "tid": tids[(PID, dispatch.thread_id)],
+        })
+    return out
+
+
 def chrome_trace_events(collector: TelemetryCollector) -> list[dict[str, Any]]:
     """The ``traceEvents`` array for one collected run.
 
@@ -71,26 +148,40 @@ def chrome_trace_events(collector: TelemetryCollector) -> list[dict[str, Any]]:
     Perfetto rejects ``X`` events without ``dur``.
     """
     origin = _origin(collector)
-    tids = _thread_ids(collector)
+    tids = _track_ids(collector)
     out: list[dict[str, Any]] = []
-    for os_tid, tid in tids.items():
+    slots: dict[int, Any] = {}
+    for span in collector.spans:
+        slot = span.attrs.get("worker_slot")
+        if slot is not None:
+            slots.setdefault(_span_pid(span), slot)
+    for pid in sorted({pid for pid, _ in tids}):
+        name = ("parent" if pid == PID
+                else f"worker-{slots.get(pid, '?')} (pid {pid})")
         out.append({
-            "name": "thread_name", "ph": "M", "ts": 0, "pid": PID,
+            "name": "process_name", "ph": "M", "ts": 0, "pid": pid,
+            "tid": 0, "args": {"name": name},
+        })
+    for (pid, os_tid), tid in tids.items():
+        out.append({
+            "name": "thread_name", "ph": "M", "ts": 0, "pid": pid,
             "tid": tid, "args": {"name": f"thread-{tid} (os {os_tid})"},
         })
     for span in collector.spans:
         if span.end is None:
             continue
+        pid = _span_pid(span)
         out.append({
             "name": span.name,
             "cat": str(span.attrs.get("phase", "span")),
             "ph": "X",
             "ts": (span.start - origin) * 1e6,
             "dur": (span.end - span.start) * 1e6,
-            "pid": PID,
-            "tid": tids[span.thread_id],
+            "pid": pid,
+            "tid": tids[(pid, span.thread_id)],
             "args": _args(span.attrs),
         })
+    out.extend(_flow_events(collector, origin, tids))
     for name, points in sorted(collector.gauge_series.items()):
         for when, value in points:
             out.append({

@@ -27,10 +27,18 @@ against cannot arise), and the parent's ``repro`` source root is pushed
 onto the child's ``PYTHONPATH`` so the spawned interpreter can import
 the task functions it receives by reference.
 
-Fault injection and telemetry remain parent-side: the pool's
-``pool.task`` / ``pool.result`` sites wrap the *dispatch* of a task, so
-a chaos plan fires identically (and deterministically) under every
-backend, and spans never need to cross a process boundary.
+Fault injection remains parent-side: the pool's ``pool.task`` /
+``pool.result`` sites wrap the *dispatch* of a task, so a chaos plan
+fires identically (and deterministically) under every backend.
+Telemetry, by contrast, crosses the process boundary: each worker
+writes execution spans and counters into its own lock-free
+shared-memory ring (:mod:`repro.telemetry.remote`), and the parent
+drains the rings -- after every awaited job and at shutdown -- merging
+the records into the active collectors with each worker's monotonic
+clock calibrated against the parent's timeline.  Every dispatched job
+carries a ``job_id`` that both the parent's ``pool/dispatch`` span and
+the worker's execution span record, which is what lets the Chrome
+trace draw dispatch -> worker -> collection flow arrows.
 
 Supervision: every worker stamps a shared heartbeat slot around each
 task (see :mod:`repro.runtime.supervisor`), and a supervisor thread
@@ -63,9 +71,20 @@ from repro.runtime.supervisor import (
     HeartbeatBoard,
     WorkerSupervisor,
 )
+from repro.telemetry import remote
 
 #: Names accepted by ``WorkerPool(backend=...)``.
 BACKEND_NAMES = ("serial", "thread", "process")
+
+#: Functions in this module that execute inside worker processes.  The
+#: CHK-TEL-WORKER lint reads this tuple: code listed here must never
+#: call the parent-only ``telemetry.*`` helpers (a spawned worker's
+#: collector stack is empty, so they silently record nothing) -- it
+#: writes to the shm telemetry ring via :mod:`repro.telemetry.remote`.
+__worker_side__: tuple[str, ...] = (
+    "_worker_main", "run_engine_slice", "_cached_engine", "_cached_attach",
+    "worker_diagnostics",
+)
 
 #: Attached-segment LRU size in each worker process.  Segments are
 #: reused across calls while their geometry is stable; a reallocated
@@ -97,13 +116,20 @@ def _portable_error(exc: BaseException) -> BaseException:
 
 
 def _worker_main(requests: Any, results: Any,
-                 heartbeat: Any, slot: int) -> None:
+                 heartbeat: Any, slot: int,
+                 ring_descriptor: Any = None) -> None:
     """Loop of one persistent worker process (spawn entry point).
 
     Stamps its heartbeat slot *busy* on task pickup and *idle* once the
     result is posted; an idle worker blocks in ``get()`` without
     stamping, so the supervisor only reads staleness against work the
     worker actually owes.
+
+    ``ring_descriptor`` names the shared telemetry ring board; the
+    worker adopts its slot's ring (stamping the clock-handshake hello)
+    and tags every record with the job id currently being executed.
+    Telemetry is strictly best-effort -- a failed ring install degrades
+    to a blind worker, never a dead one.
 
     ``results`` is this worker's **private** pipe end.  A shared result
     queue would put a lock in shared memory between all workers -- a
@@ -124,6 +150,11 @@ def _worker_main(requests: Any, results: Any,
         requests._writer.close()
     except (AttributeError, OSError):  # pragma: no cover - impl drift
         pass
+    if ring_descriptor is not None:
+        try:
+            remote.install_worker_ring(ring_descriptor, slot)
+        except Exception:  # noqa: BLE001 - telemetry never kills a worker
+            pass
     HeartbeatBoard.stamp(heartbeat, slot, STATE_IDLE)
     while True:
         try:
@@ -136,12 +167,14 @@ def _worker_main(requests: Any, results: Any,
             return
         job_id, payload = item
         HeartbeatBoard.stamp(heartbeat, slot, STATE_BUSY)
+        remote.set_current_job(job_id)
         try:
             fn, args = pickle.loads(payload)
             result = fn(*args)
             body = pickle.dumps((job_id, "ok", result))
         except BaseException as exc:  # noqa: BLE001 - shipped to the parent
             body = pickle.dumps((job_id, "err", _portable_error(exc)))
+        remote.set_current_job(0)
         try:
             results.send_bytes(body)
         except (BrokenPipeError, OSError):  # pragma: no cover - parent died
@@ -151,9 +184,9 @@ def _worker_main(requests: Any, results: Any,
 
 class _Job:
     __slots__ = ("event", "result", "error", "payload", "dispatched",
-                 "redispatches")
+                 "redispatches", "job_id")
 
-    def __init__(self, payload: bytes = b"") -> None:
+    def __init__(self, payload: bytes = b"", job_id: int = 0) -> None:
         self.event = threading.Event()
         self.result: Any = None
         self.error: BaseException | None = None
@@ -164,6 +197,10 @@ class _Job:
         self.dispatched = 0.0
         #: How many times this job has been re-dispatched after a crash.
         self.redispatches = 0
+        #: Backend-unique id; the causal key tying the parent's
+        #: ``pool/dispatch`` span to the worker's execution span.
+        #: Stable across re-dispatches (the retried work is the same job).
+        self.job_id = job_id
 
 
 class _Worker:
@@ -271,6 +308,15 @@ class ProcessBackend(ExecutionBackend):
         self._supervisor: WorkerSupervisor | None = None
         self._jobs: dict[int, _Job] = {}
         self._job_seq = 0
+        #: Worker telemetry: the shm ring board, per-(slot, pid) clock
+        #: calibrations, the parent clock constant, and the last enabled
+        #: state pushed to the rings (so the flag is only rewritten on
+        #: collector activation changes, not per dispatch).
+        self._ring_board: Any = None
+        self._calibrations: dict[tuple[int, int], Any] = {}
+        self._perf_minus_mono = 0.0
+        self._rings_enabled: bool | None = None
+        self._drain_lock = threading.Lock()
         self._lock = threading.Lock()
         # Serializes start()/shutdown(); separate from ``_lock`` so the
         # collector and reaper never block behind process spawning.
@@ -306,6 +352,10 @@ class ProcessBackend(ExecutionBackend):
                 duplex=False
             )
             self._heartbeat = HeartbeatBoard(self.num_workers, self._ctx)
+            self._ring_board = remote.RingBoard.create(self.num_workers)
+            self._perf_minus_mono = remote.parent_perf_minus_mono()
+            self._calibrations = {}
+            self._rings_enabled = None
             self._free_slots = list(range(self.num_workers - 1, -1, -1))
             with self._spawn_env():
                 for _ in range(self.num_workers):
@@ -348,9 +398,21 @@ class ProcessBackend(ExecutionBackend):
         assert self._heartbeat is not None
         requests = self._ctx.SimpleQueue()
         recv_end, send_end = self._ctx.Pipe(duplex=False)
+        ring_descriptor = None
+        if self._ring_board is not None:
+            # A respawn reuses the dead predecessor's slot: flush its
+            # undrained records first (they calibrate against the *old*
+            # pid's handshake), then restamp the handshake for the new
+            # occupant.
+            self._drain_slot(slot)
+            ring = self._ring_board.ring(slot)
+            ring.stamp_hello_parent()
+            ring.set_enabled(bool(telemetry.active_collectors()))
+            ring_descriptor = self._ring_board.descriptor
         process = self._ctx.Process(
             target=_worker_main,
-            args=(requests, send_end, self._heartbeat.shared, slot),
+            args=(requests, send_end, self._heartbeat.shared, slot,
+                  ring_descriptor),
             daemon=True,
         )
         process.start()
@@ -399,6 +461,17 @@ class ProcessBackend(ExecutionBackend):
             pass
         if self._collector is not None:
             self._collector.join(timeout=5.0)
+        # Last telemetry drain -- workers are down, so their final spans
+        # are published -- then retire the ring segment.
+        self.drain_worker_telemetry()
+        if self._ring_board is not None:
+            try:
+                self._ring_board.unlink()
+            except Exception:  # pragma: no cover - already reaped
+                pass
+            self._ring_board = None
+        self._calibrations = {}
+        self._rings_enabled = None
         with self._lock:
             for job in self._jobs.values():
                 job.error = ReproError("process backend shut down")
@@ -428,6 +501,70 @@ class ProcessBackend(ExecutionBackend):
         return tuple(w.process.pid for w in self._workers
                      if w.process.is_alive())
 
+    # -- worker telemetry -------------------------------------------------
+
+    def _refresh_ring_enabled(self) -> None:
+        """Push the collector-active state to the rings when it changes."""
+        board = self._ring_board
+        if board is None:
+            return
+        enabled = bool(telemetry.active_collectors())
+        if enabled != self._rings_enabled:
+            self._rings_enabled = enabled
+            board.set_enabled(enabled)
+
+    def _calibration_for(self, slot: int, ring: Any) -> Any:
+        """This slot occupant's clock calibration (cached per pid)."""
+        pid = ring.pid
+        key = (slot, pid)
+        calibration = self._calibrations.get(key)
+        if calibration is None:
+            calibration = remote.calibrate(
+                parent_send=ring.hello_parent,
+                worker_hello=ring.hello_worker,
+                parent_recv=time.monotonic(),
+                perf_minus_mono=self._perf_minus_mono,
+            )
+            self._calibrations[key] = calibration
+        return calibration
+
+    def _drain_slot(self, slot: int) -> None:
+        """Drain one worker ring into the active collectors."""
+        board = self._ring_board
+        if board is None:
+            return
+        with self._drain_lock:
+            ring = board.ring(slot)
+            if ring.pending == 0:
+                return
+            # Consume unconditionally: records belong to whoever is
+            # listening *now*; without a collector they are discarded
+            # rather than held to pollute a future collector's run.
+            records = ring.drain()
+            collectors = telemetry.active_collectors()
+            if not records or not collectors:
+                return
+            calibration = self._calibration_for(slot, ring)
+            remote.merge_records(records, calibration, collectors,
+                                 pid=ring.pid)
+
+    def drain_worker_telemetry(self) -> None:
+        """Merge every worker's ring records into the active collectors.
+
+        Runs after every awaited job and at shutdown; safe from any
+        thread (drains are serialized by a parent-side lock -- the rings
+        themselves are single-consumer).
+        """
+        board = self._ring_board
+        if board is None:
+            return
+        for slot in range(self.num_workers):
+            self._drain_slot(slot)
+
+    def _note_inflight(self, slot: int, count: int) -> None:
+        """Publish one worker's in-flight job-count gauge."""
+        telemetry.gauge(f"pool.inflight.w{slot}", float(count))
+
     # -- dispatch ---------------------------------------------------------
 
     def _collect(self) -> None:
@@ -455,10 +592,16 @@ class ProcessBackend(ExecutionBackend):
                         conn.close()
                         continue
                     job_id, status, payload = pickle.loads(body)
+                    owner: tuple[int, int] | None = None
                     with self._lock:
                         job = self._jobs.pop(job_id, None)
                         for worker in self._workers:
-                            worker.outstanding.discard(job_id)
+                            if job_id in worker.outstanding:
+                                worker.outstanding.discard(job_id)
+                                owner = (worker.slot,
+                                         len(worker.outstanding))
+                    if owner is not None:
+                        self._note_inflight(*owner)
                     if job is None:
                         continue  # already failed, or redispatch duplicate
                     if status == "ok":
@@ -543,9 +686,13 @@ class ProcessBackend(ExecutionBackend):
         telemetry.event("supervisor.hung", pid=pid,
                         deadline=self.task_deadline)
         try:
+            telemetry.event("supervisor.escalate", pid=pid,
+                            slot=worker.slot, stage="sigterm")
             worker.process.terminate()
             worker.process.join(timeout=self.escalate_grace)
             if worker.process.is_alive():
+                telemetry.event("supervisor.escalate", pid=pid,
+                                slot=worker.slot, stage="sigkill")
                 worker.process.kill()
                 worker.process.join(timeout=self.escalate_grace)
         except Exception:  # pragma: no cover - process already reaped
@@ -579,6 +726,14 @@ class ProcessBackend(ExecutionBackend):
                                if job.redispatches else "")
                         )))
         telemetry.add("pool.worker_crashes", len(dead))
+        for worker in dead:
+            telemetry.event("supervisor.worker_dead",
+                            pid=worker.process.pid, slot=worker.slot,
+                            stranded=len(worker.outstanding))
+            # The dead worker holds nothing any more; zero its gauge so
+            # the in-flight tracks drain even across a crash.
+            self._note_inflight(worker.slot, 0)
+        respawned: list[tuple[int, int | None]] = []
         if not self._closed:
             with self._respawn_lock:
                 with self._spawn_env():
@@ -586,9 +741,13 @@ class ProcessBackend(ExecutionBackend):
                         while (len(self._workers) < self.num_workers
                                and self._free_slots):
                             slot = self._free_slots.pop()
-                            self._workers.append(self._spawn_worker(slot))
+                            spawned = self._spawn_worker(slot)
+                            self._workers.append(spawned)
                             self.respawns += 1
                             telemetry.add("supervisor.respawns", 1)
+                            respawned.append((slot, spawned.process.pid))
+        for slot, pid in respawned:
+            telemetry.event("supervisor.respawn", slot=slot, pid=pid)
         # Fail jobs only after replacements exist: a waiter that wakes
         # on WorkerCrashedError may immediately re-dispatch.
         for job, error in failed:
@@ -597,7 +756,7 @@ class ProcessBackend(ExecutionBackend):
         if self._closed:
             return
         # Re-dispatch stranded jobs to the (possibly fresh) survivors.
-        shipments: list[tuple[_Worker, int, bytes]] = []
+        shipments: list[tuple[_Worker, int, bytes, int]] = []
         with self._lock:
             for job_id, job in redispatch:
                 target = min(
@@ -615,11 +774,20 @@ class ProcessBackend(ExecutionBackend):
                     continue
                 target.outstanding.add(job_id)
                 job.dispatched = time.monotonic()
-                shipments.append((target, job_id, job.payload))
-        for target, job_id, payload in shipments:
+                shipments.append((target, job_id, job.payload,
+                                  len(target.outstanding)))
+        for target, job_id, payload, count in shipments:
             target.requests.put((job_id, payload))
             self.redispatches += 1
             telemetry.add("supervisor.redispatches", 1)
+            telemetry.event("supervisor.redispatch", job=job_id,
+                            slot=target.slot, pid=target.process.pid)
+            self._note_inflight(target.slot, count)
+
+    def _next_job_id(self) -> int:
+        with self._lock:
+            self._job_seq += 1
+            return self._job_seq
 
     def _dispatch(self, job: _Job) -> bool:
         """Ship ``job`` to the least-loaded live worker; False if none."""
@@ -632,12 +800,13 @@ class ProcessBackend(ExecutionBackend):
             )
             if target is None:
                 return False
-            self._job_seq += 1
-            job_id = self._job_seq
+            job_id = job.job_id
             target.outstanding.add(job_id)
             job.dispatched = time.monotonic()
             self._jobs[job_id] = job
+            slot, count = target.slot, len(target.outstanding)
         target.requests.put((job_id, job.payload))
+        self._note_inflight(slot, count)
         return True
 
     def _await(self, job: _Job) -> Any:
@@ -657,6 +826,7 @@ class ProcessBackend(ExecutionBackend):
         if self._closed:
             raise ReproError("process backend is shut down")
         self.start()
+        self._refresh_ring_enabled()
         try:
             payload = pickle.dumps((fn, args))
         except Exception as exc:
@@ -666,15 +836,22 @@ class ProcessBackend(ExecutionBackend):
                 f"their arguments must pickle (move array payloads into "
                 f"shared memory)"
             ) from exc
-        job = _Job(payload)
-        if not self._dispatch(job):
-            # Every worker is dead right now; reap (which respawns
-            # replacements) and retry once before giving up.
-            self._reap_dead_workers()
-            if not self._dispatch(job):
-                raise WorkerCrashedError("no live worker processes")
-        telemetry.add("pool.shipped_jobs", 1)
-        return self._await(job)
+        job = _Job(payload, job_id=self._next_job_id())
+        try:
+            with telemetry.span("pool/dispatch", job=job.job_id,
+                                task=getattr(fn, "__name__", str(fn))):
+                if not self._dispatch(job):
+                    # Every worker is dead right now; reap (which
+                    # respawns replacements) and retry once.
+                    self._reap_dead_workers()
+                    if not self._dispatch(job):
+                        raise WorkerCrashedError("no live worker processes")
+                telemetry.add("pool.shipped_jobs", 1)
+                return self._await(job)
+        finally:
+            # The worker wrote its spans before posting the result, so
+            # this drain deterministically captures this job's records.
+            self.drain_worker_telemetry()
 
     def broadcast(self, fn: Callable[..., Any], *args: Any) -> list[Any]:
         """Run ``fn(*args)`` once on every live worker; ordered results.
@@ -686,6 +863,7 @@ class ProcessBackend(ExecutionBackend):
         if self._closed:
             raise ReproError("process backend is shut down")
         self.start()
+        self._refresh_ring_enabled()
         payload = pickle.dumps((fn, args))
         dispatched: list[tuple[_Worker, int, _Job]] = []
         with self._lock:
@@ -693,7 +871,7 @@ class ProcessBackend(ExecutionBackend):
                 if not worker.process.is_alive() or worker.escalating:
                     continue
                 self._job_seq += 1
-                job = _Job(payload)
+                job = _Job(payload, job_id=self._job_seq)
                 worker.outstanding.add(self._job_seq)
                 job.dispatched = time.monotonic()
                 self._jobs[self._job_seq] = job
@@ -701,7 +879,10 @@ class ProcessBackend(ExecutionBackend):
         for worker, job_id, _ in dispatched:
             worker.requests.put((job_id, payload))
         telemetry.add("pool.shipped_jobs", len(dispatched))
-        return [self._await(job) for _, _, job in dispatched]
+        try:
+            return [self._await(job) for _, _, job in dispatched]
+        finally:
+            self.drain_worker_telemetry()
 
     # -- supervision surface ----------------------------------------------
 
@@ -794,6 +975,9 @@ def _cached_engine(engine_name: str, spec: Any,
         import repro.stencil.engine  # noqa: F401
         from repro.ops.engine import make_engine
 
+        # A miss means codegen + workspace allocation in the hot path --
+        # worth a trace record; steady-state hits stay silent.
+        remote.record_counter("worker.engine_cache_misses")
         engine = make_engine(engine_name, spec, **dict(kwargs_items))
         _ENGINE_CACHE[key] = engine
     return engine
@@ -813,6 +997,7 @@ def _cached_attach(descriptor: shm.ShmDescriptor) -> Any:
             return seg.ndarray
         del _ATTACH_CACHE[key]
         seg.close()
+    remote.record_counter("worker.attach_cache_misses")
     seg = shm.SharedArray.attach(descriptor)
     _ATTACH_CACHE[key] = seg
     while len(_ATTACH_CACHE) > _ATTACH_CACHE_SIZE:
@@ -840,21 +1025,25 @@ def run_engine_slice(
     operands and writes its per-worker partial into ``out[slot]``.  The
     return value is None on purpose -- results live in the segments.
     """
-    engine = _cached_engine(engine_name, spec, kwargs_items)
-    primary = _cached_attach(primary_desc)
-    shared = _cached_attach(shared_desc)
-    out = _cached_attach(out_desc)
-    if slot is not None:
-        out[slot] = engine.backward_weights(primary[lo:hi], shared[lo:hi])
-    else:
-        out[lo:hi] = getattr(engine, method)(primary[lo:hi], shared)
+    with remote.worker_span(f"worker/{method}",
+                            engine=engine_name, lo=lo, hi=hi):
+        engine = _cached_engine(engine_name, spec, kwargs_items)
+        primary = _cached_attach(primary_desc)
+        shared = _cached_attach(shared_desc)
+        out = _cached_attach(out_desc)
+        if slot is not None:
+            out[slot] = engine.backward_weights(primary[lo:hi], shared[lo:hi])
+        else:
+            out[lo:hi] = getattr(engine, method)(primary[lo:hi], shared)
 
 
 def worker_diagnostics() -> dict[str, Any]:
     """Worker-side cache/identity info (shipped back for tests)."""
-    return {
+    info = {
         "pid": os.getpid(),
         "engines_cached": len(_ENGINE_CACHE),
         "segments_attached": len(_ATTACH_CACHE),
         "executable": sys.executable,
     }
+    info.update(remote.worker_ring_stats())
+    return info

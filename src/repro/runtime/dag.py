@@ -51,6 +51,7 @@ gives per-node bounded retries with backoff.
 from __future__ import annotations
 
 import heapq
+import itertools
 import threading
 import time
 from collections import deque
@@ -70,6 +71,11 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 #: The step-execution strategies a network can run under.
 SCHEDULER_NAMES = ("barrier", "dag")
+
+#: Process-wide graph-id allocator.  Graphs are rebuilt every pass, so
+#: span attributes need a run-unique id to tell one executed graph's
+#: ``dag/node`` spans from the next pass's (see :mod:`repro.obs.critical`).
+_GRAPH_IDS = itertools.count(1)
 
 
 @dataclass(frozen=True)
@@ -185,7 +191,20 @@ class TaskGraph:
 
     def __init__(self, name: str = "graph") -> None:
         self.name = name
+        self.graph_id = next(_GRAPH_IDS)
         self._nodes: list[TaskNode] = []
+
+    def edge_list(self) -> str:
+        """Edges as ``"dep>child|..."`` node-id pairs (event-attr friendly).
+
+        The compact string form survives the telemetry event attr dict
+        and the Chrome-trace JSON round trip unchanged, which is how
+        :mod:`repro.obs.critical` reconstructs the executed graph.
+        """
+        return "|".join(
+            f"{dep.node_id}>{node.node_id}"
+            for node in self._nodes for dep in node.deps
+        )
 
     @property
     def nodes(self) -> list[TaskNode]:
@@ -255,7 +274,10 @@ class DagScheduler:
         while True:
             try:
                 with telemetry.span("dag/node", node=node.name,
-                                    worker=worker, **node.attrs):
+                                    worker=worker,
+                                    graph_id=node.graph.graph_id,
+                                    node_id=node.node_id,
+                                    **node.attrs):
                     faults.perturb("pool.task", worker=worker,
                                    node=node.name)
                     node.fn()
@@ -304,6 +326,9 @@ class DagScheduler:
         telemetry.add("dag.graphs", 1)
         telemetry.add("dag.nodes", len(nodes))
         workers = min(self.num_workers, len(nodes))
+        telemetry.event("dag.graph", graph=graph.name,
+                        graph_id=graph.graph_id, nodes=len(nodes),
+                        workers=workers, edges=graph.edge_list())
         start = time.perf_counter()
         if workers == 1:
             busy = self._run_inline(nodes)
@@ -738,6 +763,7 @@ class NetworkDagRunner:
     def forward(self, inputs: np.ndarray, training: bool = True) -> np.ndarray:
         graph, cells = build_forward_graph(self.network, inputs, training)
         with telemetry.span("dag/forward", nodes=len(graph),
+                            graph_id=graph.graph_id,
                             workers=self.scheduler.num_workers):
             self.scheduler.run(graph)
         return cells[-1]
@@ -745,6 +771,7 @@ class NetworkDagRunner:
     def backward(self, out_error: np.ndarray) -> np.ndarray:
         graph, ecells = build_backward_graph(self.network, out_error)
         with telemetry.span("dag/backward", nodes=len(graph),
+                            graph_id=graph.graph_id,
                             workers=self.scheduler.num_workers):
             self.scheduler.run(graph)
         return ecells[0]

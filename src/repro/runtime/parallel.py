@@ -95,6 +95,10 @@ class ParallelExecutor:
         self._arena = ShmArena()
         # Machine-model hang deadlines, cached per (method, batch).
         self._deadline_cache: dict[tuple[str, int], float] = {}
+        # (method, batch) pairs whose machine-model estimate was already
+        # published as a ``model.estimate`` event this collector epoch.
+        self._estimates_emitted: set[tuple[str, int]] = set()
+        self._estimates_epoch: tuple[int, ...] | None = None
         # One engine per concurrent attempt: engines hold mutable scratch
         # (unfold workspace, GEMM out= panels, CT-CSR buffers) that must
         # never be shared between two attempts running at once.  A fixed
@@ -182,6 +186,39 @@ class ParallelExecutor:
             self._deadline_cache[key] = deadline
         propose(deadline)
 
+    def _emit_model_estimate(self, method: str, batch: int) -> None:
+        """Publish the machine model's cost estimate for this dispatch.
+
+        One ``model.estimate`` event per (method, batch) per collector
+        activation: the critical-path report joins it against ``dag/node``
+        spans by layer name to build its roofline column.  Works on every
+        backend (thread and serial included), unlike the deadline path.
+        """
+        collectors = telemetry.active_collectors()
+        if not collectors:
+            return
+        epoch = tuple(id(c) for c in collectors)
+        if epoch != self._estimates_epoch:
+            self._estimates_epoch = epoch
+            self._estimates_emitted.clear()
+        key = (method, batch)
+        if key in self._estimates_emitted:
+            return
+        self._estimates_emitted.add(key)
+        phase = "fp" if method == "forward" else "bp"
+        try:
+            modeled = gemm_in_parallel_conv_time(
+                self.spec, phase, batch, xeon_e5_2650(),
+                cores=max(1, self.pool.num_workers),
+            )
+        except ReproError:  # pragma: no cover - degenerate spec
+            return
+        telemetry.event(
+            "model.estimate", layer=self.spec.name, method=method,
+            phase=phase, batch=batch, seconds=modeled,
+            workers=max(1, self.pool.num_workers),
+        )
+
     def _publish(self, role: str, array: np.ndarray) -> SharedArray:
         """Copy ``array`` into the arena's reusable segment for ``role``."""
         seg = self._arena.ensure(role, array.shape, array.dtype)
@@ -238,6 +275,7 @@ class ParallelExecutor:
         batch = primary.shape[0]
         if batch == 0:
             raise ReproError("empty batch")
+        self._emit_model_estimate(method, batch)
         ranges = self.pool.assignment(batch)
         item_shape = (self.spec.output_shape if method == "forward"
                       else self.spec.input_shape)
@@ -302,6 +340,7 @@ class ParallelExecutor:
         batch = out_error.shape[0]
         if batch == 0:
             raise ReproError("empty batch")
+        self._emit_model_estimate("backward_weights", batch)
         ranges = self.pool.assignment(batch)
         partial_shape = (len(ranges),) + self.spec.weight_shape
         dtype = out_error.dtype

@@ -179,3 +179,9 @@ class WorkerSupervisor:
         telemetry.gauge("supervisor.heartbeat_age", max(ages, default=0.0))
         telemetry.gauge("supervisor.workers_alive",
                         float(sum(1 for w in state["workers"] if w["alive"])))
+        for w in state["workers"]:
+            age = float(w["heartbeat_age"])
+            if age == float("inf"):
+                # Idle-from-birth worker: no stamp yet, nothing to chart.
+                continue
+            telemetry.gauge(f"supervisor.w{w['slot']}.heartbeat_age", age)

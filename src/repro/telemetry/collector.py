@@ -187,6 +187,60 @@ class TelemetryCollector:
             self.events.append(recorded)
         return recorded
 
+    # -- merge API (externally measured records) ---------------------------
+    #
+    # The remote-telemetry drainer (:mod:`repro.telemetry.remote`) folds
+    # worker-process measurements into the parent's collectors.  Those
+    # records arrive already timed -- on the parent's ``perf_counter``
+    # timeline after clock calibration -- so they bypass the span stack
+    # and the collector's own clock reads.
+
+    def record_span(self, name: str, start: float, end: float, *,
+                    thread_id: int | None = None,
+                    parent_id: int | None = None,
+                    attrs: dict[str, Any] | None = None) -> Span:
+        """Record an already-measured span (the remote-merge path).
+
+        ``start``/``end`` must be on this collector's ``perf_counter``
+        timeline.  The span never touches the per-thread stack, so it
+        cannot corrupt live parent-linkage of open spans.
+        """
+        if end < start:
+            raise ReproError(
+                f"span {name!r}: end {end} precedes start {start}"
+            )
+        with self._lock:
+            span_id = next(self._ids)
+        recorded = Span(
+            name=name,
+            span_id=span_id,
+            thread_id=(thread_id if thread_id is not None
+                       else threading.get_ident()),
+            start=start,
+            end=end,
+            parent_id=parent_id,
+            attrs=dict(attrs or {}),
+        )
+        with self._lock:
+            self.spans.append(recorded)
+        self.observe(name, end - start)
+        return recorded
+
+    def record_event_at(self, name: str, when: float,
+                        attrs: dict[str, Any] | None = None) -> Event:
+        """Record a point event with an externally supplied timestamp."""
+        recorded = Event(name=name, time=when, attrs=dict(attrs or {}))
+        with self._lock:
+            self.events.append(recorded)
+        return recorded
+
+    def gauge_at(self, name: str, value: float, when: float) -> None:
+        """Set a gauge with an externally supplied series timestamp."""
+        value = float(value)
+        with self._lock:
+            self.gauges[name] = value
+            self.gauge_series.setdefault(name, []).append((when, value))
+
     # -- queries ----------------------------------------------------------
 
     def find_spans(

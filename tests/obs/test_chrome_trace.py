@@ -92,12 +92,86 @@ class TestEventKinds:
         t.start()
         t.join()
         events = chrome_trace_events(tel)
-        metadata = [e for e in events if e["ph"] == "M"]
+        metadata = [e for e in events
+                    if e["ph"] == "M" and e["name"] == "thread_name"]
         assert len(metadata) == 2
         assert sorted(e["tid"] for e in metadata) == [1, 2]
         worker_span = next(e for e in events if e["name"] == "worker-span")
         main_span = next(e for e in events if e["name"] == "epoch")
         assert worker_span["tid"] != main_span["tid"]
+
+
+def _process_collector() -> telemetry.TelemetryCollector:
+    """A synthetic merged process-backend run: parent dispatch spans
+    plus worker-process execution spans linked by job ids."""
+    tel = telemetry.TelemetryCollector()
+    tel.record_span("pool/dispatch", 0.0, 1.0,
+                    attrs={"job": 1, "task": "call"})
+    tel.record_span("pool/dispatch", 1.0, 2.0,
+                    attrs={"job": 2, "task": "call"})
+    tel.record_span("worker/forward", 0.2, 0.8, thread_id=4001,
+                    attrs={"process_pid": 4001, "worker_slot": 0, "job": 1})
+    tel.record_span("worker/forward", 1.2, 1.8, thread_id=4002,
+                    attrs={"process_pid": 4002, "worker_slot": 1, "job": 2})
+    return tel
+
+
+class TestWorkerProcessTracks:
+    def test_worker_spans_render_on_their_own_pid_track(self):
+        events = chrome_trace_events(_process_collector())
+        spans = [e for e in events if e["ph"] == "X"]
+        worker_pids = {e["pid"] for e in spans
+                       if e["name"].startswith("worker/")}
+        dispatch_pids = {e["pid"] for e in spans
+                         if e["name"] == "pool/dispatch"}
+        assert dispatch_pids == {1}
+        assert worker_pids == {4001, 4002}
+
+    def test_process_name_metadata_labels_each_track(self):
+        events = chrome_trace_events(_process_collector())
+        names = {e["pid"]: e["args"]["name"] for e in events
+                 if e["ph"] == "M" and e["name"] == "process_name"}
+        assert names[1] == "parent"
+        assert names[4001] == "worker-0 (pid 4001)"
+        assert names[4002] == "worker-1 (pid 4002)"
+
+    def test_tids_restart_per_pid(self):
+        events = chrome_trace_events(_process_collector())
+        spans = [e for e in events if e["ph"] == "X"]
+        for span in spans:
+            assert span["tid"] == 1  # one logical writer per process
+
+
+class TestFlowEvents:
+    def test_each_job_gets_a_start_step_finish_chain(self):
+        events = chrome_trace_events(_process_collector())
+        flows = [e for e in events if e.get("cat") == "flow"]
+        by_job = {}
+        for e in flows:
+            by_job.setdefault(e["id"], []).append(e)
+        assert set(by_job) == {1, 2}
+        for job, chain in by_job.items():
+            assert [e["ph"] for e in chain] == ["s", "t", "f"]
+            start, step, finish = chain
+            assert start["pid"] == 1  # dispatch originates in the parent
+            assert step["pid"] in (4001, 4002)  # received by the worker
+            assert finish["pid"] == 1  # terminated at result collection
+            assert finish["bp"] == "e"
+            assert start["ts"] <= step["ts"] <= finish["ts"]
+            assert all(e["name"] == "job" for e in chain)
+
+    def test_unmatched_jobs_emit_no_flow(self):
+        tel = _process_collector()
+        # A dispatch whose worker span was dropped (e.g. ring overflow).
+        tel.record_span("pool/dispatch", 2.0, 3.0,
+                        attrs={"job": 3, "task": "call"})
+        events = chrome_trace_events(tel)
+        flow_ids = {e["id"] for e in events if e.get("cat") == "flow"}
+        assert flow_ids == {1, 2}
+
+    def test_single_process_trace_has_no_flows(self):
+        events = chrome_trace_events(_sample_collector())
+        assert not [e for e in events if e.get("cat") == "flow"]
 
 
 class TestWrite:

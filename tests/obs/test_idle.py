@@ -4,7 +4,9 @@ from repro import telemetry
 from repro.obs.idle import (
     WORKER_SPAN_NAMES,
     total_worker_idle,
+    total_worker_process_idle,
     worker_idle_times,
+    worker_process_idle,
 )
 from repro.telemetry.collector import Span
 
@@ -12,6 +14,11 @@ from repro.telemetry.collector import Span
 def span(name, thread_id, start, end, span_id=0):
     return Span(name=name, span_id=span_id, thread_id=thread_id,
                 start=start, end=end)
+
+
+def wspan(name, pid, start, end):
+    return Span(name=name, span_id=0, thread_id=pid, start=start, end=end,
+                attrs={"process_pid": pid, "worker_slot": 0, "job": 1})
 
 
 class TestWorkerIdleTimes:
@@ -93,3 +100,39 @@ class TestWorkerIdleTimes:
 
     def test_default_names_cover_both_schedulers(self):
         assert set(WORKER_SPAN_NAMES) == {"pool/task", "dag/node"}
+
+
+class TestWorkerProcessIdle:
+    def test_gaps_summed_per_process(self):
+        spans = [
+            wspan("worker/forward", 4001, 0.0, 1.0),
+            wspan("worker/forward", 4001, 3.0, 4.0),
+            wspan("worker/backward_data", 4002, 0.0, 2.0),
+            wspan("worker/backward_data", 4002, 2.5, 3.0),
+        ]
+        idles = worker_process_idle(spans)
+        assert idles == {4001: 2.0, 4002: 0.5}
+        assert total_worker_process_idle(spans) == 2.5
+
+    def test_only_worker_execution_spans_count(self):
+        spans = [
+            wspan("worker/forward", 4001, 0.0, 1.0),
+            # A parent-side span on the same pseudo-thread is ignored.
+            span("pool/dispatch", 4001, 1.0, 2.0),
+            wspan("worker/forward", 4001, 3.0, 4.0),
+        ]
+        assert worker_process_idle(spans) == {4001: 2.0}
+
+    def test_spans_without_process_pid_ignored(self):
+        spans = [span("worker/forward", 1, 0.0, 1.0),
+                 span("worker/forward", 1, 2.0, 3.0)]
+        assert worker_process_idle(spans) == {}
+        assert total_worker_process_idle(spans) == 0.0
+
+    def test_accepts_a_collector(self):
+        tel = telemetry.TelemetryCollector()
+        tel.record_span("worker/forward", 0.0, 1.0, thread_id=4001,
+                        attrs={"process_pid": 4001})
+        tel.record_span("worker/forward", 2.0, 3.0, thread_id=4001,
+                        attrs={"process_pid": 4001})
+        assert worker_process_idle(tel) == {4001: 1.0}

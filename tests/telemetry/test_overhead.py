@@ -77,3 +77,51 @@ class TestOverheadBudget:
             telemetry.observe("nobody.histogram", 0.1)
             telemetry.event("nobody.event")
         assert telemetry.active_collectors() == before == ()
+
+
+#: Worker-side telemetry budget: a process-backend epoch with rings
+#: enabled (collector active, spans merged) stays within 1.10x the
+#: median epoch with rings gated off.
+WORKER_BUDGET = 1.10
+
+#: Absolute slack added to the budget: epochs this small run in tens of
+#: milliseconds, where scheduler jitter alone exceeds 10%.  The ratio
+#: bound does the work on any real workload; the slack keeps the test
+#: honest without being flaky on a tiny denominator.
+WORKER_SLACK_SECONDS = 0.25
+
+
+class TestWorkerTelemetryBudget:
+    def test_enabled_worker_telemetry_within_budget(self):
+        import statistics
+
+        from repro.data.synthetic import mnist_like
+        from repro.nn.training_loop import TrainingLoop
+        from repro.nn.zoo import mnist_net
+
+        rng = np.random.default_rng(0)
+        network = mnist_net(scale=0.25, rng=rng, threads=2,
+                            backend="process")
+        data = mnist_like(16, seed=0)
+        loop = TrainingLoop(network, data, batch_size=8, scheduler="dag")
+        try:
+            loop.run(1)  # spawn workers + warm engine caches untimed
+            enabled, disabled = [], []
+            for _ in range(3):  # interleave to cancel machine drift
+                start = time.perf_counter()
+                with telemetry.collect():
+                    loop.run(1)
+                enabled.append(time.perf_counter() - start)
+                start = time.perf_counter()
+                loop.run(1)
+                disabled.append(time.perf_counter() - start)
+        finally:
+            for layer in network.conv_layers():
+                layer.close()
+        on = statistics.median(enabled)
+        off = statistics.median(disabled)
+        assert on <= off * WORKER_BUDGET + WORKER_SLACK_SECONDS, (
+            f"worker telemetry costs {on / off:.2f}x "
+            f"(enabled {on * 1e3:.1f} ms, disabled {off * 1e3:.1f} ms); "
+            f"budget {WORKER_BUDGET}x + {WORKER_SLACK_SECONDS}s"
+        )
