@@ -10,22 +10,35 @@ proves, per generated kernel:
   select exactly the expected number of elements (an in-bounds but
   off-by-one slice is still caught);
 * the union of unrolled taps covers the ``Fy x Fx`` kernel support
-  exactly once -- no dropped taps, no double-accumulated taps;
-* the generated function touches only whitelisted names: ``np`` plus
-  its own parameters (no stray globals, no imports);
+  exactly once -- no dropped taps, no double-accumulated taps.  For
+  *scheduled* emissions (a non-default pass pipeline) taps legally
+  repeat once per tile, so the check demands instead that every tap
+  appears the same number of times and, per tap, that the destination
+  slices tile the output domain exactly once;
+* the generated function touches only whitelisted names: ``np``, its
+  own parameters and names the function itself assigns (the fused
+  kernel's ``act``/``win``/``flat``/``idx`` scratch);
 * slice bounds are literals, as the pointer-shifting transformation
-  requires (a non-constant bound means the specializer regressed).
+  requires (a non-constant bound means the specializer regressed);
+* fused conv+ReLU+pool kernels additionally carry the pool geometry
+  contract: a ``bias`` parameter, and the pool-row blocks written to
+  ``out``/``argmax`` must partition the pooled rows exactly once.
 """
 
 from __future__ import annotations
 
 import ast
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING
 
 from repro.check.findings import Finding
 from repro.core.convspec import ConvSpec
 from repro.sparse import codegen as sparse_codegen
 from repro.stencil import emit as stencil_emit
+from repro.stencil.loopir import PoolWindow
+
+if TYPE_CHECKING:  # pragma: no cover - import-cycle guard
+    from repro.stencil.passes import SchedulePipeline
 
 ANALYZER = "gen-source"
 
@@ -44,6 +57,14 @@ class KernelContract:
     the number of elements a slice along a dimension must select;
     ``tap_param``/``tap_dims`` name the tensor and index positions whose
     literal integer pairs enumerate the kernel taps.
+
+    The scheduled-emission extensions: ``allow_repeated_taps`` accepts
+    taps appearing once per tile (all with the same multiplicity);
+    ``dest_param``/``dest_dims``/``dest_positions``/``dest_shift``
+    drive the per-tap destination-coverage check (the accumulation
+    target's spatial slices must tile the per-tap index set exactly
+    once); ``block_params``/``block_dim``/``block_extent`` require the
+    fused kernel's pool-row blocks to partition the pooled rows.
     """
 
     arrays: dict[str, tuple[int | None, ...]]
@@ -51,6 +72,14 @@ class KernelContract:
     tap_dims: tuple[int, int]
     support: frozenset[tuple[int, int]]
     counts: dict[str, tuple[int | None, ...]]
+    allow_repeated_taps: bool = False
+    dest_param: str = ""
+    dest_dims: tuple[int, int] = (1, 2)
+    dest_positions: tuple[int, int] = (0, 0)
+    dest_shift: tuple[int, int] | None = None
+    block_params: tuple[str, ...] = ()
+    block_dim: int = 1
+    block_extent: int = 0
 
 
 def _contracts(spec: ConvSpec) -> dict[str, KernelContract]:
@@ -67,12 +96,15 @@ def _contracts(spec: ConvSpec) -> dict[str, KernelContract]:
                     **stencil_weights},
             tap_param="weights", tap_dims=(2, 3), support=support,
             counts={"inputs": (None, oy, ox)},
+            dest_param="out", dest_positions=(oy, ox),
         ),
         "stencil-bp-data": KernelContract(
             arrays={"out_error": spec.output_shape,
                     "in_error": spec.input_shape, **stencil_weights},
             tap_param="weights", tap_dims=(2, 3), support=support,
             counts={"in_error": (None, oy, ox)},
+            dest_param="in_error", dest_positions=(oy, ox),
+            dest_shift=(spec.sy, spec.sx),
         ),
         "stencil-bp-weights": KernelContract(
             arrays={"out_error": spec.output_shape,
@@ -96,6 +128,66 @@ def _contracts(spec: ConvSpec) -> dict[str, KernelContract]:
     }
 
 
+def fused_contract(spec: ConvSpec, pool_kernel: int,
+                   pool_stride: int | None = None) -> KernelContract:
+    """The extended contract of the fused conv+ReLU+pool kernel.
+
+    Beyond the stencil-fp checks it requires the ``bias`` parameter, the
+    pooled ``out``/``argmax`` extents, and that the emitted pool-row
+    blocks partition the pooled rows exactly once.  Taps legally repeat
+    once per pool-row block, all with equal multiplicity.
+    """
+    pool = PoolWindow(pool_kernel, pool_stride or pool_kernel)
+    py = pool.out_extent(spec.out_ny)
+    px = pool.out_extent(spec.out_nx)
+    support = frozenset(
+        (ky, kx) for ky in range(spec.fy) for kx in range(spec.fx)
+    )
+    return KernelContract(
+        arrays={
+            "inputs": spec.input_shape,
+            "weights": (spec.nf, spec.nc, spec.fy, spec.fx),
+            "bias": (spec.nf,),
+            "out": (spec.nf, py, px),
+            "argmax": (spec.nf, py, px),
+        },
+        tap_param="weights", tap_dims=(2, 3), support=support,
+        counts={},
+        allow_repeated_taps=True,
+        block_params=("out", "argmax"),
+        block_dim=1,
+        block_extent=py,
+    )
+
+
+#: ``SchedulePipeline.family`` -> contract key in :func:`_contracts`.
+_FAMILY_CONTRACTS = {
+    "fp": "stencil-fp",
+    "bp_data": "stencil-bp-data",
+    "bp_weights": "stencil-bp-weights",
+    "sparse_bp_data": "sparse-bp-data",
+    "sparse_bp_weights": "sparse-bp-weights",
+}
+
+
+def contract_for(spec: ConvSpec,
+                 pipeline: "SchedulePipeline") -> KernelContract:
+    """The source contract for one spec under one schedule pipeline.
+
+    Non-default pipelines relax the exactly-once tap rule to the
+    equal-multiplicity rule (taps repeat once per tile) and drop the
+    slice-count pins, which assume the untiled full-plane emission; the
+    per-tap destination-coverage check remains exact either way.
+    """
+    if pipeline.family == "fused_fp":
+        return fused_contract(spec, pipeline.pool_kernel,
+                              pipeline.pool_stride or None)
+    contract = _contracts(spec)[_FAMILY_CONTRACTS[pipeline.family]]
+    if not pipeline.is_default:
+        contract = replace(contract, counts={}, allow_repeated_taps=True)
+    return contract
+
+
 #: Emitter attribute per kernel family; resolved late so tests can
 #: monkeypatch the emitter modules to seed faults.
 _EMITTERS = {
@@ -108,10 +200,11 @@ _EMITTERS = {
 
 
 def _index_elements(node: ast.Subscript) -> list[ast.expr]:
+    """Subscript elements that consume a dimension (newaxis dropped)."""
     index = node.slice
-    if isinstance(index, ast.Tuple):
-        return list(index.elts)
-    return [index]
+    elements = list(index.elts) if isinstance(index, ast.Tuple) else [index]
+    return [e for e in elements
+            if not (isinstance(e, ast.Constant) and e.value is None)]
 
 
 def _literal_int(node: ast.expr | None) -> int | None:
@@ -180,6 +273,160 @@ def _check_dim(
     return []
 
 
+def _index_set(element: ast.expr, extent: int | None) -> set[int] | None:
+    """The literal index set one subscript element selects, if literal."""
+    if isinstance(element, ast.Slice):
+        if element.lower is None and element.upper is None \
+                and element.step is None:
+            return set(range(extent)) if extent is not None else None
+        start = _literal_int(element.lower)
+        stop = _literal_int(element.upper)
+        step = _literal_int(element.step) if element.step is not None else 1
+        if start is None or stop is None or step is None:
+            return None
+        return set(range(start, stop, step))
+    index = _literal_int(element)
+    return None if index is None else {index}
+
+
+def _statement_tap(value: ast.expr,
+                   contract: KernelContract) -> tuple[int, int] | None:
+    """The kernel tap a statement's RHS references, if any."""
+    for node in ast.walk(value):
+        if (isinstance(node, ast.Subscript)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == contract.tap_param):
+            elements = _index_elements(node)
+            pair = tuple(
+                _literal_int(elements[d]) if d < len(elements) else None
+                for d in contract.tap_dims
+            )
+            if None not in pair:
+                return pair  # type: ignore[return-value]
+    return None
+
+
+def _check_dest_coverage(
+    func: ast.FunctionDef, contract: KernelContract, location: str
+) -> list[Finding]:
+    """Per tap, the accumulation destination must tile its index set.
+
+    This is what makes tiled emissions verifiable: the union of a tap's
+    destination slices (one per tile) must equal the tap's expected
+    spatial positions -- no overlap (double accumulation), no hole
+    (dropped tile), regardless of the tile shapes the schedule chose.
+    """
+    if not contract.dest_param:
+        return []
+    dy, dx = contract.dest_dims
+    ny, nx = contract.dest_positions
+    extents = contract.arrays.get(contract.dest_param)
+    per_tap: dict[tuple[int, int], list[tuple[set[int], set[int]]]] = {}
+    for stmt in ast.walk(func):
+        if not isinstance(stmt, ast.AugAssign):
+            continue
+        tap = _statement_tap(stmt.value, contract)
+        if tap is None:
+            continue
+        target = stmt.target
+        if isinstance(target, ast.Name) and target.id == contract.dest_param:
+            if extents is None or extents[dy] is None or extents[dx] is None:
+                continue
+            yset = set(range(extents[dy]))
+            xset = set(range(extents[dx]))
+        elif (isinstance(target, ast.Subscript)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == contract.dest_param):
+            elements = _index_elements(target)
+            if max(dy, dx) >= len(elements):
+                continue
+            yset_opt = _index_set(
+                elements[dy], extents[dy] if extents else None
+            )
+            xset_opt = _index_set(
+                elements[dx], extents[dx] if extents else None
+            )
+            if yset_opt is None or xset_opt is None:
+                continue  # non-literal bounds are flagged by _check_dim
+            yset, xset = yset_opt, xset_opt
+        else:
+            continue
+        per_tap.setdefault(tap, []).append((yset, xset))
+
+    findings: list[Finding] = []
+    for tap in sorted(per_tap):
+        ky, kx = tap
+        if contract.dest_shift is None:
+            expected = {(y, x) for y in range(ny) for x in range(nx)}
+        else:
+            sy, sx = contract.dest_shift
+            expected = {(ky + i * sy, kx + j * sx)
+                        for i in range(ny) for j in range(nx)}
+        covered: list[tuple[int, int]] = []
+        for yset, xset in per_tap[tap]:
+            covered.extend((y, x) for y in yset for x in xset)
+        if len(covered) != len(set(covered)):
+            findings.append(_finding(
+                "error", location,
+                f"tap {tap}: destination slices of "
+                f"{contract.dest_param!r} overlap (double accumulation)",
+            ))
+        if set(covered) != expected:
+            findings.append(_finding(
+                "error", location,
+                f"tap {tap}: destination slices of "
+                f"{contract.dest_param!r} cover {len(set(covered))} "
+                f"positions, expected {len(expected)}",
+            ))
+    return findings
+
+
+def _check_block_coverage(
+    func: ast.FunctionDef, contract: KernelContract, location: str
+) -> list[Finding]:
+    """Fused kernels: pool-row blocks must partition the pooled rows."""
+    findings: list[Finding] = []
+    for param in contract.block_params:
+        rows: list[int] = []
+        literal = True
+        for stmt in ast.walk(func):
+            if not isinstance(stmt, ast.Assign):
+                continue
+            for target in stmt.targets:
+                if not (isinstance(target, ast.Subscript)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == param):
+                    continue
+                elements = _index_elements(target)
+                if contract.block_dim >= len(elements):
+                    continue
+                selected = _index_set(
+                    elements[contract.block_dim], contract.block_extent
+                )
+                if selected is None:
+                    findings.append(_finding(
+                        "error", location,
+                        f"{param} pool-row block bound is not a literal int",
+                    ))
+                    literal = False
+                    continue
+                rows.extend(selected)
+        if not literal:
+            continue
+        if len(rows) != len(set(rows)):
+            findings.append(_finding(
+                "error", location,
+                f"{param} pool-row blocks overlap",
+            ))
+        if set(rows) != set(range(contract.block_extent)):
+            findings.append(_finding(
+                "error", location,
+                f"{param} pool-row blocks cover {sorted(set(rows))} "
+                f"instead of 0..{contract.block_extent - 1}",
+            ))
+    return findings
+
+
 def verify_kernel_source(
     source: str, contract: KernelContract, location: str
 ) -> list[Finding]:
@@ -206,10 +453,19 @@ def verify_kernel_source(
             f"{sorted(missing)}",
         ))
 
+    # Names the function itself assigns (fused-kernel scratch like
+    # ``act``/``win``/``flat``/``idx``) are as trusted as parameters;
+    # anything else except ``np`` is still a stray global.
+    assigned = {
+        node.id for node in ast.walk(func)
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store)
+    }
+    allowed = params | assigned | {"np"}
+
     taps: list[tuple[int, int]] = []
     for node in ast.walk(func):
         if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
-            if node.id not in params and node.id != "np":
+            if node.id not in allowed:
                 findings.append(_finding(
                     "error", f"{location}:{node.lineno}",
                     f"generated code references non-whitelisted name "
@@ -245,14 +501,24 @@ def verify_kernel_source(
             if None not in pair:
                 taps.append(pair)  # type: ignore[arg-type]
 
-    # Tap coverage: the unrolled taps must tile the support exactly once.
-    duplicates = {t for t in taps if taps.count(t) > 1}
-    if duplicates:
-        findings.append(_finding(
-            "error", location,
-            f"taps emitted more than once (double accumulation): "
-            f"{sorted(duplicates)}",
-        ))
+    # Tap coverage: the unrolled taps must tile the support exactly once
+    # -- or, for scheduled emissions, once per tile with equal
+    # multiplicity (the destination-coverage check proves the tiles).
+    multiplicity = {t: taps.count(t) for t in set(taps)}
+    if contract.allow_repeated_taps:
+        if len(set(multiplicity.values())) > 1:
+            findings.append(_finding(
+                "error", location,
+                f"taps emitted with unequal multiplicity: {multiplicity}",
+            ))
+    else:
+        duplicates = {t for t, n in multiplicity.items() if n > 1}
+        if duplicates:
+            findings.append(_finding(
+                "error", location,
+                f"taps emitted more than once (double accumulation): "
+                f"{sorted(duplicates)}",
+            ))
     uncovered = set(contract.support) - set(taps)
     if uncovered:
         findings.append(_finding(
@@ -266,6 +532,8 @@ def verify_kernel_source(
             "error", location,
             f"taps outside the kernel support: {sorted(unexpected)}",
         ))
+    findings.extend(_check_dest_coverage(func, contract, location))
+    findings.extend(_check_block_coverage(func, contract, location))
     return findings
 
 
@@ -274,7 +542,9 @@ def verify_generated_sources(specs: list[ConvSpec]) -> list[Finding]:
 
     Specs must be engine-facing (``pad == 0``); the emitters reject
     padded specs and that rejection is reported as a finding rather
-    than raised.
+    than raised.  Specs whose output plane admits a 2x2 max pool also
+    get their fused conv+ReLU+pool emission verified against the
+    extended fused contract.
     """
     findings: list[Finding] = []
     for spec in specs:
@@ -291,4 +561,16 @@ def verify_generated_sources(specs: list[ConvSpec]) -> list[Finding]:
             findings.extend(
                 verify_kernel_source(kernel.source, contracts[family], location)
             )
+        if spec.out_ny >= 2 and spec.out_nx >= 2:
+            location = f"{spec.name or spec.describe()}/stencil-fused-fp"
+            try:
+                kernel = stencil_emit.emit_fused_forward_kernel(spec, 2)
+            except Exception as exc:  # noqa: BLE001 - report, don't crash
+                findings.append(_finding(
+                    "error", location, f"emitter failed: {exc}"
+                ))
+                continue
+            findings.extend(verify_kernel_source(
+                kernel.source, fused_contract(spec, 2), location
+            ))
     return findings

@@ -28,6 +28,12 @@ from repro.machine.spec import MachineSpec, xeon_e5_2650
 ANALYZERS = ("kernel-ir", "gen-source", "graph", "effects", "concurrency",
              "lifecycle")
 
+#: Short aliases accepted by ``--only`` (``repro check --only ir,source``).
+ANALYZER_ALIASES = {
+    "ir": "kernel-ir",
+    "source": "gen-source",
+}
+
 
 def engine_spec(spec: ConvSpec) -> ConvSpec:
     """The engine-facing (pre-padded, ``pad == 0``) variant of a spec."""
@@ -85,7 +91,8 @@ def run_all(
     Returns a :class:`CheckReport`; never raises on findings -- use
     :meth:`CheckReport.raise_if_errors` (or the CLI's exit code) to gate.
     """
-    selected = analyzers or ANALYZERS
+    selected = tuple(ANALYZER_ALIASES.get(a, a)
+                     for a in (analyzers or ANALYZERS))
     unknown = set(selected) - set(ANALYZERS)
     if unknown:
         raise CheckError(
@@ -110,7 +117,11 @@ def run_all(
         report.extend(verify_kernel_ir(specs or [], machine))
     if "gen-source" in selected:
         report.extend(verify_generated_sources(specs or []))
-        report.meta["kernels"] = 5 * len(specs or [])
+        # Five per-family kernels per spec, plus the fused conv+ReLU+pool
+        # emission for every spec whose output plane admits a 2x2 pool.
+        report.meta["kernels"] = 5 * len(specs or []) + sum(
+            1 for s in (specs or []) if s.out_ny >= 2 and s.out_nx >= 2
+        )
     if "graph" in selected:
         report.extend(verify_networks(networks or []))
         report.meta["networks"] = len(networks or [])

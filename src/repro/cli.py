@@ -51,6 +51,7 @@ from pathlib import Path
 
 from repro.analysis import figures as figure_module
 from repro.analysis.reporting import format_series, format_table
+from repro.check.runner import ANALYZER_ALIASES as _ANALYZER_ALIASES
 from repro.check.runner import ANALYZERS as _ANALYZERS
 from repro.core.autotuner import Autotuner, ModelCostBackend
 from repro.core.characterization import characterize
@@ -75,8 +76,13 @@ _FIGURES = {
 
 
 def _analyzer_list(text: str) -> tuple[str, ...]:
-    """``--only`` type: comma-separated analyzer names, validated."""
-    names = tuple(name.strip() for name in text.split(",") if name.strip())
+    """``--only`` type: comma-separated analyzer names, validated.
+
+    Accepts the short aliases too (``--only ir,source``)."""
+    names = tuple(
+        _ANALYZER_ALIASES.get(name.strip(), name.strip())
+        for name in text.split(",") if name.strip()
+    )
     unknown = [name for name in names if name not in _ANALYZERS]
     if unknown:
         raise argparse.ArgumentTypeError(
@@ -109,6 +115,20 @@ def _build_parser() -> argparse.ArgumentParser:
     chz.add_argument("dims", type=int, nargs=4, metavar=("Nx", "Nf", "Nc", "Fx"))
     chz.add_argument("--stride", type=int, default=1)
     chz.add_argument("--sparsity", type=float, default=0.0)
+
+    sched = sub.add_parser(
+        "schedule",
+        help="search loop-IR schedule pipelines for one convolution",
+    )
+    sched.add_argument("dims", type=int, nargs=4,
+                       metavar=("Nx", "Nf", "Nc", "Fx"))
+    sched.add_argument("--stride", type=int, default=1)
+    sched.add_argument("--pool", type=int, default=0, metavar="K",
+                       help="fuse a KxK max-pool into the forward phase")
+    sched.add_argument("--seed", type=int, default=0,
+                       help="seed for the random schedule samples")
+    sched.add_argument("--cores", type=int, default=1)
+    sched.add_argument("--batch", type=int, default=1)
 
     plan = sub.add_parser("plan", help="autotune a network description")
     plan.add_argument("netdef", type=Path)
@@ -341,6 +361,34 @@ def _cmd_characterize(args, out) -> int:
           f"{'sparse' if ch.region.is_sparse else 'dense'})", file=out)
     print(f"recommended FP:  {ch.recommended_fp()}", file=out)
     print(f"recommended BP:  {ch.recommended_bp()}", file=out)
+    return 0
+
+
+def _cmd_schedule(args, out) -> int:
+    from repro.nn.schedule import ScheduleSearch
+
+    n, nf, nc, f = args.dims
+    spec = ConvSpec(nc=nc, ny=n, nx=n, nf=nf, fy=f, fx=f,
+                    sy=args.stride, sx=args.stride, name="cli-conv")
+    search = ScheduleSearch(cores=args.cores, batch=args.batch,
+                            seed=args.seed)
+    choices = search.search_layer(spec, pool_kernel=args.pool)
+    rows = []
+    for phase, choice in choices.items():
+        rows.append([
+            phase, choice.family, choice.pipeline.describe(),
+            str(choice.num_candidates),
+            f"{choice.seconds * 1e6:.2f}",
+            f"{choice.speedup_over_default():.2f}x",
+            "yes" if choice.verified else "model-only",
+        ])
+    print(format_table(
+        ["phase", "family", "chosen schedule", "cands", "model us",
+         "vs default", "verified"],
+        rows,
+        title=f"{spec.describe()}: schedule search "
+              f"(seed {args.seed}, {args.cores} cores, batch {args.batch})",
+    ), file=out)
     return 0
 
 
@@ -734,6 +782,8 @@ def main(argv: list[str] | None = None, out=None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "characterize":
         return _cmd_characterize(args, out)
+    if args.command == "schedule":
+        return _cmd_schedule(args, out)
     if args.command == "plan":
         return _cmd_plan(args, out)
     if args.command == "figure":

@@ -17,6 +17,14 @@ exhaustive search over all ``(ry, rx)`` with
 ``ry * rx <= available accumulator registers``, minimizing total vector
 instructions per output element (commodity machines have few vector
 registers, so the search space is tiny).
+
+In the loop-IR stack this module is the *lowering target* of the
+``vectorize`` schedule pass: :func:`block_for_nest` turns a vectorized
+:class:`~repro.stencil.loopir.LoopNest` into the register-tiled block
+that the machine model prices and the kernel-IR verifier checks.  Only
+that pass (via :mod:`repro.stencil.passes`) and the renderer should call
+the generator directly -- emitters that bypass the pass pipeline are
+flagged by the ``CHK-SCHED-BYPASS`` lint rule.
 """
 
 from __future__ import annotations
@@ -25,6 +33,7 @@ from dataclasses import dataclass
 
 from repro.errors import CodegenError
 from repro.stencil.ir import BasicBlock, VBroadcast, VFma, VLoad, VStore
+from repro.stencil.loopir import LoopNest
 
 #: AVX on the paper's Xeon: 16 ymm registers, 8 floats each.
 DEFAULT_NUM_REGISTERS = 16
@@ -128,3 +137,24 @@ def optimize_register_tile(
                 best = TileChoice(ry=ry, rx=rx, instructions_per_output=cost, block=block)
     assert best is not None  # budget >= 1 guarantees at least one candidate
     return best
+
+
+def block_for_nest(nest: LoopNest) -> TileChoice:
+    """Lower a vectorized loop nest's innermost plane to its basic block.
+
+    This is the bridge the ``vectorize`` pass declares: the nest's
+    register budget and vector width select the register tile for the
+    nest's kernel taps, and the resulting block is what
+    ``repro.check.kernel_ir`` verifies for every scheduled kernel.
+    """
+    if not nest.vectorized:
+        raise CodegenError(
+            "block_for_nest requires a vectorized nest; run the vectorize "
+            "pass first"
+        )
+    return optimize_register_tile(
+        nest.spec.fy,
+        nest.spec.fx,
+        num_registers=nest.num_registers,
+        vector_width=nest.vector_width,
+    )

@@ -6,6 +6,13 @@ stencil kernels for forward propagation (Stencil-Kernel (FP)); for
 interface completeness this engine also provides the transposed-stencil
 backward kernels, which spg-CNN's autotuner may use when they win.
 
+Since the loop-IR refactor the engine is schedule-parameterized: each
+kernel family accepts a :class:`repro.stencil.passes.SchedulePipeline`
+(``None`` means the default pipeline, which reproduces the original
+emission byte for byte).  Pipelines are frozen and picklable, so an
+engine carrying a searched schedule crosses the process-backend spawn
+boundary intact.
+
 Like GEMM-in-Parallel, the stencil engine parallelizes across training
 inputs: each core runs the generated single-threaded kernel on whole
 images (the machine model prices the batch partitioning).
@@ -28,6 +35,7 @@ from repro.stencil.emit import (
     emit_backward_weights_kernel,
     emit_forward_kernel,
 )
+from repro.stencil.passes import SchedulePipeline
 from repro.stencil.schedule import StencilSchedule, generate_schedule
 
 
@@ -42,6 +50,9 @@ class StencilEngine(ConvEngine):
         num_registers: int = DEFAULT_NUM_REGISTERS,
         vector_width: int = DEFAULT_VECTOR_WIDTH,
         cache_bytes: int = 256 * 1024,
+        pipeline: SchedulePipeline | None = None,
+        bp_pipeline: SchedulePipeline | None = None,
+        dw_pipeline: SchedulePipeline | None = None,
     ):
         super().__init__(spec)
         if num_cores <= 0:
@@ -51,9 +62,12 @@ class StencilEngine(ConvEngine):
             spec.fy, spec.fx, num_registers=num_registers, vector_width=vector_width
         )
         self.schedule: StencilSchedule = generate_schedule(spec, cache_bytes=cache_bytes)
-        self._fp_kernel = emit_forward_kernel(spec)
-        self._bp_kernel = emit_backward_data_kernel(spec)
-        self._dw_kernel = emit_backward_weights_kernel(spec)
+        self.pipeline = pipeline
+        self.bp_pipeline = bp_pipeline
+        self.dw_pipeline = dw_pipeline
+        self._fp_kernel = emit_forward_kernel(spec, pipeline)
+        self._bp_kernel = emit_backward_data_kernel(spec, bp_pipeline)
+        self._dw_kernel = emit_backward_weights_kernel(spec, dw_pipeline)
 
     # -- generated-code accessors (for tests and inspection) ------------
 

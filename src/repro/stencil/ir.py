@@ -5,6 +5,12 @@ instruction level: unaligned vector loads of the input (``VLoad``), scalar
 weight broadcasts (``VBroadcast``), fused multiply-adds into an output
 register tile (``VFma``) and stores of the accumulators (``VStore``).
 
+This is the *bottom* layer of the two-level IR stack: the schedulable
+loop IR (:mod:`repro.stencil.loopir`) describes whole kernels with
+explicit iteration domains, schedule passes (:mod:`repro.stencil.passes`)
+rewrite it, and the ``vectorize`` pass lowers the innermost parallel
+plane into the basic blocks defined here.
+
 The IR serves two purposes:
 
 * it is emitted as specialized, executable Python (:mod:`repro.stencil.emit`)

@@ -56,3 +56,58 @@ def test_spec_name_does_not_fragment_the_cache(emitter):
     assert again is kernel
     assert emitter.cache_info().hits == 1
     assert emitter.cache_info().misses == 1
+
+
+class TestPipelineKeyedCache:
+    """Schedules are part of the cache key: satellite of the loop IR.
+
+    A (spec, pipeline) pair must re-emit byte-identically, distinct
+    pipelines must never collide (the fingerprint is baked into the
+    kernel name), and repeats must be lru_cache hits.
+    """
+
+    def _tiled(self):
+        from repro.stencil.passes import tiled_pipeline
+
+        return tiled_pipeline("fp", tile_y=3)
+
+    def test_scheduled_emission_is_byte_identical(self):
+        from repro.stencil.passes import tiled_pipeline
+
+        first = stencil_emit.emit_forward_kernel(_spec(), tiled_pipeline(
+            "fp", tile_y=3))
+        second = stencil_emit.emit_forward_kernel(_spec(), tiled_pipeline(
+            "fp", tile_y=3))
+        assert first.source == second.source
+
+    def test_distinct_pipelines_never_collide(self):
+        from repro.stencil.passes import default_pipeline, tiled_pipeline
+
+        default = stencil_emit.emit_forward_kernel(_spec())
+        t3 = stencil_emit.emit_forward_kernel(
+            _spec(), tiled_pipeline("fp", tile_y=3))
+        t5 = stencil_emit.emit_forward_kernel(
+            _spec(), tiled_pipeline("fp", tile_y=5))
+        names = {default.name, t3.name, t5.name}
+        assert len(names) == 3
+        assert t3.source != t5.source
+        # The fingerprint is the collision guard: it is in the name.
+        fp3 = tiled_pipeline("fp", tile_y=3).fingerprint()
+        assert t3.name.endswith(f"__s{fp3}")
+        assert default.name == stencil_emit.emit_forward_kernel(
+            _spec(), default_pipeline("fp")).name
+
+    def test_repeat_spec_pipeline_pair_is_a_cache_hit(self):
+        stencil_emit.emit_forward_kernel.cache_clear()
+        kernel = stencil_emit.emit_forward_kernel(_spec(), self._tiled())
+        hits = stencil_emit.emit_forward_kernel.cache_info().hits
+        again = stencil_emit.emit_forward_kernel(_spec(), self._tiled())
+        assert again is kernel
+        assert stencil_emit.emit_forward_kernel.cache_info().hits == hits + 1
+
+    def test_fused_cache_keys_carry_the_pool_window(self):
+        stencil_emit.emit_fused_forward_kernel.cache_clear()
+        k2 = stencil_emit.emit_fused_forward_kernel(_spec(), 2)
+        k2b = stencil_emit.emit_fused_forward_kernel(_spec(), 2)
+        assert k2b is k2
+        assert stencil_emit.emit_fused_forward_kernel.cache_info().hits == 1

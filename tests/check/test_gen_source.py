@@ -125,3 +125,71 @@ class TestDoctoredSources:
         findings = verify_generated_sources([TINY])
         assert any("emitter failed: emitter exploded" in f.message
                    for f in findings), _messages(findings)
+
+
+class TestFusedContract:
+    """The extended per-spec contract for fused conv+ReLU+pool kernels."""
+
+    def _source(self) -> str:
+        from repro.stencil.emit import emit_fused_forward_kernel
+
+        return emit_fused_forward_kernel(TINY, 2).source
+
+    def _contract(self):
+        from repro.check.gen_source import fused_contract
+
+        return fused_contract(TINY, 2)
+
+    def test_fused_emission_verifies_clean(self):
+        assert verify_kernel_source(self._source(), self._contract(),
+                                    "fused") == []
+
+    def test_dropped_pool_row_block_is_caught(self):
+        source = self._source().replace(
+            "    out[:, 1:2, :] = np.take_along_axis(flat, "
+            "idx[:, :, :, None], axis=3)[:, :, :, 0]\n", "")
+        findings = verify_kernel_source(source, self._contract(), "fused")
+        assert any("blocks cover" in f.message for f in findings), \
+            _messages(findings)
+
+    def test_overlapping_pool_row_blocks_are_caught(self):
+        source = self._source().replace("out[:, 1:2, :]", "out[:, 0:1, :]")
+        findings = verify_kernel_source(source, self._contract(), "fused")
+        assert any("blocks overlap" in f.message
+                   or "blocks cover" in f.message for f in findings), \
+            _messages(findings)
+
+    def test_unbalanced_repeated_tap_is_caught(self):
+        # The fused emission repeats every tap once per pool-row block;
+        # doctoring one occurrence breaks the equal-multiplicity rule.
+        source = self._source().replace(
+            "weights[:, :, 2, 2], inputs[:, 6:8, 2:8]",
+            "weights[:, :, 2, 1], inputs[:, 6:8, 2:8]")
+        findings = verify_kernel_source(source, self._contract(), "fused")
+        assert findings, "doctored tap multiplicity must not verify clean"
+
+
+class TestScheduledEmissionContracts:
+    """Non-default pipelines verify under the relaxed (scheduled) contract."""
+
+    def test_tiled_fp_emission_verifies_clean(self):
+        from repro.check.gen_source import contract_for
+        from repro.stencil.passes import tiled_pipeline
+
+        pipeline = tiled_pipeline("fp", tile_y=3)
+        kernel = emit_forward_kernel(TINY, pipeline)
+        contract = contract_for(TINY, pipeline)
+        assert verify_kernel_source(kernel.source, contract, "fp-tiled") == []
+
+    def test_tile_coverage_gap_is_caught(self):
+        from repro.check.gen_source import contract_for
+        from repro.stencil.passes import tiled_pipeline
+
+        pipeline = tiled_pipeline("fp", tile_y=3)
+        source = emit_forward_kernel(TINY, pipeline).source.replace(
+            "out[:, 3:6, 0:6] += np.tensordot(weights[:, :, 0, 0]",
+            "out[:, 0:3, 0:6] += np.tensordot(weights[:, :, 0, 0]")
+        contract = contract_for(TINY, pipeline)
+        findings = verify_kernel_source(source, contract, "fp-tiled")
+        assert any("overlap" in f.message or "cover" in f.message
+                   for f in findings), _messages(findings)

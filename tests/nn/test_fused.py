@@ -1,0 +1,153 @@
+"""The fused conv+ReLU+pool layer: bit-identity and traffic payoff.
+
+Acceptance gate of the schedulable-IR PR: on every zoo network's
+conv->pool geometry the fused kernel must be *bitwise* identical to the
+unfused stencil chain -- forward and backward, on every backend -- while
+the machine model prices strictly less private+shared traffic.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.nn.layers.activations import ReLULayer
+from repro.nn.layers.conv import ConvLayer
+from repro.nn.layers.fused import FusedConvReluPool, fuse_conv_relu_pool
+from repro.nn.layers.pool import MaxPoolLayer
+from repro.nn.zoo import alexnet_small, cifar10_net, imagenet100_net, mnist_net
+
+
+def _conv_pool_geometries():
+    """(network, spec, pool_kernel, pool_stride) for every zoo conv->pool."""
+    out = []
+    for build in (mnist_net, cifar10_net, imagenet100_net, alexnet_small):
+        net = build(scale=0.25)
+        pending = None
+        for layer in net.layers:
+            if isinstance(layer, ConvLayer):
+                pending = layer.spec
+            elif isinstance(layer, MaxPoolLayer) and pending is not None:
+                out.append((net.name, pending, layer.kernel, layer.stride))
+                pending = None
+        for layer in net.conv_layers():
+            layer.close()
+    return out
+
+
+GEOMETRIES = _conv_pool_geometries()
+
+
+@pytest.mark.parametrize(
+    "net_name,spec,pk,ps", GEOMETRIES,
+    ids=[f"{n}-{s.describe()}" for n, s, _, _ in GEOMETRIES],
+)
+class TestBitIdentityOnZooNetworks:
+    def test_forward_and_backward_match_the_chain_bitwise(
+        self, net_name, spec, pk, ps, rng
+    ):
+        conv = ConvLayer(spec, fp_engine="stencil", bp_engine="stencil")
+        conv.weights = rng.standard_normal(
+            spec.weight_shape
+        ).astype(np.float32)
+        conv.bias = rng.standard_normal(spec.nf).astype(np.float32)
+        pool = MaxPoolLayer(pk, ps)
+        fused = fuse_conv_relu_pool(conv, pool)
+        try:
+            x = rng.standard_normal(
+                (2, *spec.input_shape)
+            ).astype(np.float32)
+            want = pool.forward(ReLULayer().forward(conv.forward(x)))
+            got = fused.forward(x)
+            assert np.array_equal(got, want)
+
+            err = rng.standard_normal(want.shape).astype(np.float32)
+            relu = ReLULayer()
+            relu.forward(conv.forward(x))  # rebuild the chain caches
+            pool.forward(relu.forward(conv.forward(x)))
+            conv.d_weights[:] = 0
+            conv.d_bias[:] = 0
+            want_err = conv.backward(relu.backward(pool.backward(err)))
+            got_err = fused.backward(err)
+            assert np.array_equal(got_err, want_err)
+            assert np.array_equal(fused.d_weights, conv.d_weights)
+            assert np.array_equal(fused.d_bias, conv.d_bias)
+        finally:
+            conv.close()
+            fused.close()
+
+    def test_fused_traffic_strictly_below_chain(self, net_name, spec, pk, ps,
+                                                rng):
+        fused = FusedConvReluPool(spec, pk, ps)
+        try:
+            est = fused.work_estimates()
+            fused_traffic = (est["fused"].private_elems
+                            + est["fused"].shared_elems)
+            chain_traffic = (est["chain"].private_elems
+                            + est["chain"].shared_elems)
+            assert fused_traffic < chain_traffic, spec.describe()
+        finally:
+            fused.close()
+
+
+BACKENDS = ["thread"] + (
+    ["process"] if (os.cpu_count() or 1) >= 2 else []
+)
+
+
+class TestBackends:
+    SPEC = GEOMETRIES[0][1]
+    POOL = GEOMETRIES[0][2:]
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_fused_matches_the_chain_on_the_same_backend(self, backend, rng):
+        """Fused vs unfused chain, both on a 2-worker pool, bitwise.
+
+        (Serial-vs-pooled dW is *not* bitwise for either form -- batch
+        partitioning reorders the cross-image reduction -- so the
+        contract is fused == chain per backend, which is what the
+        autotuner actually swaps between.)
+        """
+        pk, ps = self.POOL
+        conv = ConvLayer(self.SPEC, fp_engine="stencil", bp_engine="stencil",
+                         threads=2, backend=backend)
+        conv.weights = rng.standard_normal(
+            self.SPEC.weight_shape
+        ).astype(np.float32)
+        conv.bias = rng.standard_normal(self.SPEC.nf).astype(np.float32)
+        pool = MaxPoolLayer(pk, ps)
+        relu = ReLULayer()
+        fused = fuse_conv_relu_pool(conv, pool)
+        try:
+            x = rng.standard_normal(
+                (4, *self.SPEC.input_shape)
+            ).astype(np.float32)
+            want = pool.forward(relu.forward(conv.forward(x)))
+            got = fused.forward(x)
+            assert np.array_equal(got, want)
+            err = rng.standard_normal(want.shape).astype(np.float32)
+            want_err = conv.backward(relu.backward(pool.backward(err)))
+            got_err = fused.backward(err)
+            assert np.array_equal(got_err, want_err)
+            assert np.array_equal(fused.d_weights, conv.d_weights)
+            assert np.array_equal(fused.d_bias, conv.d_bias)
+        finally:
+            conv.close()
+            fused.close()
+
+    def test_serial_and_pooled_forward_match_bitwise(self, rng):
+        """Forward batch partitioning is pure fan-out: bitwise stable."""
+        pk, ps = self.POOL
+        serial = FusedConvReluPool(self.SPEC, pk, ps)
+        pooled = FusedConvReluPool(self.SPEC, pk, ps, threads=2,
+                                   backend="thread")
+        pooled.weights = serial.weights.copy()
+        pooled.bias = serial.bias.copy()
+        try:
+            x = rng.standard_normal(
+                (4, *self.SPEC.input_shape)
+            ).astype(np.float32)
+            assert np.array_equal(pooled.forward(x), serial.forward(x))
+        finally:
+            serial.close()
+            pooled.close()
